@@ -1,0 +1,220 @@
+//! Plain modular arithmetic helpers: addition/subtraction/multiplication
+//! modulo `n`, the extended Euclidean algorithm, modular inverses, and the
+//! Jacobi symbol.
+//!
+//! These are ring-entry/ring-exit utilities; the hot exponentiation path
+//! lives in [`crate::Mont`].
+
+use crate::ubig::UBig;
+use crate::BigError;
+
+/// `(a + b) mod n`.
+pub fn add_mod(a: &UBig, b: &UBig, n: &UBig) -> UBig {
+    (&a.rem(n) + &b.rem(n)).rem(n)
+}
+
+/// `(a - b) mod n` (wrapping into `[0, n)`).
+pub fn sub_mod(a: &UBig, b: &UBig, n: &UBig) -> UBig {
+    let a = a.rem(n);
+    let b = b.rem(n);
+    if a >= b {
+        a.sub(&b)
+    } else {
+        (&a + n).sub(&b)
+    }
+}
+
+/// `(a * b) mod n`.
+pub fn mul_mod(a: &UBig, b: &UBig, n: &UBig) -> UBig {
+    (&a.rem(n) * &b.rem(n)).rem(n)
+}
+
+/// A signed magnitude wrapper used inside the extended Euclid loop.
+#[derive(Clone, Debug)]
+struct Signed {
+    mag: UBig,
+    neg: bool,
+}
+
+impl Signed {
+    fn pos(mag: UBig) -> Self {
+        Signed { mag, neg: false }
+    }
+
+    /// self - other
+    fn sub(&self, other: &Signed) -> Signed {
+        match (self.neg, other.neg) {
+            (false, true) => Signed::pos(&self.mag + &other.mag),
+            (true, false) => Signed {
+                mag: &self.mag + &other.mag,
+                neg: true,
+            },
+            (sn, _) => {
+                // same sign: magnitude subtraction, sign flips if |other|>|self|
+                if self.mag >= other.mag {
+                    Signed {
+                        mag: self.mag.sub(&other.mag),
+                        neg: sn && !self.mag.sub(&other.mag).is_zero(),
+                    }
+                } else {
+                    Signed {
+                        mag: other.mag.sub(&self.mag),
+                        neg: !sn,
+                    }
+                }
+            }
+        }
+    }
+
+    fn mul(&self, q: &UBig) -> Signed {
+        Signed {
+            mag: &self.mag * q,
+            neg: self.neg && !q.is_zero(),
+        }
+    }
+}
+
+/// Extended GCD: returns `(g, x)` with `a*x ≡ g (mod n)` and `g = gcd(a, n)`.
+///
+/// `x` is returned already reduced into `[0, n)`.
+pub fn ext_gcd_mod(a: &UBig, n: &UBig) -> Result<(UBig, UBig), BigError> {
+    if n.is_zero() {
+        return Err(BigError::DivideByZero);
+    }
+    let mut old_r = a.rem(n);
+    let mut r = n.clone();
+    let mut old_s = Signed::pos(UBig::one());
+    let mut s = Signed::pos(UBig::zero());
+    while !r.is_zero() {
+        let (q, rem) = old_r.div_rem(&r);
+        old_r = std::mem::replace(&mut r, rem);
+        let new_s = old_s.sub(&s.mul(&q));
+        old_s = std::mem::replace(&mut s, new_s);
+    }
+    // old_r = gcd, old_s = Bezout coefficient for a.
+    let x = if old_s.neg {
+        sub_mod(n, &old_s.mag.rem(n), n)
+    } else {
+        old_s.mag.rem(n)
+    };
+    Ok((old_r, x))
+}
+
+/// Modular inverse: `a^{-1} mod n`, failing when `gcd(a, n) != 1`.
+pub fn inv_mod(a: &UBig, n: &UBig) -> Result<UBig, BigError> {
+    let (g, x) = ext_gcd_mod(a, n)?;
+    if g.is_one() {
+        Ok(x)
+    } else {
+        Err(BigError::NotInvertible)
+    }
+}
+
+/// Jacobi symbol `(a / n)` for odd positive `n`; returns -1, 0 or 1.
+pub fn jacobi(a: &UBig, n: &UBig) -> Result<i32, BigError> {
+    if n.is_even() || n.is_zero() {
+        return Err(BigError::OutOfRange("jacobi requires odd positive n"));
+    }
+    let mut a = a.rem(n);
+    let mut n = n.clone();
+    let mut sign = 1i32;
+    while !a.is_zero() {
+        while a.is_even() {
+            a = a.shr(1);
+            // (2/n) = -1 iff n ≡ 3,5 (mod 8)
+            let n_mod8 = n.limbs().first().copied().unwrap_or(0) & 7;
+            if n_mod8 == 3 || n_mod8 == 5 {
+                sign = -sign;
+            }
+        }
+        std::mem::swap(&mut a, &mut n);
+        // Quadratic reciprocity: flip if both ≡ 3 (mod 4).
+        let a4 = a.limbs().first().copied().unwrap_or(0) & 3;
+        let n4 = n.limbs().first().copied().unwrap_or(0) & 3;
+        if a4 == 3 && n4 == 3 {
+            sign = -sign;
+        }
+        a = a.rem(&n);
+    }
+    if n.is_one() {
+        Ok(sign)
+    } else {
+        Ok(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> UBig {
+        UBig::from_u64(v)
+    }
+
+    #[test]
+    fn add_sub_mod_wrap() {
+        let n = u(97);
+        assert_eq!(add_mod(&u(96), &u(5), &n), u(4));
+        assert_eq!(sub_mod(&u(3), &u(5), &n), u(95));
+        assert_eq!(sub_mod(&u(5), &u(5), &n), u(0));
+        assert_eq!(mul_mod(&u(96), &u(96), &n), u(1));
+    }
+
+    #[test]
+    fn inv_mod_small_field() {
+        let p = u(101);
+        for a in 1..101u64 {
+            let inv = inv_mod(&u(a), &p).unwrap();
+            assert_eq!(mul_mod(&u(a), &inv, &p), u(1), "a={a}");
+        }
+    }
+
+    #[test]
+    fn inv_mod_rejects_noncoprime() {
+        assert_eq!(inv_mod(&u(6), &u(9)), Err(BigError::NotInvertible));
+        assert_eq!(inv_mod(&u(0), &u(7)), Err(BigError::NotInvertible));
+    }
+
+    #[test]
+    fn inv_mod_large() {
+        let n = UBig::from_hex("fffffffffffffffffffffffffffffffeffffffffffffffff").unwrap();
+        let a = UBig::from_hex("deadbeefcafebabe0123456789abcdef").unwrap();
+        let inv = inv_mod(&a, &n).unwrap();
+        assert_eq!(mul_mod(&a, &inv, &n), UBig::one());
+    }
+
+    #[test]
+    fn ext_gcd_reports_gcd() {
+        let (g, _) = ext_gcd_mod(&u(12), &u(18)).unwrap();
+        assert_eq!(g, u(6));
+        let (g, x) = ext_gcd_mod(&u(7), &u(13)).unwrap();
+        assert_eq!(g, u(1));
+        assert_eq!(mul_mod(&u(7), &x, &u(13)), u(1));
+    }
+
+    #[test]
+    fn jacobi_prime_is_legendre() {
+        // For p = 11: squares are 1,3,4,5,9.
+        let p = u(11);
+        let squares = [1u64, 3, 4, 5, 9];
+        for a in 1..11u64 {
+            let expect = if squares.contains(&a) { 1 } else { -1 };
+            assert_eq!(jacobi(&u(a), &p).unwrap(), expect, "a={a}");
+        }
+        assert_eq!(jacobi(&u(0), &p).unwrap(), 0);
+        assert_eq!(jacobi(&u(22), &p).unwrap(), 0);
+    }
+
+    #[test]
+    fn jacobi_rejects_even_n() {
+        assert!(jacobi(&u(3), &u(8)).is_err());
+    }
+
+    #[test]
+    fn jacobi_composite() {
+        // (2/15) = (2/3)(2/5) = (-1)(-1) = 1
+        assert_eq!(jacobi(&u(2), &u(15)).unwrap(), 1);
+        // (7/15): (7/3)=(1/3)=1, (7/5)=(2/5)=-1 -> -1
+        assert_eq!(jacobi(&u(7), &u(15)).unwrap(), -1);
+    }
+}

@@ -1,0 +1,295 @@
+//! Montgomery reduction context (CIOS) for fast modular exponentiation.
+//!
+//! All RSA/ElGamal exponentiations in the workspace route through [`Mont`].
+//! The context is built once per modulus and reused; conversion in and out of
+//! Montgomery form happens at the boundary only.
+
+use crate::ubig::UBig;
+use crate::BigError;
+
+/// Montgomery arithmetic context for an odd modulus `n >= 3`.
+#[derive(Clone, Debug)]
+pub struct Mont {
+    /// Modulus limbs (little-endian), length `s`.
+    n: Vec<u64>,
+    /// `-n^{-1} mod 2^64`.
+    n0inv: u64,
+    /// `R^2 mod n` where `R = 2^(64 s)`, used to enter Montgomery form.
+    rr: Vec<u64>,
+    /// `1` in Montgomery form (`R mod n`).
+    one: Vec<u64>,
+}
+
+impl Mont {
+    /// Builds a context for `modulus` (must be odd and >= 3).
+    pub fn new(modulus: &UBig) -> Result<Self, BigError> {
+        if modulus.is_even() || modulus.bit_len() < 2 {
+            return Err(BigError::BadModulus);
+        }
+        let n = modulus.limbs().to_vec();
+        let s = n.len();
+        let n0inv = inv64(n[0]).wrapping_neg();
+        // R^2 mod n computed as 2^(128 s) mod n via shifting.
+        let rr_big = UBig::one().shl(128 * s).rem(modulus);
+        let one_big = UBig::one().shl(64 * s).rem(modulus);
+        Ok(Mont {
+            rr: pad(rr_big.limbs(), s),
+            one: pad(one_big.limbs(), s),
+            n,
+            n0inv,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> UBig {
+        UBig::from_limbs(self.n.clone())
+    }
+
+    /// Number of limbs in the modulus.
+    #[inline]
+    pub fn limb_len(&self) -> usize {
+        self.n.len()
+    }
+
+    /// Converts `x` (reduced mod n if needed) into Montgomery form.
+    pub fn to_mont(&self, x: &UBig) -> Vec<u64> {
+        let reduced = if x.bit_len() > 64 * self.n.len() || Self::geq(x.limbs(), &self.n) {
+            x.rem(&self.modulus())
+        } else {
+            x.clone()
+        };
+        let xm = pad(reduced.limbs(), self.n.len());
+        self.mont_mul(&xm, &self.rr)
+    }
+
+    /// Converts a Montgomery-form value back to the plain representative.
+    pub fn from_mont(&self, xm: &[u64]) -> UBig {
+        let mut one = vec![0u64; self.n.len()];
+        one[0] = 1;
+        UBig::from_limbs(self.mont_mul(xm, &one))
+    }
+
+    fn geq(a: &[u64], n: &[u64]) -> bool {
+        if a.len() != n.len() {
+            return a.len() > n.len();
+        }
+        for i in (0..n.len()).rev() {
+            if a[i] != n[i] {
+                return a[i] > n[i];
+            }
+        }
+        true // equal counts as >=
+    }
+
+    /// Montgomery product `a * b * R^{-1} mod n` (CIOS).
+    #[allow(clippy::needless_range_loop)] // t and n are indexed in lockstep
+    pub fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let s = self.n.len();
+        debug_assert_eq!(a.len(), s);
+        debug_assert_eq!(b.len(), s);
+        let mut t = vec![0u64; s + 2];
+        for &bi in b.iter() {
+            // t += a * b[i]
+            let mut carry: u128 = 0;
+            for j in 0..s {
+                let cur = t[j] as u128 + a[j] as u128 * bi as u128 + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[s] as u128 + carry;
+            t[s] = cur as u64;
+            t[s + 1] = (cur >> 64) as u64;
+
+            // m = t[0] * n' mod 2^64; t = (t + m*n) / 2^64
+            let m = t[0].wrapping_mul(self.n0inv);
+            let mut carry: u128 = (t[0] as u128 + m as u128 * self.n[0] as u128) >> 64;
+            for j in 1..s {
+                let cur = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[s] as u128 + carry;
+            t[s - 1] = cur as u64;
+            let cur2 = t[s + 1] as u128 + (cur >> 64);
+            t[s] = cur2 as u64;
+            t[s + 1] = 0;
+        }
+        t.truncate(s + 1);
+        // Conditional final subtraction brings t into [0, n).
+        if t[s] != 0 || Self::geq(&t[..s], &self.n) {
+            let mut borrow = 0u64;
+            for j in 0..s {
+                let (d1, b1) = t[j].overflowing_sub(self.n[j]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                t[j] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+            t[s] = t[s].wrapping_sub(borrow);
+        }
+        t.truncate(s);
+        t
+    }
+
+    /// `base^exp mod n` via left-to-right square-and-multiply with a 4-bit
+    /// window.
+    pub fn pow(&self, base: &UBig, exp: &UBig) -> UBig {
+        if exp.is_zero() {
+            return UBig::one().rem(&self.modulus());
+        }
+        let bm = self.to_mont(base);
+        // Precompute base^0..base^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.one.clone());
+        table.push(bm.clone());
+        for i in 2..16 {
+            let prev: &Vec<u64> = &table[i - 1];
+            table.push(self.mont_mul(prev, &bm));
+        }
+        let bits = exp.bit_len();
+        let mut acc = self.one.clone();
+        let mut started = false;
+        // Process 4 bits at a time from the most significant end.
+        let top_window = bits.div_ceil(4) * 4;
+        let mut i = top_window;
+        while i >= 4 {
+            i -= 4;
+            let mut w = 0usize;
+            for k in (0..4).rev() {
+                w = (w << 1) | exp.bit(i + k) as usize;
+            }
+            if started {
+                acc = self.mont_mul(&acc, &acc);
+                acc = self.mont_mul(&acc, &acc);
+                acc = self.mont_mul(&acc, &acc);
+                acc = self.mont_mul(&acc, &acc);
+                if w != 0 {
+                    acc = self.mont_mul(&acc, &table[w]);
+                }
+            } else if w != 0 {
+                acc = table[w].clone();
+                started = true;
+            }
+        }
+        self.from_mont(&acc)
+    }
+
+    /// Modular multiplication `a * b mod n` through Montgomery form.
+    pub fn mul_mod(&self, a: &UBig, b: &UBig) -> UBig {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+}
+
+/// Inverse of an odd `x` modulo 2^64 (Newton iteration, 6 steps).
+fn inv64(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1);
+    let mut inv = x; // correct to 3 bits
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(x.wrapping_mul(inv), 1);
+    inv
+}
+
+fn pad(limbs: &[u64], len: usize) -> Vec<u64> {
+    let mut v = limbs.to_vec();
+    v.resize(len, 0);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_even_or_tiny_modulus() {
+        assert!(Mont::new(&UBig::from_u64(10)).is_err());
+        assert!(Mont::new(&UBig::from_u64(0)).is_err());
+        assert!(Mont::new(&UBig::from_u64(1)).is_err());
+        assert!(Mont::new(&UBig::from_u64(3)).is_ok());
+    }
+
+    #[test]
+    fn inv64_is_inverse() {
+        for x in [1u64, 3, 5, 0xdeadbeefdeadbeef | 1, u64::MAX] {
+            assert_eq!(x.wrapping_mul(inv64(x)), 1);
+        }
+    }
+
+    #[test]
+    fn roundtrip_mont_form() {
+        let m = Mont::new(&UBig::from_u64(1_000_000_007)).unwrap();
+        for v in [0u64, 1, 2, 999, 1_000_000_006] {
+            let x = UBig::from_u64(v);
+            assert_eq!(m.from_mont(&m.to_mont(&x)), x);
+        }
+    }
+
+    #[test]
+    fn to_mont_reduces_large_inputs() {
+        let m = Mont::new(&UBig::from_u64(97)).unwrap();
+        let x = UBig::from_u64(97 * 5 + 13);
+        assert_eq!(m.from_mont(&m.to_mont(&x)).to_u64(), Some(13));
+    }
+
+    #[test]
+    fn mul_mod_matches_plain() {
+        let n = UBig::from_hex("f123456789abcdef0123456789abcdef1").unwrap();
+        let m = Mont::new(&n).unwrap();
+        let a = UBig::from_hex("deadbeefcafebabe112233445566").unwrap();
+        let b = UBig::from_hex("aabbccddeeff00112233445566778899a").unwrap();
+        let expect = (&a * &b).rem(&n);
+        assert_eq!(m.mul_mod(&a, &b), expect);
+    }
+
+    #[test]
+    fn pow_matches_naive_small() {
+        let n = UBig::from_u64(1_000_000_007);
+        let m = Mont::new(&n).unwrap();
+        for (b, e) in [(2u64, 10u64), (3, 0), (7, 1), (31337, 65537), (5, 123456)] {
+            let expect = UBig::from_u64(b)
+                .pow_mod(&UBig::from_u64(e), &n)
+                .unwrap();
+            assert_eq!(
+                m.pow(&UBig::from_u64(b), &UBig::from_u64(e)),
+                expect,
+                "b={b} e={e}"
+            );
+        }
+    }
+
+    #[test]
+    fn pow_matches_naive_multi_limb() {
+        let n = UBig::from_hex("c2446bf4ccd64d8b34a8a8f4e4ab7d1bb1e2f7c8d9a0b1c2d3e4f5a6b7c8d9e1")
+            .unwrap(); // odd 256-bit
+        let m = Mont::new(&n).unwrap();
+        let b = UBig::from_hex("123456789abcdef0fedcba9876543210ffeeddccbbaa9988").unwrap();
+        let e = UBig::from_u64(65537);
+        assert_eq!(m.pow(&b, &e), b.pow_mod(&e, &n).unwrap());
+    }
+
+    #[test]
+    fn pow_edge_exponents() {
+        let n = UBig::from_u64(101);
+        let m = Mont::new(&n).unwrap();
+        // x^0 = 1
+        assert!(m.pow(&UBig::from_u64(7), &UBig::zero()).is_one());
+        // 0^e = 0 for e > 0
+        assert!(m.pow(&UBig::zero(), &UBig::from_u64(9)).is_zero());
+        // x^1 = x
+        assert_eq!(m.pow(&UBig::from_u64(42), &UBig::one()).to_u64(), Some(42));
+    }
+
+    #[test]
+    fn fermat_little_theorem_512bit() {
+        // p = 2^512 - 569 skips: use a known 512-bit prime written in hex.
+        // This one is 2^255 - 19 extended -- instead use a verified small one:
+        // p = 2^127 - 1 is a Mersenne prime.
+        let p = UBig::one().shl(127).sub(&UBig::one());
+        let m = Mont::new(&p).unwrap();
+        let a = UBig::from_u64(0x1234_5678_9abc_def1);
+        let r = m.pow(&a, &p.sub(&UBig::one()));
+        assert!(r.is_one());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the arithmetic core.
+//!
+//! These are the backbone of trust in everything above: ring axioms,
+//! division invariants, codec roundtrips, and agreement between the
+//! Montgomery and plain exponentiation paths.
+
+use p2drm_bignum::modring;
+use p2drm_bignum::{Mont, UBig};
+use proptest::prelude::*;
+
+/// Strategy: arbitrary UBig up to ~256 bits from raw bytes.
+fn ubig() -> impl Strategy<Value = UBig> {
+    proptest::collection::vec(any::<u8>(), 0..32).prop_map(|b| UBig::from_bytes_be(&b))
+}
+
+/// Strategy: nonzero UBig.
+fn ubig_nonzero() -> impl Strategy<Value = UBig> {
+    ubig().prop_map(|v| if v.is_zero() { UBig::one() } else { v })
+}
+
+/// Strategy: odd modulus >= 3.
+fn odd_modulus() -> impl Strategy<Value = UBig> {
+    ubig().prop_map(|v| {
+        let mut m = v;
+        if m.bit_len() < 2 {
+            m = UBig::from_u64(3);
+        }
+        if m.is_even() {
+            m = &m + &UBig::one();
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_commutative(a in ubig(), b in ubig()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associative(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in ubig(), b in ubig()) {
+        prop_assert_eq!((&a + &b).sub(&b), a);
+    }
+
+    #[test]
+    fn mul_commutative(a in ubig(), b in ubig()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn division_invariant(a in ubig(), b in ubig_nonzero()) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in ubig()) {
+        prop_assert_eq!(UBig::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in ubig()) {
+        prop_assert_eq!(UBig::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in ubig()) {
+        prop_assert_eq!(UBig::from_decimal(&a.to_decimal()).unwrap(), a);
+    }
+
+    #[test]
+    fn shift_is_mul_by_power_of_two(a in ubig(), s in 0usize..130) {
+        prop_assert_eq!(a.shl(s), &a * &UBig::one().shl(s));
+        prop_assert_eq!(a.shr(s), &a / &UBig::one().shl(s));
+    }
+
+    #[test]
+    fn gcd_divides_both(a in ubig_nonzero(), b in ubig_nonzero()) {
+        let g = a.gcd(&b);
+        prop_assert!(a.rem(&g).is_zero());
+        prop_assert!(b.rem(&g).is_zero());
+    }
+
+    #[test]
+    fn mont_matches_plain_mul(a in ubig(), b in ubig(), n in odd_modulus()) {
+        let mont = Mont::new(&n).unwrap();
+        prop_assert_eq!(mont.mul_mod(&a, &b), modring::mul_mod(&a, &b, &n));
+    }
+
+    #[test]
+    fn mont_pow_matches_naive(a in ubig(), e in 0u64..2000, n in odd_modulus()) {
+        let mont = Mont::new(&n).unwrap();
+        let e = UBig::from_u64(e);
+        prop_assert_eq!(mont.pow(&a, &e), a.pow_mod(&e, &n).unwrap());
+    }
+
+    #[test]
+    fn inverse_is_inverse(a in ubig_nonzero(), n in odd_modulus()) {
+        if let Ok(inv) = modring::inv_mod(&a, &n) {
+            prop_assert_eq!(modring::mul_mod(&a, &inv, &n), UBig::one().rem(&n));
+        }
+    }
+
+    #[test]
+    fn sub_mod_inverts_add_mod(a in ubig(), b in ubig(), n in odd_modulus()) {
+        let s = modring::add_mod(&a, &b, &n);
+        prop_assert_eq!(modring::sub_mod(&s, &b, &n), a.rem(&n));
+    }
+}

@@ -1,0 +1,220 @@
+//! Content packaging: every catalog item is encrypted once under its own
+//! ChaCha20 content key; licenses carry that key sealed to the holder.
+
+use crate::ids::ContentId;
+use p2drm_codec::{Decode, Encode, Reader, Writer};
+use p2drm_crypto::chacha20;
+use p2drm_crypto::rng::CryptoRng;
+use std::collections::HashMap;
+
+/// Public catalog metadata for one item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContentMeta {
+    /// Catalog id.
+    pub id: ContentId,
+    /// Display title.
+    pub title: String,
+    /// Price in minor units.
+    pub price: u64,
+    /// Ciphertext size (what a client downloads).
+    pub size: usize,
+    /// Attribute buyers must prove (e.g. "adult"); None = unrestricted.
+    pub required_attribute: Option<String>,
+}
+
+/// A packaged item: metadata + ciphertext + (provider-held) content key.
+pub struct PackagedContent {
+    /// Public metadata.
+    pub meta: ContentMeta,
+    /// ChaCha20 content key — **provider secret**, leaves only inside
+    /// license envelopes.
+    pub key: [u8; 32],
+    /// Per-item nonce.
+    pub nonce: [u8; 12],
+    /// The protected payload.
+    pub ciphertext: Vec<u8>,
+}
+
+impl Encode for ContentMeta {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        w.put_str(&self.title);
+        w.put_u64(self.price);
+        w.put_u64(self.size as u64);
+        w.put_option(&self.required_attribute);
+    }
+}
+
+impl Decode for ContentMeta {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(ContentMeta {
+            id: ContentId::decode(r)?,
+            title: r.get_str()?,
+            price: r.get_u64()?,
+            size: r.get_u64()? as usize,
+            required_attribute: r.get_option()?,
+        })
+    }
+}
+
+impl Encode for PackagedContent {
+    /// Serializes metadata **and the content key** — provider-side
+    /// persistence only; never put these bytes on the wire.
+    fn encode(&self, w: &mut Writer) {
+        self.meta.encode(w);
+        w.put_raw(&self.key);
+        w.put_raw(&self.nonce);
+        w.put_bytes(&self.ciphertext);
+    }
+}
+
+impl Decode for PackagedContent {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(PackagedContent {
+            meta: ContentMeta::decode(r)?,
+            key: r.get_raw(32)?.try_into().expect("fixed width"),
+            nonce: r.get_raw(12)?.try_into().expect("fixed width"),
+            ciphertext: r.get_bytes_owned()?,
+        })
+    }
+}
+
+/// The provider's content catalog.
+#[derive(Default)]
+pub struct ContentCatalog {
+    items: HashMap<ContentId, PackagedContent>,
+}
+
+impl ContentCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encrypts and stores `payload`, returning its id.
+    pub fn publish<R: CryptoRng + ?Sized>(
+        &mut self,
+        title: impl Into<String>,
+        price: u64,
+        payload: &[u8],
+        rng: &mut R,
+    ) -> ContentId {
+        self.publish_with_requirement(title, price, payload, None, rng)
+    }
+
+    /// Like [`ContentCatalog::publish`], with an attribute requirement
+    /// buyers must prove (age rating etc.).
+    pub fn publish_with_requirement<R: CryptoRng + ?Sized>(
+        &mut self,
+        title: impl Into<String>,
+        price: u64,
+        payload: &[u8],
+        required_attribute: Option<String>,
+        rng: &mut R,
+    ) -> ContentId {
+        let id = ContentId::random(rng);
+        let mut key = [0u8; 32];
+        rng.fill_bytes(&mut key);
+        let mut nonce = [0u8; 12];
+        rng.fill_bytes(&mut nonce);
+        let ciphertext = chacha20::encrypt(&key, &nonce, payload);
+        self.items.insert(
+            id,
+            PackagedContent {
+                meta: ContentMeta {
+                    id,
+                    title: title.into(),
+                    price,
+                    size: ciphertext.len(),
+                    required_attribute,
+                },
+                key,
+                nonce,
+                ciphertext,
+            },
+        );
+        id
+    }
+
+    /// Looks up an item.
+    pub fn get(&self, id: &ContentId) -> Option<&PackagedContent> {
+        self.items.get(id)
+    }
+
+    /// Restores a previously persisted item (provider resume path).
+    pub fn restore(&mut self, item: PackagedContent) {
+        self.items.insert(item.meta.id, item);
+    }
+
+    /// Public metadata listing (what an anonymous browser sees).
+    pub fn list(&self) -> Vec<&ContentMeta> {
+        let mut metas: Vec<_> = self.items.values().map(|p| &p.meta).collect();
+        metas.sort_by_key(|a| a.id);
+        metas
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Decrypts a downloaded payload with an unwrapped content key — the final
+/// step a compliant device performs after license checks pass.
+pub fn decrypt_payload(key: &[u8; 32], nonce: &[u8; 12], ciphertext: &[u8]) -> Vec<u8> {
+    chacha20::decrypt(key, nonce, ciphertext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2drm_crypto::rng::test_rng;
+
+    #[test]
+    fn publish_and_decrypt() {
+        let mut rng = test_rng(120);
+        let mut cat = ContentCatalog::new();
+        let id = cat.publish("Song A", 100, b"PCM DATA", &mut rng);
+        let item = cat.get(&id).unwrap();
+        assert_ne!(item.ciphertext, b"PCM DATA");
+        assert_eq!(
+            decrypt_payload(&item.key, &item.nonce, &item.ciphertext),
+            b"PCM DATA"
+        );
+    }
+
+    #[test]
+    fn items_have_distinct_keys() {
+        let mut rng = test_rng(121);
+        let mut cat = ContentCatalog::new();
+        let a = cat.publish("A", 1, b"xxxx", &mut rng);
+        let b = cat.publish("B", 2, b"xxxx", &mut rng);
+        assert_ne!(cat.get(&a).unwrap().key, cat.get(&b).unwrap().key);
+        assert_ne!(cat.get(&a).unwrap().ciphertext, cat.get(&b).unwrap().ciphertext);
+    }
+
+    #[test]
+    fn listing_is_sorted_and_metadata_only() {
+        let mut rng = test_rng(122);
+        let mut cat = ContentCatalog::new();
+        for i in 0..5 {
+            cat.publish(format!("T{i}"), i, b"data", &mut rng);
+        }
+        let list = cat.list();
+        assert_eq!(list.len(), 5);
+        assert!(list.windows(2).all(|w| w[0].id <= w[1].id));
+        assert_eq!(cat.len(), 5);
+    }
+
+    #[test]
+    fn missing_item_is_none() {
+        let cat = ContentCatalog::new();
+        assert!(cat.get(&ContentId::from_label("nope")).is_none());
+        assert!(cat.is_empty());
+    }
+}

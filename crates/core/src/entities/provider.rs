@@ -1,0 +1,700 @@
+//! The content provider / license server.
+//!
+//! Sells content to **pseudonyms**: verifies blind-issued certificates,
+//! deposits anonymous coins, issues uniquely-identified anonymous licenses,
+//! executes privacy-preserving transfers, and maintains the spent-ID store
+//! that makes each license id redeemable exactly once.
+
+use crate::content::ContentCatalog;
+use crate::ids::{ContentId, LicenseId};
+use crate::license::{License, LicenseBody};
+use crate::protocol::messages::{self, PurchaseRequest, TransferRequest};
+use crate::CoreError;
+use p2drm_crypto::envelope;
+use p2drm_crypto::rng::CryptoRng;
+use p2drm_crypto::rsa::RsaPublicKey;
+use p2drm_payment::Mint;
+use p2drm_pki::authority::CertificateAuthority;
+use p2drm_pki::cert::{digest_id, Certificate, KeyId, PseudonymCertificate};
+use p2drm_pki::crl::{RevocationList, SignedCrl};
+use p2drm_rel::{Limit, Rights};
+use p2drm_store::typed::Table;
+use p2drm_store::{Kv, MemKv};
+use std::collections::HashMap;
+
+/// Provider construction parameters.
+#[derive(Clone, Debug)]
+pub struct ProviderConfig {
+    /// RSA modulus bits for the license-signing key.
+    pub key_bits: usize,
+    /// How many epochs old a pseudonym certificate may be.
+    pub epoch_window: u32,
+    /// Certificate validity window.
+    pub validity: p2drm_pki::cert::Validity,
+}
+
+impl ProviderConfig {
+    /// Small keys, generous windows — unit-test defaults.
+    pub fn fast_test() -> Self {
+        ProviderConfig {
+            key_bits: 512,
+            epoch_window: 4,
+            validity: p2drm_pki::cert::Validity::new(0, u64::MAX / 2),
+        }
+    }
+}
+
+/// What the provider logs per sale — the adversarial-provider view used by
+/// the linkability experiment (E7). Note: pseudonym ids only, no identity.
+#[derive(Clone, Debug)]
+pub struct PurchaseRecord {
+    /// Buyer pseudonym.
+    pub pseudonym: KeyId,
+    /// What was bought.
+    pub content: ContentId,
+    /// When (epoch granularity).
+    pub epoch: u32,
+}
+
+/// A transfer the provider witnessed: two pseudonyms, no identities.
+#[derive(Clone, Debug)]
+pub struct TransferRecord {
+    /// Old holder pseudonym.
+    pub from_pseudonym: KeyId,
+    /// New holder pseudonym.
+    pub to_pseudonym: KeyId,
+    /// Content involved.
+    pub content: ContentId,
+}
+
+/// The content provider, generic over its durable store.
+pub struct ContentProvider<S: Kv = MemKv> {
+    keys: p2drm_crypto::rsa::RsaKeyPair,
+    cert: Certificate,
+    catalog: ContentCatalog,
+    rights_templates: HashMap<ContentId, Rights>,
+    store: S,
+    licenses: Table<License>,
+    spent: Table<u32>,
+    content_table: Table<crate::content::PackagedContent>,
+    rights_table: Table<Rights>,
+    crl_table: Table<u64>,
+    pseudonym_crl: RevocationList,
+    license_crl: RevocationList,
+    license_crl_seq: u64,
+    pseudonym_crl_seq: u64,
+    /// (sequence, id) event logs backing incremental CRL sync.
+    license_crl_events: Vec<(u64, KeyId)>,
+    pseudonym_crl_events: Vec<(u64, KeyId)>,
+    mint: Mint,
+    ra_blind_key: RsaPublicKey,
+    /// Trusted per-attribute RA verification keys.
+    attribute_trust: HashMap<String, RsaPublicKey>,
+    root_key: RsaPublicKey,
+    config: ProviderConfig,
+    purchase_log: Vec<PurchaseRecord>,
+    transfer_log: Vec<TransferRecord>,
+}
+
+impl ContentProvider<MemKv> {
+    /// Provider with a volatile store.
+    pub fn new<R: CryptoRng + ?Sized>(
+        root: &mut CertificateAuthority,
+        mint: Mint,
+        ra_blind_key: RsaPublicKey,
+        config: ProviderConfig,
+        rng: &mut R,
+    ) -> Self {
+        Self::with_store(root, mint, ra_blind_key, MemKv::new(), config, rng)
+    }
+}
+
+impl<S: Kv> ContentProvider<S> {
+    /// Provider over a caller-supplied store (e.g. [`p2drm_store::WalKv`]
+    /// so the spent-ID set survives restarts).
+    pub fn with_store<R: CryptoRng + ?Sized>(
+        root: &mut CertificateAuthority,
+        mint: Mint,
+        ra_blind_key: RsaPublicKey,
+        store: S,
+        config: ProviderConfig,
+        rng: &mut R,
+    ) -> Self {
+        let keys = p2drm_crypto::rsa::RsaKeyPair::generate(config.key_bits, rng);
+        let cert = root.issue(
+            p2drm_pki::cert::EntityKind::ContentProvider,
+            p2drm_pki::cert::SubjectKey::Rsa(keys.public().clone()),
+            config.validity,
+            vec![],
+        );
+        let root_key = root.public_key().clone();
+        Self::assemble(keys, cert, root_key, mint, ra_blind_key, store, config)
+    }
+
+    fn assemble(
+        keys: p2drm_crypto::rsa::RsaKeyPair,
+        cert: Certificate,
+        root_key: RsaPublicKey,
+        mint: Mint,
+        ra_blind_key: RsaPublicKey,
+        store: S,
+        config: ProviderConfig,
+    ) -> Self {
+        ContentProvider {
+            keys,
+            cert,
+            catalog: ContentCatalog::new(),
+            rights_templates: HashMap::new(),
+            store,
+            licenses: Table::new("lic/"),
+            spent: Table::new("spent/"),
+            content_table: Table::new("content/"),
+            rights_table: Table::new("rightst/"),
+            crl_table: Table::new("crl/"),
+            pseudonym_crl: RevocationList::new(),
+            license_crl: RevocationList::new(),
+            license_crl_seq: 0,
+            pseudonym_crl_seq: 0,
+            license_crl_events: Vec::new(),
+            pseudonym_crl_events: Vec::new(),
+            mint,
+            ra_blind_key,
+            attribute_trust: HashMap::new(),
+            root_key,
+            config,
+            purchase_log: Vec::new(),
+            transfer_log: Vec::new(),
+        }
+    }
+
+    /// Restarts a provider from its persisted state: the serialized key
+    /// pair + certificate (the operator's key vault) and the durable store
+    /// holding catalog, licenses, spent ids and CRLs.
+    ///
+    /// After resume, previously issued licenses still verify, previously
+    /// spent license ids are still rejected, and CRL sequence numbers
+    /// continue monotonically.
+    pub fn resume(
+        keys: p2drm_crypto::rsa::RsaKeyPair,
+        cert: Certificate,
+        root_key: RsaPublicKey,
+        mint: Mint,
+        ra_blind_key: RsaPublicKey,
+        store: S,
+        config: ProviderConfig,
+    ) -> Result<Self, CoreError> {
+        let mut provider = Self::assemble(keys, cert, root_key, mint, ra_blind_key, store, config);
+        // Catalog + rights templates.
+        for (_, item) in provider.content_table.scan(&provider.store)? {
+            provider
+                .rights_templates
+                .insert(item.meta.id, provider.rights_table
+                    .get(&provider.store, item.meta.id.as_bytes())?
+                    .unwrap_or_else(Rights::standard_purchase));
+            provider.catalog.restore(item);
+        }
+        // CRLs: "crl/l/<id>" and "crl/p/<id>" entries whose value is the
+        // sequence number at which the revocation happened.
+        for (key, seq) in provider.crl_table.scan(&provider.store)? {
+            if let Some(id_bytes) = key.strip_prefix(b"l/") {
+                if id_bytes.len() == 32 {
+                    let id = KeyId(id_bytes.try_into().expect("checked width"));
+                    provider.license_crl.insert(id);
+                    provider.license_crl_events.push((seq, id));
+                    provider.license_crl_seq = provider.license_crl_seq.max(seq);
+                }
+            } else if let Some(id_bytes) = key.strip_prefix(b"p/") {
+                if id_bytes.len() == 32 {
+                    let id = KeyId(id_bytes.try_into().expect("checked width"));
+                    provider.pseudonym_crl.insert(id);
+                    provider.pseudonym_crl_events.push((seq, id));
+                    provider.pseudonym_crl_seq = provider.pseudonym_crl_seq.max(seq);
+                }
+            }
+        }
+        provider.license_crl_events.sort_unstable();
+        provider.pseudonym_crl_events.sort_unstable();
+        Ok(provider)
+    }
+
+    /// Serialized private key material for the operator's key vault
+    /// (pair this with [`ContentProvider::resume`]). **Secret bytes.**
+    pub fn export_keys(&self) -> Vec<u8> {
+        p2drm_codec::to_bytes(&self.keys)
+    }
+
+    fn persist_crl_entry(&mut self, kind: u8, id: &KeyId) -> Result<(), CoreError> {
+        let seq = match kind {
+            b'l' => self.license_crl_seq,
+            _ => self.pseudonym_crl_seq,
+        };
+        let mut key = Vec::with_capacity(34);
+        key.push(kind);
+        key.push(b'/');
+        key.extend_from_slice(&id.0);
+        self.crl_table.put(&mut self.store, &key, &seq)?;
+        match kind {
+            b'l' => self.license_crl_events.push((seq, *id)),
+            _ => self.pseudonym_crl_events.push((seq, *id)),
+        }
+        Ok(())
+    }
+
+    /// License verification key.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        self.keys.public()
+    }
+
+    /// Provider certificate (chains to the root).
+    pub fn certificate(&self) -> &Certificate {
+        &self.cert
+    }
+
+    /// Publishes content with a rights template applied to every sale.
+    /// The packaged item (including its content key) and the template are
+    /// persisted so the catalog survives [`ContentProvider::resume`].
+    pub fn publish<R: CryptoRng + ?Sized>(
+        &mut self,
+        title: impl Into<String>,
+        price: u64,
+        payload: &[u8],
+        rights: Rights,
+        rng: &mut R,
+    ) -> ContentId {
+        let id = self.catalog.publish(title, price, payload, rng);
+        let item = self.catalog.get(&id).expect("just published");
+        self.content_table
+            .put(&mut self.store, id.as_bytes(), item)
+            .expect("catalog persistence");
+        self.rights_table
+            .put(&mut self.store, id.as_bytes(), &rights)
+            .expect("template persistence");
+        self.rights_templates.insert(id, rights);
+        id
+    }
+
+    /// Publishes attribute-restricted content (e.g. age-rated): buyers
+    /// must present a credential for `attribute` bound to their pseudonym.
+    pub fn publish_restricted<R: CryptoRng + ?Sized>(
+        &mut self,
+        title: impl Into<String>,
+        price: u64,
+        payload: &[u8],
+        rights: Rights,
+        attribute: &str,
+        rng: &mut R,
+    ) -> ContentId {
+        let id = self.catalog.publish_with_requirement(
+            title,
+            price,
+            payload,
+            Some(attribute.to_string()),
+            rng,
+        );
+        let item = self.catalog.get(&id).expect("just published");
+        self.content_table
+            .put(&mut self.store, id.as_bytes(), item)
+            .expect("catalog persistence");
+        self.rights_table
+            .put(&mut self.store, id.as_bytes(), &rights)
+            .expect("template persistence");
+        self.rights_templates.insert(id, rights);
+        id
+    }
+
+    /// Trusts an RA per-attribute verification key (operator setup).
+    pub fn trust_attribute(&mut self, attribute: &str, key: RsaPublicKey) {
+        self.attribute_trust.insert(attribute.to_string(), key);
+    }
+
+    /// Checks the attribute requirement of a purchase, if any.
+    fn check_attribute_requirement(
+        &self,
+        req: &PurchaseRequest,
+        required: Option<&str>,
+        now_epoch: u32,
+    ) -> Result<(), CoreError> {
+        let Some(attr) = required else { return Ok(()) };
+        let cert = req
+            .attribute_cert
+            .as_ref()
+            .ok_or(CoreError::BadPseudonym("attribute credential required"))?;
+        if cert.attribute != attr {
+            return Err(CoreError::BadPseudonym("wrong attribute credential"));
+        }
+        let key = self
+            .attribute_trust
+            .get(attr)
+            .ok_or(CoreError::BadPseudonym("attribute issuer not trusted"))?;
+        cert.verify(key)
+            .map_err(|_| CoreError::BadPseudonym("attribute signature invalid"))?;
+        // The credential must bind to the very pseudonym making the
+        // purchase — it cannot be lent to another card.
+        if cert.pseudonym_id() != req.pseudonym_cert.pseudonym_id() {
+            return Err(CoreError::BadPseudonym(
+                "attribute bound to a different pseudonym",
+            ));
+        }
+        if cert.body.epoch > now_epoch || now_epoch - cert.body.epoch > self.config.epoch_window {
+            return Err(CoreError::BadPseudonym("attribute credential epoch stale"));
+        }
+        Ok(())
+    }
+
+    /// Read access to the catalog.
+    pub fn catalog(&self) -> &ContentCatalog {
+        &self.catalog
+    }
+
+    /// Validates a pseudonym certificate: RA blind signature, epoch
+    /// freshness, and the pseudonym CRL.
+    pub fn verify_pseudonym(
+        &self,
+        cert: &PseudonymCertificate,
+        now_epoch: u32,
+    ) -> Result<(), CoreError> {
+        cert.verify(&self.ra_blind_key)
+            .map_err(|_| CoreError::BadPseudonym("RA signature invalid"))?;
+        if cert.body.epoch > now_epoch {
+            return Err(CoreError::BadPseudonym("epoch in the future"));
+        }
+        if now_epoch - cert.body.epoch > self.config.epoch_window {
+            return Err(CoreError::BadPseudonym("epoch too old"));
+        }
+        if self.pseudonym_crl.contains(&cert.pseudonym_id()) {
+            return Err(CoreError::BadPseudonym("pseudonym revoked"));
+        }
+        Ok(())
+    }
+
+    /// Anonymous purchase: verify pseudonym + coin, deposit, issue license.
+    pub fn handle_purchase<R: CryptoRng + ?Sized>(
+        &mut self,
+        req: &PurchaseRequest,
+        now_epoch: u32,
+        rng: &mut R,
+    ) -> Result<License, CoreError> {
+        self.verify_pseudonym(&req.pseudonym_cert, now_epoch)?;
+        let item = self
+            .catalog
+            .get(&req.content_id)
+            .ok_or(CoreError::UnknownContent(req.content_id))?;
+        if req.coin.denomination < item.meta.price {
+            return Err(CoreError::Payment(
+                p2drm_payment::PaymentError::InsufficientFunds {
+                    balance: req.coin.denomination,
+                    requested: item.meta.price,
+                },
+            ));
+        }
+        let required = item.meta.required_attribute.clone();
+        let content_key = item.key;
+        self.check_attribute_requirement(req, required.as_deref(), now_epoch)?;
+        // Deposit is the last fallible external step before issuance; a
+        // double-spent coin is rejected here by the mint's spent store.
+        self.mint.deposit(&req.coin)?;
+
+        let rights = self
+            .rights_templates
+            .get(&req.content_id)
+            .cloned()
+            .unwrap_or_else(Rights::standard_purchase);
+        let body = LicenseBody {
+            license_id: LicenseId::random(rng),
+            content_id: req.content_id,
+            holder: req.pseudonym_cert.body.pseudonym_key.clone(),
+            rights,
+            key_envelope: envelope::seal(&req.pseudonym_cert.body.pseudonym_key, &content_key, rng),
+            issued_epoch: now_epoch,
+        };
+        let license = License::issue(body, &self.keys);
+        self.licenses
+            .put(&mut self.store, license.id().as_bytes(), &license)?;
+        self.purchase_log.push(PurchaseRecord {
+            pseudonym: req.pseudonym_cert.pseudonym_id(),
+            content: req.content_id,
+            epoch: now_epoch,
+        });
+        Ok(license)
+    }
+
+    /// Privacy-preserving transfer: revoke the old anonymous license,
+    /// issue a fresh one to the recipient pseudonym. The provider sees two
+    /// pseudonyms and cannot link either to an identity.
+    pub fn handle_transfer<R: CryptoRng + ?Sized>(
+        &mut self,
+        req: &TransferRequest,
+        now_epoch: u32,
+        rng: &mut R,
+    ) -> Result<License, CoreError> {
+        req.license.verify(self.keys.public())?;
+        self.verify_pseudonym(&req.recipient_cert, now_epoch)?;
+        let lid = req.license.id();
+        if self.license_crl.contains(&license_crl_id(&lid)) {
+            return Err(CoreError::AlreadyRedeemed(lid));
+        }
+        // Transfer must be granted by the license's own rights.
+        match req.license.body.rights.transfer {
+            Limit::None => {
+                return Err(CoreError::Denied(p2drm_rel::DenyReason::NotGranted(
+                    p2drm_rel::Action::Transfer,
+                )))
+            }
+            Limit::Count(0) => {
+                return Err(CoreError::Denied(p2drm_rel::DenyReason::CountExhausted(
+                    p2drm_rel::Action::Transfer,
+                )))
+            }
+            _ => {}
+        }
+        // Holder proof: current holder signed (lid ‖ recipient key id).
+        let proof_bytes =
+            messages::transfer_proof_bytes(&lid, &req.recipient_cert.pseudonym_id());
+        req.license
+            .body
+            .holder
+            .verify(&proof_bytes, &req.proof)
+            .map_err(|_| CoreError::BadProof)?;
+
+        // The unique-ID rule: exactly one transfer of this lid ever
+        // succeeds, atomically, even across restarts (WalKv-backed store).
+        let fresh = self
+            .spent
+            .insert_if_absent(&mut self.store, lid.as_bytes(), &now_epoch)?;
+        if !fresh {
+            return Err(CoreError::AlreadyRedeemed(lid));
+        }
+        self.license_crl.insert(license_crl_id(&lid));
+        self.license_crl_seq += 1;
+        self.persist_crl_entry(b'l', &license_crl_id(&lid))?;
+
+        let item = self
+            .catalog
+            .get(&req.license.body.content_id)
+            .ok_or(CoreError::UnknownContent(req.license.body.content_id))?;
+        let new_rights = decrement_transfer(&req.license.body.rights);
+        let body = LicenseBody {
+            license_id: LicenseId::random(rng),
+            content_id: req.license.body.content_id,
+            holder: req.recipient_cert.body.pseudonym_key.clone(),
+            rights: new_rights,
+            key_envelope: envelope::seal(
+                &req.recipient_cert.body.pseudonym_key,
+                &item.key,
+                rng,
+            ),
+            issued_epoch: now_epoch,
+        };
+        let license = License::issue(body, &self.keys);
+        self.licenses
+            .put(&mut self.store, license.id().as_bytes(), &license)?;
+        self.transfer_log.push(TransferRecord {
+            from_pseudonym: KeyId::of_rsa(&req.license.body.holder),
+            to_pseudonym: req.recipient_cert.pseudonym_id(),
+            content: req.license.body.content_id,
+        });
+        Ok(license)
+    }
+
+    /// Domain purchase (authorized-domain extension, `p2drm-domain`):
+    /// sells a license bound to a **domain manager key**. The provider
+    /// verifies the manager is a certified domain manager and takes an
+    /// anonymous coin; it learns "domain D bought X" but never which
+    /// devices or people compose the domain.
+    #[allow(clippy::too_many_arguments)]
+    pub fn handle_domain_purchase<R: CryptoRng + ?Sized>(
+        &mut self,
+        manager_cert: &Certificate,
+        coin: &p2drm_payment::Coin,
+        content_id: ContentId,
+        domain_name: &str,
+        now: u64,
+        now_epoch: u32,
+        rng: &mut R,
+    ) -> Result<License, CoreError> {
+        manager_cert.verify(&self.root_key, now)?;
+        if manager_cert.body.extension("domain-manager").is_none() {
+            return Err(CoreError::BadLicense("not a certified domain manager"));
+        }
+        let manager_key = manager_cert.body.subject_key.as_rsa()?.clone();
+        let item = self
+            .catalog
+            .get(&content_id)
+            .ok_or(CoreError::UnknownContent(content_id))?;
+        if coin.denomination < item.meta.price {
+            return Err(CoreError::Payment(
+                p2drm_payment::PaymentError::InsufficientFunds {
+                    balance: coin.denomination,
+                    requested: item.meta.price,
+                },
+            ));
+        }
+        let content_key = item.key;
+        self.mint.deposit(coin)?;
+
+        let mut rights = self
+            .rights_templates
+            .get(&content_id)
+            .cloned()
+            .unwrap_or_else(Rights::standard_purchase);
+        rights.domain = Some(domain_name.to_string());
+        let body = LicenseBody {
+            license_id: LicenseId::random(rng),
+            content_id,
+            holder: manager_key.clone(),
+            rights,
+            key_envelope: envelope::seal(&manager_key, &content_key, rng),
+            issued_epoch: now_epoch,
+        };
+        let license = License::issue(body, &self.keys);
+        self.licenses
+            .put(&mut self.store, license.id().as_bytes(), &license)?;
+        self.purchase_log.push(PurchaseRecord {
+            pseudonym: KeyId::of_rsa(&manager_key),
+            content: content_id,
+            epoch: now_epoch,
+        });
+        Ok(license)
+    }
+
+    /// Anonymous content download (no authentication — the payload is
+    /// useless without a license).
+    pub fn download(&self, content_id: &ContentId) -> Result<([u8; 12], Vec<u8>), CoreError> {
+        let item = self
+            .catalog
+            .get(content_id)
+            .ok_or(CoreError::UnknownContent(*content_id))?;
+        Ok((item.nonce, item.ciphertext.clone()))
+    }
+
+    /// Revokes a pseudonym (after TTP de-anonymization).
+    pub fn revoke_pseudonym(&mut self, id: KeyId) -> Result<(), CoreError> {
+        self.pseudonym_crl.insert(id);
+        self.pseudonym_crl_seq += 1;
+        self.persist_crl_entry(b'p', &id)
+    }
+
+    /// Revokes a license id directly (e.g. refund, abuse).
+    pub fn revoke_license(&mut self, lid: &LicenseId) -> Result<(), CoreError> {
+        let id = license_crl_id(lid);
+        self.license_crl.insert(id);
+        self.license_crl_seq += 1;
+        self.persist_crl_entry(b'l', &id)
+    }
+
+    /// Signed license CRL for full device sync.
+    pub fn signed_license_crl(&self, issued_at: u64) -> SignedCrl {
+        SignedCrl::create(&self.keys, self.license_crl_seq, issued_at, self.license_crl.clone())
+    }
+
+    /// Signed pseudonym CRL for full device sync.
+    pub fn signed_pseudonym_crl(&self, issued_at: u64) -> SignedCrl {
+        SignedCrl::create(&self.keys, self.pseudonym_crl_seq, issued_at, self.pseudonym_crl.clone())
+    }
+
+    /// Incremental license-CRL update for a device that already holds
+    /// sequence `since` — O(changes) bytes instead of the full list.
+    pub fn license_crl_delta(&self, since: u64, issued_at: u64) -> p2drm_pki::crl::SignedCrlDelta {
+        let added = self
+            .license_crl_events
+            .iter()
+            .filter(|(seq, _)| *seq > since)
+            .map(|(_, id)| *id)
+            .collect();
+        p2drm_pki::crl::SignedCrlDelta::create(
+            &self.keys,
+            since,
+            self.license_crl_seq,
+            issued_at,
+            added,
+        )
+    }
+
+    /// Incremental pseudonym-CRL update.
+    pub fn pseudonym_crl_delta(&self, since: u64, issued_at: u64) -> p2drm_pki::crl::SignedCrlDelta {
+        let added = self
+            .pseudonym_crl_events
+            .iter()
+            .filter(|(seq, _)| *seq > since)
+            .map(|(_, id)| *id)
+            .collect();
+        p2drm_pki::crl::SignedCrlDelta::create(
+            &self.keys,
+            since,
+            self.pseudonym_crl_seq,
+            issued_at,
+            added,
+        )
+    }
+
+    /// Licenses issued so far.
+    pub fn license_count(&self) -> usize {
+        self.licenses.len(&self.store)
+    }
+
+    /// Spent (transferred/redeemed) license ids so far.
+    pub fn spent_count(&self) -> usize {
+        self.spent.len(&self.store)
+    }
+
+    /// The adversarial-provider purchase view.
+    pub fn purchase_log(&self) -> &[PurchaseRecord] {
+        &self.purchase_log
+    }
+
+    /// The adversarial-provider transfer view.
+    pub fn transfer_log(&self) -> &[TransferRecord] {
+        &self.transfer_log
+    }
+
+    /// Direct store access (storage metrics in E6).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Mutable store access (maintenance: compaction etc.).
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+}
+
+/// License ids enter CRLs as their SHA-256 [`KeyId`] image.
+pub fn license_crl_id(lid: &LicenseId) -> KeyId {
+    digest_id(lid.as_bytes())
+}
+
+/// Transfer semantics: the fresh license carries one fewer transfer use.
+fn decrement_transfer(rights: &Rights) -> Rights {
+    let mut r = rights.clone();
+    r.transfer = match r.transfer {
+        Limit::None => Limit::None,
+        Limit::Count(n) => Limit::Count(n.saturating_sub(1)),
+        Limit::Unlimited => Limit::Unlimited,
+    };
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decrement_transfer_semantics() {
+        let r = Rights::builder().transfer(Limit::Count(2)).build();
+        assert_eq!(decrement_transfer(&r).transfer, Limit::Count(1));
+        let r = Rights::builder().transfer(Limit::Unlimited).build();
+        assert_eq!(decrement_transfer(&r).transfer, Limit::Unlimited);
+        let r = Rights::builder().build();
+        assert_eq!(decrement_transfer(&r).transfer, Limit::None);
+    }
+
+    #[test]
+    fn license_crl_id_is_stable() {
+        let lid = LicenseId::from_label("x");
+        assert_eq!(license_crl_id(&lid), license_crl_id(&lid));
+        assert_ne!(
+            license_crl_id(&lid),
+            license_crl_id(&LicenseId::from_label("y"))
+        );
+    }
+}

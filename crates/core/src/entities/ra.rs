@@ -1,0 +1,315 @@
+//! The registration authority: the only entity that knows which human owns
+//! which card. It certifies cards at registration, blind-signs pseudonym
+//! certificates (learning nothing about them), and maintains the card CRL.
+
+use crate::entities::smartcard::{CardBudget, SmartCard};
+use crate::ids::{CardId, UserId};
+use crate::CoreError;
+use p2drm_bignum::UBig;
+use p2drm_crypto::blind;
+use p2drm_crypto::rng::CryptoRng;
+use p2drm_crypto::rsa::{RsaKeyPair, RsaPublicKey, RsaSignature};
+use p2drm_pki::authority::{CertificateAuthority, RegistrationAuthorityKeys};
+use p2drm_pki::cert::{Certificate, EntityKind, KeyId, SubjectKey, Validity};
+use p2drm_pki::crl::{RevocationList, SignedCrl};
+use std::collections::{HashMap, HashSet};
+
+/// What the RA records at each blind issuance — the adversarial-RA view
+/// used by the unlinkability audit (the blinded value is all it ever sees).
+#[derive(Clone, Debug)]
+pub struct IssuanceRecord {
+    /// Which card authenticated.
+    pub card: CardId,
+    /// The blinded value that was signed.
+    pub blinded: UBig,
+}
+
+/// The registration authority.
+pub struct RegistrationAuthority {
+    keys: RegistrationAuthorityKeys,
+    key_bits: usize,
+    validity: Validity,
+    users: HashMap<UserId, CardId>,
+    /// card id -> master key id (CRL handle).
+    cards: HashMap<CardId, KeyId>,
+    /// card id -> owning user (attribute entitlement lookups).
+    card_owners: HashMap<CardId, UserId>,
+    /// Verified real-world attributes per user (KYC output).
+    attributes: HashMap<UserId, HashSet<String>>,
+    /// One dedicated blind key per attribute — a signature under the
+    /// "adult" key asserts exactly that attribute, which is what makes
+    /// blind signing safe here.
+    attribute_keys: HashMap<String, RsaKeyPair>,
+    card_crl: RevocationList,
+    crl_seq: u64,
+    issuance_log: Vec<IssuanceRecord>,
+}
+
+impl RegistrationAuthority {
+    /// Creates an RA whose keys chain to `root`.
+    pub fn new<R: CryptoRng + ?Sized>(
+        root: &mut CertificateAuthority,
+        key_bits: usize,
+        validity: Validity,
+        rng: &mut R,
+    ) -> Self {
+        RegistrationAuthority {
+            keys: RegistrationAuthorityKeys::create(root, key_bits, validity, rng),
+            key_bits,
+            validity,
+            users: HashMap::new(),
+            cards: HashMap::new(),
+            card_owners: HashMap::new(),
+            attributes: HashMap::new(),
+            attribute_keys: HashMap::new(),
+            card_crl: RevocationList::new(),
+            crl_seq: 0,
+            issuance_log: Vec::new(),
+        }
+    }
+
+    /// Verification key for pseudonym certificates.
+    pub fn blind_public(&self) -> &RsaPublicKey {
+        self.keys.blind_public()
+    }
+
+    /// Verification key for card/user certificates.
+    pub fn identity_public(&self) -> &RsaPublicKey {
+        self.keys.identity.public_key()
+    }
+
+    /// The RA's identity-CA certificate (for chain building).
+    pub fn identity_cert(&self) -> &Certificate {
+        self.keys.identity.certificate()
+    }
+
+    /// Registers `user` (simulated KYC) and issues a smart card.
+    pub fn register_user<R: CryptoRng + ?Sized>(
+        &mut self,
+        user: UserId,
+        budget: CardBudget,
+        rng: &mut R,
+    ) -> Result<SmartCard, CoreError> {
+        if self.users.contains_key(&user) {
+            return Err(CoreError::Card("user already registered"));
+        }
+        let card_id = CardId::random(rng);
+        let master = RsaKeyPair::generate(self.key_bits, rng);
+        let master_cert = self.keys.identity.issue(
+            EntityKind::SmartCard,
+            SubjectKey::Rsa(master.public().clone()),
+            self.validity,
+            vec![],
+        );
+        self.users.insert(user, card_id);
+        self.cards.insert(card_id, KeyId::of_rsa(master.public()));
+        self.card_owners.insert(card_id, user);
+        Ok(SmartCard::new(
+            card_id,
+            user,
+            self.key_bits,
+            master,
+            master_cert,
+            budget,
+        ))
+    }
+
+    /// Blind pseudonym issuance endpoint.
+    ///
+    /// The card authenticates (master certificate + master-key signature
+    /// over the blinded value) — this moment is linkable, which is fine:
+    /// the RA learns "card X obtained *a* pseudonym", never *which*.
+    pub fn issue_pseudonym(
+        &mut self,
+        card_id: CardId,
+        card_cert: &Certificate,
+        blinded: &UBig,
+        auth_sig: &RsaSignature,
+        now: u64,
+    ) -> Result<UBig, CoreError> {
+        card_cert.verify(self.identity_public(), now)?;
+        let master_key_id = card_cert.subject_id();
+        if self.card_crl.contains(&master_key_id) {
+            return Err(CoreError::Revoked("card"));
+        }
+        let master_key = card_cert.body.subject_key.as_rsa()?;
+        master_key
+            .verify(&blinded.to_bytes_be(), auth_sig)
+            .map_err(|_| CoreError::BadProof)?;
+        self.issuance_log.push(IssuanceRecord {
+            card: card_id,
+            blinded: blinded.clone(),
+        });
+        Ok(blind::blind_sign(&self.keys.blind, blinded)?)
+    }
+
+    /// Cut-and-choose pseudonym issuance: the card submits `k` blinded
+    /// candidates, the RA opens all but one and audits them (structural
+    /// well-formedness + epoch), then blind-signs the survivor. A card
+    /// submitting a malformed candidate (e.g. a bogus escrow) is caught
+    /// with probability `(k-1)/k` — and the attempt is evidence.
+    ///
+    /// Returns `(kept_index, blind_signature)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn issue_pseudonym_cut_and_choose<R: CryptoRng + ?Sized>(
+        &mut self,
+        card_id: CardId,
+        card_cert: &Certificate,
+        blinded_values: &[UBig],
+        auth_sig: &RsaSignature,
+        open: impl FnOnce(usize) -> Vec<(usize, p2drm_crypto::blind::Opening)>,
+        expected_epoch: u32,
+        now: u64,
+        rng: &mut R,
+    ) -> Result<(usize, UBig), CoreError> {
+        card_cert.verify(self.identity_public(), now)?;
+        if self.card_crl.contains(&card_cert.subject_id()) {
+            return Err(CoreError::Revoked("card"));
+        }
+        // Authenticate the whole candidate set at once.
+        let mut all = Vec::new();
+        for b in blinded_values {
+            all.extend_from_slice(&b.to_bytes_be());
+        }
+        let master_key = card_cert.body.subject_key.as_rsa()?;
+        master_key
+            .verify(&all, auth_sig)
+            .map_err(|_| CoreError::BadProof)?;
+
+        let keep = p2drm_crypto::blind::CutChooseIssuer::choose(blinded_values.len(), rng);
+        let openings = open(keep);
+        let key_bits = self.key_bits;
+        let blind_sig = p2drm_crypto::blind::CutChooseIssuer::audit_and_sign(
+            &self.keys.blind,
+            blinded_values,
+            keep,
+            &openings,
+            |message| {
+                // Structural audit: decodes as a pseudonym body, epoch
+                // matches, key has the mandated size. (Escrow *content*
+                // is only checkable by the TTP — the paper's residual
+                // trust assumption; the gamble is what deters cheating.)
+                match p2drm_codec::from_bytes::<p2drm_pki::cert::PseudonymCertBody>(message) {
+                    Ok(body) => {
+                        body.epoch == expected_epoch
+                            && body.pseudonym_key.modulus().bit_len() == key_bits
+                    }
+                    Err(_) => false,
+                }
+            },
+        )
+        .map_err(|_| CoreError::BadEvidence("cut-and-choose audit failed"))?;
+        self.issuance_log.push(IssuanceRecord {
+            card: card_id,
+            blinded: blinded_values[keep].clone(),
+        });
+        Ok((keep, blind_sig))
+    }
+
+    /// Revokes the card belonging to `user` (post-de-anonymization).
+    pub fn revoke_user(&mut self, user: &UserId) -> Result<(), CoreError> {
+        let card = self
+            .users
+            .get(user)
+            .ok_or(CoreError::Card("unknown user"))?;
+        let key_id = self.cards[card];
+        self.card_crl.insert(key_id);
+        self.crl_seq += 1;
+        Ok(())
+    }
+
+    /// Whether a card master key is revoked.
+    pub fn is_card_revoked(&self, master_key_id: &KeyId) -> bool {
+        self.card_crl.contains(master_key_id)
+    }
+
+    /// Signed card CRL for distribution.
+    pub fn signed_card_crl(&self, issued_at: u64) -> SignedCrl {
+        SignedCrl::create(
+            self.keys.identity.keypair(),
+            self.crl_seq,
+            issued_at,
+            self.card_crl.clone(),
+        )
+    }
+
+    /// Records a verified real-world attribute for `user` (KYC outcome),
+    /// creating the attribute's dedicated blind key on first use.
+    pub fn grant_attribute<R: CryptoRng + ?Sized>(
+        &mut self,
+        user: &UserId,
+        attribute: &str,
+        rng: &mut R,
+    ) -> Result<(), CoreError> {
+        if !self.users.contains_key(user) {
+            return Err(CoreError::Card("unknown user"));
+        }
+        if !self.attribute_keys.contains_key(attribute) {
+            self.attribute_keys
+                .insert(attribute.to_string(), RsaKeyPair::generate(self.key_bits, rng));
+        }
+        self.attributes
+            .entry(*user)
+            .or_default()
+            .insert(attribute.to_string());
+        Ok(())
+    }
+
+    /// Verification key relying parties use for `attribute` (None until
+    /// the first grant creates the key).
+    pub fn attribute_public(&self, attribute: &str) -> Option<&RsaPublicKey> {
+        self.attribute_keys.get(attribute).map(|kp| kp.public())
+    }
+
+    /// Blind attribute certification: like pseudonym issuance, but the RA
+    /// signs with the per-attribute key — and only after checking the
+    /// authenticated card's owner actually holds the attribute.
+    pub fn issue_attribute(
+        &mut self,
+        card_id: CardId,
+        card_cert: &Certificate,
+        attribute: &str,
+        blinded: &UBig,
+        auth_sig: &RsaSignature,
+        now: u64,
+    ) -> Result<UBig, CoreError> {
+        card_cert.verify(self.identity_public(), now)?;
+        if self.card_crl.contains(&card_cert.subject_id()) {
+            return Err(CoreError::Revoked("card"));
+        }
+        let master_key = card_cert.body.subject_key.as_rsa()?;
+        master_key
+            .verify(&blinded.to_bytes_be(), auth_sig)
+            .map_err(|_| CoreError::BadProof)?;
+        let owner = self
+            .card_owners
+            .get(&card_id)
+            .ok_or(CoreError::Card("unknown card"))?;
+        let entitled = self
+            .attributes
+            .get(owner)
+            .is_some_and(|set| set.contains(attribute));
+        if !entitled {
+            return Err(CoreError::Card("attribute not held by user"));
+        }
+        let kp = self
+            .attribute_keys
+            .get(attribute)
+            .ok_or(CoreError::Card("attribute key missing"))?;
+        self.issuance_log.push(IssuanceRecord {
+            card: card_id,
+            blinded: blinded.clone(),
+        });
+        Ok(blind::blind_sign(kp, blinded)?)
+    }
+
+    /// Number of registered users.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// The adversarial-RA issuance transcript.
+    pub fn issuance_log(&self) -> &[IssuanceRecord] {
+        &self.issuance_log
+    }
+}

@@ -1,0 +1,204 @@
+//! The tamper-resistant smart card.
+//!
+//! Substitution note (DESIGN.md §2): tamper resistance is modelled by
+//! encapsulation — private keys are fields no method ever returns. The
+//! card exposes exactly the oracle interface the paper assumes: generate a
+//! pseudonym (with escrow), sign challenges, and unwrap content keys
+//! *re-sealed to a device key* so raw keys never cross the card boundary.
+
+use crate::entities::ttp::Ttp;
+use crate::ids::{CardId, UserId};
+use crate::CoreError;
+use p2drm_crypto::envelope::{self, Envelope};
+use p2drm_crypto::rng::CryptoRng;
+use p2drm_crypto::rsa::{RsaKeyPair, RsaPublicKey, RsaSignature};
+use p2drm_pki::cert::{Certificate, KeyId, PseudonymCertBody};
+use std::collections::HashMap;
+
+/// Card resource limits (the paper discusses card memory pressure; E6
+/// measures bytes-per-pseudonym against this budget).
+#[derive(Clone, Copy, Debug)]
+pub struct CardBudget {
+    /// Maximum pseudonym key pairs held at once.
+    pub max_pseudonyms: usize,
+}
+
+impl Default for CardBudget {
+    fn default() -> Self {
+        CardBudget { max_pseudonyms: 64 }
+    }
+}
+
+/// A user's smart card.
+pub struct SmartCard {
+    card_id: CardId,
+    user_id: UserId,
+    key_bits: usize,
+    master: RsaKeyPair,
+    master_cert: Certificate,
+    pseudonyms: HashMap<KeyId, RsaKeyPair>,
+    budget: CardBudget,
+    revoked: bool,
+}
+
+impl SmartCard {
+    /// Constructed by the RA at registration.
+    pub(crate) fn new(
+        card_id: CardId,
+        user_id: UserId,
+        key_bits: usize,
+        master: RsaKeyPair,
+        master_cert: Certificate,
+        budget: CardBudget,
+    ) -> Self {
+        SmartCard {
+            card_id,
+            user_id,
+            key_bits,
+            master,
+            master_cert,
+            pseudonyms: HashMap::new(),
+            budget,
+            revoked: false,
+        }
+    }
+
+    /// Card identifier.
+    pub fn card_id(&self) -> CardId {
+        self.card_id
+    }
+
+    /// The identity this card was issued to (card-internal; protocols must
+    /// never put this on the wire to a provider).
+    pub fn user_id(&self) -> UserId {
+        self.user_id
+    }
+
+    /// Master public key.
+    pub fn master_public(&self) -> &RsaPublicKey {
+        self.master.public()
+    }
+
+    /// RA-issued master certificate.
+    pub fn master_cert(&self) -> &Certificate {
+        &self.master_cert
+    }
+
+    /// RSA modulus size this card generates pseudonyms at.
+    pub fn key_bits(&self) -> usize {
+        self.key_bits
+    }
+
+    /// Number of pseudonym keys currently stored.
+    pub fn pseudonym_count(&self) -> usize {
+        self.pseudonyms.len()
+    }
+
+    /// Approximate nonvolatile memory used by key material, in bytes
+    /// (modulus + private exponent per key; the E6 metric).
+    pub fn memory_bytes(&self) -> usize {
+        let per_key = 2 * (self.key_bits / 8);
+        per_key * (self.pseudonyms.len() + 1)
+    }
+
+    /// Marks the card revoked (RA tamper response); all operations fail
+    /// afterwards.
+    pub fn mark_revoked(&mut self) {
+        self.revoked = true;
+    }
+
+    /// Whether this card has been revoked.
+    pub fn is_revoked(&self) -> bool {
+        self.revoked
+    }
+
+    fn ensure_active(&self) -> Result<(), CoreError> {
+        if self.revoked {
+            Err(CoreError::Card("card revoked"))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Generates a fresh pseudonym key pair plus its escrowed certificate
+    /// body. The private key never leaves the card.
+    pub fn begin_pseudonym<R: CryptoRng + ?Sized>(
+        &mut self,
+        ttp_key: &p2drm_crypto::elgamal::ElGamalPublicKey,
+        epoch: u32,
+        rng: &mut R,
+    ) -> Result<PseudonymCertBody, CoreError> {
+        self.ensure_active()?;
+        if self.pseudonyms.len() >= self.budget.max_pseudonyms {
+            return Err(CoreError::Card("pseudonym budget exhausted"));
+        }
+        let keypair = RsaKeyPair::generate(self.key_bits, rng);
+        let escrow_plain = Ttp::escrow_plaintext(&self.user_id, rng);
+        let escrow = ttp_key.encrypt(&escrow_plain, rng);
+        let body = PseudonymCertBody {
+            pseudonym_key: keypair.public().clone(),
+            escrow,
+            epoch,
+        };
+        self.pseudonyms
+            .insert(KeyId::of_rsa(keypair.public()), keypair);
+        Ok(body)
+    }
+
+    /// Discards a pseudonym key (frees card memory).
+    pub fn forget_pseudonym(&mut self, id: &KeyId) -> bool {
+        self.pseudonyms.remove(id).is_some()
+    }
+
+    /// Signs with the master identity key (registration / RA
+    /// authentication only — never toward a provider).
+    pub fn sign_with_master(&self, data: &[u8]) -> Result<RsaSignature, CoreError> {
+        self.ensure_active()?;
+        Ok(self.master.sign(data))
+    }
+
+    /// Signs a challenge with a pseudonym key (holder proof).
+    pub fn sign_with_pseudonym(
+        &self,
+        pseudonym: &KeyId,
+        data: &[u8],
+    ) -> Result<RsaSignature, CoreError> {
+        self.ensure_active()?;
+        let kp = self
+            .pseudonyms
+            .get(pseudonym)
+            .ok_or(CoreError::Card("unknown pseudonym"))?;
+        Ok(kp.sign(data))
+    }
+
+    /// Opens a license key envelope with the pseudonym key and re-seals the
+    /// content key to `device_key` — the card-to-device key release.
+    pub fn unwrap_and_reseal<R: CryptoRng + ?Sized>(
+        &self,
+        pseudonym: &KeyId,
+        env: &Envelope,
+        device_key: &RsaPublicKey,
+        rng: &mut R,
+    ) -> Result<Envelope, CoreError> {
+        self.ensure_active()?;
+        let kp = self
+            .pseudonyms
+            .get(pseudonym)
+            .ok_or(CoreError::Card("unknown pseudonym"))?;
+        let content_key = envelope::open(kp, env)?;
+        Ok(envelope::seal(device_key, &content_key, rng))
+    }
+
+    /// Baseline flow variant: unwrap an envelope sealed to the *master*
+    /// key (identity-bound licenses) and re-seal to the device.
+    pub fn unwrap_master_and_reseal<R: CryptoRng + ?Sized>(
+        &self,
+        env: &Envelope,
+        device_key: &RsaPublicKey,
+        rng: &mut R,
+    ) -> Result<Envelope, CoreError> {
+        self.ensure_active()?;
+        let content_key = envelope::open(&self.master, env)?;
+        Ok(envelope::seal(device_key, &content_key, rng))
+    }
+}

@@ -1,0 +1,92 @@
+//! Smart card behavioral tests: budget enforcement, revocation semantics,
+//! and the key-release seal chain. Kept beside the entity (included from
+//! `entities/mod.rs`) because they exercise card-private behavior.
+
+use crate::entities::ra::RegistrationAuthority;
+use crate::entities::smartcard::{CardBudget, SmartCard};
+use crate::ids::UserId;
+use crate::CoreError;
+use p2drm_crypto::elgamal::{ElGamalGroup, ElGamalKeyPair};
+use p2drm_crypto::rng::test_rng;
+use p2drm_pki::authority::CertificateAuthority;
+use p2drm_pki::cert::{KeyId, Validity};
+
+fn card(seed: u64, budget: CardBudget) -> SmartCard {
+    let mut rng = test_rng(seed);
+    let v = Validity::new(0, u64::MAX / 2);
+    let mut root = CertificateAuthority::new_root(512, v, &mut rng);
+    let mut ra = RegistrationAuthority::new(&mut root, 512, v, &mut rng);
+    ra.register_user(UserId::from_label("card-tester"), budget, &mut rng)
+        .unwrap()
+}
+
+fn ttp_key(seed: u64) -> ElGamalKeyPair {
+    ElGamalKeyPair::generate(ElGamalGroup::test_512(), &mut test_rng(seed))
+}
+
+#[test]
+fn pseudonym_budget_enforced_and_freed() {
+    let mut c = card(400, CardBudget { max_pseudonyms: 2 });
+    let ttp = ttp_key(401);
+    let mut rng = test_rng(402);
+    let b1 = c.begin_pseudonym(ttp.public(), 0, &mut rng).unwrap();
+    let _b2 = c.begin_pseudonym(ttp.public(), 0, &mut rng).unwrap();
+    assert_eq!(c.pseudonym_count(), 2);
+    assert!(matches!(
+        c.begin_pseudonym(ttp.public(), 0, &mut rng),
+        Err(CoreError::Card("pseudonym budget exhausted"))
+    ));
+    // Forgetting one frees a slot.
+    assert!(c.forget_pseudonym(&KeyId::of_rsa(&b1.pseudonym_key)));
+    assert!(!c.forget_pseudonym(&KeyId::of_rsa(&b1.pseudonym_key)));
+    assert!(c.begin_pseudonym(ttp.public(), 0, &mut rng).is_ok());
+}
+
+#[test]
+fn revoked_card_refuses_every_operation() {
+    let mut c = card(403, CardBudget::default());
+    let ttp = ttp_key(404);
+    let mut rng = test_rng(405);
+    let body = c.begin_pseudonym(ttp.public(), 0, &mut rng).unwrap();
+    let pid = KeyId::of_rsa(&body.pseudonym_key);
+
+    c.mark_revoked();
+    assert!(c.is_revoked());
+    assert!(c.begin_pseudonym(ttp.public(), 0, &mut rng).is_err());
+    assert!(c.sign_with_master(b"x").is_err());
+    assert!(c.sign_with_pseudonym(&pid, b"x").is_err());
+}
+
+#[test]
+fn unknown_pseudonym_operations_fail() {
+    let c = card(406, CardBudget::default());
+    let ghost = p2drm_pki::cert::digest_id(b"ghost");
+    assert!(matches!(
+        c.sign_with_pseudonym(&ghost, b"x"),
+        Err(CoreError::Card("unknown pseudonym"))
+    ));
+}
+
+#[test]
+fn memory_grows_with_pseudonyms() {
+    let mut c = card(407, CardBudget::default());
+    let ttp = ttp_key(408);
+    let mut rng = test_rng(409);
+    let m0 = c.memory_bytes();
+    c.begin_pseudonym(ttp.public(), 0, &mut rng).unwrap();
+    let m1 = c.memory_bytes();
+    assert!(m1 > m0);
+    assert_eq!(m1 - m0, 2 * (c.key_bits() / 8));
+}
+
+#[test]
+fn escrow_plaintexts_are_salted() {
+    // Two escrows of the same user must differ (nonce) so equal users are
+    // not linkable across certificates even at the ciphertext layer.
+    let mut rng = test_rng(410);
+    let uid = UserId::from_label("same-user");
+    let a = crate::entities::ttp::Ttp::escrow_plaintext(&uid, &mut rng);
+    let b = crate::entities::ttp::Ttp::escrow_plaintext(&uid, &mut rng);
+    assert_ne!(a, b);
+    assert!(a.starts_with(crate::entities::ttp::ESCROW_TAG));
+}

@@ -1,0 +1,98 @@
+//! The anonymity-revocation trusted third party.
+//!
+//! Every pseudonym certificate carries `ElGamal_TTP(user id ‖ nonce)`. The
+//! TTP opens an escrow **only** against verifiable abuse evidence — the
+//! paper's conditional anonymity. Every opening is logged, so the TTP
+//! itself is auditable.
+
+use crate::ids::UserId;
+use crate::protocol::revocation::AbuseEvidence;
+use crate::CoreError;
+use p2drm_crypto::elgamal::{ElGamalGroup, ElGamalKeyPair, ElGamalPublicKey};
+use p2drm_crypto::rng::CryptoRng;
+use p2drm_crypto::rsa::RsaPublicKey;
+use p2drm_pki::cert::{KeyId, PseudonymCertificate};
+
+/// Domain tag prefixing every escrow plaintext.
+pub const ESCROW_TAG: &[u8] = b"p2drm-escrow-v1";
+
+/// A logged de-anonymization event.
+#[derive(Clone, Debug)]
+pub struct DeanonymizationRecord {
+    /// The pseudonym that was opened.
+    pub pseudonym: KeyId,
+    /// The identity found inside.
+    pub user: UserId,
+    /// Evidence category that justified the opening.
+    pub reason: &'static str,
+}
+
+/// The trusted third party.
+pub struct Ttp {
+    keys: ElGamalKeyPair,
+    log: Vec<DeanonymizationRecord>,
+}
+
+impl Ttp {
+    /// Creates a TTP with a fresh escrow key in `group`.
+    pub fn new<R: CryptoRng + ?Sized>(group: &ElGamalGroup, rng: &mut R) -> Self {
+        Ttp {
+            keys: ElGamalKeyPair::generate(group, rng),
+            log: Vec::new(),
+        }
+    }
+
+    /// The public escrow key smart cards encrypt identities under.
+    pub fn escrow_key(&self) -> &ElGamalPublicKey {
+        self.keys.public()
+    }
+
+    /// Builds the escrow plaintext for `user` (used by smart cards).
+    pub fn escrow_plaintext<R: CryptoRng + ?Sized>(user: &UserId, rng: &mut R) -> Vec<u8> {
+        let mut nonce = [0u8; 16];
+        rng.fill_bytes(&mut nonce);
+        let mut out = Vec::with_capacity(ESCROW_TAG.len() + 32);
+        out.extend_from_slice(ESCROW_TAG);
+        out.extend_from_slice(user.as_bytes());
+        out.extend_from_slice(&nonce);
+        out
+    }
+
+    /// Opens the escrow in `cert`, but only if `evidence` independently
+    /// verifies. Forged or mismatched evidence is rejected without
+    /// decrypting anything.
+    pub fn open_escrow(
+        &mut self,
+        evidence: &AbuseEvidence,
+        cert: &PseudonymCertificate,
+        ra_blind_key: &RsaPublicKey,
+    ) -> Result<UserId, CoreError> {
+        cert.verify(ra_blind_key)
+            .map_err(|_| CoreError::BadEvidence("pseudonym certificate invalid"))?;
+        evidence.verify(cert)?;
+
+        let plaintext = self
+            .keys
+            .decrypt(&cert.body.escrow)
+            .map_err(|_| CoreError::BadEvidence("escrow does not decrypt under TTP key"))?;
+        if plaintext.len() != ESCROW_TAG.len() + 32 || !plaintext.starts_with(ESCROW_TAG) {
+            return Err(CoreError::BadEvidence("escrow payload malformed"));
+        }
+        let user = UserId(
+            plaintext[ESCROW_TAG.len()..ESCROW_TAG.len() + 16]
+                .try_into()
+                .expect("sliced to width"),
+        );
+        self.log.push(DeanonymizationRecord {
+            pseudonym: cert.pseudonym_id(),
+            user,
+            reason: evidence.kind(),
+        });
+        Ok(user)
+    }
+
+    /// The audit log of every opening.
+    pub fn audit_log(&self) -> &[DeanonymizationRecord] {
+        &self.log
+    }
+}

@@ -1,0 +1,272 @@
+//! Typed protocol messages with canonical encodings.
+//!
+//! The engines move these structs between in-process entities, but always
+//! record `p2drm_codec::to_bytes(&msg)` in the transcript — so message
+//! sizes in experiment E1 are the real wire sizes a networked deployment
+//! would pay.
+
+use crate::ids::{ContentId, LicenseId};
+use crate::license::License;
+use p2drm_bignum::UBig;
+use p2drm_codec::{Decode, Encode, Reader, Writer};
+use p2drm_crypto::envelope::Envelope;
+use p2drm_crypto::rsa::RsaSignature;
+use p2drm_payment::Coin;
+use p2drm_pki::cert::{AttributeCertificate, Certificate, KeyId, PseudonymCertificate};
+
+/// Card → RA: blind pseudonym certification request.
+#[derive(Clone, Debug)]
+pub struct PseudonymIssueRequest {
+    /// Card master certificate (authenticates the card).
+    pub card_cert: Certificate,
+    /// Blinded FDH of the pseudonym certificate body.
+    pub blinded: UBig,
+    /// Master-key signature over the blinded value.
+    pub auth_sig: RsaSignature,
+}
+
+impl Encode for PseudonymIssueRequest {
+    fn encode(&self, w: &mut Writer) {
+        self.card_cert.encode(w);
+        w.put_bytes(&self.blinded.to_bytes_be());
+        self.auth_sig.encode(w);
+    }
+}
+
+/// RA → Card: the blind signature.
+#[derive(Clone, Debug)]
+pub struct PseudonymIssueResponse {
+    /// `blinded^d mod n` under the RA blind key.
+    pub blind_sig: UBig,
+}
+
+impl Encode for PseudonymIssueResponse {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(&self.blind_sig.to_bytes_be());
+    }
+}
+
+/// User → Provider: anonymous purchase.
+#[derive(Clone, Debug)]
+pub struct PurchaseRequest {
+    /// Desired content.
+    pub content_id: ContentId,
+    /// Blind-issued pseudonym certificate (no identity inside).
+    pub pseudonym_cert: PseudonymCertificate,
+    /// Anonymous payment.
+    pub coin: Coin,
+    /// Attribute credential, when the content requires one (bound to the
+    /// same pseudonym key; still no identity inside).
+    pub attribute_cert: Option<AttributeCertificate>,
+}
+
+impl Encode for PurchaseRequest {
+    fn encode(&self, w: &mut Writer) {
+        self.content_id.encode(w);
+        self.pseudonym_cert.encode(w);
+        self.coin.encode(w);
+        w.put_option(&self.attribute_cert);
+    }
+}
+
+/// Provider → User: the license.
+#[derive(Clone, Debug)]
+pub struct PurchaseResponse {
+    /// Issued anonymous license.
+    pub license: License,
+}
+
+impl Encode for PurchaseResponse {
+    fn encode(&self, w: &mut Writer) {
+        self.license.encode(w);
+    }
+}
+
+/// User → Provider: anonymous content download (no auth needed).
+#[derive(Clone, Debug)]
+pub struct DownloadRequest {
+    /// Which item.
+    pub content_id: ContentId,
+}
+
+impl Encode for DownloadRequest {
+    fn encode(&self, w: &mut Writer) {
+        self.content_id.encode(w);
+    }
+}
+
+/// Provider → User: protected payload.
+#[derive(Clone, Debug)]
+pub struct DownloadResponse {
+    /// Content nonce.
+    pub nonce: [u8; 12],
+    /// ChaCha20 ciphertext.
+    pub ciphertext: Vec<u8>,
+}
+
+impl Encode for DownloadResponse {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw(&self.nonce);
+        w.put_bytes(&self.ciphertext);
+    }
+}
+
+/// Device → Card: holder challenge.
+#[derive(Clone, Debug)]
+pub struct HolderChallenge {
+    /// Fresh nonce.
+    pub nonce: [u8; 32],
+    /// License being exercised.
+    pub license_id: LicenseId,
+}
+
+impl Encode for HolderChallenge {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw(&self.nonce);
+        self.license_id.encode(w);
+    }
+}
+
+/// Card → Device: challenge answer.
+#[derive(Clone, Debug)]
+pub struct HolderProof {
+    /// Signature by the license's holder key over the challenge message.
+    pub signature: RsaSignature,
+}
+
+impl Encode for HolderProof {
+    fn encode(&self, w: &mut Writer) {
+        self.signature.encode(w);
+    }
+}
+
+/// Card → Device: content key sealed to the device key.
+#[derive(Clone, Debug)]
+pub struct KeyRelease {
+    /// The re-sealed envelope.
+    pub sealed: Envelope,
+}
+
+impl Encode for KeyRelease {
+    fn encode(&self, w: &mut Writer) {
+        self.sealed.encode(w);
+    }
+}
+
+/// Holder → Provider: privacy-preserving transfer request.
+#[derive(Clone, Debug)]
+pub struct TransferRequest {
+    /// The license being given up.
+    pub license: License,
+    /// Recipient's pseudonym certificate.
+    pub recipient_cert: PseudonymCertificate,
+    /// Holder-key signature over [`transfer_proof_bytes`].
+    pub proof: RsaSignature,
+}
+
+impl Encode for TransferRequest {
+    fn encode(&self, w: &mut Writer) {
+        self.license.encode(w);
+        self.recipient_cert.encode(w);
+        self.proof.encode(w);
+    }
+}
+
+/// The bytes a holder signs to authorize a transfer.
+pub fn transfer_proof_bytes(lid: &LicenseId, recipient: &KeyId) -> Vec<u8> {
+    let mut w = Writer::with_capacity(64);
+    w.put_raw(b"p2drm-transfer-proof");
+    lid.encode(&mut w);
+    recipient.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Provider → Recipient: the fresh license.
+#[derive(Clone, Debug)]
+pub struct TransferResponse {
+    /// License reissued to the recipient pseudonym.
+    pub license: License,
+}
+
+impl Encode for TransferResponse {
+    fn encode(&self, w: &mut Writer) {
+        self.license.encode(w);
+    }
+}
+
+/// CRL sync message (provider → device).
+#[derive(Clone, Debug)]
+pub struct CrlSync {
+    /// License CRL.
+    pub license_crl: p2drm_pki::crl::SignedCrl,
+    /// Pseudonym CRL.
+    pub pseudonym_crl: p2drm_pki::crl::SignedCrl,
+}
+
+impl Encode for CrlSync {
+    fn encode(&self, w: &mut Writer) {
+        self.license_crl.encode(w);
+        self.pseudonym_crl.encode(w);
+    }
+}
+
+// Decode impls for the messages that cross trust boundaries in a real
+// deployment (round-trip tested; the others are engine-internal).
+
+impl Decode for PurchaseRequest {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(PurchaseRequest {
+            content_id: ContentId::decode(r)?,
+            pseudonym_cert: PseudonymCertificate::decode(r)?,
+            coin: Coin::decode(r)?,
+            attribute_cert: r.get_option()?,
+        })
+    }
+}
+
+impl Decode for TransferRequest {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(TransferRequest {
+            license: License::decode(r)?,
+            recipient_cert: PseudonymCertificate::decode(r)?,
+            proof: RsaSignature::decode(r)?,
+        })
+    }
+}
+
+impl Decode for DownloadResponse {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(DownloadResponse {
+            nonce: r.get_raw(12)?.try_into().expect("fixed width"),
+            ciphertext: r.get_bytes_owned()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_proof_bytes_bind_both_parties() {
+        let lid_a = LicenseId::from_label("a");
+        let lid_b = LicenseId::from_label("b");
+        let k1 = p2drm_pki::cert::digest_id(b"k1");
+        let k2 = p2drm_pki::cert::digest_id(b"k2");
+        assert_eq!(transfer_proof_bytes(&lid_a, &k1), transfer_proof_bytes(&lid_a, &k1));
+        assert_ne!(transfer_proof_bytes(&lid_a, &k1), transfer_proof_bytes(&lid_b, &k1));
+        assert_ne!(transfer_proof_bytes(&lid_a, &k1), transfer_proof_bytes(&lid_a, &k2));
+    }
+
+    #[test]
+    fn download_response_roundtrip() {
+        let msg = DownloadResponse {
+            nonce: [7; 12],
+            ciphertext: vec![1, 2, 3],
+        };
+        let bytes = p2drm_codec::to_bytes(&msg);
+        let back: DownloadResponse = p2drm_codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back.nonce, msg.nonce);
+        assert_eq!(back.ciphertext, msg.ciphertext);
+    }
+}

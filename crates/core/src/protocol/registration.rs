@@ -1,0 +1,107 @@
+//! Registration: the one identified protocol. The user proves identity to
+//! the RA (simulated KYC) and receives a smart card with a certified
+//! master key. This is the only place the RA links identity to card.
+
+use crate::audit::{Party, Transcript};
+use crate::entities::ra::RegistrationAuthority;
+use crate::entities::smartcard::CardBudget;
+use crate::entities::user::{PseudonymPolicy, UserAgent};
+use crate::ids::UserId;
+use crate::CoreError;
+use p2drm_crypto::rng::CryptoRng;
+
+/// Registers `user_id` with the RA, returning a ready user agent.
+pub fn register<R: CryptoRng + ?Sized>(
+    ra: &mut RegistrationAuthority,
+    user_id: UserId,
+    account: impl Into<String>,
+    policy: PseudonymPolicy,
+    budget: CardBudget,
+    rng: &mut R,
+    transcript: &mut Transcript,
+) -> Result<UserAgent, CoreError> {
+    // U -> RA: identity claim (the KYC moment; identified by design).
+    transcript.record(
+        Party::User,
+        Party::Ra,
+        "registration-request",
+        user_id.as_bytes().to_vec(),
+    );
+    let card = ra.register_user(user_id, budget, rng)?;
+    // RA -> U: card with certified master key.
+    transcript.record(
+        Party::Ra,
+        Party::User,
+        "card+master-cert",
+        p2drm_codec::to_bytes(card.master_cert()),
+    );
+    Ok(UserAgent::new(card, account, policy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2drm_crypto::rng::test_rng;
+    use p2drm_pki::authority::CertificateAuthority;
+    use p2drm_pki::cert::Validity;
+
+    fn setup() -> (CertificateAuthority, RegistrationAuthority) {
+        let mut rng = test_rng(150);
+        let v = Validity::new(0, u64::MAX / 2);
+        let mut root = CertificateAuthority::new_root(512, v, &mut rng);
+        let ra = RegistrationAuthority::new(&mut root, 512, v, &mut rng);
+        (root, ra)
+    }
+
+    #[test]
+    fn registration_issues_verifiable_card() {
+        let (_root, mut ra) = setup();
+        let mut rng = test_rng(151);
+        let mut t = Transcript::new();
+        let user = register(
+            &mut ra,
+            UserId::from_label("alice"),
+            "acct-alice",
+            PseudonymPolicy::FreshPerPurchase,
+            CardBudget::default(),
+            &mut rng,
+            &mut t,
+        )
+        .unwrap();
+        assert!(user
+            .card
+            .master_cert()
+            .verify(ra.identity_public(), 100)
+            .is_ok());
+        assert_eq!(t.message_count(), 2);
+        assert_eq!(ra.user_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let (_root, mut ra) = setup();
+        let mut rng = test_rng(152);
+        let mut t = Transcript::new();
+        let uid = UserId::from_label("bob");
+        register(
+            &mut ra,
+            uid,
+            "a1",
+            PseudonymPolicy::Static,
+            CardBudget::default(),
+            &mut rng,
+            &mut t,
+        )
+        .unwrap();
+        assert!(register(
+            &mut ra,
+            uid,
+            "a2",
+            PseudonymPolicy::Static,
+            CardBudget::default(),
+            &mut rng,
+            &mut t,
+        )
+        .is_err());
+    }
+}

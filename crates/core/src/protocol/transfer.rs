@@ -1,0 +1,258 @@
+//! Privacy-preserving license transfer (the paper's T2 figure).
+//!
+//! The sender proves ownership of the old anonymous license; the provider
+//! revokes its unique id (spent-ID store + license CRL) and issues a fresh
+//! anonymous license to the recipient's pseudonym. The provider witnesses
+//! two pseudonyms; it cannot link either to an identity, and the old
+//! license can never be redeemed again.
+
+use crate::audit::{Party, Transcript};
+use crate::entities::provider::ContentProvider;
+use crate::entities::user::UserAgent;
+use crate::ids::LicenseId;
+use crate::license::License;
+use crate::protocol::messages::{transfer_proof_bytes, TransferRequest, TransferResponse};
+use crate::CoreError;
+use p2drm_crypto::rng::CryptoRng;
+use p2drm_store::Kv;
+
+/// Transfers `license_id` from `sender` to `recipient`.
+pub fn transfer<S: Kv, R: CryptoRng + ?Sized>(
+    sender: &mut UserAgent,
+    recipient: &mut UserAgent,
+    provider: &mut ContentProvider<S>,
+    license_id: LicenseId,
+    now_epoch: u32,
+    rng: &mut R,
+    transcript: &mut Transcript,
+) -> Result<License, CoreError> {
+    let owned = sender
+        .license(&license_id)
+        .ok_or(CoreError::UnknownLicense(license_id))?
+        .clone();
+    let recipient_cert = recipient
+        .current_pseudonym()
+        .ok_or(CoreError::BadPseudonym("recipient has no usable pseudonym"))?
+        .clone();
+
+    // Sender's card signs the transfer authorization.
+    let proof_bytes = transfer_proof_bytes(&license_id, &recipient_cert.pseudonym_id());
+    let proof = sender
+        .card
+        .sign_with_pseudonym(&owned.pseudonym, &proof_bytes)?;
+
+    let request = TransferRequest {
+        license: owned.license.clone(),
+        recipient_cert,
+        proof,
+    };
+    transcript.record(
+        Party::User,
+        Party::Provider,
+        "transfer-request",
+        p2drm_codec::to_bytes(&request),
+    );
+
+    let new_license = provider.handle_transfer(&request, now_epoch, rng)?;
+    let response = TransferResponse {
+        license: new_license.clone(),
+    };
+    transcript.record(
+        Party::Provider,
+        Party::User,
+        "transfer-response",
+        p2drm_codec::to_bytes(&response),
+    );
+
+    // Bookkeeping: sender loses the license, recipient gains the new one.
+    sender.remove_license(&license_id);
+    let recipient_pseudonym = request.recipient_cert.pseudonym_id();
+    recipient.note_pseudonym_use();
+    recipient.add_license(new_license.clone(), recipient_pseudonym);
+    Ok(new_license)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{System, SystemConfig};
+    use p2drm_crypto::rng::test_rng;
+    use p2drm_pki::cert::KeyId;
+
+    struct Fx {
+        sys: System,
+        alice: UserAgent,
+        bob: UserAgent,
+        license: License,
+    }
+
+    fn fixture(seed: u64) -> Fx {
+        let mut rng = test_rng(seed);
+        let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+        let cid = sys.publish_content("T", 100, b"DATA", &mut rng);
+        let mut alice = sys.register_user("alice", &mut rng).unwrap();
+        let mut bob = sys.register_user("bob", &mut rng).unwrap();
+        sys.fund(&alice, 1000);
+        sys.fund(&bob, 1000);
+        let license = sys.purchase(&mut alice, cid, &mut rng).unwrap();
+        sys.ensure_pseudonym(&mut bob, &mut rng).unwrap();
+        Fx {
+            sys,
+            alice,
+            bob,
+            license,
+        }
+    }
+
+    #[test]
+    fn transfer_moves_license_and_rebinds_holder() {
+        let mut f = fixture(190);
+        let mut rng = test_rng(191);
+        let epoch = f.sys.epoch();
+        let mut t = Transcript::new();
+        let lid = f.license.id();
+        let new_license = transfer(
+            &mut f.alice,
+            &mut f.bob,
+            &mut f.sys.provider,
+            lid,
+            epoch,
+            &mut rng,
+            &mut t,
+        )
+        .unwrap();
+
+        assert_ne!(new_license.id(), lid, "fresh unique id");
+        assert!(f.alice.license(&lid).is_none(), "sender lost it");
+        assert!(f.bob.license(&new_license.id()).is_some(), "recipient has it");
+        let bob_cert = f.bob.pseudonym_certs().last().unwrap();
+        assert_eq!(
+            KeyId::of_rsa(&new_license.body.holder),
+            bob_cert.pseudonym_id()
+        );
+        // Transfer count decremented: fast_test template grants 2.
+        assert_eq!(
+            new_license.body.rights.transfer,
+            p2drm_rel::Limit::Count(1)
+        );
+    }
+
+    #[test]
+    fn double_transfer_of_same_license_rejected() {
+        // The unique-identifier mechanism from the paper: an anonymous
+        // license cannot be copied and redeemed twice.
+        let mut f = fixture(192);
+        let mut rng = test_rng(193);
+        let epoch = f.sys.epoch();
+        let lid = f.license.id();
+        let saved_license = f.license.clone();
+        let alice_pseudonym = f.alice.licenses()[0].pseudonym;
+        let mut t = Transcript::new();
+        transfer(
+            &mut f.alice,
+            &mut f.bob,
+            &mut f.sys.provider,
+            lid,
+            epoch,
+            &mut rng,
+            &mut t,
+        )
+        .unwrap();
+
+        // Alice "restores from backup" and tries again toward Carol.
+        f.alice.add_license(saved_license, alice_pseudonym);
+        let mut carol = f.sys.register_user("carol", &mut rng).unwrap();
+        f.sys.fund(&carol, 100);
+        f.sys.ensure_pseudonym(&mut carol, &mut rng).unwrap();
+        let res = transfer(
+            &mut f.alice,
+            &mut carol,
+            &mut f.sys.provider,
+            lid,
+            epoch,
+            &mut rng,
+            &mut t,
+        );
+        assert!(matches!(res, Err(CoreError::AlreadyRedeemed(_))));
+        assert!(carol.licenses().is_empty());
+    }
+
+    #[test]
+    fn transfer_limit_chain_exhausts() {
+        // fast_test grants transfer count=2: A->B->C works, C->D denied.
+        let mut f = fixture(194);
+        let mut rng = test_rng(195);
+        let epoch = f.sys.epoch();
+        let mut t = Transcript::new();
+        let lid0 = f.license.id();
+        let l1 = transfer(
+            &mut f.alice, &mut f.bob, &mut f.sys.provider,
+            lid0, epoch, &mut rng, &mut t,
+        )
+        .unwrap();
+
+        let mut carol = f.sys.register_user("carol", &mut rng).unwrap();
+        f.sys.ensure_pseudonym(&mut carol, &mut rng).unwrap();
+        let lid1 = l1.id();
+        let l2 = transfer(
+            &mut f.bob, &mut carol, &mut f.sys.provider,
+            lid1, epoch, &mut rng, &mut t,
+        )
+        .unwrap();
+        assert_eq!(l2.body.rights.transfer, p2drm_rel::Limit::Count(0));
+
+        let mut dave = f.sys.register_user("dave", &mut rng).unwrap();
+        f.sys.ensure_pseudonym(&mut dave, &mut rng).unwrap();
+        let lid2 = l2.id();
+        let res = transfer(
+            &mut carol, &mut dave, &mut f.sys.provider,
+            lid2, epoch, &mut rng, &mut t,
+        );
+        assert!(matches!(res, Err(CoreError::Denied(_))));
+    }
+
+    #[test]
+    fn forged_proof_rejected() {
+        // Bob tries to steal Alice's license by submitting a transfer
+        // request signed with his own key.
+        let mut f = fixture(196);
+        let mut rng = test_rng(197);
+        let bob_cert = f.bob.pseudonym_certs().last().unwrap().clone();
+        let bob_pseudonym = bob_cert.pseudonym_id();
+        let proof_bytes = transfer_proof_bytes(&f.license.id(), &bob_pseudonym);
+        let forged = f
+            .bob
+            .card
+            .sign_with_pseudonym(&bob_pseudonym, &proof_bytes)
+            .unwrap();
+        let req = TransferRequest {
+            license: f.license.clone(),
+            recipient_cert: bob_cert,
+            proof: forged,
+        };
+        let res = f.sys.provider.handle_transfer(&req, f.sys.epoch(), &mut rng);
+        assert!(matches!(res, Err(CoreError::BadProof)));
+    }
+
+    #[test]
+    fn provider_sees_pseudonyms_not_identities() {
+        let mut f = fixture(198);
+        let mut rng = test_rng(199);
+        let epoch = f.sys.epoch();
+        let lid = f.license.id();
+        let mut t = Transcript::new();
+        transfer(
+            &mut f.alice,
+            &mut f.bob,
+            &mut f.sys.provider,
+            lid,
+            epoch,
+            &mut rng,
+            &mut t,
+        )
+        .unwrap();
+        assert!(!t.scan_for(Party::Provider, f.alice.user_id().as_bytes()));
+        assert!(!t.scan_for(Party::Provider, f.bob.user_id().as_bytes()));
+        assert_eq!(f.sys.provider.transfer_log().len(), 1);
+    }
+}

@@ -1,0 +1,454 @@
+//! One-call system bootstrap: wires the root CA, RA, TTP, mint, payment
+//! processor, private provider and baseline provider together, and offers
+//! the convenience flows the examples, tests and benchmarks build on.
+
+use crate::entities::device::CompliantDevice;
+use crate::entities::provider::{ContentProvider, ProviderConfig};
+use crate::entities::ra::RegistrationAuthority;
+use crate::entities::smartcard::CardBudget;
+use crate::entities::ttp::Ttp;
+use crate::entities::user::{PseudonymPolicy, UserAgent};
+use crate::ids::{ContentId, LicenseId, UserId};
+use crate::license::License;
+use crate::protocol;
+use crate::{CoreError, Transcript};
+use p2drm_crypto::elgamal::ElGamalGroup;
+use p2drm_crypto::rng::CryptoRng;
+use p2drm_payment::identified::PaymentProcessor;
+use p2drm_payment::{Mint, MintConfig};
+use p2drm_pki::authority::CertificateAuthority;
+use p2drm_pki::cert::Validity;
+use p2drm_rel::{Limit, Rights};
+
+/// System-wide parameters.
+#[derive(Clone)]
+pub struct SystemConfig {
+    /// RSA modulus bits for every long-lived key.
+    pub key_bits: usize,
+    /// Coin denominations the mint supports.
+    pub denominations: Vec<u64>,
+    /// Pseudonym certificate freshness window (epochs).
+    pub epoch_window: u32,
+    /// ElGamal group for the TTP escrow key.
+    pub elgamal_group: &'static ElGamalGroup,
+    /// Default pseudonym refresh policy for new users.
+    pub default_policy: PseudonymPolicy,
+    /// Rights template applied by [`System::publish_content`].
+    pub rights_template: Rights,
+    /// Certificate validity window.
+    pub validity: Validity,
+}
+
+impl SystemConfig {
+    /// Small keys and a test ElGamal group — fast enough for unit tests.
+    pub fn fast_test() -> Self {
+        SystemConfig {
+            key_bits: 512,
+            denominations: vec![100, 500, 1000],
+            epoch_window: 4,
+            elgamal_group: ElGamalGroup::test_512(),
+            default_policy: PseudonymPolicy::FreshPerPurchase,
+            rights_template: Rights::builder()
+                .play(Limit::Count(3))
+                .transfer(Limit::Count(2))
+                .build(),
+            validity: Validity::new(0, u64::MAX / 2),
+        }
+    }
+
+    /// Realistic key sizes (1024-bit RSA, MODP-1024 escrow group) for
+    /// benchmarks. Bootstrap takes seconds.
+    pub fn realistic() -> Self {
+        SystemConfig {
+            key_bits: 1024,
+            elgamal_group: ElGamalGroup::modp_1024(),
+            ..Self::fast_test()
+        }
+    }
+}
+
+/// The wired system.
+pub struct System {
+    /// Root certificate authority (trust anchor).
+    pub root: CertificateAuthority,
+    /// Registration authority.
+    pub ra: RegistrationAuthority,
+    /// Anonymity-revocation TTP.
+    pub ttp: Ttp,
+    /// E-cash mint.
+    pub mint: Mint,
+    /// Identified payment processor (baseline).
+    pub processor: PaymentProcessor,
+    /// Privacy-preserving provider.
+    pub provider: ContentProvider,
+    /// Conventional provider (comparator).
+    pub baseline: crate::baseline::BaselineProvider,
+    config: SystemConfig,
+    epoch: u32,
+    now: u64,
+}
+
+impl System {
+    /// Builds every entity and wires the trust relationships.
+    pub fn bootstrap<R: CryptoRng + ?Sized>(config: SystemConfig, rng: &mut R) -> Self {
+        let mut root = CertificateAuthority::new_root(config.key_bits, config.validity, rng);
+        let ra = RegistrationAuthority::new(&mut root, config.key_bits, config.validity, rng);
+        let ttp = Ttp::new(config.elgamal_group, rng);
+        let mint = Mint::new(
+            MintConfig {
+                key_bits: config.key_bits,
+                denominations: config.denominations.clone(),
+            },
+            rng,
+        );
+        let processor = PaymentProcessor::new();
+        let provider = ContentProvider::new(
+            &mut root,
+            mint.clone(),
+            ra.blind_public().clone(),
+            ProviderConfig {
+                key_bits: config.key_bits,
+                epoch_window: config.epoch_window,
+                validity: config.validity,
+            },
+            rng,
+        );
+        let baseline = crate::baseline::BaselineProvider::new(
+            &mut root,
+            processor.clone(),
+            config.key_bits,
+            config.validity,
+            rng,
+        );
+        System {
+            root,
+            ra,
+            ttp,
+            mint,
+            processor,
+            provider,
+            baseline,
+            config,
+            epoch: 0,
+            now: 1,
+        }
+    }
+
+    /// Current epoch (pseudonym freshness bucket).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Advances to the next epoch.
+    pub fn advance_epoch(&mut self) {
+        self.epoch += 1;
+        self.now += 1;
+    }
+
+    /// Current wall-clock (unix-second stand-in).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances time without changing the epoch.
+    pub fn advance_time(&mut self, secs: u64) {
+        self.now += secs;
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Publishes content on the private provider with the default rights
+    /// template.
+    pub fn publish_content<R: CryptoRng + ?Sized>(
+        &mut self,
+        title: &str,
+        price: u64,
+        payload: &[u8],
+        rng: &mut R,
+    ) -> ContentId {
+        self.provider
+            .publish(title, price, payload, self.config.rights_template.clone(), rng)
+    }
+
+    /// Publishes content on the baseline provider.
+    pub fn publish_baseline_content<R: CryptoRng + ?Sized>(
+        &mut self,
+        title: &str,
+        price: u64,
+        payload: &[u8],
+        rng: &mut R,
+    ) -> ContentId {
+        self.baseline
+            .publish(title, price, payload, self.config.rights_template.clone(), rng)
+    }
+
+    /// Registers a user (account name derived from the label).
+    pub fn register_user<R: CryptoRng + ?Sized>(
+        &mut self,
+        label: &str,
+        rng: &mut R,
+    ) -> Result<UserAgent, CoreError> {
+        self.register_user_with_budget(label, CardBudget::default(), rng)
+    }
+
+    /// Registers a user with an explicit card budget (experiments that
+    /// accumulate many fresh pseudonyms need more than the default 64).
+    pub fn register_user_with_budget<R: CryptoRng + ?Sized>(
+        &mut self,
+        label: &str,
+        budget: CardBudget,
+        rng: &mut R,
+    ) -> Result<UserAgent, CoreError> {
+        let mut t = Transcript::new();
+        protocol::register(
+            &mut self.ra,
+            UserId::from_label(label),
+            format!("acct-{label}"),
+            self.config.default_policy,
+            budget,
+            rng,
+            &mut t,
+        )
+    }
+
+    /// Funds a user's accounts at both the mint and the processor.
+    pub fn fund(&self, user: &UserAgent, amount: u64) {
+        self.mint.fund_account(&user.account, amount);
+        self.processor.fund_account(&user.account, amount);
+    }
+
+    /// Ensures the user has a usable pseudonym under their policy,
+    /// running blind issuance if needed.
+    pub fn ensure_pseudonym<R: CryptoRng + ?Sized>(
+        &mut self,
+        user: &mut UserAgent,
+        rng: &mut R,
+    ) -> Result<(), CoreError> {
+        if user.current_pseudonym().is_none() {
+            let mut t = Transcript::new();
+            protocol::obtain_pseudonym(
+                user,
+                &mut self.ra,
+                self.ttp.escrow_key(),
+                self.epoch,
+                self.now,
+                rng,
+                &mut t,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Publishes attribute-restricted content (e.g. age-rated).
+    pub fn publish_rated_content<R: CryptoRng + ?Sized>(
+        &mut self,
+        title: &str,
+        price: u64,
+        payload: &[u8],
+        attribute: &str,
+        rng: &mut R,
+    ) -> ContentId {
+        self.provider.publish_restricted(
+            title,
+            price,
+            payload,
+            self.config.rights_template.clone(),
+            attribute,
+            rng,
+        )
+    }
+
+    /// Records a verified attribute for the user at the RA and teaches the
+    /// provider to trust that attribute's verification key.
+    pub fn grant_attribute<R: CryptoRng + ?Sized>(
+        &mut self,
+        user: &UserAgent,
+        attribute: &str,
+        rng: &mut R,
+    ) -> Result<(), CoreError> {
+        self.ra.grant_attribute(&user.user_id(), attribute, rng)?;
+        let key = self
+            .ra
+            .attribute_public(attribute)
+            .expect("key exists after grant")
+            .clone();
+        self.provider.trust_attribute(attribute, key);
+        Ok(())
+    }
+
+    /// Ensures the user holds an attribute credential bound to their
+    /// *current* pseudonym (obtaining pseudonym and credential as needed).
+    pub fn ensure_attribute<R: CryptoRng + ?Sized>(
+        &mut self,
+        user: &mut UserAgent,
+        attribute: &str,
+        rng: &mut R,
+    ) -> Result<(), CoreError> {
+        self.ensure_pseudonym(user, rng)?;
+        let pseudonym = user
+            .current_pseudonym()
+            .expect("ensured above")
+            .pseudonym_id();
+        if user.attribute_cert_for(&pseudonym, attribute).is_none() {
+            let mut t = Transcript::new();
+            protocol::obtain_attribute(
+                user,
+                &mut self.ra,
+                attribute,
+                self.epoch,
+                self.now,
+                rng,
+                &mut t,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Full anonymous purchase (pseudonym top-up + coin + license).
+    pub fn purchase<R: CryptoRng + ?Sized>(
+        &mut self,
+        user: &mut UserAgent,
+        content_id: ContentId,
+        rng: &mut R,
+    ) -> Result<License, CoreError> {
+        let mut t = Transcript::new();
+        self.purchase_with_transcript(user, content_id, rng, &mut t)
+    }
+
+    /// Purchase with an externally supplied transcript (experiments).
+    pub fn purchase_with_transcript<R: CryptoRng + ?Sized>(
+        &mut self,
+        user: &mut UserAgent,
+        content_id: ContentId,
+        rng: &mut R,
+        transcript: &mut Transcript,
+    ) -> Result<License, CoreError> {
+        self.ensure_pseudonym(user, rng)?;
+        protocol::purchase(
+            user,
+            &mut self.provider,
+            &self.mint,
+            content_id,
+            self.epoch,
+            rng,
+            transcript,
+        )
+    }
+
+    /// Registers a compliant device trusting this system's provider.
+    pub fn register_device<R: CryptoRng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+    ) -> Result<CompliantDevice, CoreError> {
+        let provider_cert = self.provider.certificate().clone();
+        CompliantDevice::new(
+            &mut self.root,
+            &provider_cert,
+            self.ra.blind_public().clone(),
+            self.config.key_bits,
+            self.config.validity,
+            rng,
+        )
+    }
+
+    /// Registers a device trusting the baseline provider.
+    pub fn register_baseline_device<R: CryptoRng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+    ) -> Result<CompliantDevice, CoreError> {
+        let provider_cert = self.baseline.certificate().clone();
+        CompliantDevice::new(
+            &mut self.root,
+            &provider_cert,
+            self.ra.blind_public().clone(),
+            self.config.key_bits,
+            self.config.validity,
+            rng,
+        )
+    }
+
+    /// Plays a license on a device.
+    pub fn play<R: CryptoRng + ?Sized>(
+        &self,
+        user: &UserAgent,
+        device: &mut CompliantDevice,
+        license: &License,
+        rng: &mut R,
+    ) -> Result<Vec<u8>, CoreError> {
+        let mut t = Transcript::new();
+        protocol::play(user, device, &self.provider, license, self.now, rng, &mut t)
+    }
+
+    /// Transfers a license between users (both pseudonym top-ups included).
+    pub fn transfer<R: CryptoRng + ?Sized>(
+        &mut self,
+        sender: &mut UserAgent,
+        recipient: &mut UserAgent,
+        license_id: LicenseId,
+        rng: &mut R,
+    ) -> Result<License, CoreError> {
+        self.ensure_pseudonym(recipient, rng)?;
+        let mut t = Transcript::new();
+        protocol::transfer(
+            sender,
+            recipient,
+            &mut self.provider,
+            license_id,
+            self.epoch,
+            rng,
+            &mut t,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2drm_crypto::rng::test_rng;
+
+    #[test]
+    fn bootstrap_wires_trust() {
+        let mut rng = test_rng(220);
+        let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+        assert!(sys
+            .provider
+            .certificate()
+            .verify(sys.root.public_key(), 10)
+            .is_ok());
+        assert!(sys
+            .baseline
+            .certificate()
+            .verify(sys.root.public_key(), 10)
+            .is_ok());
+        assert_eq!(sys.epoch(), 0);
+    }
+
+    #[test]
+    fn end_to_end_smoke() {
+        let mut rng = test_rng(221);
+        let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+        let cid = sys.publish_content("Track", 100, b"bits", &mut rng);
+        let mut u = sys.register_user("u", &mut rng).unwrap();
+        sys.fund(&u, 300);
+        let lic = sys.purchase(&mut u, cid, &mut rng).unwrap();
+        let mut dev = sys.register_device(&mut rng).unwrap();
+        assert_eq!(sys.play(&u, &mut dev, &lic, &mut rng).unwrap(), b"bits");
+        assert_eq!(sys.provider.license_count(), 1);
+        assert_eq!(sys.mint.deposited_total(), 100);
+    }
+
+    #[test]
+    fn epoch_and_time_advance() {
+        let mut rng = test_rng(222);
+        let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+        let e0 = sys.epoch();
+        let t0 = sys.now();
+        sys.advance_epoch();
+        sys.advance_time(100);
+        assert_eq!(sys.epoch(), e0 + 1);
+        assert!(sys.now() >= t0 + 101);
+    }
+}

@@ -1,0 +1,99 @@
+//! HKDF-style key derivation (RFC 5869 extract-and-expand over
+//! HMAC-SHA-256), used to derive content keys, session keys and escrow
+//! wrapping keys from shared secrets.
+
+use crate::hmac::{hmac_sha256, HmacSha256};
+use crate::sha256::DIGEST_LEN;
+
+/// HKDF-Extract: `PRK = HMAC(salt, ikm)`.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: derives `len` bytes from `prk` and `info` (`len <= 8160`).
+pub fn expand(prk: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * DIGEST_LEN, "hkdf expand length cap");
+    let mut out = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut h = HmacSha256::new(prk);
+        h.update(&t);
+        h.update(info);
+        h.update(&[counter]);
+        t = h.finalize().to_vec();
+        let take = (len - out.len()).min(DIGEST_LEN);
+        out.extend_from_slice(&t[..take]);
+        counter = counter.checked_add(1).expect("counter bounded by len cap");
+    }
+    out
+}
+
+/// Extract-then-expand in one call.
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    expand(&extract(salt, ikm), info, len)
+}
+
+/// Derives a fixed 32-byte key (the common case for ChaCha20).
+pub fn derive_key32(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; 32] {
+    derive(salt, ikm, info, 32).try_into().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = expand(&prk, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case_3_empty_salt_info() {
+        let ikm = [0x0bu8; 22];
+        let okm = derive(&[], &ikm, &[], 42);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn lengths_and_prefix_property() {
+        let long = derive(b"s", b"ikm", b"info", 64);
+        let short = derive(b"s", b"ikm", b"info", 32);
+        assert_eq!(&long[..32], &short[..]);
+        assert_eq!(derive(b"s", b"ikm", b"info", 0).len(), 0);
+        assert_eq!(derive(b"s", b"ikm", b"info", 33).len(), 33);
+    }
+
+    #[test]
+    fn info_separates_domains() {
+        assert_ne!(
+            derive_key32(b"s", b"ikm", b"content"),
+            derive_key32(b"s", b"ikm", b"session")
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn expand_cap_enforced() {
+        expand(&[0; 32], b"", 255 * 32 + 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Randomness plumbing for the crypto layer.
+//!
+//! All key generation and blinding takes `&mut R where R: CryptoRng` so
+//! tests can inject seeded generators and examples can use the OS entropy
+//! source. [`CryptoRng`] is a re-export of [`p2drm_bignum::BigRng`], which is
+//! blanket-implemented for every [`rand::RngCore`].
+
+pub use p2drm_bignum::BigRng as CryptoRng;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic RNG for tests and reproducible experiments.
+pub fn test_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// OS-seeded RNG for examples and binaries.
+pub fn os_rng() -> StdRng {
+    StdRng::from_entropy()
+}
+
+/// Fills a fixed-size array with random bytes.
+pub fn random_array<const N: usize, R: CryptoRng + ?Sized>(rng: &mut R) -> [u8; N] {
+    let mut out = [0u8; N];
+    rng.fill_bytes(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_rng_is_deterministic() {
+        let a: [u8; 16] = random_array(&mut test_rng(9));
+        let b: [u8; 16] = random_array(&mut test_rng(9));
+        let c: [u8; 16] = random_array(&mut test_rng(10));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn os_rng_produces_distinct_output() {
+        let a: [u8; 16] = random_array(&mut os_rng());
+        let b: [u8; 16] = random_array(&mut os_rng());
+        assert_ne!(a, b); // 2^-128 collision probability
+    }
+}

@@ -1,0 +1,56 @@
+//! Authorized domains — the paper's follow-up extension (Koster et al.):
+//! a household's devices form a *domain* managed by a trusted **domain
+//! manager** device. Domain licenses are bound to the manager's key; the
+//! manager enrolls member devices locally and mediates key release to
+//! them. The provider sees only "domain D bought content X" — **it never
+//! learns which devices (or how many people) compose the domain**, which
+//! is the extension's privacy goal.
+//!
+//! * [`DomainManager`] — membership authority + license holder + key
+//!   release oracle, with a compliance-enforced member cap;
+//! * [`MembershipCert`] — manager-signed, locally-verified membership;
+//! * [`buy_domain_license`] / [`play_in_domain`] — the two protocol flows,
+//!   transcript-logged like every core protocol.
+
+pub mod manager;
+pub mod membership;
+pub mod protocol;
+
+pub use manager::{DomainConfig, DomainManager};
+pub use membership::{MembershipBody, MembershipCert};
+pub use protocol::{buy_domain_license, play_in_domain};
+
+/// Domain-layer errors.
+#[derive(Debug)]
+pub enum DomainError {
+    /// The domain is at its compliance-mandated member cap.
+    DomainFull { max: usize },
+    /// Device is not (or no longer) a member.
+    NotAMember,
+    /// Membership certificate failed verification.
+    BadMembership(&'static str),
+    /// The presented device certificate is not a compliant device.
+    NotCompliant,
+    /// Underlying core failure.
+    Core(p2drm_core::CoreError),
+}
+
+impl std::fmt::Display for DomainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DomainError::DomainFull { max } => write!(f, "domain at member cap ({max})"),
+            DomainError::NotAMember => write!(f, "device is not a domain member"),
+            DomainError::BadMembership(m) => write!(f, "membership invalid: {m}"),
+            DomainError::NotCompliant => write!(f, "device certificate not compliant"),
+            DomainError::Core(e) => write!(f, "core: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+impl From<p2drm_core::CoreError> for DomainError {
+    fn from(e: p2drm_core::CoreError) -> Self {
+        DomainError::Core(e)
+    }
+}

@@ -1,0 +1,197 @@
+//! The domain manager: a provider-trusted device that owns the domain key,
+//! enrolls member devices (up to a compliance cap), and mediates content-key
+//! release inside the home.
+
+use crate::membership::{MembershipBody, MembershipCert};
+use crate::DomainError;
+use p2drm_core::license::License;
+use p2drm_crypto::envelope::{self, Envelope};
+use p2drm_crypto::rng::CryptoRng;
+use p2drm_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use p2drm_pki::authority::CertificateAuthority;
+use p2drm_pki::cert::{Certificate, EntityKind, Extension, KeyId, SubjectKey, Validity};
+use p2drm_pki::crl::RevocationList;
+use std::collections::HashMap;
+
+/// Domain construction parameters.
+#[derive(Clone, Debug)]
+pub struct DomainConfig {
+    /// Domain name (what the provider sees).
+    pub name: String,
+    /// Compliance-mandated member cap.
+    pub max_members: usize,
+    /// Membership validity window.
+    pub membership_validity: Validity,
+}
+
+/// The manager device.
+pub struct DomainManager {
+    config: DomainConfig,
+    keys: RsaKeyPair,
+    cert: Certificate,
+    members: HashMap<KeyId, MembershipCert>,
+    removed: RevocationList,
+    next_serial: u64,
+    licenses: Vec<License>,
+}
+
+impl DomainManager {
+    /// Creates a manager certified by `root` with the `domain-manager`
+    /// extension the provider requires.
+    pub fn new<R: CryptoRng + ?Sized>(
+        root: &mut CertificateAuthority,
+        config: DomainConfig,
+        key_bits: usize,
+        validity: Validity,
+        rng: &mut R,
+    ) -> Self {
+        let keys = RsaKeyPair::generate(key_bits, rng);
+        let cert = root.issue(
+            EntityKind::Device,
+            SubjectKey::Rsa(keys.public().clone()),
+            validity,
+            vec![
+                Extension {
+                    key: "compliance".into(),
+                    value: vec![1],
+                },
+                Extension {
+                    key: "domain-manager".into(),
+                    value: config.name.clone().into_bytes(),
+                },
+            ],
+        );
+        DomainManager {
+            config,
+            keys,
+            cert,
+            members: HashMap::new(),
+            removed: RevocationList::new(),
+            next_serial: 1,
+            licenses: Vec::new(),
+        }
+    }
+
+    /// Domain name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// Domain key (licenses are bound to this).
+    pub fn public_key(&self) -> &RsaPublicKey {
+        self.keys.public()
+    }
+
+    /// Root-issued manager certificate.
+    pub fn certificate(&self) -> &Certificate {
+        &self.cert
+    }
+
+    /// Current member count.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Enrolls a compliant device; enforces the member cap.
+    pub fn enroll(
+        &mut self,
+        device_cert: &Certificate,
+        root_key: &RsaPublicKey,
+        now: u64,
+    ) -> Result<MembershipCert, DomainError> {
+        device_cert
+            .verify(root_key, now)
+            .map_err(|_| DomainError::NotCompliant)?;
+        if device_cert.body.extension("compliance").is_none() {
+            return Err(DomainError::NotCompliant);
+        }
+        let member_key = device_cert.subject_id();
+        if self.members.contains_key(&member_key) {
+            return Ok(self.members[&member_key].clone());
+        }
+        if self.members.len() >= self.config.max_members {
+            return Err(DomainError::DomainFull {
+                max: self.config.max_members,
+            });
+        }
+        let body = MembershipBody {
+            domain: self.config.name.clone(),
+            member_key,
+            serial: self.next_serial,
+            validity: self.config.membership_validity,
+        };
+        self.next_serial += 1;
+        let cert = MembershipCert {
+            signature: self.keys.sign(&body.signing_bytes()),
+            body,
+        };
+        self.members.insert(member_key, cert.clone());
+        // Re-enrollment after removal is allowed (new cert, off the list).
+        Ok(cert)
+    }
+
+    /// Removes a member (device left the household).
+    pub fn remove_member(&mut self, member_key: &KeyId) -> bool {
+        if self.members.remove(member_key).is_some() {
+            self.removed.insert(*member_key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Is this key currently a member?
+    pub fn is_member(&self, member_key: &KeyId) -> bool {
+        self.members.contains_key(member_key)
+    }
+
+    /// The membership certificate held for a member, if enrolled.
+    pub fn enrolled_cert(&self, member_key: &KeyId) -> Option<MembershipCert> {
+        self.members.get(member_key).cloned()
+    }
+
+    /// Stores a domain license (must be bound to the domain key).
+    pub fn import_license(&mut self, license: License) -> Result<(), DomainError> {
+        if KeyId::of_rsa(&license.body.holder) != KeyId::of_rsa(self.keys.public()) {
+            return Err(DomainError::BadMembership("license not bound to domain key"));
+        }
+        self.licenses.push(license);
+        Ok(())
+    }
+
+    /// Licenses held by the domain.
+    pub fn licenses(&self) -> &[License] {
+        &self.licenses
+    }
+
+    /// Signs a device challenge as license holder.
+    pub fn sign_challenge(&self, message: &[u8]) -> p2drm_crypto::rsa::RsaSignature {
+        self.keys.sign(message)
+    }
+
+    /// Releases the content key of `license` to a **current member**,
+    /// re-sealed to the member's device key. The membership check is the
+    /// enforcement point the provider delegates to the manager.
+    pub fn release_key<R: CryptoRng + ?Sized>(
+        &self,
+        license: &License,
+        member_cert: &MembershipCert,
+        device_key: &RsaPublicKey,
+        now: u64,
+        rng: &mut R,
+    ) -> Result<Envelope, DomainError> {
+        member_cert.verify(self.keys.public(), now)?;
+        if member_cert.body.domain != self.config.name {
+            return Err(DomainError::BadMembership("wrong domain"));
+        }
+        if !self.is_member(&member_cert.body.member_key) {
+            return Err(DomainError::NotAMember);
+        }
+        if KeyId::of_rsa(device_key) != member_cert.body.member_key {
+            return Err(DomainError::BadMembership("device key mismatch"));
+        }
+        let content_key = envelope::open(&self.keys, &license.body.key_envelope)
+            .map_err(|e| DomainError::Core(e.into()))?;
+        Ok(envelope::seal(device_key, &content_key, rng))
+    }
+}

@@ -1,0 +1,131 @@
+//! Domain membership certificates: issued and verified entirely inside the
+//! domain — the provider never sees one.
+
+use p2drm_codec::{Decode, Encode, Reader, Writer};
+use p2drm_crypto::rsa::{RsaPublicKey, RsaSignature};
+use p2drm_pki::cert::{KeyId, Validity};
+
+/// The signed membership statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MembershipBody {
+    /// Domain name this membership belongs to.
+    pub domain: String,
+    /// Member device key fingerprint.
+    pub member_key: KeyId,
+    /// Manager-unique serial.
+    pub serial: u64,
+    /// Validity window.
+    pub validity: Validity,
+}
+
+impl MembershipBody {
+    /// Canonical signed bytes.
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        p2drm_codec::to_bytes(self)
+    }
+}
+
+impl Encode for MembershipBody {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.domain);
+        self.member_key.encode(w);
+        w.put_u64(self.serial);
+        self.validity.encode(w);
+    }
+}
+
+impl Decode for MembershipBody {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(MembershipBody {
+            domain: r.get_str()?,
+            member_key: KeyId::decode(r)?,
+            serial: r.get_u64()?,
+            validity: Validity::decode(r)?,
+        })
+    }
+}
+
+/// A manager-signed membership certificate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MembershipCert {
+    /// Signed body.
+    pub body: MembershipBody,
+    /// Manager signature.
+    pub signature: RsaSignature,
+}
+
+impl MembershipCert {
+    /// Verifies against the domain manager's key at time `now`.
+    pub fn verify(&self, manager_key: &RsaPublicKey, now: u64) -> Result<(), crate::DomainError> {
+        if !self.body.validity.contains(now) {
+            return Err(crate::DomainError::BadMembership("expired"));
+        }
+        manager_key
+            .verify(&self.body.signing_bytes(), &self.signature)
+            .map_err(|_| crate::DomainError::BadMembership("signature invalid"))
+    }
+}
+
+impl Encode for MembershipCert {
+    fn encode(&self, w: &mut Writer) {
+        self.body.encode(w);
+        self.signature.encode(w);
+    }
+}
+
+impl Decode for MembershipCert {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(MembershipCert {
+            body: MembershipBody::decode(r)?,
+            signature: RsaSignature::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2drm_crypto::rng::test_rng;
+    use p2drm_crypto::rsa::RsaKeyPair;
+    use p2drm_pki::cert::digest_id;
+
+    fn cert(kp: &RsaKeyPair) -> MembershipCert {
+        let body = MembershipBody {
+            domain: "home".into(),
+            member_key: digest_id(b"tv"),
+            serial: 1,
+            validity: Validity::new(0, 100),
+        };
+        MembershipCert {
+            signature: kp.sign(&body.signing_bytes()),
+            body,
+        }
+    }
+
+    #[test]
+    fn verify_happy_and_expiry() {
+        let kp = RsaKeyPair::generate(512, &mut test_rng(230));
+        let c = cert(&kp);
+        assert!(c.verify(kp.public(), 50).is_ok());
+        assert!(c.verify(kp.public(), 101).is_err());
+    }
+
+    #[test]
+    fn wrong_key_and_tamper_rejected() {
+        let kp = RsaKeyPair::generate(512, &mut test_rng(231));
+        let other = RsaKeyPair::generate(512, &mut test_rng(232));
+        let c = cert(&kp);
+        assert!(c.verify(other.public(), 50).is_err());
+        let mut bad = c.clone();
+        bad.body.domain = "evil".into();
+        assert!(bad.verify(kp.public(), 50).is_err());
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let kp = RsaKeyPair::generate(512, &mut test_rng(233));
+        let c = cert(&kp);
+        let bytes = p2drm_codec::to_bytes(&c);
+        assert_eq!(p2drm_codec::from_bytes::<MembershipCert>(&bytes).unwrap(), c);
+    }
+}

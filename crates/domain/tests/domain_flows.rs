@@ -1,0 +1,232 @@
+//! End-to-end authorized-domain tests: enrollment caps, domain purchase,
+//! member playback, non-member rejection, and the domain privacy property
+//! (provider never learns domain composition).
+
+use p2drm_core::audit::{Party, Transcript};
+use p2drm_core::system::{System, SystemConfig};
+use p2drm_core::CoreError;
+use p2drm_crypto::rng::test_rng;
+use p2drm_domain::{buy_domain_license, play_in_domain, DomainConfig, DomainError, DomainManager};
+use p2drm_payment::Wallet;
+use p2drm_pki::cert::{KeyId, Validity};
+
+struct Fx {
+    sys: System,
+    manager: DomainManager,
+    wallet: Wallet,
+}
+
+fn fixture(seed: u64, max_members: usize) -> Fx {
+    let mut rng = test_rng(seed);
+    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let manager = DomainManager::new(
+        &mut sys.root,
+        DomainConfig {
+            name: "home".into(),
+            max_members,
+            membership_validity: Validity::new(0, u64::MAX / 2),
+        },
+        512,
+        Validity::new(0, u64::MAX / 2),
+        &mut rng,
+    );
+    sys.mint.fund_account("household", 10_000);
+    Fx {
+        sys,
+        manager,
+        wallet: Wallet::new(),
+    }
+}
+
+#[test]
+fn domain_purchase_and_member_playback() {
+    let mut f = fixture(240, 4);
+    let mut rng = test_rng(241);
+    let cid = f.sys.publish_content("Movie", 500, b"FEATURE FILM", &mut rng);
+
+    let mut tv = f.sys.register_device(&mut rng).unwrap();
+    let root_key = f.sys.root.public_key().clone();
+    f.manager
+        .enroll(tv.certificate(), &root_key, f.sys.now())
+        .unwrap();
+
+    let mut t = Transcript::new();
+    let epoch = f.sys.epoch();
+    let now = f.sys.now();
+    let license = buy_domain_license(
+        &mut f.manager,
+        &mut f.wallet,
+        "household",
+        &mut f.sys.provider,
+        &f.sys.mint,
+        cid,
+        now,
+        epoch,
+        &mut rng,
+        &mut t,
+    )
+    .unwrap();
+    assert_eq!(license.body.rights.domain.as_deref(), Some("home"));
+
+    let mut t2 = Transcript::new();
+    let payload = play_in_domain(
+        &f.manager,
+        &mut tv,
+        &f.sys.provider,
+        &license,
+        now,
+        &mut rng,
+        &mut t2,
+    )
+    .unwrap();
+    assert_eq!(payload, b"FEATURE FILM");
+}
+
+#[test]
+fn non_member_device_rejected() {
+    let mut f = fixture(242, 4);
+    let mut rng = test_rng(243);
+    let cid = f.sys.publish_content("M", 500, b"DATA", &mut rng);
+    let mut tv = f.sys.register_device(&mut rng).unwrap();
+    let root_key = f.sys.root.public_key().clone();
+    f.manager
+        .enroll(tv.certificate(), &root_key, f.sys.now())
+        .unwrap();
+
+    let mut outsider = f.sys.register_device(&mut rng).unwrap();
+    let mut t = Transcript::new();
+    let epoch = f.sys.epoch();
+    let now = f.sys.now();
+    let license = buy_domain_license(
+        &mut f.manager, &mut f.wallet, "household", &mut f.sys.provider, &f.sys.mint,
+        cid, now, epoch, &mut rng, &mut t,
+    )
+    .unwrap();
+
+    let res = play_in_domain(
+        &f.manager, &mut outsider, &f.sys.provider, &license, now, &mut rng, &mut t,
+    );
+    assert!(matches!(res, Err(DomainError::NotAMember)));
+    // The enrolled member still works.
+    assert!(play_in_domain(
+        &f.manager, &mut tv, &f.sys.provider, &license, now, &mut rng, &mut t
+    )
+    .is_ok());
+}
+
+#[test]
+fn member_cap_enforced_and_removal_frees_slot() {
+    let mut f = fixture(244, 2);
+    let mut rng = test_rng(245);
+    let root_key = f.sys.root.public_key().clone();
+    let d1 = f.sys.register_device(&mut rng).unwrap();
+    let d2 = f.sys.register_device(&mut rng).unwrap();
+    let d3 = f.sys.register_device(&mut rng).unwrap();
+
+    f.manager.enroll(d1.certificate(), &root_key, 1).unwrap();
+    f.manager.enroll(d2.certificate(), &root_key, 1).unwrap();
+    assert!(matches!(
+        f.manager.enroll(d3.certificate(), &root_key, 1),
+        Err(DomainError::DomainFull { max: 2 })
+    ));
+    // Re-enrolling an existing member is idempotent, not a new slot.
+    f.manager.enroll(d1.certificate(), &root_key, 1).unwrap();
+    assert_eq!(f.manager.member_count(), 2);
+
+    // Removing d2 frees a slot for d3.
+    let d2_id = KeyId::of_rsa(d2.certificate().body.subject_key.as_rsa().unwrap());
+    assert!(f.manager.remove_member(&d2_id));
+    f.manager.enroll(d3.certificate(), &root_key, 1).unwrap();
+    assert_eq!(f.manager.member_count(), 2);
+}
+
+#[test]
+fn removed_member_cannot_play() {
+    let mut f = fixture(246, 4);
+    let mut rng = test_rng(247);
+    let cid = f.sys.publish_content("M", 500, b"DATA", &mut rng);
+    let root_key = f.sys.root.public_key().clone();
+    let mut tv = f.sys.register_device(&mut rng).unwrap();
+    f.manager.enroll(tv.certificate(), &root_key, 1).unwrap();
+
+    let mut t = Transcript::new();
+    let epoch = f.sys.epoch();
+    let now = f.sys.now();
+    let license = buy_domain_license(
+        &mut f.manager, &mut f.wallet, "household", &mut f.sys.provider, &f.sys.mint,
+        cid, now, epoch, &mut rng, &mut t,
+    )
+    .unwrap();
+
+    let tv_id = KeyId::of_rsa(tv.certificate().body.subject_key.as_rsa().unwrap());
+    f.manager.remove_member(&tv_id);
+    let res = play_in_domain(
+        &f.manager, &mut tv, &f.sys.provider, &license, now, &mut rng, &mut t,
+    );
+    assert!(matches!(res, Err(DomainError::NotAMember)));
+}
+
+#[test]
+fn provider_never_learns_domain_composition() {
+    // The extension's privacy goal: the purchase transcript to the
+    // provider contains the manager cert but no member device key bytes.
+    let mut f = fixture(248, 4);
+    let mut rng = test_rng(249);
+    let cid = f.sys.publish_content("M", 500, b"DATA", &mut rng);
+    let root_key = f.sys.root.public_key().clone();
+    let tv = f.sys.register_device(&mut rng).unwrap();
+    let phone = f.sys.register_device(&mut rng).unwrap();
+    f.manager.enroll(tv.certificate(), &root_key, 1).unwrap();
+    f.manager.enroll(phone.certificate(), &root_key, 1).unwrap();
+
+    let mut t = Transcript::new();
+    let epoch = f.sys.epoch();
+    let now = f.sys.now();
+    buy_domain_license(
+        &mut f.manager, &mut f.wallet, "household", &mut f.sys.provider, &f.sys.mint,
+        cid, now, epoch, &mut rng, &mut t,
+    )
+    .unwrap();
+
+    for dev in [&tv, &phone] {
+        let member_modulus = dev
+            .certificate()
+            .body
+            .subject_key
+            .as_rsa()
+            .unwrap()
+            .modulus()
+            .to_bytes_be();
+        assert!(
+            !t.scan_for(Party::Provider, &member_modulus),
+            "member key leaked to provider"
+        );
+    }
+}
+
+#[test]
+fn manager_cert_without_extension_rejected_by_provider() {
+    let mut f = fixture(250, 4);
+    let mut rng = test_rng(251);
+    let cid = f.sys.publish_content("M", 500, b"DATA", &mut rng);
+    // A plain device cert (no domain-manager extension) must be refused.
+    let imposter = f.sys.register_device(&mut rng).unwrap();
+    let mut wallet = Wallet::new();
+    f.sys.mint.fund_account("imposter", 1000);
+    let coin = wallet
+        .withdraw(&f.sys.mint, "imposter", 500, &mut rng)
+        .unwrap();
+    let epoch = f.sys.epoch();
+    let now = f.sys.now();
+    let imposter_cert = imposter.certificate().clone();
+    let res = f.sys.provider.handle_domain_purchase(
+        &imposter_cert,
+        &coin,
+        cid,
+        "fake",
+        now,
+        epoch,
+        &mut rng,
+    );
+    assert!(matches!(res, Err(CoreError::BadLicense(_))));
+}

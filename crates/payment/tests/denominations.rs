@@ -1,0 +1,82 @@
+//! Denomination-handling tests: covering-coin selection, overpayment
+//! semantics, and wallet reuse.
+
+use p2drm_crypto::rng::test_rng;
+use p2drm_payment::{Mint, MintConfig, PaymentError, Wallet};
+
+fn mint() -> Mint {
+    Mint::new(
+        MintConfig {
+            key_bits: 512,
+            denominations: vec![100, 500, 1000],
+        },
+        &mut test_rng(500),
+    )
+}
+
+#[test]
+fn covering_coin_selected_for_odd_amounts() {
+    let m = mint();
+    m.fund_account("u", 10_000);
+    let mut w = Wallet::new();
+    let mut rng = test_rng(501);
+
+    // 250 is not a denomination: the 500 coin covers it.
+    let coin = w.coin_for_amount(&m, "u", 250, &mut rng).unwrap();
+    assert_eq!(coin.denomination, 500);
+    assert_eq!(m.balance("u"), 9_500);
+
+    // Exact denominations are used exactly.
+    let coin = w.coin_for_amount(&m, "u", 100, &mut rng).unwrap();
+    assert_eq!(coin.denomination, 100);
+}
+
+#[test]
+fn held_coins_reused_before_withdrawing() {
+    let m = mint();
+    m.fund_account("u", 10_000);
+    let mut w = Wallet::new();
+    let mut rng = test_rng(502);
+    w.withdraw(&m, "u", 1000, &mut rng).unwrap();
+    w.withdraw(&m, "u", 500, &mut rng).unwrap();
+    let balance_after_withdrawals = m.balance("u");
+
+    // 300 should take the held 500 (smallest covering), not withdraw anew.
+    let coin = w.coin_for_amount(&m, "u", 300, &mut rng).unwrap();
+    assert_eq!(coin.denomination, 500);
+    assert_eq!(m.balance("u"), balance_after_withdrawals, "no new debit");
+    assert_eq!(w.balance(), 1000, "the 1000 coin remains");
+}
+
+#[test]
+fn amount_above_largest_denomination_fails() {
+    let m = mint();
+    m.fund_account("u", 100_000);
+    let mut w = Wallet::new();
+    let mut rng = test_rng(503);
+    assert!(matches!(
+        w.coin_for_amount(&m, "u", 5_000, &mut rng),
+        Err(PaymentError::UnknownDenomination(5_000))
+    ));
+}
+
+#[test]
+fn denominations_listing_sorted() {
+    let m = mint();
+    assert_eq!(m.denominations(), vec![100, 500, 1000]);
+}
+
+#[test]
+fn overpaid_purchase_accepted_end_to_end() {
+    // A provider accepts any coin >= price; the odd-priced content path.
+    use p2drm_core::system::{System, SystemConfig};
+    let mut rng = test_rng(504);
+    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let cid = sys.publish_content("oddly priced", 250, b"payload", &mut rng);
+    let mut alice = sys.register_user("alice", &mut rng).unwrap();
+    sys.fund(&alice, 1_000);
+    let license = sys.purchase(&mut alice, cid, &mut rng).unwrap();
+    assert!(license.verify(sys.provider.public_key()).is_ok());
+    // The 500 coin was deposited (overpayment, no change).
+    assert_eq!(sys.mint.deposited_total(), 500);
+}

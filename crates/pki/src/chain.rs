@@ -1,0 +1,250 @@
+//! Trust stores and certificate-chain verification.
+
+use crate::cert::{Certificate, EntityKind, KeyId};
+use crate::crl::RevocationList;
+use crate::PkiError;
+use p2drm_crypto::rsa::RsaPublicKey;
+use std::collections::HashMap;
+
+/// Chain verification failure (wraps [`PkiError`] with position context).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// A certificate in the chain failed (0 = leaf).
+    Invalid { position: usize, source: PkiError },
+    /// A certificate's subject is revoked (0 = leaf).
+    Revoked { position: usize, id: KeyId },
+    /// The chain does not terminate at a trusted root.
+    NoTrustedRoot,
+    /// Chain longer than the permitted depth.
+    TooLong(usize),
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::Invalid { position, source } => {
+                write!(f, "certificate {position} invalid: {source}")
+            }
+            ChainError::Revoked { position, id } => {
+                write!(f, "certificate {position} revoked ({})", id.short_hex())
+            }
+            ChainError::NoTrustedRoot => write!(f, "chain does not reach a trusted root"),
+            ChainError::TooLong(n) => write!(f, "chain of {n} exceeds depth limit"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// Maximum accepted chain length (leaf + intermediates).
+const MAX_CHAIN: usize = 8;
+
+/// A set of trusted root keys plus revocation state.
+#[derive(Default)]
+pub struct TrustStore {
+    roots: HashMap<KeyId, RsaPublicKey>,
+    revoked: RevocationList,
+}
+
+impl TrustStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trusts `root` (keyed by fingerprint).
+    pub fn add_root(&mut self, root: RsaPublicKey) {
+        self.roots.insert(KeyId::of_rsa(&root), root);
+    }
+
+    /// Marks a subject key id revoked.
+    pub fn revoke(&mut self, id: KeyId) {
+        self.revoked.insert(id);
+    }
+
+    /// Replaces the revocation list wholesale (e.g. from a fresh
+    /// [`crate::crl::SignedCrl`] the caller has already verified).
+    pub fn set_revocations(&mut self, list: RevocationList) {
+        self.revoked = list;
+    }
+
+    /// Read access to the current revocation list.
+    pub fn revocations(&self) -> &RevocationList {
+        &self.revoked
+    }
+
+    /// True if `id` belongs to a trusted root.
+    pub fn is_root(&self, id: &KeyId) -> bool {
+        self.roots.contains_key(id)
+    }
+
+    /// Verifies `chain` (leaf first, root-issued last) at time `now`.
+    ///
+    /// Each certificate must verify under its issuer's key, the issuer of
+    /// the last certificate must be a trusted root, and no subject in the
+    /// chain may be revoked. Returns the leaf's subject kind on success.
+    pub fn verify_chain(&self, chain: &[&Certificate], now: u64) -> Result<EntityKind, ChainError> {
+        if chain.is_empty() {
+            return Err(ChainError::NoTrustedRoot);
+        }
+        if chain.len() > MAX_CHAIN {
+            return Err(ChainError::TooLong(chain.len()));
+        }
+        for (pos, cert) in chain.iter().enumerate() {
+            let subject = cert.subject_id();
+            if self.revoked.contains(&subject) {
+                return Err(ChainError::Revoked { position: pos, id: subject });
+            }
+            // Resolve the issuer key: next in chain, or a trusted root.
+            let issuer_key: &RsaPublicKey = if pos + 1 < chain.len() {
+                match &chain[pos + 1].body.subject_key {
+                    crate::cert::SubjectKey::Rsa(k) => k,
+                    _ => {
+                        return Err(ChainError::Invalid {
+                            position: pos,
+                            source: PkiError::WrongKeyType,
+                        })
+                    }
+                }
+            } else {
+                self.roots
+                    .get(&cert.body.issuer)
+                    .ok_or(ChainError::NoTrustedRoot)?
+            };
+            cert.verify(issuer_key, now)
+                .map_err(|source| ChainError::Invalid { position: pos, source })?;
+        }
+        Ok(chain[0].body.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::CertificateAuthority;
+    use crate::cert::{SubjectKey, Validity};
+    use p2drm_crypto::rng::test_rng;
+    use p2drm_crypto::rsa::RsaKeyPair;
+
+    struct Fixture {
+        store: TrustStore,
+        root: CertificateAuthority,
+        sub: CertificateAuthority,
+        leaf: Certificate,
+    }
+
+    fn fixture(seed: u64) -> Fixture {
+        let mut rng = test_rng(seed);
+        let v = Validity::new(0, 1_000_000);
+        let mut root = CertificateAuthority::new_root(512, v, &mut rng);
+        let mut sub = CertificateAuthority::new_subordinate(
+            &mut root,
+            EntityKind::ContentProvider,
+            512,
+            v,
+            &mut rng,
+        );
+        let leaf_key = RsaKeyPair::generate(512, &mut rng);
+        let leaf = sub.issue(
+            EntityKind::Device,
+            SubjectKey::Rsa(leaf_key.public().clone()),
+            v,
+            vec![],
+        );
+        let mut store = TrustStore::new();
+        store.add_root(root.public_key().clone());
+        Fixture { store, root, sub, leaf }
+    }
+
+    #[test]
+    fn two_level_chain_verifies() {
+        let f = fixture(80);
+        let kind = f
+            .store
+            .verify_chain(&[&f.leaf, f.sub.certificate()], 100)
+            .unwrap();
+        assert_eq!(kind, EntityKind::Device);
+    }
+
+    #[test]
+    fn direct_root_issued_cert_verifies() {
+        let mut f = fixture(81);
+        let key = RsaKeyPair::generate(512, &mut test_rng(811));
+        let cert = f.root.issue(
+            EntityKind::SmartCard,
+            SubjectKey::Rsa(key.public().clone()),
+            Validity::new(0, 10),
+            vec![],
+        );
+        assert_eq!(
+            f.store.verify_chain(&[&cert], 5).unwrap(),
+            EntityKind::SmartCard
+        );
+    }
+
+    #[test]
+    fn untrusted_root_rejected() {
+        let f = fixture(82);
+        let mut empty = TrustStore::new();
+        empty.add_root(
+            RsaKeyPair::generate(512, &mut test_rng(821)).public().clone(),
+        );
+        assert_eq!(
+            empty.verify_chain(&[&f.leaf, f.sub.certificate()], 100),
+            Err(ChainError::NoTrustedRoot)
+        );
+    }
+
+    #[test]
+    fn revoked_leaf_and_intermediate_rejected() {
+        let mut f = fixture(83);
+        f.store.revoke(f.leaf.subject_id());
+        assert!(matches!(
+            f.store.verify_chain(&[&f.leaf, f.sub.certificate()], 100),
+            Err(ChainError::Revoked { position: 0, .. })
+        ));
+
+        let mut f = fixture(84);
+        f.store.revoke(f.sub.certificate().subject_id());
+        assert!(matches!(
+            f.store.verify_chain(&[&f.leaf, f.sub.certificate()], 100),
+            Err(ChainError::Revoked { position: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn expired_link_rejected_with_position() {
+        let mut rng = test_rng(85);
+        let v = Validity::new(0, 1_000);
+        let mut root = CertificateAuthority::new_root(512, v, &mut rng);
+        let key = RsaKeyPair::generate(512, &mut rng);
+        let cert = root.issue(
+            EntityKind::Device,
+            SubjectKey::Rsa(key.public().clone()),
+            Validity::new(0, 50),
+            vec![],
+        );
+        let mut store = TrustStore::new();
+        store.add_root(root.public_key().clone());
+        assert!(matches!(
+            store.verify_chain(&[&cert], 100),
+            Err(ChainError::Invalid { position: 0, source: PkiError::Expired { .. } })
+        ));
+    }
+
+    #[test]
+    fn empty_and_overlong_chains_rejected() {
+        let f = fixture(86);
+        assert_eq!(f.store.verify_chain(&[], 1), Err(ChainError::NoTrustedRoot));
+        let long: Vec<&Certificate> = std::iter::repeat_n(&f.leaf, 9).collect();
+        assert_eq!(f.store.verify_chain(&long, 1), Err(ChainError::TooLong(9)));
+    }
+
+    #[test]
+    fn set_revocations_replaces() {
+        let mut f = fixture(87);
+        f.store.revoke(f.leaf.subject_id());
+        f.store.set_revocations(RevocationList::new());
+        assert!(f.store.verify_chain(&[&f.leaf, f.sub.certificate()], 100).is_ok());
+    }
+}

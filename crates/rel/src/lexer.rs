@@ -1,0 +1,225 @@
+//! Hand-written lexer for the REL text form.
+
+use std::fmt;
+
+/// A lexical token with its source offset (for error messages).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Bare identifier/keyword (`grant`, `play`, `count`, ...).
+    Ident(String),
+    /// Unsigned integer literal.
+    Number(u64),
+    /// Double-quoted string literal (no escapes, no inner quotes).
+    Str(String),
+    /// Hex byte-string literal (`0x` prefix, even length).
+    Hex(Vec<u8>),
+    /// `=`
+    Equals,
+    /// `;`
+    Semicolon,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Number(n) => write!(f, "number {n}"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::Hex(b) => write!(f, "hex literal ({} bytes)", b.len()),
+            TokenKind::Equals => write!(f, "`=`"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+        }
+    }
+}
+
+/// Lexing failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// Human-readable complaint.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '#' => {
+                // comment to end of line
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Equals, offset: i });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, offset: i });
+                i += 1;
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            offset: start,
+                            message: "unterminated string".into(),
+                        });
+                    }
+                    let ch = bytes[i] as char;
+                    if ch == '"' {
+                        i += 1;
+                        break;
+                    }
+                    if ch == '\n' {
+                        return Err(LexError {
+                            offset: start,
+                            message: "newline in string".into(),
+                        });
+                    }
+                    s.push(ch);
+                    i += 1;
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            '0' if i + 1 < bytes.len() && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X') => {
+                let start = i;
+                i += 2;
+                let hex_start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let hex = &src[hex_start..i];
+                if hex.is_empty() || !hex.len().is_multiple_of(2) {
+                    return Err(LexError {
+                        offset: start,
+                        message: "hex literal must have even nonzero length".into(),
+                    });
+                }
+                let v = (0..hex.len())
+                    .step_by(2)
+                    .map(|j| u8::from_str_radix(&hex[j..j + 2], 16).unwrap())
+                    .collect();
+                tokens.push(Token { kind: TokenKind::Hex(v), offset: start });
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: u64 = src[start..i].parse().map_err(|_| LexError {
+                    offset: start,
+                    message: "number too large".into(),
+                })?;
+                tokens.push(Token { kind: TokenKind::Number(n), offset: start });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_statement() {
+        assert_eq!(
+            kinds("grant play count=5;"),
+            vec![
+                TokenKind::Ident("grant".into()),
+                TokenKind::Ident("play".into()),
+                TokenKind::Ident("count".into()),
+                TokenKind::Equals,
+                TokenKind::Number(5),
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hex_comments() {
+        assert_eq!(
+            kinds("bind domain=\"home net\"; # comment\n0xdeadBEEF"),
+            vec![
+                TokenKind::Ident("bind".into()),
+                TokenKind::Ident("domain".into()),
+                TokenKind::Equals,
+                TokenKind::Str("home net".into()),
+                TokenKind::Semicolon,
+                TokenKind::Hex(vec![0xde, 0xad, 0xbe, 0xef]),
+            ]
+        );
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = lex("  grant\nplay").unwrap();
+        assert_eq!(toks[0].offset, 2);
+        assert_eq!(toks[1].offset, 8);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("0x1").is_err());
+        assert!(lex("0x").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("99999999999999999999999").is_err());
+        assert!(lex("\"line\nbreak\"").is_err());
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(lex("").unwrap().is_empty());
+        assert!(lex("   \n\t# only a comment").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,406 @@
+//! Recursive-descent parser for the REL text form.
+//!
+//! Grammar (statements separated by `;`):
+//!
+//! ```text
+//! rights     := statement*
+//! statement  := grant | valid | bind | region
+//! grant      := "grant" action ("count" "=" NUMBER | "unlimited")?
+//! action     := "play" | "copy" | "transfer"
+//! valid      := "valid" ("from" "=" NUMBER)? ("until" "=" NUMBER)?
+//! bind       := "bind" ("device" "=" HEX32 | "domain" "=" STRING)
+//! region     := "region" STRING+
+//! ```
+//!
+//! A bare `grant play;` means `count=1`.
+
+use crate::ast::{Limit, Rights, Window};
+use crate::lexer::{lex, LexError, Token, TokenKind};
+use std::fmt;
+
+/// Parse failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Unexpected token (offset, found, expected).
+    Unexpected {
+        /// Byte offset.
+        offset: usize,
+        /// What was found.
+        found: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// Input ended mid-statement.
+    UnexpectedEnd {
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// Semantic problem (duplicate grant, bad device id length, ...).
+    Semantic(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { offset, found, expected } => {
+                write!(f, "at byte {offset}: found {found}, expected {expected}")
+            }
+            ParseError::UnexpectedEnd { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+            ParseError::Semantic(m) => write!(f, "semantic error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn next(&mut self, expected: &'static str) -> Result<&Token, ParseError> {
+        let tok = self
+            .tokens
+            .get(self.pos)
+            .ok_or(ParseError::UnexpectedEnd { expected })?;
+        self.pos += 1;
+        Ok(tok)
+    }
+
+    fn expect_ident(&mut self, expected: &'static str) -> Result<(String, usize), ParseError> {
+        let tok = self.next(expected)?;
+        match &tok.kind {
+            TokenKind::Ident(s) => Ok((s.clone(), tok.offset)),
+            other => Err(ParseError::Unexpected {
+                offset: tok.offset,
+                found: other.to_string(),
+                expected,
+            }),
+        }
+    }
+
+    fn expect_kind(&mut self, want: TokenKind, expected: &'static str) -> Result<(), ParseError> {
+        let tok = self.next(expected)?;
+        if tok.kind == want {
+            Ok(())
+        } else {
+            Err(ParseError::Unexpected {
+                offset: tok.offset,
+                found: tok.kind.to_string(),
+                expected,
+            })
+        }
+    }
+
+    fn expect_number(&mut self, expected: &'static str) -> Result<u64, ParseError> {
+        let tok = self.next(expected)?;
+        match tok.kind {
+            TokenKind::Number(n) => Ok(n),
+            ref other => Err(ParseError::Unexpected {
+                offset: tok.offset,
+                found: other.to_string(),
+                expected,
+            }),
+        }
+    }
+}
+
+/// Parses REL source into [`Rights`].
+pub fn parse(src: &str) -> Result<Rights, ParseError> {
+    let mut p = Parser { tokens: lex(src)?, pos: 0 };
+    let mut rights = Rights::default();
+    let mut granted = [false; 3];
+    let mut window_seen = false;
+
+    while p.peek().is_some() {
+        let (word, offset) = p.expect_ident("statement keyword")?;
+        match word.as_str() {
+            "grant" => {
+                let (action_word, a_off) = p.expect_ident("action (play/copy/transfer)")?;
+                let idx = match action_word.as_str() {
+                    "play" => 0usize,
+                    "copy" => 1,
+                    "transfer" => 2,
+                    _ => {
+                        return Err(ParseError::Unexpected {
+                            offset: a_off,
+                            found: format!("identifier `{action_word}`"),
+                            expected: "play, copy or transfer",
+                        })
+                    }
+                };
+                if granted[idx] {
+                    return Err(ParseError::Semantic(format!(
+                        "duplicate grant for `{action_word}`"
+                    )));
+                }
+                granted[idx] = true;
+                let limit = match p.peek() {
+                    Some(TokenKind::Semicolon) => Limit::Count(1),
+                    Some(TokenKind::Ident(kw)) if kw == "unlimited" => {
+                        p.next("unlimited")?;
+                        Limit::Unlimited
+                    }
+                    Some(TokenKind::Ident(kw)) if kw == "count" => {
+                        p.next("count")?;
+                        p.expect_kind(TokenKind::Equals, "`=` after count")?;
+                        let n = p.expect_number("count value")?;
+                        if n > u32::MAX as u64 {
+                            return Err(ParseError::Semantic("count exceeds u32".into()));
+                        }
+                        Limit::Count(n as u32)
+                    }
+                    _ => {
+                        return Err(ParseError::Unexpected {
+                            offset,
+                            found: p
+                                .peek()
+                                .map(|k| k.to_string())
+                                .unwrap_or_else(|| "end of input".into()),
+                            expected: "`count=N`, `unlimited` or `;`",
+                        })
+                    }
+                };
+                match idx {
+                    0 => rights.play = limit,
+                    1 => rights.copy = limit,
+                    _ => rights.transfer = limit,
+                }
+            }
+            "valid" => {
+                if window_seen {
+                    return Err(ParseError::Semantic("duplicate valid statement".into()));
+                }
+                window_seen = true;
+                let mut window = Window::default();
+                while let Some(TokenKind::Ident(kw)) = p.peek() {
+                    let bound = kw.clone();
+                    match bound.as_str() {
+                        "from" | "until" => {
+                            p.next("bound")?;
+                            p.expect_kind(TokenKind::Equals, "`=` after bound")?;
+                            let n = p.expect_number("timestamp")?;
+                            if bound == "from" {
+                                if window.from.is_some() {
+                                    return Err(ParseError::Semantic("duplicate from".into()));
+                                }
+                                window.from = Some(n);
+                            } else {
+                                if window.until.is_some() {
+                                    return Err(ParseError::Semantic("duplicate until".into()));
+                                }
+                                window.until = Some(n);
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                if window.is_unbounded() {
+                    return Err(ParseError::Semantic(
+                        "valid statement needs from= and/or until=".into(),
+                    ));
+                }
+                if let (Some(f), Some(u)) = (window.from, window.until) {
+                    if f > u {
+                        return Err(ParseError::Semantic("window from > until".into()));
+                    }
+                }
+                rights.window = window;
+            }
+            "bind" => {
+                let (what, w_off) = p.expect_ident("device or domain")?;
+                p.expect_kind(TokenKind::Equals, "`=` after bind target")?;
+                match what.as_str() {
+                    "device" => {
+                        if rights.device.is_some() {
+                            return Err(ParseError::Semantic("duplicate device bind".into()));
+                        }
+                        let tok = p.next("hex device id")?;
+                        match &tok.kind {
+                            TokenKind::Hex(bytes) if bytes.len() == 32 => {
+                                rights.device = Some(bytes.as_slice().try_into().unwrap());
+                            }
+                            TokenKind::Hex(bytes) => {
+                                return Err(ParseError::Semantic(format!(
+                                    "device id must be 32 bytes, got {}",
+                                    bytes.len()
+                                )))
+                            }
+                            other => {
+                                return Err(ParseError::Unexpected {
+                                    offset: tok.offset,
+                                    found: other.to_string(),
+                                    expected: "hex device id",
+                                })
+                            }
+                        }
+                    }
+                    "domain" => {
+                        if rights.domain.is_some() {
+                            return Err(ParseError::Semantic("duplicate domain bind".into()));
+                        }
+                        let tok = p.next("domain string")?;
+                        match &tok.kind {
+                            TokenKind::Str(s) => rights.domain = Some(s.clone()),
+                            other => {
+                                return Err(ParseError::Unexpected {
+                                    offset: tok.offset,
+                                    found: other.to_string(),
+                                    expected: "quoted domain string",
+                                })
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(ParseError::Unexpected {
+                            offset: w_off,
+                            found: format!("identifier `{what}`"),
+                            expected: "device or domain",
+                        })
+                    }
+                }
+            }
+            "region" => {
+                let mut any = false;
+                while let Some(TokenKind::Str(_)) = p.peek() {
+                    let tok = p.next("region string")?;
+                    if let TokenKind::Str(s) = &tok.kind {
+                        rights.regions.push(s.to_uppercase());
+                        any = true;
+                    }
+                }
+                if !any {
+                    return Err(ParseError::Semantic("region needs at least one code".into()));
+                }
+            }
+            _ => {
+                return Err(ParseError::Unexpected {
+                    offset,
+                    found: format!("identifier `{word}`"),
+                    expected: "grant, valid, bind or region",
+                })
+            }
+        }
+        p.expect_kind(TokenKind::Semicolon, "`;` to end statement")?;
+    }
+    rights.regions.sort();
+    rights.regions.dedup();
+    Ok(rights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Action;
+
+    #[test]
+    fn full_example() {
+        let r = parse(
+            "grant play count=5; grant copy unlimited; grant transfer; \
+             valid from=100 until=200; bind domain=\"home\"; region \"eu\" \"us\";",
+        )
+        .unwrap();
+        assert_eq!(r.play, Limit::Count(5));
+        assert_eq!(r.copy, Limit::Unlimited);
+        assert_eq!(r.transfer, Limit::Count(1));
+        assert_eq!(r.window.from, Some(100));
+        assert_eq!(r.window.until, Some(200));
+        assert_eq!(r.domain.as_deref(), Some("home"));
+        assert_eq!(r.regions, vec!["EU".to_string(), "US".to_string()]);
+    }
+
+    #[test]
+    fn device_bind_roundtrip() {
+        let hex: String = (0..32).map(|i| format!("{i:02x}")).collect();
+        let r = parse(&format!("bind device=0x{hex};")).unwrap();
+        let d = r.device.unwrap();
+        assert_eq!(d[0], 0);
+        assert_eq!(d[31], 31);
+    }
+
+    #[test]
+    fn empty_source_is_empty_rights() {
+        let r = parse("").unwrap();
+        assert_eq!(r, Rights::default());
+        for a in Action::ALL {
+            assert_eq!(r.limit(a), Limit::None);
+        }
+    }
+
+    #[test]
+    fn duplicate_grant_rejected() {
+        assert!(matches!(
+            parse("grant play; grant play;"),
+            Err(ParseError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn window_sanity_checks() {
+        assert!(parse("valid;").is_err());
+        assert!(parse("valid from=5 until=4;").is_err());
+        assert!(parse("valid from=1 from=2;").is_err());
+        assert!(parse("valid until=9;").is_ok());
+    }
+
+    #[test]
+    fn missing_semicolon() {
+        // "grant play" ends where a limit or `;` should follow.
+        assert!(matches!(
+            parse("grant play"),
+            Err(ParseError::UnexpectedEnd { .. }) | Err(ParseError::Unexpected { .. })
+        ));
+        assert!(matches!(
+            parse("grant play count=3"),
+            Err(ParseError::UnexpectedEnd { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_keyword_reports_offset() {
+        match parse("  frobnicate;") {
+            Err(ParseError::Unexpected { offset, .. }) => assert_eq!(offset, 2),
+            other => panic!("expected Unexpected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_device_length_rejected() {
+        assert!(matches!(
+            parse("bind device=0xdeadbeef;"),
+            Err(ParseError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn count_overflow_rejected() {
+        assert!(matches!(
+            parse("grant play count=4294967296;"),
+            Err(ParseError::Semantic(_))
+        ));
+        assert!(parse("grant play count=4294967295;").is_ok());
+    }
+
+    #[test]
+    fn region_requires_codes_and_dedups() {
+        assert!(parse("region;").is_err());
+        let r = parse("region \"us\" \"US\" \"eu\";").unwrap();
+        assert_eq!(r.regions, vec!["EU".to_string(), "US".to_string()]);
+    }
+}

@@ -1,0 +1,436 @@
+//! Experiment driver: regenerates every table/figure artifact in
+//! EXPERIMENTS.md quickly (fast-test parameters; the criterion benches in
+//! `p2drm-bench` sweep key sizes at realistic parameters).
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p p2drm-sim --bin experiments [all|t1|t2|e1|e3|e6|e7|e10] [--quick]
+//! ```
+//! Results print as tables and are also written to `results/*.json`.
+
+use p2drm_core::audit::{Party, Transcript};
+use p2drm_core::entities::user::PseudonymPolicy;
+use p2drm_core::protocol;
+use p2drm_core::system::{System, SystemConfig};
+use p2drm_crypto::rng::test_rng;
+use p2drm_sim::report::{fmt_bytes, fmt_ns, write_json, Table};
+use p2drm_sim::{linkability_experiment, purchase_throughput, ThroughputConfig};
+use p2drm_payment::{Mint, MintConfig, Wallet};
+use serde::Serialize;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .unwrap_or("all");
+
+    match which {
+        "t1" => t1_purchase_transcript(),
+        "t2" => t2_transfer_transcript(),
+        "e1" => e1_message_costs(),
+        "e3" => e3_throughput(quick),
+        "e6" => e6_storage(quick),
+        "e7" => e7_linkability(quick),
+        "e10" => e10_payment(quick),
+        "all" => {
+            t1_purchase_transcript();
+            t2_transfer_transcript();
+            e1_message_costs();
+            e3_throughput(quick);
+            e6_storage(quick);
+            e7_linkability(quick);
+            e10_payment(quick);
+        }
+        other => {
+            eprintln!("unknown experiment {other}; use all|t1|t2|e1|e3|e6|e7|e10");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// T1: the anonymous purchase protocol figure as an executable transcript.
+fn t1_purchase_transcript() {
+    let mut rng = test_rng(0xE1);
+    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let cid = sys.publish_content("Track #1", 100, &vec![7u8; 4096], &mut rng);
+    let mut alice = sys.register_user("alice", &mut rng).unwrap();
+    sys.fund(&alice, 1000);
+
+    // Pseudonym issuance transcript (part of the figure).
+    let mut t = Transcript::new();
+    sys.ensure_pseudonym(&mut alice, &mut rng).unwrap();
+    sys.purchase_with_transcript(&mut alice, cid, &mut rng, &mut t)
+        .unwrap();
+
+    println!("T1 — anonymous purchase protocol (executable transcript)\n{}", t.render());
+    println!(
+        "  provider received {} bytes; contains user id: {}\n",
+        t.bytes_received_by(Party::Provider),
+        t.scan_for(Party::Provider, alice.user_id().as_bytes())
+    );
+}
+
+/// T2: transfer + double-redeem rejection as an executable transcript.
+fn t2_transfer_transcript() {
+    let mut rng = test_rng(0xE2);
+    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let cid = sys.publish_content("Track #2", 100, &vec![7u8; 1024], &mut rng);
+    let mut alice = sys.register_user("alice", &mut rng).unwrap();
+    let mut bob = sys.register_user("bob", &mut rng).unwrap();
+    sys.fund(&alice, 1000);
+    sys.fund(&bob, 1000);
+    let license = sys.purchase(&mut alice, cid, &mut rng).unwrap();
+    sys.ensure_pseudonym(&mut bob, &mut rng).unwrap();
+
+    let saved = license.clone();
+    let alice_pseudonym = alice.licenses()[0].pseudonym;
+    let mut t = Transcript::new();
+    let epoch = sys.epoch();
+    protocol::transfer(
+        &mut alice,
+        &mut bob,
+        &mut sys.provider,
+        license.id(),
+        epoch,
+        &mut rng,
+        &mut t,
+    )
+    .unwrap();
+    println!("T2 — privacy-preserving transfer (executable transcript)\n{}", t.render());
+
+    // Double-redeem attempt from a "backup" of the old license.
+    alice.add_license(saved, alice_pseudonym);
+    let mut carol = sys.register_user("carol", &mut rng).unwrap();
+    sys.ensure_pseudonym(&mut carol, &mut rng).unwrap();
+    let mut t2 = Transcript::new();
+    let res = protocol::transfer(
+        &mut alice,
+        &mut carol,
+        &mut sys.provider,
+        license.id(),
+        epoch,
+        &mut rng,
+        &mut t2,
+    );
+    println!(
+        "  double-redeem attempt of old id: {}\n",
+        match res {
+            Err(e) => format!("REJECTED ({e})"),
+            Ok(_) => "ACCEPTED (BUG!)".to_string(),
+        }
+    );
+}
+
+#[derive(Serialize)]
+struct E1Row {
+    protocol: String,
+    messages: usize,
+    total_bytes: usize,
+    provider_bytes: usize,
+}
+
+/// E1 (Table 1): message count and byte cost per protocol operation.
+fn e1_message_costs() {
+    let mut rng = test_rng(0xE3);
+    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let cid = sys.publish_content("item", 100, &vec![1u8; 2048], &mut rng);
+    let bid = sys.publish_baseline_content("item-b", 100, &vec![1u8; 2048], &mut rng);
+
+    let mut rows: Vec<E1Row> = Vec::new();
+    let mut push = |name: &str, t: &Transcript| {
+        rows.push(E1Row {
+            protocol: name.to_string(),
+            messages: t.message_count(),
+            total_bytes: t.total_bytes(),
+            provider_bytes: t.bytes_received_by(Party::Provider),
+        });
+    };
+
+    // Registration.
+    let mut t = Transcript::new();
+    let mut alice = protocol::register(
+        &mut sys.ra,
+        p2drm_core::UserId::from_label("e1-user"),
+        "acct-e1-user",
+        PseudonymPolicy::FreshPerPurchase,
+        Default::default(),
+        &mut rng,
+        &mut t,
+    )
+    .unwrap();
+    sys.fund(&alice, 10_000);
+    push("registration", &t);
+
+    // Pseudonym issuance.
+    let mut t = Transcript::new();
+    let epoch = sys.epoch();
+    let now = sys.now();
+    protocol::obtain_pseudonym(
+        &mut alice,
+        &mut sys.ra,
+        sys.ttp.escrow_key(),
+        epoch,
+        now,
+        &mut rng,
+        &mut t,
+    )
+    .unwrap();
+    push("pseudonym-issuance", &t);
+
+    // Anonymous purchase (pseudonym already in place).
+    let mut t = Transcript::new();
+    let mint = sys.mint.clone();
+    let license =
+        protocol::purchase(&mut alice, &mut sys.provider, &mint, cid, epoch, &mut rng, &mut t)
+            .unwrap();
+    push("purchase (P2DRM)", &t);
+
+    // Play.
+    let mut device = sys.register_device(&mut rng).unwrap();
+    let mut t = Transcript::new();
+    protocol::play(&alice, &mut device, &sys.provider, &license, now, &mut rng, &mut t).unwrap();
+    push("play (P2DRM)", &t);
+
+    // Transfer.
+    let mut bob = sys.register_user("e1-bob", &mut rng).unwrap();
+    sys.fund(&bob, 1000);
+    sys.ensure_pseudonym(&mut bob, &mut rng).unwrap();
+    let mut t = Transcript::new();
+    protocol::transfer(
+        &mut alice,
+        &mut bob,
+        &mut sys.provider,
+        license.id(),
+        epoch,
+        &mut rng,
+        &mut t,
+    )
+    .unwrap();
+    push("transfer (P2DRM)", &t);
+
+    // Baseline purchase + play.
+    let mut t = Transcript::new();
+    let ra_key = sys.ra.identity_public().clone();
+    let blicense = sys
+        .baseline
+        .purchase_identified(&mut alice, &ra_key, bid, now, epoch, &mut rng, &mut t)
+        .unwrap();
+    push("purchase (baseline)", &t);
+
+    let mut bdevice = sys.register_baseline_device(&mut rng).unwrap();
+    let mut t = Transcript::new();
+    p2drm_core::baseline::play_identified(
+        &alice,
+        &mut bdevice,
+        &sys.baseline,
+        &blicense,
+        now,
+        &mut rng,
+        &mut t,
+    )
+    .unwrap();
+    push("play (baseline)", &t);
+
+    let mut table = Table::new(
+        "E1 (Table 1): protocol message costs, P2DRM vs baseline",
+        &["protocol", "messages", "total bytes", "provider-received"],
+    );
+    for r in &rows {
+        table.row(&[
+            r.protocol.clone(),
+            r.messages.to_string(),
+            fmt_bytes(r.total_bytes as f64),
+            fmt_bytes(r.provider_bytes as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    let _ = write_json("e1_message_costs", &rows);
+}
+
+/// E3 (Fig 3): provider throughput vs concurrent clients.
+fn e3_throughput(quick: bool) {
+    let clients_sweep: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let per_client = if quick { 4 } else { 8 };
+    let mut results = Vec::new();
+    let mut table = Table::new(
+        "E3 (Fig 3): purchase throughput vs concurrency",
+        &["clients", "shards", "ops", "throughput", "p50", "p99"],
+    );
+    for &clients in clients_sweep {
+        for shards in [1usize, clients] {
+            let mut rng = test_rng(0xE4 + clients as u64 + shards as u64 * 100);
+            let r = purchase_throughput(
+                ThroughputConfig {
+                    clients,
+                    purchases_per_client: per_client,
+                    shards,
+                },
+                &mut rng,
+            );
+            table.row(&[
+                r.clients.to_string(),
+                r.shards.to_string(),
+                r.completed.to_string(),
+                format!("{:.1}/s", r.throughput),
+                fmt_ns(r.latency.p50_ns as f64),
+                fmt_ns(r.latency.p99_ns as f64),
+            ]);
+            results.push(r);
+        }
+    }
+    println!("{}", table.render());
+    let _ = write_json("e3_throughput", &results);
+}
+
+#[derive(Serialize)]
+struct E6Row {
+    purchases: usize,
+    license_store_entries: usize,
+    license_bytes_total: usize,
+    spent_entries: usize,
+    card_pseudonyms: usize,
+    card_memory_bytes: usize,
+}
+
+/// E6 (Table 2): storage growth with purchase count.
+fn e6_storage(quick: bool) {
+    let sweep: &[usize] = if quick { &[10, 50] } else { &[10, 100, 300] };
+    let mut rows = Vec::new();
+    for &n in sweep {
+        let mut rng = test_rng(0xE6 + n as u64);
+        let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+        let cid = sys.publish_content("item", 100, &vec![0u8; 512], &mut rng);
+        let mut user = sys
+            .register_user_with_budget(
+                "hoarder",
+                p2drm_core::entities::smartcard::CardBudget { max_pseudonyms: n + 8 },
+                &mut rng,
+            )
+            .unwrap();
+        sys.fund(&user, 100 * n as u64);
+        let mut license_bytes = 0usize;
+        for _ in 0..n {
+            let lic = sys.purchase(&mut user, cid, &mut rng).unwrap();
+            license_bytes += lic.encoded_len();
+        }
+        rows.push(E6Row {
+            purchases: n,
+            license_store_entries: sys.provider.license_count(),
+            license_bytes_total: license_bytes,
+            spent_entries: sys.provider.spent_count(),
+            card_pseudonyms: user.card.pseudonym_count(),
+            card_memory_bytes: user.card.memory_bytes(),
+        });
+    }
+    let mut table = Table::new(
+        "E6 (Table 2): storage growth (fresh-pseudonym policy)",
+        &["purchases", "licenses", "license bytes", "spent ids", "card keys", "card memory"],
+    );
+    for r in &rows {
+        table.row(&[
+            r.purchases.to_string(),
+            r.license_store_entries.to_string(),
+            fmt_bytes(r.license_bytes_total as f64),
+            r.spent_entries.to_string(),
+            r.card_pseudonyms.to_string(),
+            fmt_bytes(r.card_memory_bytes as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    let _ = write_json("e6_storage", &rows);
+}
+
+/// E7 (Fig 6): linkability vs pseudonym refresh policy.
+fn e7_linkability(quick: bool) {
+    let (users, per_user) = if quick { (6, 4) } else { (12, 6) };
+    let policies = [
+        PseudonymPolicy::FreshPerPurchase,
+        PseudonymPolicy::ReuseK(2),
+        PseudonymPolicy::ReuseK(4),
+        PseudonymPolicy::Static,
+    ];
+    let mut reports = Vec::new();
+    let mut table = Table::new(
+        "E7 (Fig 6): provider linkability vs pseudonym policy",
+        &["policy", "purchases", "pseudonyms", "max-cluster frac", "profile len", "anon set"],
+    );
+    for (i, policy) in policies.iter().enumerate() {
+        let mut rng = test_rng(0xE7 + i as u64);
+        let r = linkability_experiment(*policy, users, per_user, &mut rng);
+        table.row(&[
+            r.policy.clone(),
+            r.purchases.to_string(),
+            r.pseudonyms_seen.to_string(),
+            format!("{:.3}", r.mean_max_cluster_fraction),
+            format!("{:.2}", r.mean_profile_len),
+            format!("{:.1}", r.mean_anonymity_set),
+        ]);
+        reports.push(r);
+    }
+    println!("{}", table.render());
+    let _ = write_json("e7_linkability", &reports);
+}
+
+#[derive(Serialize)]
+struct E10Row {
+    op: String,
+    iterations: usize,
+    mean_ns: f64,
+}
+
+/// E10: payment subsystem costs + double-spend detection rate.
+fn e10_payment(quick: bool) {
+    let iters = if quick { 20 } else { 100 };
+    let mut rng = test_rng(0xEA);
+    let mint = Mint::new(MintConfig::default(), &mut rng);
+    mint.fund_account("payer", 100 * iters as u64 * 2);
+    let mut wallet = Wallet::new();
+
+    let mut rows = Vec::new();
+    let t0 = std::time::Instant::now();
+    let mut coins = Vec::new();
+    for _ in 0..iters {
+        coins.push(wallet.withdraw(&mint, "payer", 100, &mut rng).unwrap());
+    }
+    rows.push(E10Row {
+        op: "withdraw (blind+unblind)".into(),
+        iterations: iters,
+        mean_ns: t0.elapsed().as_nanos() as f64 / iters as f64,
+    });
+
+    let t0 = std::time::Instant::now();
+    for c in &coins {
+        mint.deposit(c).unwrap();
+    }
+    rows.push(E10Row {
+        op: "deposit (verify+spend-check)".into(),
+        iterations: iters,
+        mean_ns: t0.elapsed().as_nanos() as f64 / iters as f64,
+    });
+
+    // Double-spend detection rate must be exactly 100%.
+    let mut detected = 0;
+    for c in &coins {
+        if mint.deposit(c).is_err() {
+            detected += 1;
+        }
+    }
+    let mut table = Table::new(
+        "E10: anonymous payment subsystem",
+        &["operation", "iters", "mean latency"],
+    );
+    for r in &rows {
+        table.row(&[r.op.clone(), r.iterations.to_string(), fmt_ns(r.mean_ns)]);
+    }
+    println!("{}", table.render());
+    println!(
+        "  double-spend detection: {detected}/{} ({}%)\n",
+        coins.len(),
+        100 * detected / coins.len()
+    );
+    assert_eq!(detected, coins.len(), "double-spend detection must be 100%");
+    let _ = write_json("e10_payment", &rows);
+}

@@ -1,0 +1,237 @@
+//! Mixed-operation simulation: drives a generated [`Workload`] (purchases,
+//! plays, transfers) through a full [`System`], collecting per-op latency
+//! histograms and end-state integrity checks. This is the closest thing to
+//! "a day in the life" of the deployment the paper sketches.
+
+use crate::metrics::{Histogram, Summary};
+use crate::workload::{Op, Workload};
+use p2drm_core::entities::user::PseudonymPolicy;
+use p2drm_core::entities::CompliantDevice;
+use p2drm_core::system::{System, SystemConfig};
+use p2drm_core::CoreError;
+use rand::Rng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Outcome counters and latency summaries for a simulation run.
+#[derive(Clone, Debug, Serialize)]
+pub struct SimReport {
+    /// Operations attempted.
+    pub ops: usize,
+    /// Successful purchases.
+    pub purchases_ok: usize,
+    /// Successful plays.
+    pub plays_ok: usize,
+    /// Plays denied by rights enforcement (expected under count limits).
+    pub plays_denied: usize,
+    /// Successful transfers.
+    pub transfers_ok: usize,
+    /// Transfers denied (limits/epochs) — expected, not errors.
+    pub transfers_denied: usize,
+    /// Ops skipped because the acting user had no license yet.
+    pub skipped: usize,
+    /// Purchase latency.
+    pub purchase_latency: Summary,
+    /// Play latency.
+    pub play_latency: Summary,
+    /// Transfer latency.
+    pub transfer_latency: Summary,
+    /// Licenses in the provider store at the end.
+    pub provider_licenses: usize,
+    /// Spent ids at the end.
+    pub provider_spent: usize,
+}
+
+/// Runs `workload` through a freshly bootstrapped system.
+///
+/// Every outcome must be *explained*: operations either succeed or fail
+/// with an expected enforcement error; any other error panics the
+/// simulation (turning silent protocol breakage into test failures).
+pub fn simulate<R: Rng>(workload: &Workload, policy: PseudonymPolicy, rng: &mut R) -> SimReport {
+    let mut sys = System::bootstrap(SystemConfig::fast_test(), rng);
+    let catalog: Vec<_> = (0..workload.config.catalog)
+        .map(|i| sys.publish_content(&format!("item-{i}"), 100, format!("payload-{i}").as_bytes(), rng))
+        .collect();
+
+    let mut users = Vec::with_capacity(workload.config.users);
+    let mut devices: Vec<CompliantDevice> = Vec::with_capacity(workload.config.users);
+    for i in 0..workload.config.users {
+        let mut u = sys
+            .register_user_with_budget(
+                &format!("sim-user-{i}"),
+                p2drm_core::entities::smartcard::CardBudget {
+                    max_pseudonyms: workload.config.ops + 8,
+                },
+                rng,
+            )
+            .unwrap();
+        u.set_policy(policy);
+        sys.fund(&u, u64::MAX / (workload.config.users as u64 + 1));
+        devices.push(sys.register_device(rng).unwrap());
+        users.push(u);
+    }
+
+    let mut report = SimReport {
+        ops: workload.ops.len(),
+        purchases_ok: 0,
+        plays_ok: 0,
+        plays_denied: 0,
+        transfers_ok: 0,
+        transfers_denied: 0,
+        skipped: 0,
+        purchase_latency: Histogram::new().summary(),
+        play_latency: Histogram::new().summary(),
+        transfer_latency: Histogram::new().summary(),
+        provider_licenses: 0,
+        provider_spent: 0,
+    };
+    let mut h_purchase = Histogram::new();
+    let mut h_play = Histogram::new();
+    let mut h_transfer = Histogram::new();
+
+    for (i, op) in workload.ops.iter().enumerate() {
+        if i % 16 == 15 {
+            sys.advance_epoch();
+        }
+        match *op {
+            Op::Purchase { user, content } => {
+                let t0 = Instant::now();
+                sys.purchase(&mut users[user], catalog[content], rng)
+                    .expect("funded, certified purchase must succeed");
+                h_purchase.record_duration(t0.elapsed());
+                report.purchases_ok += 1;
+            }
+            Op::Play { user, nth } => {
+                if users[user].licenses().is_empty() {
+                    report.skipped += 1;
+                    continue;
+                }
+                let idx = nth % users[user].licenses().len();
+                let license = users[user].licenses()[idx].license.clone();
+                let t0 = Instant::now();
+                match sys.play(&users[user], &mut devices[user], &license, rng) {
+                    Ok(_) => {
+                        h_play.record_duration(t0.elapsed());
+                        report.plays_ok += 1;
+                    }
+                    Err(CoreError::Denied(_)) => report.plays_denied += 1,
+                    Err(other) => panic!("unexpected play failure: {other}"),
+                }
+            }
+            Op::Transfer { user, to, nth } => {
+                if users[user].licenses().is_empty() {
+                    report.skipped += 1;
+                    continue;
+                }
+                let idx = nth % users[user].licenses().len();
+                let lid = users[user].licenses()[idx].license.id();
+                let t0 = Instant::now();
+                // Split-borrow the sender and recipient out of the vec.
+                let (sender, recipient) = pick_two(&mut users, user, to);
+                match sys.transfer(sender, recipient, lid, rng) {
+                    Ok(_) => {
+                        h_transfer.record_duration(t0.elapsed());
+                        report.transfers_ok += 1;
+                    }
+                    Err(CoreError::Denied(_)) | Err(CoreError::AlreadyRedeemed(_)) => {
+                        report.transfers_denied += 1;
+                    }
+                    Err(CoreError::BadPseudonym(_)) => report.transfers_denied += 1,
+                    Err(other) => panic!("unexpected transfer failure: {other}"),
+                }
+            }
+        }
+    }
+
+    report.purchase_latency = h_purchase.summary();
+    report.play_latency = h_play.summary();
+    report.transfer_latency = h_transfer.summary();
+    report.provider_licenses = sys.provider.license_count();
+    report.provider_spent = sys.provider.spent_count();
+
+    // Global invariant: every completed purchase/transfer left a license.
+    assert_eq!(
+        report.provider_licenses,
+        report.purchases_ok + report.transfers_ok,
+        "license store must account for every issuance"
+    );
+    assert_eq!(report.provider_spent, report.transfers_ok);
+    report
+}
+
+/// Mutable references to two distinct vector elements.
+fn pick_two<T>(v: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
+    assert_ne!(a, b);
+    if a < b {
+        let (left, right) = v.split_at_mut(b);
+        (&mut left[a], &mut right[0])
+    } else {
+        let (left, right) = v.split_at_mut(a);
+        (&mut right[0], &mut left[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadConfig;
+    use p2drm_crypto::rng::test_rng;
+
+    #[test]
+    fn mixed_simulation_accounts_for_every_op() {
+        let mut rng = test_rng(280);
+        let workload = Workload::generate(
+            WorkloadConfig {
+                users: 4,
+                catalog: 6,
+                ops: 40,
+                zipf_s: 1.0,
+                purchase_prob: 0.5,
+                transfer_prob: 0.2,
+            },
+            &mut rng,
+        );
+        let report = simulate(&workload, PseudonymPolicy::FreshPerPurchase, &mut rng);
+        let accounted = report.purchases_ok
+            + report.plays_ok
+            + report.plays_denied
+            + report.transfers_ok
+            + report.transfers_denied
+            + report.skipped;
+        assert_eq!(accounted, report.ops);
+        assert!(report.purchases_ok > 0);
+        assert_eq!(report.purchase_latency.count as usize, report.purchases_ok);
+    }
+
+    #[test]
+    fn simulation_deterministic_for_seed() {
+        let workload = Workload::generate(
+            WorkloadConfig {
+                users: 3,
+                catalog: 4,
+                ops: 20,
+                ..Default::default()
+            },
+            &mut test_rng(281),
+        );
+        let a = simulate(&workload, PseudonymPolicy::ReuseK(2), &mut test_rng(282));
+        let b = simulate(&workload, PseudonymPolicy::ReuseK(2), &mut test_rng(282));
+        assert_eq!(a.purchases_ok, b.purchases_ok);
+        assert_eq!(a.plays_ok, b.plays_ok);
+        assert_eq!(a.transfers_ok, b.transfers_ok);
+        assert_eq!(a.provider_spent, b.provider_spent);
+    }
+
+    #[test]
+    fn pick_two_is_disjoint_and_correct() {
+        let mut v = vec![1, 2, 3, 4];
+        let (a, b) = pick_two(&mut v, 0, 3);
+        *a = 10;
+        *b = 40;
+        assert_eq!(v, vec![10, 2, 3, 40]);
+        let (a, b) = pick_two(&mut v, 2, 1);
+        *a = 30;
+        *b = 20;
+        assert_eq!(v, vec![10, 20, 30, 40]);
+    }
+}

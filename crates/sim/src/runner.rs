@@ -1,0 +1,190 @@
+//! Concurrent purchase throughput (experiment E3).
+//!
+//! Client threads submit pre-built purchase requests against provider
+//! shards. With one shard the provider serializes (the spent-ID store and
+//! license signing sit behind one lock); with one shard per client the
+//! workload scales until the shared mint's deposit lock becomes the
+//! bottleneck — both shapes are reported in EXPERIMENTS.md.
+
+use crate::metrics::{Histogram, Summary};
+use p2drm_core::entities::provider::ContentProvider;
+use p2drm_core::protocol::messages::PurchaseRequest;
+use p2drm_core::system::{System, SystemConfig};
+use parking_lot::Mutex;
+use rand::Rng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Throughput run parameters.
+#[derive(Clone, Debug)]
+pub struct ThroughputConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Purchases per client.
+    pub purchases_per_client: usize,
+    /// Provider shards (1 = single license server).
+    pub shards: usize,
+}
+
+/// Throughput results.
+#[derive(Clone, Debug, Serialize)]
+pub struct ThroughputResult {
+    /// Threads used.
+    pub clients: usize,
+    /// Provider shards used.
+    pub shards: usize,
+    /// Completed purchases.
+    pub completed: usize,
+    /// Wall-clock seconds.
+    pub wall_secs: f64,
+    /// Purchases per second (aggregate).
+    pub throughput: f64,
+    /// Per-purchase latency summary.
+    pub latency: Summary,
+}
+
+/// Runs the throughput experiment. Setup (users, pseudonyms, coins) is
+/// excluded from the measured section; only provider-side handling is
+/// timed — the license-server capacity question.
+pub fn purchase_throughput<R: Rng>(config: ThroughputConfig, rng: &mut R) -> ThroughputResult {
+    let mut sys = System::bootstrap(SystemConfig::fast_test(), rng);
+    let cid = sys.publish_content("hot-item", 100, &vec![0u8; 1024], rng);
+    let epoch = sys.epoch();
+
+    // Shards: independent provider instances sharing the mint (deposits,
+    // and thus double-spend protection, stay globally consistent).
+    let mut shards = Vec::with_capacity(config.shards);
+    let template = sys.config().rights_template.clone();
+    for s in 0..config.shards {
+        let mut p = ContentProvider::new(
+            &mut sys.root,
+            sys.mint.clone(),
+            sys.ra.blind_public().clone(),
+            p2drm_core::entities::provider::ProviderConfig::fast_test(),
+            rng,
+        );
+        // Same catalog entry id is not required — each shard sells its own
+        // copy at the same price.
+        let _ = p.publish(format!("hot-{s}"), 100, &vec![0u8; 1024], template.clone(), rng);
+        shards.push(p);
+    }
+    // Shard catalogs each have their own content id; collect them.
+    let shard_cids: Vec<_> = shards
+        .iter()
+        .map(|p| p.catalog().list()[0].id)
+        .collect();
+    let _ = cid;
+
+    // Pre-build all requests: one user per client, coins + pseudonyms
+    // prepared up front.
+    let total = config.clients * config.purchases_per_client;
+    let mut requests: Vec<Vec<PurchaseRequest>> = Vec::with_capacity(config.clients);
+    for c in 0..config.clients {
+        let mut user = sys.register_user(&format!("client-{c}"), rng).unwrap();
+        sys.fund(&user, 100 * config.purchases_per_client as u64);
+        let mut reqs = Vec::with_capacity(config.purchases_per_client);
+        for i in 0..config.purchases_per_client {
+            sys.ensure_pseudonym(&mut user, rng).unwrap();
+            let cert = user.current_pseudonym().unwrap().clone();
+            let account = user.account.clone();
+            let coin = user.wallet.withdraw(&sys.mint, &account, 100, rng).unwrap();
+            user.wallet.take(100);
+            user.note_pseudonym_use();
+            let shard = (c * config.purchases_per_client + i) % config.shards;
+            reqs.push(PurchaseRequest {
+                content_id: shard_cids[shard],
+                pseudonym_cert: cert,
+                coin,
+                attribute_cert: None,
+            });
+        }
+        requests.push(reqs);
+    }
+
+    let shard_locks: Vec<Mutex<ContentProvider>> = shards.into_iter().map(Mutex::new).collect();
+    let completed = std::sync::atomic::AtomicUsize::new(0);
+    let histograms: Vec<Mutex<Histogram>> = (0..config.clients)
+        .map(|_| Mutex::new(Histogram::new()))
+        .collect();
+
+    let start = Instant::now();
+    crossbeam::scope(|scope| {
+        for (c, reqs) in requests.iter().enumerate() {
+            let shard_locks = &shard_locks;
+            let completed = &completed;
+            let histograms = &histograms;
+            scope.spawn(move |_| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(0xC11E57 + c as u64);
+                for (i, req) in reqs.iter().enumerate() {
+                    let shard = (c * reqs.len() + i) % shard_locks.len();
+                    let t0 = Instant::now();
+                    let res = shard_locks[shard]
+                        .lock()
+                        .handle_purchase(req, epoch, &mut rng);
+                    let dt = t0.elapsed();
+                    if res.is_ok() {
+                        completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        histograms[c].lock().record_duration(dt);
+                    }
+                }
+            });
+        }
+    })
+    .expect("threads join");
+    let wall = start.elapsed();
+
+    let mut merged = Histogram::new();
+    for h in &histograms {
+        merged.merge(&h.lock());
+    }
+    let completed = completed.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(completed, total, "all purchases must succeed");
+
+    ThroughputResult {
+        clients: config.clients,
+        shards: config.shards,
+        completed,
+        wall_secs: wall.as_secs_f64(),
+        throughput: completed as f64 / wall.as_secs_f64(),
+        latency: merged.summary(),
+    }
+}
+
+use rand::SeedableRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2drm_crypto::rng::test_rng;
+
+    #[test]
+    fn throughput_completes_all_purchases() {
+        let mut rng = test_rng(270);
+        let r = purchase_throughput(
+            ThroughputConfig {
+                clients: 2,
+                purchases_per_client: 3,
+                shards: 1,
+            },
+            &mut rng,
+        );
+        assert_eq!(r.completed, 6);
+        assert!(r.throughput > 0.0);
+        assert_eq!(r.latency.count, 6);
+    }
+
+    #[test]
+    fn sharded_run_completes() {
+        let mut rng = test_rng(271);
+        let r = purchase_throughput(
+            ThroughputConfig {
+                clients: 4,
+                purchases_per_client: 2,
+                shards: 2,
+            },
+            &mut rng,
+        );
+        assert_eq!(r.completed, 8);
+        assert_eq!(r.shards, 2);
+    }
+}

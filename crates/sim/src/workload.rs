@@ -1,0 +1,241 @@
+//! Synthetic workloads: Zipf-distributed content popularity and seeded
+//! per-user operation mixes.
+//!
+//! Real purchase traces are proprietary; per DESIGN.md §2 the evaluation
+//! questions depend only on operation *distributions*, which a seeded Zipf
+//! mix reproduces.
+
+use rand::Rng;
+
+/// Zipf sampler over ranks `0..n` with exponent `s` (s=0 is uniform;
+/// s≈1 matches media-popularity folklore).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the CDF for `n` items.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf over empty catalog");
+        let mut weights = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            let w = 1.0 / (rank as f64).powf(s);
+            total += w;
+            weights.push(total);
+        }
+        for w in &mut weights {
+            *w /= total;
+        }
+        Zipf { cdf: weights }
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Never empty (constructor panics on n=0).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// One simulated operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// User `user` buys catalog item `content`.
+    Purchase {
+        /// User index.
+        user: usize,
+        /// Catalog rank.
+        content: usize,
+    },
+    /// User plays their `nth` owned license.
+    Play {
+        /// User index.
+        user: usize,
+        /// Index into the user's license list (modulo holdings).
+        nth: usize,
+    },
+    /// User transfers their `nth` license to `to`.
+    Transfer {
+        /// Sender index.
+        user: usize,
+        /// Recipient index.
+        to: usize,
+        /// Index into the sender's license list.
+        nth: usize,
+    },
+}
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Number of users.
+    pub users: usize,
+    /// Catalog size.
+    pub catalog: usize,
+    /// Total operations to generate.
+    pub ops: usize,
+    /// Zipf exponent for content popularity.
+    pub zipf_s: f64,
+    /// Probability an op is a purchase (vs play/transfer).
+    pub purchase_prob: f64,
+    /// Probability an op is a transfer (rest are plays).
+    pub transfer_prob: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            users: 20,
+            catalog: 50,
+            ops: 200,
+            zipf_s: 1.0,
+            purchase_prob: 0.5,
+            transfer_prob: 0.1,
+        }
+    }
+}
+
+/// A generated operation stream.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The operations, in issue order.
+    pub ops: Vec<Op>,
+    /// The config that produced them.
+    pub config: WorkloadConfig,
+}
+
+impl Workload {
+    /// Generates a deterministic workload from `rng`.
+    pub fn generate<R: Rng + ?Sized>(config: WorkloadConfig, rng: &mut R) -> Self {
+        let zipf = Zipf::new(config.catalog, config.zipf_s);
+        let mut ops = Vec::with_capacity(config.ops);
+        for _ in 0..config.ops {
+            let user = rng.gen_range(0..config.users);
+            let dice: f64 = rng.gen();
+            let op = if dice < config.purchase_prob {
+                Op::Purchase {
+                    user,
+                    content: zipf.sample(rng),
+                }
+            } else if dice < config.purchase_prob + config.transfer_prob {
+                let mut to = rng.gen_range(0..config.users);
+                if to == user {
+                    to = (to + 1) % config.users;
+                }
+                Op::Transfer {
+                    user,
+                    to,
+                    nth: rng.gen_range(0..8),
+                }
+            } else {
+                Op::Play {
+                    user,
+                    nth: rng.gen_range(0..8),
+                }
+            };
+            ops.push(op);
+        }
+        Workload { ops, config }
+    }
+
+    /// Count of each op kind `(purchases, plays, transfers)`.
+    pub fn mix(&self) -> (usize, usize, usize) {
+        let mut p = 0;
+        let mut l = 0;
+        let mut t = 0;
+        for op in &self.ops {
+            match op {
+                Op::Purchase { .. } => p += 1,
+                Op::Play { .. } => l += 1,
+                Op::Transfer { .. } => t += 1,
+            }
+        }
+        (p, l, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_skews_to_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let z = Zipf::new(100, 1.0);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 must dominate rank 50 heavily under s=1.
+        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        // Everything in range.
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn zipf_s0_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let z = Zipf::new(10, 0.0);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 5000.0).abs() < 600.0, "not uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_single_item() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = Zipf::new(1, 1.2);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn workload_deterministic_and_mixed() {
+        let cfg = WorkloadConfig::default();
+        let w1 = Workload::generate(cfg.clone(), &mut StdRng::seed_from_u64(7));
+        let w2 = Workload::generate(cfg.clone(), &mut StdRng::seed_from_u64(7));
+        assert_eq!(w1.ops, w2.ops);
+        let (p, l, t) = w1.mix();
+        assert_eq!(p + l + t, cfg.ops);
+        assert!(p > 0 && l > 0, "mix too degenerate: {p}/{l}/{t}");
+    }
+
+    #[test]
+    fn transfers_never_self_target() {
+        let cfg = WorkloadConfig {
+            transfer_prob: 1.0,
+            purchase_prob: 0.0,
+            ..Default::default()
+        };
+        let w = Workload::generate(cfg, &mut StdRng::seed_from_u64(8));
+        for op in &w.ops {
+            if let Op::Transfer { user, to, .. } = op {
+                assert_ne!(user, to);
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Durable storage substrate for the P2DRM entities.
+//!
+//! The paper's anonymous-license mechanism hinges on server-side state: the
+//! **spent-ID store** (unique license ids that may never be redeemed twice),
+//! the license store, CRL snapshots, and per-license rights state on
+//! devices. This crate provides the storage those components sit on:
+//!
+//! * [`Kv`] — the store abstraction, including [`Kv::insert_if_absent`],
+//!   the atomic check-and-set that implements "redeem exactly once";
+//! * [`MemKv`] — `BTreeMap`-backed volatile store for tests/simulation;
+//! * [`log`] — CRC-framed append-only log with torn-tail recovery;
+//! * [`WalKv`] — write-ahead-logged KV: every mutation is framed and
+//!   appended before the in-memory index changes; on open the log is
+//!   replayed, a corrupt tail is detected and truncated;
+//! * [`typed`] — thin typed wrapper over any [`Kv`] using the canonical
+//!   codec;
+//! * [`SharedKv`] — `parking_lot`-locked handle for concurrent use.
+//!
+//! ```
+//! use p2drm_store::{Kv, MemKv};
+//!
+//! let mut kv = MemKv::new();
+//! kv.put(b"license/1", b"bytes").unwrap();
+//! assert!(kv.insert_if_absent(b"spent/1", b"").unwrap());
+//! assert!(!kv.insert_if_absent(b"spent/1", b"").unwrap(), "second redeem refused");
+//! ```
+
+pub mod log;
+pub mod mem;
+pub mod typed;
+pub mod walkv;
+
+pub use mem::MemKv;
+pub use walkv::{RecoveryReport, SyncPolicy, WalKv};
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Storage errors.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A log frame failed its CRC or length check (offset included).
+    Corrupt { offset: u64, detail: String },
+    /// Value failed to decode as the expected type.
+    Decode(p2drm_codec::CodecError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io: {e}"),
+            StoreError::Corrupt { offset, detail } => {
+                write!(f, "corrupt log at offset {offset}: {detail}")
+            }
+            StoreError::Decode(e) => write!(f, "decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<p2drm_codec::CodecError> for StoreError {
+    fn from(e: p2drm_codec::CodecError) -> Self {
+        StoreError::Decode(e)
+    }
+}
+
+/// Key-value store abstraction shared by the volatile and durable backends.
+pub trait Kv {
+    /// Reads a value.
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
+
+    /// Writes (inserts or overwrites) a value.
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), StoreError>;
+
+    /// Deletes a key; returns whether it existed.
+    fn delete(&mut self, key: &[u8]) -> Result<bool, StoreError>;
+
+    /// All pairs whose key starts with `prefix`, in key order.
+    fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)>;
+
+    /// Number of live keys.
+    fn len(&self) -> usize;
+
+    /// True when no keys are live.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when `key` exists.
+    fn contains(&self, key: &[u8]) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Atomic check-and-set: inserts only when absent, returning whether
+    /// the insert happened. This is the double-redemption primitive: a
+    /// license id is redeemable iff this returns `true` exactly once.
+    fn insert_if_absent(&mut self, key: &[u8], value: &[u8]) -> Result<bool, StoreError> {
+        if self.contains(key) {
+            return Ok(false);
+        }
+        self.put(key, value)?;
+        Ok(true)
+    }
+
+    /// Flushes buffered writes to the backing medium (no-op for memory).
+    fn flush(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+/// A cheaply clonable, thread-safe handle around any [`Kv`].
+///
+/// `insert_if_absent` through this handle holds the write lock for the whole
+/// check-and-set, so concurrent redeem attempts serialize correctly
+/// (exercised by the double-spend concurrency tests in `p2drm-payment`).
+pub struct SharedKv<S: Kv> {
+    inner: Arc<RwLock<S>>,
+}
+
+impl<S: Kv> Clone for SharedKv<S> {
+    fn clone(&self) -> Self {
+        SharedKv {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S: Kv> SharedKv<S> {
+    /// Wraps a store.
+    pub fn new(store: S) -> Self {
+        SharedKv {
+            inner: Arc::new(RwLock::new(store)),
+        }
+    }
+
+    /// Reads a value.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.inner.read().get(key)
+    }
+
+    /// Writes a value.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.inner.write().put(key, value)
+    }
+
+    /// Deletes a key.
+    pub fn delete(&self, key: &[u8]) -> Result<bool, StoreError> {
+        self.inner.write().delete(key)
+    }
+
+    /// Atomic insert-if-absent under the write lock.
+    pub fn insert_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool, StoreError> {
+        self.inner.write().insert_if_absent(key, value)
+    }
+
+    /// Prefix scan.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.inner.read().scan_prefix(prefix)
+    }
+
+    /// Key count.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the key exists.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.inner.read().contains(key)
+    }
+
+    /// Runs `f` with mutable access to the store (single critical section).
+    pub fn with_mut<T>(&self, f: impl FnOnce(&mut S) -> T) -> T {
+        f(&mut self.inner.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_kv_basics() {
+        let kv = SharedKv::new(MemKv::new());
+        kv.put(b"a", b"1").unwrap();
+        assert_eq!(kv.get(b"a"), Some(b"1".to_vec()));
+        assert!(kv.insert_if_absent(b"b", b"2").unwrap());
+        assert!(!kv.insert_if_absent(b"b", b"2").unwrap());
+        assert_eq!(kv.len(), 2);
+        assert!(kv.delete(b"a").unwrap());
+        assert!(!kv.contains(b"a"));
+        kv.with_mut(|s| s.put(b"c", b"3").unwrap());
+        assert!(kv.contains(b"c"));
+    }
+
+    #[test]
+    fn shared_kv_concurrent_insert_if_absent_single_winner() {
+        // Exactly one of N racing redeemers may win — the paper's
+        // double-redemption guarantee under concurrency.
+        let kv = SharedKv::new(MemKv::new());
+        let handles: Vec<_> = (0..8u8)
+            .map(|i| {
+                let kv = kv.clone();
+                std::thread::spawn(move || {
+                    kv.insert_if_absent(b"unique-license-id", &[i]).unwrap()
+                })
+            })
+            .collect();
+        let winners = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&won| won)
+            .count();
+        assert_eq!(winners, 1);
+    }
+}

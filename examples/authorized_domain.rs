@@ -1,0 +1,124 @@
+//! Authorized domain (household) scenario: one domain license plays on
+//! every enrolled family device; the provider never learns the household's
+//! composition; the member cap and removal are enforced locally.
+//!
+//! ```sh
+//! cargo run --example authorized_domain
+//! ```
+
+use p2drm::core::audit::Party;
+use p2drm::domain::{buy_domain_license, play_in_domain, DomainConfig, DomainManager};
+use p2drm::payment::Wallet;
+use p2drm::pki::cert::{KeyId, Validity};
+use p2drm::prelude::*;
+
+fn main() {
+    let mut rng = test_rng(2006);
+    let mut system = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let film = system.publish_content("Family Movie Night", 500, b"feature film", &mut rng);
+
+    let mut manager = DomainManager::new(
+        &mut system.root,
+        DomainConfig {
+            name: "smith-household".into(),
+            max_members: 3,
+            membership_validity: Validity::new(0, u64::MAX / 2),
+        },
+        512,
+        Validity::new(0, u64::MAX / 2),
+        &mut rng,
+    );
+    system.mint.fund_account("smith-family", 5_000);
+    let mut wallet = Wallet::new();
+
+    // Enroll the household devices.
+    let mut tv = system.register_device(&mut rng).unwrap();
+    let mut tablet = system.register_device(&mut rng).unwrap();
+    let root_key = system.root.public_key().clone();
+    let now = system.now();
+    manager.enroll(tv.certificate(), &root_key, now).unwrap();
+    manager.enroll(tablet.certificate(), &root_key, now).unwrap();
+    println!("domain '{}' has {} member devices", manager.name(), manager.member_count());
+
+    // Buy one domain license with an anonymous coin.
+    let mut transcript = Transcript::new();
+    let epoch = system.epoch();
+    let license = buy_domain_license(
+        &mut manager,
+        &mut wallet,
+        "smith-family",
+        &mut system.provider,
+        &system.mint,
+        film,
+        now,
+        epoch,
+        &mut rng,
+        &mut transcript,
+    )
+    .unwrap();
+    println!("\ndomain purchase transcript:");
+    print!("{}", transcript.render());
+
+    // Both devices play the same license.
+    for (name, device) in [("tv", &mut tv), ("tablet", &mut tablet)] {
+        let mut t = Transcript::new();
+        let bytes = play_in_domain(
+            &manager,
+            device,
+            &system.provider,
+            &license,
+            now,
+            &mut rng,
+            &mut t,
+        )
+        .unwrap();
+        println!("{name} played {} bytes", bytes.len());
+    }
+
+    // Privacy: the provider never saw the member device keys.
+    for dev in [&tv, &tablet] {
+        let member_key = dev
+            .certificate()
+            .body
+            .subject_key
+            .as_rsa()
+            .unwrap()
+            .modulus()
+            .to_bytes_be();
+        assert!(!transcript.scan_for(Party::Provider, &member_key));
+    }
+    println!("\nprovider learned the domain name, not its members ✔");
+
+    // A fourth device hits the cap; removing one frees the slot.
+    let console = system.register_device(&mut rng).unwrap();
+    let phone = system.register_device(&mut rng).unwrap();
+    manager.enroll(phone.certificate(), &root_key, now).unwrap();
+    let full = manager.enroll(console.certificate(), &root_key, now);
+    println!("4th device enroll at cap 3: {}", match &full {
+        Err(e) => format!("REFUSED — {e}"),
+        Ok(_) => "accepted (bug!)".into(),
+    });
+
+    let tablet_id = KeyId::of_rsa(tablet.certificate().body.subject_key.as_rsa().unwrap());
+    manager.remove_member(&tablet_id);
+    manager.enroll(console.certificate(), &root_key, now).unwrap();
+    println!("after removing the tablet, the console joins; members = {}", manager.member_count());
+
+    // The removed tablet is locked out.
+    let mut t = Transcript::new();
+    let locked_out = play_in_domain(
+        &manager,
+        &mut tablet,
+        &system.provider,
+        &license,
+        now,
+        &mut rng,
+        &mut t,
+    );
+    println!("removed tablet tries to play: {}", match locked_out {
+        Err(e) => format!("REFUSED — {e}"),
+        Ok(_) => "accepted (bug!)".into(),
+    });
+
+    let _ = console.device_id();
+}

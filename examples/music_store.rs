@@ -1,0 +1,100 @@
+//! Music store scenario: a catalog with Zipf popularity, users with
+//! different pseudonym refresh policies, and a demonstration of what the
+//! provider's purchase log actually reveals under each policy — the
+//! paper's privacy argument made observable.
+//!
+//! ```sh
+//! cargo run --example music_store
+//! ```
+
+use p2drm::prelude::*;
+use p2drm::sim::Zipf;
+use rand::Rng;
+use std::collections::HashMap;
+
+fn main() {
+    let mut rng = test_rng(1977);
+    let mut system = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+
+    // A small storefront.
+    let titles = [
+        "Bohemian Raptor", "Stairway to Heapless", "Smells Like Clean Code",
+        "Hotel Cal-ifetime", "Sweet Child O' Types", "Borrow Checker Blues",
+    ];
+    let catalog: Vec<ContentId> = titles
+        .iter()
+        .map(|t| system.publish_content(t, 100, t.as_bytes(), &mut rng))
+        .collect();
+    let popularity = Zipf::new(catalog.len(), 1.1);
+
+    // Three shoppers with different privacy hygiene.
+    let mut shoppers = vec![
+        ("privacy-maximalist", PseudonymPolicy::FreshPerPurchase),
+        ("pragmatist", PseudonymPolicy::ReuseK(3)),
+        ("doesnt-care", PseudonymPolicy::Static),
+    ]
+    .into_iter()
+    .map(|(name, policy)| {
+        let mut agent = system.register_user(name, &mut rng).unwrap();
+        agent.set_policy(policy);
+        system.fund(&agent, 10_000);
+        (name, agent)
+    })
+    .collect::<Vec<_>>();
+
+    // Everyone buys six tracks.
+    for round in 0..6 {
+        for (_, agent) in shoppers.iter_mut() {
+            let pick = catalog[popularity.sample(&mut rng)];
+            system.purchase(agent, pick, &mut rng).unwrap();
+        }
+        if round % 2 == 1 {
+            system.advance_epoch();
+        }
+    }
+
+    // What does the store know? Group its log by pseudonym.
+    let mut clusters: HashMap<_, Vec<_>> = HashMap::new();
+    for rec in system.provider.purchase_log() {
+        clusters.entry(rec.pseudonym).or_default().push(rec.content);
+    }
+    println!(
+        "store log: {} purchases under {} distinct pseudonyms\n",
+        system.provider.purchase_log().len(),
+        clusters.len()
+    );
+
+    for (name, agent) in &shoppers {
+        let owned: Vec<_> = agent.licenses().iter().map(|l| l.pseudonym).collect();
+        let mut profile_sizes: Vec<usize> = owned
+            .iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .iter()
+            .map(|p| clusters.get(*p).map_or(0, |v| v.len()))
+            .collect();
+        profile_sizes.sort_unstable();
+        println!(
+            "{name:<20} bought {:>2} tracks -> store sees profiles of sizes {:?}",
+            agent.licenses().len(),
+            profile_sizes
+        );
+    }
+
+    println!(
+        "\nthe fresh-pseudonym shopper fragments into size-1 profiles; the static\n\
+         shopper hands the store their full listening history under one pseudonym\n\
+         (and any payment/identity linkage would expose all of it at once)."
+    );
+
+    // Sanity: a random other user can't play someone else's license.
+    let (_, victim) = &shoppers[0];
+    let license = victim.licenses()[0].license.clone();
+    let mut thief_device = system.register_device(&mut rng).unwrap();
+    let (_, thief) = &shoppers[2];
+    let stolen = system.play(thief, &mut thief_device, &license, &mut rng);
+    println!(
+        "\nplayback of a stolen license file without the holder's card: {}",
+        if stolen.is_err() { "REFUSED" } else { "allowed (bug!)" }
+    );
+    let _ = rng.gen::<u8>();
+}

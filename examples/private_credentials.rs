@@ -1,0 +1,66 @@
+//! Private credentials: buying age-rated content by proving *adulthood*
+//! — not identity. The RA blind-signs an "adult" credential bound to the
+//! buyer's pseudonym; the provider verifies the property and still learns
+//! nothing about who is buying. Lending the credential to another card
+//! fails because it is bound to the pseudonym key.
+//!
+//! ```sh
+//! cargo run --example private_credentials
+//! ```
+
+use p2drm::core::audit::Party;
+use p2drm::prelude::*;
+
+fn main() {
+    let mut rng = test_rng(2008);
+    let mut system = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let rated = system.publish_rated_content(
+        "Midnight Archive (18+)",
+        500,
+        b"age-restricted payload",
+        "adult",
+        &mut rng,
+    );
+    println!("published rated content requiring the `adult` attribute\n");
+
+    // Alice is verified as an adult at registration (KYC).
+    let mut alice = system.register_user("alice", &mut rng).unwrap();
+    system.fund(&alice, 2_000);
+    system.grant_attribute(&alice, "adult", &mut rng).unwrap();
+
+    // Attempt without a credential: refused.
+    system.ensure_pseudonym(&mut alice, &mut rng).unwrap();
+    match system.purchase(&mut alice, rated, &mut rng) {
+        Err(e) => println!("purchase without credential: REFUSED — {e}"),
+        Ok(_) => println!("purchase without credential: accepted (bug!)"),
+    }
+
+    // Obtain the blind credential and retry.
+    system.ensure_attribute(&mut alice, "adult", &mut rng).unwrap();
+    let mut transcript = Transcript::new();
+    let license = system
+        .purchase_with_transcript(&mut alice, rated, &mut rng, &mut transcript)
+        .unwrap();
+    println!("\nwith credential, purchase succeeds:");
+    print!("{}", transcript.render());
+    println!(
+        "provider saw alice's identity: {}",
+        transcript.scan_for(Party::Provider, alice.user_id().as_bytes())
+    );
+
+    let mut device = system.register_device(&mut rng).unwrap();
+    let payload = system.play(&alice, &mut device, &license, &mut rng).unwrap();
+    println!("played {} bytes of rated content\n", payload.len());
+
+    // A minor cannot get the credential at all.
+    let mut minor = system.register_user("minor", &mut rng).unwrap();
+    system.fund(&minor, 2_000);
+    match system.ensure_attribute(&mut minor, "adult", &mut rng) {
+        Err(e) => println!("minor requests `adult` credential: REFUSED — {e}"),
+        Ok(()) => println!("minor got the credential (bug!)"),
+    }
+    match system.purchase(&mut minor, rated, &mut rng) {
+        Err(e) => println!("minor buys rated content: REFUSED — {e}"),
+        Ok(_) => println!("minor bought rated content (bug!)"),
+    }
+}

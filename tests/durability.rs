@@ -1,0 +1,275 @@
+//! Durability integration: the spent-ID store (the paper's
+//! double-redemption mechanism) over the WAL-backed store survives
+//! restarts and torn writes.
+
+use p2drm::core::entities::provider::{ContentProvider, ProviderConfig};
+use p2drm::core::CoreError;
+use p2drm::prelude::*;
+use p2drm::store::{Kv, SyncPolicy, WalKv};
+use std::path::PathBuf;
+
+struct TempPath(PathBuf);
+
+impl TempPath {
+    fn new(tag: &str) -> Self {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let p = std::env::temp_dir().join(format!(
+            "p2drm-int-durability-{}-{}-{}",
+            std::process::id(),
+            tag,
+            n
+        ));
+        let _ = std::fs::remove_file(&p);
+        TempPath(p)
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn provider_spent_set_is_durable() {
+    let tmp = TempPath::new("spent");
+    let mut rng = test_rng(8001);
+    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+
+    // A provider whose store is WAL-backed.
+    let (wal, _) = WalKv::open(&tmp.0, SyncPolicy::FlushEach).unwrap();
+    let mut provider = ContentProvider::with_store(
+        &mut sys.root,
+        sys.mint.clone(),
+        sys.ra.blind_public().clone(),
+        wal,
+        ProviderConfig::fast_test(),
+        &mut rng,
+    );
+    let cid = provider.publish(
+        "durable",
+        100,
+        b"payload",
+        Rights::builder()
+            .play(Limit::Unlimited)
+            .transfer(Limit::Count(2))
+            .build(),
+        &mut rng,
+    );
+
+    // Run a purchase + transfer against this provider.
+    let mut alice = sys.register_user("alice", &mut rng).unwrap();
+    let mut bob = sys.register_user("bob", &mut rng).unwrap();
+    sys.fund(&alice, 1_000);
+    sys.fund(&bob, 1_000);
+    sys.ensure_pseudonym(&mut alice, &mut rng).unwrap();
+    sys.ensure_pseudonym(&mut bob, &mut rng).unwrap();
+
+    let mint = sys.mint.clone();
+    let epoch = sys.epoch();
+    let mut t = Transcript::new();
+    let license = p2drm::core::protocol::purchase(
+        &mut alice, &mut provider, &mint, cid, epoch, &mut rng, &mut t,
+    )
+    .unwrap();
+    let lid = license.id();
+    p2drm::core::protocol::transfer(
+        &mut alice, &mut bob, &mut provider, lid, epoch, &mut rng, &mut t,
+    )
+    .unwrap();
+    assert_eq!(provider.spent_count(), 1);
+
+    // "Restart": drop the provider, reopen the WAL from disk, and verify
+    // the spent id is still present — a rebooted provider could never be
+    // tricked into re-transferring the old license.
+    drop(provider);
+    let (wal, report) = WalKv::open(&tmp.0, SyncPolicy::FlushEach).unwrap();
+    assert!(report.replayed_ops >= 2, "license + spent entries replayed");
+    let mut spent_key = b"spent/".to_vec();
+    spent_key.extend_from_slice(lid.as_bytes());
+    assert!(
+        wal.contains(&spent_key),
+        "spent license id survived the restart"
+    );
+}
+
+#[test]
+fn full_provider_restart_with_key_vault() {
+    // The complete restart story: keys exported to a vault, catalog/CRLs/
+    // spent ids in the WAL store. After resume, old licenses verify, the
+    // double-redeem guarantee holds, and new sales work.
+    let tmp = TempPath::new("resume");
+    let mut rng = test_rng(8003);
+    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+
+    let (wal, _) = WalKv::open(&tmp.0, SyncPolicy::FlushEach).unwrap();
+    let mut provider = ContentProvider::with_store(
+        &mut sys.root,
+        sys.mint.clone(),
+        sys.ra.blind_public().clone(),
+        wal,
+        ProviderConfig::fast_test(),
+        &mut rng,
+    );
+    let cid = provider.publish(
+        "persistent hit",
+        100,
+        b"payload bytes",
+        Rights::builder()
+            .play(Limit::Unlimited)
+            .transfer(Limit::Count(3))
+            .build(),
+        &mut rng,
+    );
+    let vault = provider.export_keys();
+    let cert = provider.certificate().clone();
+
+    // Session 1: Alice buys, transfers to Bob.
+    let mut alice = sys.register_user("alice", &mut rng).unwrap();
+    let mut bob = sys.register_user("bob", &mut rng).unwrap();
+    sys.fund(&alice, 1_000);
+    sys.fund(&bob, 1_000);
+    sys.ensure_pseudonym(&mut alice, &mut rng).unwrap();
+    sys.ensure_pseudonym(&mut bob, &mut rng).unwrap();
+    let mint = sys.mint.clone();
+    let epoch = sys.epoch();
+    let mut t = Transcript::new();
+    let license = p2drm::core::protocol::purchase(
+        &mut alice, &mut provider, &mint, cid, epoch, &mut rng, &mut t,
+    )
+    .unwrap();
+    let old_lid = license.id();
+    let saved = license.clone();
+    let alice_pseudonym = alice.licenses()[0].pseudonym;
+    let bobs_license = p2drm::core::protocol::transfer(
+        &mut alice, &mut bob, &mut provider, old_lid, epoch, &mut rng, &mut t,
+    )
+    .unwrap();
+    let seq_before = provider.signed_license_crl(1).sequence;
+    drop(provider);
+
+    // Restart: reload keys from the vault and state from the WAL.
+    let keys: p2drm::crypto::rsa::RsaKeyPair = p2drm::codec::from_bytes(&vault).unwrap();
+    let (wal, report) = WalKv::open(&tmp.0, SyncPolicy::FlushEach).unwrap();
+    assert!(report.replayed_ops > 0);
+    let mut provider = ContentProvider::resume(
+        keys,
+        cert,
+        sys.root.public_key().clone(),
+        sys.mint.clone(),
+        sys.ra.blind_public().clone(),
+        wal,
+        ProviderConfig::fast_test(),
+    )
+    .unwrap();
+
+    // Old licenses still verify under the restored key.
+    assert!(bobs_license.verify(provider.public_key()).is_ok());
+    // Catalog restored: downloads and new purchases work.
+    assert!(provider.download(&cid).is_ok());
+    let mut carol = sys.register_user("carol", &mut rng).unwrap();
+    sys.fund(&carol, 1_000);
+    sys.ensure_pseudonym(&mut carol, &mut rng).unwrap();
+    let mut t2 = Transcript::new();
+    let carols = p2drm::core::protocol::purchase(
+        &mut carol, &mut provider, &mint, cid, epoch, &mut rng, &mut t2,
+    )
+    .unwrap();
+    assert!(carols.verify(provider.public_key()).is_ok());
+
+    // Double-redeem of the pre-restart license still rejected, and the
+    // license CRL was rebuilt (sequence did not go backwards).
+    alice.add_license(saved, alice_pseudonym);
+    sys.ensure_pseudonym(&mut carol, &mut rng).unwrap();
+    let res = p2drm::core::protocol::transfer(
+        &mut alice, &mut carol, &mut provider, old_lid, epoch, &mut rng, &mut t2,
+    );
+    assert!(matches!(res, Err(CoreError::AlreadyRedeemed(_))));
+    assert!(provider.signed_license_crl(2).sequence >= seq_before);
+    assert!(provider
+        .signed_license_crl(2)
+        .list
+        .contains(&p2drm::core::entities::provider::license_crl_id(&old_lid)));
+}
+
+#[test]
+fn spent_set_survives_torn_tail() {
+    let tmp = TempPath::new("torn");
+    {
+        let (mut wal, _) = WalKv::open(&tmp.0, SyncPolicy::FlushEach).unwrap();
+        assert!(wal.insert_if_absent(b"spent/lid-A", b"").unwrap());
+        assert!(wal.insert_if_absent(b"spent/lid-B", b"").unwrap());
+    }
+    // Crash mid-append of a third record.
+    let len = std::fs::metadata(&tmp.0).unwrap().len();
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&tmp.0).unwrap();
+        f.write_all(&[0x55, 0x00, 0x00]).unwrap();
+    }
+    assert!(std::fs::metadata(&tmp.0).unwrap().len() > len);
+
+    let (mut wal, report) = WalKv::open(&tmp.0, SyncPolicy::FlushEach).unwrap();
+    assert!(report.truncated_tail);
+    // Both complete spends survive; the torn garbage is gone.
+    assert!(!wal.insert_if_absent(b"spent/lid-A", b"").unwrap());
+    assert!(!wal.insert_if_absent(b"spent/lid-B", b"").unwrap());
+    assert!(wal.insert_if_absent(b"spent/lid-C", b"").unwrap());
+}
+
+#[test]
+fn device_state_survives_restart() {
+    // Play counts persisted by a WAL-backed device survive a power cycle:
+    // rights exhaustion cannot be reset by rebooting the player.
+    let tmp = TempPath::new("device");
+    let mut rng = test_rng(8002);
+    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let cid = sys.publish_content("x", 100, b"payload", &mut rng);
+    let mut alice = sys.register_user("alice", &mut rng).unwrap();
+    sys.fund(&alice, 1_000);
+    let license = sys.purchase(&mut alice, cid, &mut rng).unwrap();
+
+    let provider_cert = sys.provider.certificate().clone();
+    let ra_blind = sys.ra.blind_public().clone();
+    let (wal, _) = WalKv::open(&tmp.0, SyncPolicy::FlushEach).unwrap();
+    let mut device = p2drm::core::entities::CompliantDevice::with_store(
+        &mut sys.root,
+        &provider_cert,
+        ra_blind.clone(),
+        wal,
+        512,
+        p2drm::pki::cert::Validity::new(0, u64::MAX / 2),
+        &mut rng,
+    )
+    .unwrap();
+
+    // Exhaust all 3 plays.
+    for _ in 0..3 {
+        let mut t = Transcript::new();
+        p2drm::core::protocol::play(
+            &alice, &mut device, &sys.provider, &license, sys.now(), &mut rng, &mut t,
+        )
+        .unwrap();
+    }
+    drop(device);
+
+    // Reboot the device over the same store: still exhausted.
+    let (wal, report) = WalKv::open(&tmp.0, SyncPolicy::FlushEach).unwrap();
+    assert!(report.live_keys >= 1);
+    let mut device = p2drm::core::entities::CompliantDevice::with_store(
+        &mut sys.root,
+        &provider_cert,
+        ra_blind,
+        wal,
+        512,
+        p2drm::pki::cert::Validity::new(0, u64::MAX / 2),
+        &mut rng,
+    )
+    .unwrap();
+    let mut t = Transcript::new();
+    let res = p2drm::core::protocol::play(
+        &alice, &mut device, &sys.provider, &license, sys.now(), &mut rng, &mut t,
+    );
+    assert!(matches!(res, Err(CoreError::Denied(_))));
+}
