@@ -30,7 +30,7 @@ fn bench_ops(c: &mut Criterion) {
                 let now = w.sys.now();
                 let id = protocol::obtain_pseudonym(
                     &mut w.user,
-                    &mut w.sys.ra,
+                    &w.sys.ra,
                     w.sys.ttp.escrow_key(),
                     epoch,
                     now,
@@ -54,7 +54,12 @@ fn bench_ops(c: &mut Criterion) {
                     let req = make_purchase_request(&mut w);
                     let epoch = w.sys.epoch();
                     let t0 = Instant::now();
-                    black_box(w.sys.provider.handle_purchase(&req, epoch, &mut rng).unwrap());
+                    black_box(
+                        w.sys
+                            .provider
+                            .handle_purchase(&req, epoch, &mut rng)
+                            .unwrap(),
+                    );
                     total += t0.elapsed();
                 }
                 total
@@ -93,9 +98,9 @@ fn bench_ops(c: &mut Criterion) {
 
         // --- baseline purchase ---------------------------------------------
         let mut w = world(bits, 0xB2_30 + bits as u64);
-        let bid = w
-            .sys
-            .publish_baseline_content("bench-baseline", 100, &vec![0u8; 4096], &mut w.rng);
+        let bid =
+            w.sys
+                .publish_baseline_content("bench-baseline", 100, &vec![0u8; 4096], &mut w.rng);
         group.bench_function(BenchmarkId::new("purchase_baseline", bits), |b| {
             b.iter(|| {
                 let mut t = Transcript::new();
@@ -111,9 +116,9 @@ fn bench_ops(c: &mut Criterion) {
 
         // --- baseline play ---------------------------------------------------
         let mut w = world(bits, 0xB2_40 + bits as u64);
-        let bid = w
-            .sys
-            .publish_baseline_content("bench-baseline", 100, &vec![0u8; 4096], &mut w.rng);
+        let bid =
+            w.sys
+                .publish_baseline_content("bench-baseline", 100, &vec![0u8; 4096], &mut w.rng);
         let mut bdevice = w.sys.register_baseline_device(&mut w.rng).unwrap();
         group.bench_function(BenchmarkId::new("play_baseline", bits), |b| {
             b.iter_custom(|iters| {
@@ -128,7 +133,13 @@ fn bench_ops(c: &mut Criterion) {
                         .sys
                         .baseline
                         .purchase_identified(
-                            &mut w.user, &ra_key, bid, now, epoch, &mut w.rng, &mut t,
+                            &mut w.user,
+                            &ra_key,
+                            bid,
+                            now,
+                            epoch,
+                            &mut w.rng,
+                            &mut t,
                         )
                         .unwrap();
                     let mut t2 = Transcript::new();

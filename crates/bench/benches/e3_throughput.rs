@@ -1,0 +1,68 @@
+//! E3: purchases/sec vs client thread count against **one shared
+//! provider** (`&self` hot path, lock-sharded store).
+//!
+//! The number to watch is elem/s (purchases per second) as the thread
+//! count grows: the pre-refactor provider serialized every purchase
+//! behind one mutex, so its curve was flat; the shared-state provider
+//! should scale >1× from 1 to 4 threads. Request construction (pseudonym
+//! + coin withdrawal) happens outside the timed section.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use p2drm_bench::{make_purchase_request, world};
+use p2drm_core::protocol::messages::PurchaseRequest;
+use p2drm_crypto::rng::test_rng;
+use std::time::{Duration, Instant};
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(1));
+
+    for &threads in &[1usize, 2, 4, 8] {
+        let mut w = world(512, 0xE3_00 + threads as u64);
+        group.bench_function(BenchmarkId::new("purchases_per_sec", threads), |b| {
+            b.iter_custom(|iters| {
+                // Split the iteration budget across the thread pool,
+                // rounding up so every thread has equal work.
+                let per_thread = (iters as usize).div_ceil(threads);
+                let total = per_thread * threads;
+
+                // Untimed setup: one bundle of ready-to-submit requests
+                // per thread.
+                let mut bundles: Vec<Vec<PurchaseRequest>> = Vec::with_capacity(threads);
+                for _ in 0..threads {
+                    bundles.push(
+                        (0..per_thread)
+                            .map(|_| make_purchase_request(&mut w))
+                            .collect(),
+                    );
+                }
+
+                let provider = &w.sys.provider;
+                let epoch = w.sys.epoch();
+                let t0 = Instant::now();
+                std::thread::scope(|scope| {
+                    for (i, bundle) in bundles.iter().enumerate() {
+                        scope.spawn(move || {
+                            let mut rng = test_rng(0xE3_F0 + i as u64);
+                            for req in bundle {
+                                provider
+                                    .handle_purchase(req, epoch, &mut rng)
+                                    .expect("prepared purchase succeeds");
+                            }
+                        });
+                    }
+                });
+                // Report time for exactly `iters` logical iterations.
+                t0.elapsed().mul_f64(iters as f64 / total as f64)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -34,12 +34,7 @@ fn bench_crl(c: &mut Criterion) {
 
         group.throughput(Throughput::Elements(probes.len() as u64));
         group.bench_function(BenchmarkId::new("linear_scan", size), |b| {
-            b.iter(|| {
-                probes
-                    .iter()
-                    .filter(|p| list.contains_linear(p))
-                    .count()
-            })
+            b.iter(|| probes.iter().filter(|p| list.contains_linear(p)).count())
         });
         group.bench_function(BenchmarkId::new("binary_search", size), |b| {
             b.iter(|| probes.iter().filter(|p| list.contains(p)).count())

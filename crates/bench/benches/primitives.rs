@@ -65,9 +65,7 @@ fn bench_mul_ablation(c: &mut Criterion) {
     for &bits in &[1024usize, 4096, 16384] {
         let a = brng::random_bits(&mut rng, bits);
         let b_val = brng::random_bits(&mut rng, bits);
-        group.bench_function(BenchmarkId::new("mul", bits), |b| {
-            b.iter(|| &a * &b_val)
-        });
+        group.bench_function(BenchmarkId::new("mul", bits), |b| b.iter(|| &a * &b_val));
     }
     group.finish();
 }

@@ -38,7 +38,7 @@ pub fn world(key_bits: usize, seed: u64) -> BenchWorld {
         },
         ..SystemConfig::fast_test()
     };
-    let mut sys = System::bootstrap(config, &mut rng);
+    let sys = System::bootstrap(config, &mut rng);
     let cid = sys.publish_content("bench-item", 100, &vec![0u8; 4096], &mut rng);
     let mut user = sys.register_user("bench-user", &mut rng).unwrap();
     // Benches loop purchases far past the card's pseudonym budget; the

@@ -36,8 +36,8 @@
 //! not constant-time and no blinding is applied at this layer. Do not reuse
 //! for production secrets.
 
-pub mod mont;
 pub mod modring;
+pub mod mont;
 pub mod prime;
 pub mod rng;
 pub mod ubig;

@@ -248,9 +248,7 @@ mod tests {
         let n = UBig::from_u64(1_000_000_007);
         let m = Mont::new(&n).unwrap();
         for (b, e) in [(2u64, 10u64), (3, 0), (7, 1), (31337, 65537), (5, 123456)] {
-            let expect = UBig::from_u64(b)
-                .pow_mod(&UBig::from_u64(e), &n)
-                .unwrap();
+            let expect = UBig::from_u64(b).pow_mod(&UBig::from_u64(e), &n).unwrap();
             assert_eq!(
                 m.pow(&UBig::from_u64(b), &UBig::from_u64(e)),
                 expect,

@@ -160,7 +160,10 @@ mod tests {
             assert!(is_prime(&UBig::from_u64(p), 16, &mut r), "{p} is prime");
         }
         for c in composites {
-            assert!(!is_prime(&UBig::from_u64(c), 16, &mut r), "{c} is composite");
+            assert!(
+                !is_prime(&UBig::from_u64(c), 16, &mut r),
+                "{c} is composite"
+            );
         }
     }
 

@@ -46,7 +46,9 @@ impl UBig {
         if hi == 0 {
             Self::from_u64(lo)
         } else {
-            UBig { limbs: vec![lo, hi] }
+            UBig {
+                limbs: vec![lo, hi],
+            }
         }
     }
 
@@ -844,7 +846,13 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+        for s in [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ] {
             assert_eq!(UBig::from_hex(s).unwrap().to_hex(), s, "hex {s}");
         }
         // Leading zeros and uppercase are accepted on input, canonicalized out.
@@ -890,9 +898,7 @@ mod tests {
     #[test]
     fn pow_mod_small_cases() {
         let m = UBig::from_u64(1_000_000_007);
-        let r = UBig::from_u64(2)
-            .pow_mod(&UBig::from_u64(10), &m)
-            .unwrap();
+        let r = UBig::from_u64(2).pow_mod(&UBig::from_u64(10), &m).unwrap();
         assert_eq!(r.to_u64(), Some(1024));
         // Fermat: a^(p-1) = 1 mod p
         let r = UBig::from_u64(31337)

@@ -419,7 +419,17 @@ mod tests {
 
     #[test]
     fn varint_roundtrip_boundaries() {
-        for v in [0u64, 1, 127, 128, 129, 16383, 16384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut w = Writer::new();
             w.put_varint(v);
             let bytes = w.into_bytes();

@@ -155,7 +155,12 @@ mod tests {
 
     fn sample() -> Transcript {
         let mut t = Transcript::new();
-        t.record(Party::User, Party::Provider, "purchase-request", vec![1, 2, 3, 42, 5]);
+        t.record(
+            Party::User,
+            Party::Provider,
+            "purchase-request",
+            vec![1, 2, 3, 42, 5],
+        );
         t.record(Party::Provider, Party::Mint, "deposit", vec![9; 10]);
         t.record(Party::Provider, Party::User, "license", vec![7; 20]);
         t

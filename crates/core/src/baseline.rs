@@ -185,11 +185,9 @@ pub fn play_identified<SD: Kv, R: CryptoRng + ?Sized>(
     let req = AccessRequest::play(now, device.binding_id());
     device.check_access(license, None, &nonce, &proof, &req)?;
 
-    let sealed = user.card.unwrap_master_and_reseal(
-        &license.body.key_envelope,
-        device.public_key(),
-        rng,
-    )?;
+    let sealed =
+        user.card
+            .unwrap_master_and_reseal(&license.body.key_envelope, device.public_key(), rng)?;
     transcript.record(
         Party::Card,
         Party::Device,
@@ -227,7 +225,15 @@ mod tests {
         let ra_key = sys.ra.identity_public().clone();
         let license = sys
             .baseline
-            .purchase_identified(&mut alice, &ra_key, cid, sys.now(), sys.epoch(), &mut rng, &mut t)
+            .purchase_identified(
+                &mut alice,
+                &ra_key,
+                cid,
+                sys.now(),
+                sys.epoch(),
+                &mut rng,
+                &mut t,
+            )
             .unwrap();
         assert!(license.verify(sys.baseline.public_key()).is_ok());
 
@@ -258,7 +264,15 @@ mod tests {
         let mut t = Transcript::new();
         let ra_key = sys.ra.identity_public().clone();
         sys.baseline
-            .purchase_identified(&mut alice, &ra_key, cid, sys.now(), sys.epoch(), &mut rng, &mut t)
+            .purchase_identified(
+                &mut alice,
+                &ra_key,
+                cid,
+                sys.now(),
+                sys.epoch(),
+                &mut rng,
+                &mut t,
+            )
             .unwrap();
         assert!(t.scan_for(Party::Provider, alice.account.as_bytes()));
         assert_eq!(sys.baseline.purchase_log().len(), 1);
@@ -274,7 +288,13 @@ mod tests {
         let mut t = Transcript::new();
         let ra_key = sys.ra.identity_public().clone();
         let res = sys.baseline.purchase_identified(
-            &mut alice, &ra_key, cid, sys.now(), sys.epoch(), &mut rng, &mut t,
+            &mut alice,
+            &ra_key,
+            cid,
+            sys.now(),
+            sys.epoch(),
+            &mut rng,
+            &mut t,
         );
         assert!(matches!(res, Err(CoreError::Payment(_))));
     }

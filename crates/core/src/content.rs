@@ -195,7 +195,10 @@ mod tests {
         let a = cat.publish("A", 1, b"xxxx", &mut rng);
         let b = cat.publish("B", 2, b"xxxx", &mut rng);
         assert_ne!(cat.get(&a).unwrap().key, cat.get(&b).unwrap().key);
-        assert_ne!(cat.get(&a).unwrap().ciphertext, cat.get(&b).unwrap().ciphertext);
+        assert_ne!(
+            cat.get(&a).unwrap().ciphertext,
+            cat.get(&b).unwrap().ciphertext
+        );
     }
 
     #[test]

@@ -4,8 +4,37 @@
 //! deposits anonymous coins, issues uniquely-identified anonymous licenses,
 //! executes privacy-preserving transfers, and maintains the spent-ID store
 //! that makes each license id redeemable exactly once.
+//!
+//! # Concurrency architecture: core / state split
+//!
+//! The provider is the system's only serialization point — every purchase
+//! must atomically consult the spent-ID store and sign a license — so it
+//! is built as a **shared-state concurrent service**. One logical
+//! [`ContentProvider`] serves N client threads through `&self`:
+//!
+//! * [`ProviderCore`] (`core` field) — the immutable identity: signing
+//!   key pair, certificate, root/RA trust anchors, configuration. Written
+//!   once at construction, read lock-free from every thread.
+//! * [`ProviderState`] (`state` field) — the mutable tables, each behind
+//!   its own lock so unrelated operations never contend:
+//!   - the durable KV ([`ShardedKv`]) holding the **spent-ID set**,
+//!     license store, persisted catalog/rights/CRL tables — keys hash to
+//!     one of N independently locked shards, and `insert_if_absent` (the
+//!     double-redemption primitive) is atomic under one shard's write
+//!     lock;
+//!   - the in-memory catalog + rights templates (`RwLock`, read-mostly);
+//!   - trusted attribute keys (`RwLock`, read-mostly);
+//!   - CRL state — both revocation lists, their sequence numbers and
+//!     event logs — under one `RwLock` (revocation is rare, CRL reads are
+//!     cheap);
+//!   - the purchase/transfer observation logs (`Mutex`, append-only).
+//!
+//! Every protocol entry point (`handle_purchase`, `handle_transfer`,
+//! `download`, CRL sync) takes `&self`; `ContentProvider<S>` is `Sync`
+//! whenever the store is, so threads share one provider by reference —
+//! no shard cloning, no external mutex.
 
-use crate::content::ContentCatalog;
+use crate::content::{ContentCatalog, ContentMeta};
 use crate::ids::{ContentId, LicenseId};
 use crate::license::{License, LicenseBody};
 use crate::protocol::messages::{self, PurchaseRequest, TransferRequest};
@@ -19,7 +48,8 @@ use p2drm_pki::cert::{digest_id, Certificate, KeyId, PseudonymCertificate};
 use p2drm_pki::crl::{RevocationList, SignedCrl};
 use p2drm_rel::{Limit, Rights};
 use p2drm_store::typed::Table;
-use p2drm_store::{Kv, MemKv};
+use p2drm_store::{Kv, MemKv, ShardedKv};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 
 /// Provider construction parameters.
@@ -31,6 +61,10 @@ pub struct ProviderConfig {
     pub epoch_window: u32,
     /// Certificate validity window.
     pub validity: p2drm_pki::cert::Validity,
+    /// Lock shards for the default in-memory store (ignored by
+    /// [`ContentProvider::with_store`], which wraps the caller's single
+    /// store).
+    pub store_shards: usize,
 }
 
 impl ProviderConfig {
@@ -40,6 +74,7 @@ impl ProviderConfig {
             key_bits: 512,
             epoch_window: 4,
             validity: p2drm_pki::cert::Validity::new(0, u64::MAX / 2),
+            store_shards: 8,
         }
     }
 }
@@ -67,37 +102,68 @@ pub struct TransferRecord {
     pub content: ContentId,
 }
 
-/// The content provider, generic over its durable store.
-pub struct ContentProvider<S: Kv = MemKv> {
+/// The provider's immutable identity: signing keys, certificate, trust
+/// anchors and configuration. Shared lock-free across threads.
+pub struct ProviderCore {
     keys: p2drm_crypto::rsa::RsaKeyPair,
     cert: Certificate,
-    catalog: ContentCatalog,
-    rights_templates: HashMap<ContentId, Rights>,
-    store: S,
+    root_key: RsaPublicKey,
+    ra_blind_key: RsaPublicKey,
+    config: ProviderConfig,
+}
+
+/// CRL state: both revocation lists plus the sequence counters and
+/// `(sequence, id)` event logs backing incremental sync.
+struct CrlState {
+    pseudonym_crl: RevocationList,
+    license_crl: RevocationList,
+    license_crl_seq: u64,
+    pseudonym_crl_seq: u64,
+    license_crl_events: Vec<(u64, KeyId)>,
+    pseudonym_crl_events: Vec<(u64, KeyId)>,
+}
+
+impl CrlState {
+    fn empty() -> Self {
+        CrlState {
+            pseudonym_crl: RevocationList::new(),
+            license_crl: RevocationList::new(),
+            license_crl_seq: 0,
+            pseudonym_crl_seq: 0,
+            license_crl_events: Vec::new(),
+            pseudonym_crl_events: Vec::new(),
+        }
+    }
+}
+
+/// The provider's mutable tables, each behind its own lock. See the
+/// module docs for the locking layout.
+pub struct ProviderState<S: Kv> {
+    store: ShardedKv<S>,
     licenses: Table<License>,
     spent: Table<u32>,
     content_table: Table<crate::content::PackagedContent>,
     rights_table: Table<Rights>,
     crl_table: Table<u64>,
-    pseudonym_crl: RevocationList,
-    license_crl: RevocationList,
-    license_crl_seq: u64,
-    pseudonym_crl_seq: u64,
-    /// (sequence, id) event logs backing incremental CRL sync.
-    license_crl_events: Vec<(u64, KeyId)>,
-    pseudonym_crl_events: Vec<(u64, KeyId)>,
-    mint: Mint,
-    ra_blind_key: RsaPublicKey,
+    catalog: RwLock<ContentCatalog>,
+    rights_templates: RwLock<HashMap<ContentId, Rights>>,
     /// Trusted per-attribute RA verification keys.
-    attribute_trust: HashMap<String, RsaPublicKey>,
-    root_key: RsaPublicKey,
-    config: ProviderConfig,
-    purchase_log: Vec<PurchaseRecord>,
-    transfer_log: Vec<TransferRecord>,
+    attribute_trust: RwLock<HashMap<String, RsaPublicKey>>,
+    crl: RwLock<CrlState>,
+    purchase_log: Mutex<Vec<PurchaseRecord>>,
+    transfer_log: Mutex<Vec<TransferRecord>>,
+    mint: Mint,
+}
+
+/// The content provider, generic over its durable store.
+pub struct ContentProvider<S: Kv = MemKv> {
+    core: ProviderCore,
+    state: ProviderState<S>,
 }
 
 impl ContentProvider<MemKv> {
-    /// Provider with a volatile store.
+    /// Provider with a volatile store, lock-sharded per
+    /// [`ProviderConfig::store_shards`].
     pub fn new<R: CryptoRng + ?Sized>(
         root: &mut CertificateAuthority,
         mint: Mint,
@@ -105,18 +171,47 @@ impl ContentProvider<MemKv> {
         config: ProviderConfig,
         rng: &mut R,
     ) -> Self {
-        Self::with_store(root, mint, ra_blind_key, MemKv::new(), config, rng)
+        let shards = config.store_shards.max(1);
+        Self::with_sharded_store(
+            root,
+            mint,
+            ra_blind_key,
+            ShardedKv::new_with(shards, |_| MemKv::new()),
+            config,
+            rng,
+        )
     }
 }
 
 impl<S: Kv> ContentProvider<S> {
     /// Provider over a caller-supplied store (e.g. [`p2drm_store::WalKv`]
-    /// so the spent-ID set survives restarts).
+    /// so the spent-ID set survives restarts). The single store becomes a
+    /// one-shard [`ShardedKv`]: durability and recovery semantics are
+    /// untouched, all operations still serialize through its lock.
     pub fn with_store<R: CryptoRng + ?Sized>(
         root: &mut CertificateAuthority,
         mint: Mint,
         ra_blind_key: RsaPublicKey,
         store: S,
+        config: ProviderConfig,
+        rng: &mut R,
+    ) -> Self {
+        Self::with_sharded_store(
+            root,
+            mint,
+            ra_blind_key,
+            ShardedKv::single(store),
+            config,
+            rng,
+        )
+    }
+
+    /// Provider over an explicitly sharded store.
+    pub fn with_sharded_store<R: CryptoRng + ?Sized>(
+        root: &mut CertificateAuthority,
+        mint: Mint,
+        ra_blind_key: RsaPublicKey,
+        store: ShardedKv<S>,
         config: ProviderConfig,
         rng: &mut R,
     ) -> Self {
@@ -137,33 +232,32 @@ impl<S: Kv> ContentProvider<S> {
         root_key: RsaPublicKey,
         mint: Mint,
         ra_blind_key: RsaPublicKey,
-        store: S,
+        store: ShardedKv<S>,
         config: ProviderConfig,
     ) -> Self {
         ContentProvider {
-            keys,
-            cert,
-            catalog: ContentCatalog::new(),
-            rights_templates: HashMap::new(),
-            store,
-            licenses: Table::new("lic/"),
-            spent: Table::new("spent/"),
-            content_table: Table::new("content/"),
-            rights_table: Table::new("rightst/"),
-            crl_table: Table::new("crl/"),
-            pseudonym_crl: RevocationList::new(),
-            license_crl: RevocationList::new(),
-            license_crl_seq: 0,
-            pseudonym_crl_seq: 0,
-            license_crl_events: Vec::new(),
-            pseudonym_crl_events: Vec::new(),
-            mint,
-            ra_blind_key,
-            attribute_trust: HashMap::new(),
-            root_key,
-            config,
-            purchase_log: Vec::new(),
-            transfer_log: Vec::new(),
+            core: ProviderCore {
+                keys,
+                cert,
+                root_key,
+                ra_blind_key,
+                config,
+            },
+            state: ProviderState {
+                store,
+                licenses: Table::new("lic/"),
+                spent: Table::new("spent/"),
+                content_table: Table::new("content/"),
+                rights_table: Table::new("rightst/"),
+                crl_table: Table::new("crl/"),
+                catalog: RwLock::new(ContentCatalog::new()),
+                rights_templates: RwLock::new(HashMap::new()),
+                attribute_trust: RwLock::new(HashMap::new()),
+                crl: RwLock::new(CrlState::empty()),
+                purchase_log: Mutex::new(Vec::new()),
+                transfer_log: Mutex::new(Vec::new()),
+                mint,
+            },
         }
     }
 
@@ -183,100 +277,114 @@ impl<S: Kv> ContentProvider<S> {
         store: S,
         config: ProviderConfig,
     ) -> Result<Self, CoreError> {
-        let mut provider = Self::assemble(keys, cert, root_key, mint, ra_blind_key, store, config);
-        // Catalog + rights templates.
-        for (_, item) in provider.content_table.scan(&provider.store)? {
-            provider
-                .rights_templates
-                .insert(item.meta.id, provider.rights_table
-                    .get(&provider.store, item.meta.id.as_bytes())?
-                    .unwrap_or_else(Rights::standard_purchase));
-            provider.catalog.restore(item);
-        }
-        // CRLs: "crl/l/<id>" and "crl/p/<id>" entries whose value is the
-        // sequence number at which the revocation happened.
-        for (key, seq) in provider.crl_table.scan(&provider.store)? {
-            if let Some(id_bytes) = key.strip_prefix(b"l/") {
-                if id_bytes.len() == 32 {
-                    let id = KeyId(id_bytes.try_into().expect("checked width"));
-                    provider.license_crl.insert(id);
-                    provider.license_crl_events.push((seq, id));
-                    provider.license_crl_seq = provider.license_crl_seq.max(seq);
-                }
-            } else if let Some(id_bytes) = key.strip_prefix(b"p/") {
-                if id_bytes.len() == 32 {
-                    let id = KeyId(id_bytes.try_into().expect("checked width"));
-                    provider.pseudonym_crl.insert(id);
-                    provider.pseudonym_crl_events.push((seq, id));
-                    provider.pseudonym_crl_seq = provider.pseudonym_crl_seq.max(seq);
-                }
+        let provider = Self::assemble(
+            keys,
+            cert,
+            root_key,
+            mint,
+            ra_blind_key,
+            ShardedKv::single(store),
+            config,
+        );
+        {
+            // Catalog + rights templates.
+            let state = &provider.state;
+            let mut catalog = state.catalog.write();
+            let mut templates = state.rights_templates.write();
+            for (_, item) in state.content_table.scan_shared(&state.store)? {
+                templates.insert(
+                    item.meta.id,
+                    state
+                        .rights_table
+                        .get_shared(&state.store, item.meta.id.as_bytes())?
+                        .unwrap_or_else(Rights::standard_purchase),
+                );
+                catalog.restore(item);
             }
         }
-        provider.license_crl_events.sort_unstable();
-        provider.pseudonym_crl_events.sort_unstable();
+        {
+            // CRLs: "crl/l/<id>" and "crl/p/<id>" entries whose value is
+            // the sequence number at which the revocation happened.
+            let state = &provider.state;
+            let mut crl = state.crl.write();
+            for (key, seq) in state.crl_table.scan_shared(&state.store)? {
+                if let Some(id_bytes) = key.strip_prefix(b"l/") {
+                    if id_bytes.len() == 32 {
+                        let id = KeyId(id_bytes.try_into().expect("checked width"));
+                        crl.license_crl.insert(id);
+                        crl.license_crl_events.push((seq, id));
+                        crl.license_crl_seq = crl.license_crl_seq.max(seq);
+                    }
+                } else if let Some(id_bytes) = key.strip_prefix(b"p/") {
+                    if id_bytes.len() == 32 {
+                        let id = KeyId(id_bytes.try_into().expect("checked width"));
+                        crl.pseudonym_crl.insert(id);
+                        crl.pseudonym_crl_events.push((seq, id));
+                        crl.pseudonym_crl_seq = crl.pseudonym_crl_seq.max(seq);
+                    }
+                }
+            }
+            crl.license_crl_events.sort_unstable();
+            crl.pseudonym_crl_events.sort_unstable();
+        }
         Ok(provider)
     }
 
     /// Serialized private key material for the operator's key vault
     /// (pair this with [`ContentProvider::resume`]). **Secret bytes.**
     pub fn export_keys(&self) -> Vec<u8> {
-        p2drm_codec::to_bytes(&self.keys)
+        p2drm_codec::to_bytes(&self.core.keys)
     }
 
-    fn persist_crl_entry(&mut self, kind: u8, id: &KeyId) -> Result<(), CoreError> {
+    /// Persists one revocation into the CRL table. Caller holds the CRL
+    /// write lock and has already bumped the relevant sequence counter.
+    fn persist_crl_entry(&self, crl: &mut CrlState, kind: u8, id: &KeyId) -> Result<(), CoreError> {
         let seq = match kind {
-            b'l' => self.license_crl_seq,
-            _ => self.pseudonym_crl_seq,
+            b'l' => crl.license_crl_seq,
+            _ => crl.pseudonym_crl_seq,
         };
         let mut key = Vec::with_capacity(34);
         key.push(kind);
         key.push(b'/');
         key.extend_from_slice(&id.0);
-        self.crl_table.put(&mut self.store, &key, &seq)?;
+        self.state
+            .crl_table
+            .put_shared(&self.state.store, &key, &seq)?;
         match kind {
-            b'l' => self.license_crl_events.push((seq, *id)),
-            _ => self.pseudonym_crl_events.push((seq, *id)),
+            b'l' => crl.license_crl_events.push((seq, *id)),
+            _ => crl.pseudonym_crl_events.push((seq, *id)),
         }
         Ok(())
     }
 
     /// License verification key.
     pub fn public_key(&self) -> &RsaPublicKey {
-        self.keys.public()
+        self.core.keys.public()
     }
 
     /// Provider certificate (chains to the root).
     pub fn certificate(&self) -> &Certificate {
-        &self.cert
+        &self.core.cert
     }
 
     /// Publishes content with a rights template applied to every sale.
     /// The packaged item (including its content key) and the template are
     /// persisted so the catalog survives [`ContentProvider::resume`].
     pub fn publish<R: CryptoRng + ?Sized>(
-        &mut self,
+        &self,
         title: impl Into<String>,
         price: u64,
         payload: &[u8],
         rights: Rights,
         rng: &mut R,
     ) -> ContentId {
-        let id = self.catalog.publish(title, price, payload, rng);
-        let item = self.catalog.get(&id).expect("just published");
-        self.content_table
-            .put(&mut self.store, id.as_bytes(), item)
-            .expect("catalog persistence");
-        self.rights_table
-            .put(&mut self.store, id.as_bytes(), &rights)
-            .expect("template persistence");
-        self.rights_templates.insert(id, rights);
-        id
+        self.publish_with_requirement(title, price, payload, rights, None, rng)
     }
 
     /// Publishes attribute-restricted content (e.g. age-rated): buyers
     /// must present a credential for `attribute` bound to their pseudonym.
     pub fn publish_restricted<R: CryptoRng + ?Sized>(
-        &mut self,
+        &self,
         title: impl Into<String>,
         price: u64,
         payload: &[u8],
@@ -284,27 +392,46 @@ impl<S: Kv> ContentProvider<S> {
         attribute: &str,
         rng: &mut R,
     ) -> ContentId {
-        let id = self.catalog.publish_with_requirement(
+        self.publish_with_requirement(
             title,
             price,
             payload,
+            rights,
             Some(attribute.to_string()),
             rng,
-        );
-        let item = self.catalog.get(&id).expect("just published");
-        self.content_table
-            .put(&mut self.store, id.as_bytes(), item)
+        )
+    }
+
+    fn publish_with_requirement<R: CryptoRng + ?Sized>(
+        &self,
+        title: impl Into<String>,
+        price: u64,
+        payload: &[u8],
+        rights: Rights,
+        required_attribute: Option<String>,
+        rng: &mut R,
+    ) -> ContentId {
+        let mut catalog = self.state.catalog.write();
+        let id = catalog.publish_with_requirement(title, price, payload, required_attribute, rng);
+        let item = catalog.get(&id).expect("just published");
+        self.state
+            .content_table
+            .put_shared(&self.state.store, id.as_bytes(), item)
             .expect("catalog persistence");
-        self.rights_table
-            .put(&mut self.store, id.as_bytes(), &rights)
+        self.state
+            .rights_table
+            .put_shared(&self.state.store, id.as_bytes(), &rights)
             .expect("template persistence");
-        self.rights_templates.insert(id, rights);
+        self.state.rights_templates.write().insert(id, rights);
         id
     }
 
     /// Trusts an RA per-attribute verification key (operator setup).
-    pub fn trust_attribute(&mut self, attribute: &str, key: RsaPublicKey) {
-        self.attribute_trust.insert(attribute.to_string(), key);
+    pub fn trust_attribute(&self, attribute: &str, key: RsaPublicKey) {
+        self.state
+            .attribute_trust
+            .write()
+            .insert(attribute.to_string(), key);
     }
 
     /// Checks the attribute requirement of a purchase, if any.
@@ -322,8 +449,8 @@ impl<S: Kv> ContentProvider<S> {
         if cert.attribute != attr {
             return Err(CoreError::BadPseudonym("wrong attribute credential"));
         }
-        let key = self
-            .attribute_trust
+        let trust = self.state.attribute_trust.read();
+        let key = trust
             .get(attr)
             .ok_or(CoreError::BadPseudonym("attribute issuer not trusted"))?;
         cert.verify(key)
@@ -335,15 +462,37 @@ impl<S: Kv> ContentProvider<S> {
                 "attribute bound to a different pseudonym",
             ));
         }
-        if cert.body.epoch > now_epoch || now_epoch - cert.body.epoch > self.config.epoch_window {
+        if cert.body.epoch > now_epoch
+            || now_epoch - cert.body.epoch > self.core.config.epoch_window
+        {
             return Err(CoreError::BadPseudonym("attribute credential epoch stale"));
         }
         Ok(())
     }
 
-    /// Read access to the catalog.
-    pub fn catalog(&self) -> &ContentCatalog {
-        &self.catalog
+    /// Public metadata for one catalog item.
+    pub fn content_meta(&self, id: &ContentId) -> Option<ContentMeta> {
+        self.state
+            .catalog
+            .read()
+            .get(id)
+            .map(|item| item.meta.clone())
+    }
+
+    /// Public metadata listing (what an anonymous browser sees), id-sorted.
+    pub fn list_content(&self) -> Vec<ContentMeta> {
+        self.state
+            .catalog
+            .read()
+            .list()
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of catalog items.
+    pub fn content_count(&self) -> usize {
+        self.state.catalog.read().len()
     }
 
     /// Validates a pseudonym certificate: RA blind signature, epoch
@@ -353,49 +502,63 @@ impl<S: Kv> ContentProvider<S> {
         cert: &PseudonymCertificate,
         now_epoch: u32,
     ) -> Result<(), CoreError> {
-        cert.verify(&self.ra_blind_key)
+        cert.verify(&self.core.ra_blind_key)
             .map_err(|_| CoreError::BadPseudonym("RA signature invalid"))?;
         if cert.body.epoch > now_epoch {
             return Err(CoreError::BadPseudonym("epoch in the future"));
         }
-        if now_epoch - cert.body.epoch > self.config.epoch_window {
+        if now_epoch - cert.body.epoch > self.core.config.epoch_window {
             return Err(CoreError::BadPseudonym("epoch too old"));
         }
-        if self.pseudonym_crl.contains(&cert.pseudonym_id()) {
+        if self
+            .state
+            .crl
+            .read()
+            .pseudonym_crl
+            .contains(&cert.pseudonym_id())
+        {
             return Err(CoreError::BadPseudonym("pseudonym revoked"));
         }
         Ok(())
     }
 
     /// Anonymous purchase: verify pseudonym + coin, deposit, issue license.
+    /// Callable from many threads at once through `&self`.
     pub fn handle_purchase<R: CryptoRng + ?Sized>(
-        &mut self,
+        &self,
         req: &PurchaseRequest,
         now_epoch: u32,
         rng: &mut R,
     ) -> Result<License, CoreError> {
         self.verify_pseudonym(&req.pseudonym_cert, now_epoch)?;
-        let item = self
-            .catalog
-            .get(&req.content_id)
-            .ok_or(CoreError::UnknownContent(req.content_id))?;
-        if req.coin.denomination < item.meta.price {
+        let (price, required, content_key) = {
+            let catalog = self.state.catalog.read();
+            let item = catalog
+                .get(&req.content_id)
+                .ok_or(CoreError::UnknownContent(req.content_id))?;
+            (
+                item.meta.price,
+                item.meta.required_attribute.clone(),
+                item.key,
+            )
+        };
+        if req.coin.denomination < price {
             return Err(CoreError::Payment(
                 p2drm_payment::PaymentError::InsufficientFunds {
                     balance: req.coin.denomination,
-                    requested: item.meta.price,
+                    requested: price,
                 },
             ));
         }
-        let required = item.meta.required_attribute.clone();
-        let content_key = item.key;
         self.check_attribute_requirement(req, required.as_deref(), now_epoch)?;
         // Deposit is the last fallible external step before issuance; a
         // double-spent coin is rejected here by the mint's spent store.
-        self.mint.deposit(&req.coin)?;
+        self.state.mint.deposit(&req.coin)?;
 
         let rights = self
+            .state
             .rights_templates
+            .read()
             .get(&req.content_id)
             .cloned()
             .unwrap_or_else(Rights::standard_purchase);
@@ -407,10 +570,11 @@ impl<S: Kv> ContentProvider<S> {
             key_envelope: envelope::seal(&req.pseudonym_cert.body.pseudonym_key, &content_key, rng),
             issued_epoch: now_epoch,
         };
-        let license = License::issue(body, &self.keys);
-        self.licenses
-            .put(&mut self.store, license.id().as_bytes(), &license)?;
-        self.purchase_log.push(PurchaseRecord {
+        let license = License::issue(body, &self.core.keys);
+        self.state
+            .licenses
+            .put_shared(&self.state.store, license.id().as_bytes(), &license)?;
+        self.state.purchase_log.lock().push(PurchaseRecord {
             pseudonym: req.pseudonym_cert.pseudonym_id(),
             content: req.content_id,
             epoch: now_epoch,
@@ -421,16 +585,28 @@ impl<S: Kv> ContentProvider<S> {
     /// Privacy-preserving transfer: revoke the old anonymous license,
     /// issue a fresh one to the recipient pseudonym. The provider sees two
     /// pseudonyms and cannot link either to an identity.
+    ///
+    /// Concurrency: of N racing transfers of the same license id, exactly
+    /// one passes the atomic spent-ID `insert_if_absent`; the rest fail
+    /// with [`CoreError::AlreadyRedeemed`].
     pub fn handle_transfer<R: CryptoRng + ?Sized>(
-        &mut self,
+        &self,
         req: &TransferRequest,
         now_epoch: u32,
         rng: &mut R,
     ) -> Result<License, CoreError> {
-        req.license.verify(self.keys.public())?;
+        req.license.verify(self.core.keys.public())?;
         self.verify_pseudonym(&req.recipient_cert, now_epoch)?;
         let lid = req.license.id();
-        if self.license_crl.contains(&license_crl_id(&lid)) {
+        // Fast-path reject for ids already revoked (the authoritative
+        // exactly-once decision is the spent-ID insert below).
+        if self
+            .state
+            .crl
+            .read()
+            .license_crl
+            .contains(&license_crl_id(&lid))
+        {
             return Err(CoreError::AlreadyRedeemed(lid));
         }
         // Transfer must be granted by the license's own rights.
@@ -448,8 +624,7 @@ impl<S: Kv> ContentProvider<S> {
             _ => {}
         }
         // Holder proof: current holder signed (lid ‖ recipient key id).
-        let proof_bytes =
-            messages::transfer_proof_bytes(&lid, &req.recipient_cert.pseudonym_id());
+        let proof_bytes = messages::transfer_proof_bytes(&lid, &req.recipient_cert.pseudonym_id());
         req.license
             .body
             .holder
@@ -457,38 +632,44 @@ impl<S: Kv> ContentProvider<S> {
             .map_err(|_| CoreError::BadProof)?;
 
         // The unique-ID rule: exactly one transfer of this lid ever
-        // succeeds, atomically, even across restarts (WalKv-backed store).
-        let fresh = self
-            .spent
-            .insert_if_absent(&mut self.store, lid.as_bytes(), &now_epoch)?;
+        // succeeds, atomically, even across restarts (WalKv-backed store)
+        // and across threads (check-and-set under the shard write lock).
+        let fresh = self.state.spent.insert_if_absent_shared(
+            &self.state.store,
+            lid.as_bytes(),
+            &now_epoch,
+        )?;
         if !fresh {
             return Err(CoreError::AlreadyRedeemed(lid));
         }
-        self.license_crl.insert(license_crl_id(&lid));
-        self.license_crl_seq += 1;
-        self.persist_crl_entry(b'l', &license_crl_id(&lid))?;
+        {
+            let mut crl = self.state.crl.write();
+            crl.license_crl.insert(license_crl_id(&lid));
+            crl.license_crl_seq += 1;
+            self.persist_crl_entry(&mut crl, b'l', &license_crl_id(&lid))?;
+        }
 
-        let item = self
-            .catalog
-            .get(&req.license.body.content_id)
-            .ok_or(CoreError::UnknownContent(req.license.body.content_id))?;
+        let content_key = {
+            let catalog = self.state.catalog.read();
+            catalog
+                .get(&req.license.body.content_id)
+                .ok_or(CoreError::UnknownContent(req.license.body.content_id))?
+                .key
+        };
         let new_rights = decrement_transfer(&req.license.body.rights);
         let body = LicenseBody {
             license_id: LicenseId::random(rng),
             content_id: req.license.body.content_id,
             holder: req.recipient_cert.body.pseudonym_key.clone(),
             rights: new_rights,
-            key_envelope: envelope::seal(
-                &req.recipient_cert.body.pseudonym_key,
-                &item.key,
-                rng,
-            ),
+            key_envelope: envelope::seal(&req.recipient_cert.body.pseudonym_key, &content_key, rng),
             issued_epoch: now_epoch,
         };
-        let license = License::issue(body, &self.keys);
-        self.licenses
-            .put(&mut self.store, license.id().as_bytes(), &license)?;
-        self.transfer_log.push(TransferRecord {
+        let license = License::issue(body, &self.core.keys);
+        self.state
+            .licenses
+            .put_shared(&self.state.store, license.id().as_bytes(), &license)?;
+        self.state.transfer_log.lock().push(TransferRecord {
             from_pseudonym: KeyId::of_rsa(&req.license.body.holder),
             to_pseudonym: req.recipient_cert.pseudonym_id(),
             content: req.license.body.content_id,
@@ -503,7 +684,7 @@ impl<S: Kv> ContentProvider<S> {
     /// devices or people compose the domain.
     #[allow(clippy::too_many_arguments)]
     pub fn handle_domain_purchase<R: CryptoRng + ?Sized>(
-        &mut self,
+        &self,
         manager_cert: &Certificate,
         coin: &p2drm_payment::Coin,
         content_id: ContentId,
@@ -512,28 +693,32 @@ impl<S: Kv> ContentProvider<S> {
         now_epoch: u32,
         rng: &mut R,
     ) -> Result<License, CoreError> {
-        manager_cert.verify(&self.root_key, now)?;
+        manager_cert.verify(&self.core.root_key, now)?;
         if manager_cert.body.extension("domain-manager").is_none() {
             return Err(CoreError::BadLicense("not a certified domain manager"));
         }
         let manager_key = manager_cert.body.subject_key.as_rsa()?.clone();
-        let item = self
-            .catalog
-            .get(&content_id)
-            .ok_or(CoreError::UnknownContent(content_id))?;
-        if coin.denomination < item.meta.price {
+        let (price, content_key) = {
+            let catalog = self.state.catalog.read();
+            let item = catalog
+                .get(&content_id)
+                .ok_or(CoreError::UnknownContent(content_id))?;
+            (item.meta.price, item.key)
+        };
+        if coin.denomination < price {
             return Err(CoreError::Payment(
                 p2drm_payment::PaymentError::InsufficientFunds {
                     balance: coin.denomination,
-                    requested: item.meta.price,
+                    requested: price,
                 },
             ));
         }
-        let content_key = item.key;
-        self.mint.deposit(coin)?;
+        self.state.mint.deposit(coin)?;
 
         let mut rights = self
+            .state
             .rights_templates
+            .read()
             .get(&content_id)
             .cloned()
             .unwrap_or_else(Rights::standard_purchase);
@@ -546,10 +731,11 @@ impl<S: Kv> ContentProvider<S> {
             key_envelope: envelope::seal(&manager_key, &content_key, rng),
             issued_epoch: now_epoch,
         };
-        let license = License::issue(body, &self.keys);
-        self.licenses
-            .put(&mut self.store, license.id().as_bytes(), &license)?;
-        self.purchase_log.push(PurchaseRecord {
+        let license = License::issue(body, &self.core.keys);
+        self.state
+            .licenses
+            .put_shared(&self.state.store, license.id().as_bytes(), &license)?;
+        self.state.purchase_log.lock().push(PurchaseRecord {
             pseudonym: KeyId::of_rsa(&manager_key),
             content: content_id,
             epoch: now_epoch,
@@ -560,68 +746,102 @@ impl<S: Kv> ContentProvider<S> {
     /// Anonymous content download (no authentication — the payload is
     /// useless without a license).
     pub fn download(&self, content_id: &ContentId) -> Result<([u8; 12], Vec<u8>), CoreError> {
-        let item = self
-            .catalog
+        let catalog = self.state.catalog.read();
+        let item = catalog
             .get(content_id)
             .ok_or(CoreError::UnknownContent(*content_id))?;
         Ok((item.nonce, item.ciphertext.clone()))
     }
 
     /// Revokes a pseudonym (after TTP de-anonymization).
-    pub fn revoke_pseudonym(&mut self, id: KeyId) -> Result<(), CoreError> {
-        self.pseudonym_crl.insert(id);
-        self.pseudonym_crl_seq += 1;
-        self.persist_crl_entry(b'p', &id)
+    pub fn revoke_pseudonym(&self, id: KeyId) -> Result<(), CoreError> {
+        let mut crl = self.state.crl.write();
+        crl.pseudonym_crl.insert(id);
+        crl.pseudonym_crl_seq += 1;
+        self.persist_crl_entry(&mut crl, b'p', &id)
     }
 
     /// Revokes a license id directly (e.g. refund, abuse).
-    pub fn revoke_license(&mut self, lid: &LicenseId) -> Result<(), CoreError> {
+    pub fn revoke_license(&self, lid: &LicenseId) -> Result<(), CoreError> {
+        // Claim the id in the spent table *first*: the spent-ID
+        // check-and-set is the authoritative exactly-once decision shared
+        // with `handle_transfer`, so a transfer racing this revocation
+        // either already won (and the revocation lands on a transferred
+        // license, same as the sequential order transfer-then-revoke) or
+        // loses with `AlreadyRedeemed`. Without this, a transfer could
+        // pass the CRL fast-path read just before the revocation commits
+        // and re-issue revoked content. `u32::MAX` marks "revoked, not
+        // transferred" (transfers store the transfer epoch).
+        let _ = self.state.spent.insert_if_absent_shared(
+            &self.state.store,
+            lid.as_bytes(),
+            &u32::MAX,
+        )?;
         let id = license_crl_id(lid);
-        self.license_crl.insert(id);
-        self.license_crl_seq += 1;
-        self.persist_crl_entry(b'l', &id)
+        let mut crl = self.state.crl.write();
+        crl.license_crl.insert(id);
+        crl.license_crl_seq += 1;
+        self.persist_crl_entry(&mut crl, b'l', &id)
     }
 
     /// Signed license CRL for full device sync.
     pub fn signed_license_crl(&self, issued_at: u64) -> SignedCrl {
-        SignedCrl::create(&self.keys, self.license_crl_seq, issued_at, self.license_crl.clone())
+        let crl = self.state.crl.read();
+        SignedCrl::create(
+            &self.core.keys,
+            crl.license_crl_seq,
+            issued_at,
+            crl.license_crl.clone(),
+        )
     }
 
     /// Signed pseudonym CRL for full device sync.
     pub fn signed_pseudonym_crl(&self, issued_at: u64) -> SignedCrl {
-        SignedCrl::create(&self.keys, self.pseudonym_crl_seq, issued_at, self.pseudonym_crl.clone())
+        let crl = self.state.crl.read();
+        SignedCrl::create(
+            &self.core.keys,
+            crl.pseudonym_crl_seq,
+            issued_at,
+            crl.pseudonym_crl.clone(),
+        )
     }
 
     /// Incremental license-CRL update for a device that already holds
     /// sequence `since` — O(changes) bytes instead of the full list.
     pub fn license_crl_delta(&self, since: u64, issued_at: u64) -> p2drm_pki::crl::SignedCrlDelta {
-        let added = self
+        let crl = self.state.crl.read();
+        let added = crl
             .license_crl_events
             .iter()
             .filter(|(seq, _)| *seq > since)
             .map(|(_, id)| *id)
             .collect();
         p2drm_pki::crl::SignedCrlDelta::create(
-            &self.keys,
+            &self.core.keys,
             since,
-            self.license_crl_seq,
+            crl.license_crl_seq,
             issued_at,
             added,
         )
     }
 
     /// Incremental pseudonym-CRL update.
-    pub fn pseudonym_crl_delta(&self, since: u64, issued_at: u64) -> p2drm_pki::crl::SignedCrlDelta {
-        let added = self
+    pub fn pseudonym_crl_delta(
+        &self,
+        since: u64,
+        issued_at: u64,
+    ) -> p2drm_pki::crl::SignedCrlDelta {
+        let crl = self.state.crl.read();
+        let added = crl
             .pseudonym_crl_events
             .iter()
             .filter(|(seq, _)| *seq > since)
             .map(|(_, id)| *id)
             .collect();
         p2drm_pki::crl::SignedCrlDelta::create(
-            &self.keys,
+            &self.core.keys,
             since,
-            self.pseudonym_crl_seq,
+            crl.pseudonym_crl_seq,
             issued_at,
             added,
         )
@@ -629,32 +849,29 @@ impl<S: Kv> ContentProvider<S> {
 
     /// Licenses issued so far.
     pub fn license_count(&self) -> usize {
-        self.licenses.len(&self.store)
+        self.state.licenses.len_shared(&self.state.store)
     }
 
-    /// Spent (transferred/redeemed) license ids so far.
+    /// Spent license ids so far: transferred/redeemed or directly
+    /// revoked — every id that can never be redeemed again.
     pub fn spent_count(&self) -> usize {
-        self.spent.len(&self.store)
+        self.state.spent.len_shared(&self.state.store)
     }
 
-    /// The adversarial-provider purchase view.
-    pub fn purchase_log(&self) -> &[PurchaseRecord] {
-        &self.purchase_log
+    /// Snapshot of the adversarial-provider purchase view.
+    pub fn purchase_log(&self) -> Vec<PurchaseRecord> {
+        self.state.purchase_log.lock().clone()
     }
 
-    /// The adversarial-provider transfer view.
-    pub fn transfer_log(&self) -> &[TransferRecord] {
-        &self.transfer_log
+    /// Snapshot of the adversarial-provider transfer view.
+    pub fn transfer_log(&self) -> Vec<TransferRecord> {
+        self.state.transfer_log.lock().clone()
     }
 
-    /// Direct store access (storage metrics in E6).
-    pub fn store(&self) -> &S {
-        &self.store
-    }
-
-    /// Mutable store access (maintenance: compaction etc.).
-    pub fn store_mut(&mut self) -> &mut S {
-        &mut self.store
+    /// Direct store access (storage metrics in E6, maintenance such as
+    /// compaction via [`ShardedKv::for_each_shard`]).
+    pub fn store(&self) -> &ShardedKv<S> {
+        &self.state.store
     }
 }
 
@@ -696,5 +913,12 @@ mod tests {
             license_crl_id(&lid),
             license_crl_id(&LicenseId::from_label("y"))
         );
+    }
+
+    #[test]
+    fn provider_is_sync_over_sync_stores() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<ContentProvider<MemKv>>();
+        assert_sync::<ContentProvider<p2drm_store::WalKv>>();
     }
 }

@@ -1,6 +1,11 @@
 //! The registration authority: the only entity that knows which human owns
 //! which card. It certifies cards at registration, blind-signs pseudonym
 //! certificates (learning nothing about them), and maintains the card CRL.
+//!
+//! Like the provider, the RA is a server-side entity shared by many
+//! concurrent clients, so its mutable registry lives behind an interior
+//! lock and every endpoint takes `&self` — `System::purchase`-family
+//! methods can run from N threads against one RA.
 
 use crate::entities::smartcard::{CardBudget, SmartCard};
 use crate::ids::{CardId, UserId};
@@ -12,6 +17,7 @@ use p2drm_crypto::rsa::{RsaKeyPair, RsaPublicKey, RsaSignature};
 use p2drm_pki::authority::{CertificateAuthority, RegistrationAuthorityKeys};
 use p2drm_pki::cert::{Certificate, EntityKind, KeyId, SubjectKey, Validity};
 use p2drm_pki::crl::{RevocationList, SignedCrl};
+use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 
 /// What the RA records at each blind issuance — the adversarial-RA view
@@ -24,11 +30,8 @@ pub struct IssuanceRecord {
     pub blinded: UBig,
 }
 
-/// The registration authority.
-pub struct RegistrationAuthority {
-    keys: RegistrationAuthorityKeys,
-    key_bits: usize,
-    validity: Validity,
+/// The RA's mutable registry (identity links, attribute grants, card CRL).
+struct RaState {
     users: HashMap<UserId, CardId>,
     /// card id -> master key id (CRL handle).
     cards: HashMap<CardId, KeyId>,
@@ -45,6 +48,14 @@ pub struct RegistrationAuthority {
     issuance_log: Vec<IssuanceRecord>,
 }
 
+/// The registration authority.
+pub struct RegistrationAuthority {
+    keys: RegistrationAuthorityKeys,
+    key_bits: usize,
+    validity: Validity,
+    state: Mutex<RaState>,
+}
+
 impl RegistrationAuthority {
     /// Creates an RA whose keys chain to `root`.
     pub fn new<R: CryptoRng + ?Sized>(
@@ -57,14 +68,16 @@ impl RegistrationAuthority {
             keys: RegistrationAuthorityKeys::create(root, key_bits, validity, rng),
             key_bits,
             validity,
-            users: HashMap::new(),
-            cards: HashMap::new(),
-            card_owners: HashMap::new(),
-            attributes: HashMap::new(),
-            attribute_keys: HashMap::new(),
-            card_crl: RevocationList::new(),
-            crl_seq: 0,
-            issuance_log: Vec::new(),
+            state: Mutex::new(RaState {
+                users: HashMap::new(),
+                cards: HashMap::new(),
+                card_owners: HashMap::new(),
+                attributes: HashMap::new(),
+                attribute_keys: HashMap::new(),
+                card_crl: RevocationList::new(),
+                crl_seq: 0,
+                issuance_log: Vec::new(),
+            }),
         }
     }
 
@@ -85,12 +98,14 @@ impl RegistrationAuthority {
 
     /// Registers `user` (simulated KYC) and issues a smart card.
     pub fn register_user<R: CryptoRng + ?Sized>(
-        &mut self,
+        &self,
         user: UserId,
         budget: CardBudget,
         rng: &mut R,
     ) -> Result<SmartCard, CoreError> {
-        if self.users.contains_key(&user) {
+        // Key generation happens outside the registry lock; the claim of
+        // the user id is re-checked inside it.
+        if self.state.lock().users.contains_key(&user) {
             return Err(CoreError::Card("user already registered"));
         }
         let card_id = CardId::random(rng);
@@ -101,9 +116,15 @@ impl RegistrationAuthority {
             self.validity,
             vec![],
         );
-        self.users.insert(user, card_id);
-        self.cards.insert(card_id, KeyId::of_rsa(master.public()));
-        self.card_owners.insert(card_id, user);
+        {
+            let mut state = self.state.lock();
+            if state.users.contains_key(&user) {
+                return Err(CoreError::Card("user already registered"));
+            }
+            state.users.insert(user, card_id);
+            state.cards.insert(card_id, KeyId::of_rsa(master.public()));
+            state.card_owners.insert(card_id, user);
+        }
         Ok(SmartCard::new(
             card_id,
             user,
@@ -120,7 +141,7 @@ impl RegistrationAuthority {
     /// over the blinded value) — this moment is linkable, which is fine:
     /// the RA learns "card X obtained *a* pseudonym", never *which*.
     pub fn issue_pseudonym(
-        &mut self,
+        &self,
         card_id: CardId,
         card_cert: &Certificate,
         blinded: &UBig,
@@ -129,14 +150,14 @@ impl RegistrationAuthority {
     ) -> Result<UBig, CoreError> {
         card_cert.verify(self.identity_public(), now)?;
         let master_key_id = card_cert.subject_id();
-        if self.card_crl.contains(&master_key_id) {
+        if self.state.lock().card_crl.contains(&master_key_id) {
             return Err(CoreError::Revoked("card"));
         }
         let master_key = card_cert.body.subject_key.as_rsa()?;
         master_key
             .verify(&blinded.to_bytes_be(), auth_sig)
             .map_err(|_| CoreError::BadProof)?;
-        self.issuance_log.push(IssuanceRecord {
+        self.state.lock().issuance_log.push(IssuanceRecord {
             card: card_id,
             blinded: blinded.clone(),
         });
@@ -152,7 +173,7 @@ impl RegistrationAuthority {
     /// Returns `(kept_index, blind_signature)`.
     #[allow(clippy::too_many_arguments)]
     pub fn issue_pseudonym_cut_and_choose<R: CryptoRng + ?Sized>(
-        &mut self,
+        &self,
         card_id: CardId,
         card_cert: &Certificate,
         blinded_values: &[UBig],
@@ -163,7 +184,7 @@ impl RegistrationAuthority {
         rng: &mut R,
     ) -> Result<(usize, UBig), CoreError> {
         card_cert.verify(self.identity_public(), now)?;
-        if self.card_crl.contains(&card_cert.subject_id()) {
+        if self.state.lock().card_crl.contains(&card_cert.subject_id()) {
             return Err(CoreError::Revoked("card"));
         }
         // Authenticate the whole candidate set at once.
@@ -199,7 +220,7 @@ impl RegistrationAuthority {
             },
         )
         .map_err(|_| CoreError::BadEvidence("cut-and-choose audit failed"))?;
-        self.issuance_log.push(IssuanceRecord {
+        self.state.lock().issuance_log.push(IssuanceRecord {
             card: card_id,
             blinded: blinded_values[keep].clone(),
         });
@@ -207,48 +228,63 @@ impl RegistrationAuthority {
     }
 
     /// Revokes the card belonging to `user` (post-de-anonymization).
-    pub fn revoke_user(&mut self, user: &UserId) -> Result<(), CoreError> {
-        let card = self
+    pub fn revoke_user(&self, user: &UserId) -> Result<(), CoreError> {
+        let mut state = self.state.lock();
+        let card = *state
             .users
             .get(user)
             .ok_or(CoreError::Card("unknown user"))?;
-        let key_id = self.cards[card];
-        self.card_crl.insert(key_id);
-        self.crl_seq += 1;
+        let key_id = state.cards[&card];
+        state.card_crl.insert(key_id);
+        state.crl_seq += 1;
         Ok(())
     }
 
     /// Whether a card master key is revoked.
     pub fn is_card_revoked(&self, master_key_id: &KeyId) -> bool {
-        self.card_crl.contains(master_key_id)
+        self.state.lock().card_crl.contains(master_key_id)
     }
 
     /// Signed card CRL for distribution.
     pub fn signed_card_crl(&self, issued_at: u64) -> SignedCrl {
+        let state = self.state.lock();
         SignedCrl::create(
             self.keys.identity.keypair(),
-            self.crl_seq,
+            state.crl_seq,
             issued_at,
-            self.card_crl.clone(),
+            state.card_crl.clone(),
         )
     }
 
     /// Records a verified real-world attribute for `user` (KYC outcome),
     /// creating the attribute's dedicated blind key on first use.
     pub fn grant_attribute<R: CryptoRng + ?Sized>(
-        &mut self,
+        &self,
         user: &UserId,
         attribute: &str,
         rng: &mut R,
     ) -> Result<(), CoreError> {
-        if !self.users.contains_key(user) {
+        // Keygen outside the lock when a new attribute key is needed.
+        let needs_key = {
+            let state = self.state.lock();
+            if !state.users.contains_key(user) {
+                return Err(CoreError::Card("unknown user"));
+            }
+            !state.attribute_keys.contains_key(attribute)
+        };
+        let new_key = needs_key.then(|| RsaKeyPair::generate(self.key_bits, rng));
+        let mut state = self.state.lock();
+        if !state.users.contains_key(user) {
             return Err(CoreError::Card("unknown user"));
         }
-        if !self.attribute_keys.contains_key(attribute) {
-            self.attribute_keys
-                .insert(attribute.to_string(), RsaKeyPair::generate(self.key_bits, rng));
+        if let Some(kp) = new_key {
+            state
+                .attribute_keys
+                .entry(attribute.to_string())
+                .or_insert(kp);
         }
-        self.attributes
+        state
+            .attributes
             .entry(*user)
             .or_default()
             .insert(attribute.to_string());
@@ -257,15 +293,19 @@ impl RegistrationAuthority {
 
     /// Verification key relying parties use for `attribute` (None until
     /// the first grant creates the key).
-    pub fn attribute_public(&self, attribute: &str) -> Option<&RsaPublicKey> {
-        self.attribute_keys.get(attribute).map(|kp| kp.public())
+    pub fn attribute_public(&self, attribute: &str) -> Option<RsaPublicKey> {
+        self.state
+            .lock()
+            .attribute_keys
+            .get(attribute)
+            .map(|kp| kp.public().clone())
     }
 
     /// Blind attribute certification: like pseudonym issuance, but the RA
     /// signs with the per-attribute key — and only after checking the
     /// authenticated card's owner actually holds the attribute.
     pub fn issue_attribute(
-        &mut self,
+        &self,
         card_id: CardId,
         card_cert: &Certificate,
         attribute: &str,
@@ -274,42 +314,44 @@ impl RegistrationAuthority {
         now: u64,
     ) -> Result<UBig, CoreError> {
         card_cert.verify(self.identity_public(), now)?;
-        if self.card_crl.contains(&card_cert.subject_id()) {
-            return Err(CoreError::Revoked("card"));
-        }
         let master_key = card_cert.body.subject_key.as_rsa()?;
         master_key
             .verify(&blinded.to_bytes_be(), auth_sig)
             .map_err(|_| CoreError::BadProof)?;
-        let owner = self
+        let mut state = self.state.lock();
+        if state.card_crl.contains(&card_cert.subject_id()) {
+            return Err(CoreError::Revoked("card"));
+        }
+        let owner = *state
             .card_owners
             .get(&card_id)
             .ok_or(CoreError::Card("unknown card"))?;
-        let entitled = self
+        let entitled = state
             .attributes
-            .get(owner)
+            .get(&owner)
             .is_some_and(|set| set.contains(attribute));
         if !entitled {
             return Err(CoreError::Card("attribute not held by user"));
         }
-        let kp = self
+        let kp = state
             .attribute_keys
             .get(attribute)
             .ok_or(CoreError::Card("attribute key missing"))?;
-        self.issuance_log.push(IssuanceRecord {
+        let sig = blind::blind_sign(kp, blinded)?;
+        state.issuance_log.push(IssuanceRecord {
             card: card_id,
             blinded: blinded.clone(),
         });
-        Ok(blind::blind_sign(kp, blinded)?)
+        Ok(sig)
     }
 
     /// Number of registered users.
     pub fn user_count(&self) -> usize {
-        self.users.len()
+        self.state.lock().users.len()
     }
 
-    /// The adversarial-RA issuance transcript.
-    pub fn issuance_log(&self) -> &[IssuanceRecord] {
-        &self.issuance_log
+    /// Snapshot of the adversarial-RA issuance transcript.
+    pub fn issuance_log(&self) -> Vec<IssuanceRecord> {
+        self.state.lock().issuance_log.clone()
     }
 }

@@ -15,7 +15,7 @@ fn card(seed: u64, budget: CardBudget) -> SmartCard {
     let mut rng = test_rng(seed);
     let v = Validity::new(0, u64::MAX / 2);
     let mut root = CertificateAuthority::new_root(512, v, &mut rng);
-    let mut ra = RegistrationAuthority::new(&mut root, 512, v, &mut rng);
+    let ra = RegistrationAuthority::new(&mut root, 512, v, &mut rng);
     ra.register_user(UserId::from_label("card-tester"), budget, &mut rng)
         .unwrap()
 }

@@ -154,7 +154,7 @@ mod tests {
         let mut rng = test_rng(140);
         let mut root =
             CertificateAuthority::new_root(512, Validity::new(0, u64::MAX / 2), &mut rng);
-        let mut ra = crate::entities::ra::RegistrationAuthority::new(
+        let ra = crate::entities::ra::RegistrationAuthority::new(
             &mut root,
             512,
             Validity::new(0, u64::MAX / 2),
@@ -183,9 +183,7 @@ mod tests {
             .unwrap();
         PseudonymCertificate {
             body,
-            signature: p2drm_crypto::rsa::RsaSignature::from_ubig(
-                p2drm_bignum::UBig::from_u64(1),
-            ),
+            signature: p2drm_crypto::rsa::RsaSignature::from_ubig(p2drm_bignum::UBig::from_u64(1)),
         }
     }
 

@@ -34,7 +34,9 @@ pub fn play<SP: Kv, SD: Kv, R: CryptoRng + ?Sized>(
         .pseudonym_certs()
         .iter()
         .find(|c| c.pseudonym_id() == owned.pseudonym)
-        .ok_or(CoreError::BadPseudonym("certificate for holder key missing"))?;
+        .ok_or(CoreError::BadPseudonym(
+            "certificate for holder key missing",
+        ))?;
 
     // Device -> Card: challenge.
     let nonce = device.make_challenge(rng);
@@ -260,7 +262,13 @@ mod tests {
         let lic2 = f.sys.purchase(&mut f.alice, cid2, &mut rng).unwrap();
         let mut t = Transcript::new();
         play(
-            &f.alice, &mut f.device, &f.sys.provider, &f.license, 10, &mut rng, &mut t,
+            &f.alice,
+            &mut f.device,
+            &f.sys.provider,
+            &f.license,
+            10,
+            &mut rng,
+            &mut t,
         )
         .unwrap();
         assert_eq!(f.device.rights_state(&f.license).unwrap().plays_used, 1);

@@ -20,7 +20,7 @@ use p2drm_pki::cert::{AttributeCertBody, AttributeCertificate, KeyId};
 /// pseudonym; stores it on the agent and returns the pseudonym it binds to.
 pub fn obtain_attribute<R: CryptoRng + ?Sized>(
     user: &mut UserAgent,
-    ra: &mut RegistrationAuthority,
+    ra: &RegistrationAuthority,
     attribute: &str,
     epoch: u32,
     now: u64,
@@ -84,7 +84,7 @@ mod tests {
     #[test]
     fn attribute_issuance_binds_to_current_pseudonym() {
         let mut rng = test_rng(300);
-        let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+        let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
         let mut alice = sys.register_user("alice", &mut rng).unwrap();
         sys.ra
             .grant_attribute(&alice.user_id(), "adult", &mut rng)
@@ -95,20 +95,20 @@ mod tests {
         let mut t = Transcript::new();
         let epoch = sys.epoch();
         let now = sys.now();
-        let bound = obtain_attribute(
-            &mut alice, &mut sys.ra, "adult", epoch, now, &mut rng, &mut t,
-        )
-        .unwrap();
+        let bound =
+            obtain_attribute(&mut alice, &sys.ra, "adult", epoch, now, &mut rng, &mut t).unwrap();
         assert_eq!(bound, pid);
         let cert = alice.attribute_cert_for(&pid, "adult").unwrap();
-        assert!(cert.verify(sys.ra.attribute_public("adult").unwrap()).is_ok());
+        assert!(cert
+            .verify(&sys.ra.attribute_public("adult").unwrap())
+            .is_ok());
         assert_eq!(t.message_count(), 2);
     }
 
     #[test]
     fn unentitled_user_refused() {
         let mut rng = test_rng(301);
-        let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+        let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
         let mut minor = sys.register_user("minor", &mut rng).unwrap();
         // Attribute key exists (someone else is an adult)...
         let mut adult = sys.register_user("adult-user", &mut rng).unwrap();
@@ -120,16 +120,14 @@ mod tests {
         let mut t = Transcript::new();
         let epoch = sys.epoch();
         let now = sys.now();
-        let res = obtain_attribute(
-            &mut minor, &mut sys.ra, "adult", epoch, now, &mut rng, &mut t,
-        );
+        let res = obtain_attribute(&mut minor, &sys.ra, "adult", epoch, now, &mut rng, &mut t);
         assert!(matches!(res, Err(CoreError::Card(_))));
     }
 
     #[test]
     fn ra_never_sees_attribute_cert_contents() {
         let mut rng = test_rng(302);
-        let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+        let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
         let mut alice = sys.register_user("alice", &mut rng).unwrap();
         sys.ra
             .grant_attribute(&alice.user_id(), "adult", &mut rng)
@@ -138,10 +136,8 @@ mod tests {
         let mut t = Transcript::new();
         let epoch = sys.epoch();
         let now = sys.now();
-        let pid = obtain_attribute(
-            &mut alice, &mut sys.ra, "adult", epoch, now, &mut rng, &mut t,
-        )
-        .unwrap();
+        let pid =
+            obtain_attribute(&mut alice, &sys.ra, "adult", epoch, now, &mut rng, &mut t).unwrap();
         let cert = alice.attribute_cert_for(&pid, "adult").unwrap();
         assert!(!t.scan_for(Party::Ra, &cert.body.signing_bytes()));
         let modulus = cert.body.pseudonym_key.modulus().to_bytes_be();
@@ -151,14 +147,22 @@ mod tests {
     #[test]
     fn unknown_attribute_refused() {
         let mut rng = test_rng(303);
-        let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+        let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
         let mut alice = sys.register_user("alice", &mut rng).unwrap();
         sys.ensure_pseudonym(&mut alice, &mut rng).unwrap();
         let mut t = Transcript::new();
         let epoch = sys.epoch();
         let now = sys.now();
         assert!(matches!(
-            obtain_attribute(&mut alice, &mut sys.ra, "nonexistent", epoch, now, &mut rng, &mut t),
+            obtain_attribute(
+                &mut alice,
+                &sys.ra,
+                "nonexistent",
+                epoch,
+                now,
+                &mut rng,
+                &mut t
+            ),
             Err(CoreError::Card(_))
         ));
     }

@@ -253,9 +253,18 @@ mod tests {
         let lid_b = LicenseId::from_label("b");
         let k1 = p2drm_pki::cert::digest_id(b"k1");
         let k2 = p2drm_pki::cert::digest_id(b"k2");
-        assert_eq!(transfer_proof_bytes(&lid_a, &k1), transfer_proof_bytes(&lid_a, &k1));
-        assert_ne!(transfer_proof_bytes(&lid_a, &k1), transfer_proof_bytes(&lid_b, &k1));
-        assert_ne!(transfer_proof_bytes(&lid_a, &k1), transfer_proof_bytes(&lid_a, &k2));
+        assert_eq!(
+            transfer_proof_bytes(&lid_a, &k1),
+            transfer_proof_bytes(&lid_a, &k1)
+        );
+        assert_ne!(
+            transfer_proof_bytes(&lid_a, &k1),
+            transfer_proof_bytes(&lid_b, &k1)
+        );
+        assert_ne!(
+            transfer_proof_bytes(&lid_a, &k1),
+            transfer_proof_bytes(&lid_a, &k2)
+        );
     }
 
     #[test]

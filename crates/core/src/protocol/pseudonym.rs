@@ -20,7 +20,7 @@ use p2drm_pki::cert::{KeyId, PseudonymCertificate};
 /// user agent and its pseudonym id returned.
 pub fn obtain_pseudonym<R: CryptoRng + ?Sized>(
     user: &mut UserAgent,
-    ra: &mut RegistrationAuthority,
+    ra: &RegistrationAuthority,
     ttp_key: &ElGamalPublicKey,
     epoch: u32,
     now: u64,
@@ -81,7 +81,7 @@ pub fn obtain_pseudonym<R: CryptoRng + ?Sized>(
 #[allow(clippy::too_many_arguments)]
 pub fn obtain_pseudonym_cut_and_choose<R: CryptoRng + ?Sized>(
     user: &mut UserAgent,
-    ra: &mut RegistrationAuthority,
+    ra: &RegistrationAuthority,
     ttp_key: &ElGamalPublicKey,
     epoch: u32,
     now: u64,
@@ -132,7 +132,8 @@ pub fn obtain_pseudonym_cut_and_choose<R: CryptoRng + ?Sized>(
     let kept_body = bodies.swap_remove(keep);
     let kept_id = KeyId::of_rsa(&kept_body.pseudonym_key);
     for body in bodies {
-        user.card.forget_pseudonym(&KeyId::of_rsa(&body.pseudonym_key));
+        user.card
+            .forget_pseudonym(&KeyId::of_rsa(&body.pseudonym_key));
     }
     let cert = PseudonymCertificate {
         body: kept_body,
@@ -167,11 +168,11 @@ mod tests {
         let mut rng = test_rng(seed);
         let v = Validity::new(0, u64::MAX / 2);
         let mut root = CertificateAuthority::new_root(512, v, &mut rng);
-        let mut ra = RegistrationAuthority::new(&mut root, 512, v, &mut rng);
+        let ra = RegistrationAuthority::new(&mut root, 512, v, &mut rng);
         let ttp = Ttp::new(ElGamalGroup::test_512(), &mut rng);
         let mut t = Transcript::new();
         let user = register(
-            &mut ra,
+            &ra,
             UserId::from_label("carol"),
             "acct",
             PseudonymPolicy::FreshPerPurchase,
@@ -190,7 +191,7 @@ mod tests {
         let mut t = Transcript::new();
         let id = obtain_pseudonym(
             &mut f.user,
-            &mut f.ra,
+            &f.ra,
             f.ttp.escrow_key(),
             3,
             100,
@@ -216,7 +217,7 @@ mod tests {
         let mut t = Transcript::new();
         obtain_pseudonym(
             &mut f.user,
-            &mut f.ra,
+            &f.ra,
             f.ttp.escrow_key(),
             0,
             100,
@@ -239,7 +240,7 @@ mod tests {
         let mut t = Transcript::new();
         let id = obtain_pseudonym_cut_and_choose(
             &mut f.user,
-            &mut f.ra,
+            &f.ra,
             f.ttp.escrow_key(),
             2,
             100,
@@ -268,7 +269,7 @@ mod tests {
         let mut t = Transcript::new();
         let res = obtain_pseudonym_cut_and_choose(
             &mut f.user,
-            &mut f.ra,
+            &f.ra,
             f.ttp.escrow_key(),
             5, // candidates carry epoch 5...
             100,
@@ -282,7 +283,12 @@ mod tests {
 
         // Direct endpoint test with a mismatched expected epoch.
         let bodies: Vec<_> = (0..3)
-            .map(|_| f.user.card.begin_pseudonym(f.ttp.escrow_key(), 9, &mut rng).unwrap())
+            .map(|_| {
+                f.user
+                    .card
+                    .begin_pseudonym(f.ttp.escrow_key(), 9, &mut rng)
+                    .unwrap()
+            })
             .collect();
         let messages: Vec<Vec<u8>> = bodies.iter().map(|b| b.signing_bytes()).collect();
         let request = p2drm_crypto::blind::CutChooseRequest::prepare(
@@ -319,7 +325,7 @@ mod tests {
         let mut t = Transcript::new();
         let res = obtain_pseudonym(
             &mut f.user,
-            &mut f.ra,
+            &f.ra,
             f.ttp.escrow_key(),
             0,
             100,
@@ -335,11 +341,23 @@ mod tests {
         let mut rng = test_rng(167);
         let mut t = Transcript::new();
         let a = obtain_pseudonym(
-            &mut f.user, &mut f.ra, f.ttp.escrow_key(), 0, 100, &mut rng, &mut t,
+            &mut f.user,
+            &f.ra,
+            f.ttp.escrow_key(),
+            0,
+            100,
+            &mut rng,
+            &mut t,
         )
         .unwrap();
         let b = obtain_pseudonym(
-            &mut f.user, &mut f.ra, f.ttp.escrow_key(), 0, 100, &mut rng, &mut t,
+            &mut f.user,
+            &f.ra,
+            f.ttp.escrow_key(),
+            0,
+            100,
+            &mut rng,
+            &mut t,
         )
         .unwrap();
         assert_ne!(a, b);

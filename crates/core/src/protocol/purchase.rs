@@ -23,7 +23,7 @@ use p2drm_store::Kv;
 /// and enough account balance at the mint for the coin withdrawal.
 pub fn purchase<S: Kv, R: CryptoRng + ?Sized>(
     user: &mut UserAgent,
-    provider: &mut ContentProvider<S>,
+    provider: &ContentProvider<S>,
     mint: &Mint,
     content_id: ContentId,
     now_epoch: u32,
@@ -31,11 +31,8 @@ pub fn purchase<S: Kv, R: CryptoRng + ?Sized>(
     transcript: &mut Transcript,
 ) -> Result<License, CoreError> {
     let item_meta = provider
-        .catalog()
-        .get(&content_id)
-        .ok_or(CoreError::UnknownContent(content_id))?
-        .meta
-        .clone();
+        .content_meta(&content_id)
+        .ok_or(CoreError::UnknownContent(content_id))?;
     let item_price = item_meta.price;
 
     let pseudonym_cert = user
@@ -61,7 +58,9 @@ pub fn purchase<S: Kv, R: CryptoRng + ?Sized>(
     // When the price is not a mint denomination, the smallest covering
     // coin is used — fixed-denomination e-cash cannot make change.
     let account = user.account.clone();
-    let coin = user.wallet.coin_for_amount(mint, &account, item_price, rng)?;
+    let coin = user
+        .wallet
+        .coin_for_amount(mint, &account, item_price, rng)?;
     transcript.record(
         Party::User,
         Party::Mint,
@@ -119,7 +118,7 @@ mod tests {
     #[test]
     fn purchase_yields_valid_license_bound_to_pseudonym() {
         let mut rng = test_rng(170);
-        let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+        let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
         let cid = sys.publish_content("T", 100, b"payload", &mut rng);
         let mut alice = sys.register_user("alice", &mut rng).unwrap();
         sys.fund(&alice, 500);
@@ -130,7 +129,7 @@ mod tests {
         let mint = sys.mint.clone();
         let license = purchase(
             &mut alice,
-            &mut sys.provider,
+            &sys.provider,
             &mint,
             cid,
             epoch,
@@ -153,7 +152,7 @@ mod tests {
     fn provider_receives_no_identity_bytes() {
         // The paper's core privacy claim, checked against actual wire bytes.
         let mut rng = test_rng(171);
-        let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+        let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
         let cid = sys.publish_content("T", 100, b"payload", &mut rng);
         let mut alice = sys.register_user("alice", &mut rng).unwrap();
         sys.fund(&alice, 500);
@@ -164,7 +163,7 @@ mod tests {
         let mint = sys.mint.clone();
         purchase(
             &mut alice,
-            &mut sys.provider,
+            &sys.provider,
             &mint,
             cid,
             epoch,
@@ -182,7 +181,7 @@ mod tests {
     #[test]
     fn purchase_without_pseudonym_fails() {
         let mut rng = test_rng(172);
-        let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+        let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
         let cid = sys.publish_content("T", 100, b"payload", &mut rng);
         let mut alice = sys.register_user("alice", &mut rng).unwrap();
         sys.fund(&alice, 500);
@@ -191,7 +190,7 @@ mod tests {
         let mint = sys.mint.clone();
         let res = purchase(
             &mut alice,
-            &mut sys.provider,
+            &sys.provider,
             &mint,
             cid,
             epoch,
@@ -204,7 +203,7 @@ mod tests {
     #[test]
     fn unknown_content_and_no_funds_fail_cleanly() {
         let mut rng = test_rng(173);
-        let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+        let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
         let cid = sys.publish_content("T", 100, b"payload", &mut rng);
         let mut alice = sys.register_user("alice", &mut rng).unwrap();
         sys.ensure_pseudonym(&mut alice, &mut rng).unwrap();
@@ -214,7 +213,7 @@ mod tests {
 
         let res = purchase(
             &mut alice,
-            &mut sys.provider,
+            &sys.provider,
             &mint,
             ContentId::from_label("ghost"),
             epoch,
@@ -226,7 +225,7 @@ mod tests {
         // No funding: withdrawal fails inside the engine.
         let res = purchase(
             &mut alice,
-            &mut sys.provider,
+            &sys.provider,
             &mint,
             cid,
             epoch,
@@ -254,7 +253,7 @@ mod tests {
         let mint = sys.mint.clone();
         let res = purchase(
             &mut alice,
-            &mut sys.provider,
+            &sys.provider,
             &mint,
             cid,
             epoch,

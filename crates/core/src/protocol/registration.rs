@@ -12,7 +12,7 @@ use p2drm_crypto::rng::CryptoRng;
 
 /// Registers `user_id` with the RA, returning a ready user agent.
 pub fn register<R: CryptoRng + ?Sized>(
-    ra: &mut RegistrationAuthority,
+    ra: &RegistrationAuthority,
     user_id: UserId,
     account: impl Into<String>,
     policy: PseudonymPolicy,
@@ -55,11 +55,11 @@ mod tests {
 
     #[test]
     fn registration_issues_verifiable_card() {
-        let (_root, mut ra) = setup();
+        let (_root, ra) = setup();
         let mut rng = test_rng(151);
         let mut t = Transcript::new();
         let user = register(
-            &mut ra,
+            &ra,
             UserId::from_label("alice"),
             "acct-alice",
             PseudonymPolicy::FreshPerPurchase,
@@ -79,12 +79,12 @@ mod tests {
 
     #[test]
     fn duplicate_registration_rejected() {
-        let (_root, mut ra) = setup();
+        let (_root, ra) = setup();
         let mut rng = test_rng(152);
         let mut t = Transcript::new();
         let uid = UserId::from_label("bob");
         register(
-            &mut ra,
+            &ra,
             uid,
             "a1",
             PseudonymPolicy::Static,
@@ -94,7 +94,7 @@ mod tests {
         )
         .unwrap();
         assert!(register(
-            &mut ra,
+            &ra,
             uid,
             "a2",
             PseudonymPolicy::Static,

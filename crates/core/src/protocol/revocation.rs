@@ -75,8 +75,8 @@ impl AbuseEvidence {
 /// de-anonymized user.
 pub fn deanonymize_and_punish<S: Kv>(
     ttp: &mut Ttp,
-    ra: &mut RegistrationAuthority,
-    provider: &mut ContentProvider<S>,
+    ra: &RegistrationAuthority,
+    provider: &ContentProvider<S>,
     evidence: &AbuseEvidence,
     cert: &PseudonymCertificate,
     transcript: &mut Transcript,
@@ -157,8 +157,8 @@ mod tests {
         let mut t = Transcript::new();
         let user = deanonymize_and_punish(
             &mut sys.ttp,
-            &mut sys.ra,
-            &mut sys.provider,
+            &sys.ra,
+            &sys.provider,
             &evidence,
             &cert,
             &mut t,
@@ -182,8 +182,8 @@ mod tests {
         let mut t = Transcript::new();
         deanonymize_and_punish(
             &mut sys.ttp,
-            &mut sys.ra,
-            &mut sys.provider,
+            &sys.ra,
+            &sys.provider,
             &evidence,
             &cert,
             &mut t,
@@ -212,8 +212,8 @@ mod tests {
             let mut t = Transcript::new();
             let res = deanonymize_and_punish(
                 &mut sys.ttp,
-                &mut sys.ra,
-                &mut sys.provider,
+                &sys.ra,
+                &sys.provider,
                 &replay,
                 &cert,
                 &mut t,
@@ -235,8 +235,8 @@ mod tests {
         let mut t = Transcript::new();
         let res = deanonymize_and_punish(
             &mut sys.ttp,
-            &mut sys.ra,
-            &mut sys.provider,
+            &sys.ra,
+            &sys.provider,
             &evidence,
             &innocent_cert,
             &mut t,

@@ -20,7 +20,7 @@ use p2drm_store::Kv;
 pub fn transfer<S: Kv, R: CryptoRng + ?Sized>(
     sender: &mut UserAgent,
     recipient: &mut UserAgent,
-    provider: &mut ContentProvider<S>,
+    provider: &ContentProvider<S>,
     license_id: LicenseId,
     now_epoch: u32,
     rng: &mut R,
@@ -88,7 +88,7 @@ mod tests {
 
     fn fixture(seed: u64) -> Fx {
         let mut rng = test_rng(seed);
-        let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+        let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
         let cid = sys.publish_content("T", 100, b"DATA", &mut rng);
         let mut alice = sys.register_user("alice", &mut rng).unwrap();
         let mut bob = sys.register_user("bob", &mut rng).unwrap();
@@ -114,7 +114,7 @@ mod tests {
         let new_license = transfer(
             &mut f.alice,
             &mut f.bob,
-            &mut f.sys.provider,
+            &f.sys.provider,
             lid,
             epoch,
             &mut rng,
@@ -124,17 +124,17 @@ mod tests {
 
         assert_ne!(new_license.id(), lid, "fresh unique id");
         assert!(f.alice.license(&lid).is_none(), "sender lost it");
-        assert!(f.bob.license(&new_license.id()).is_some(), "recipient has it");
+        assert!(
+            f.bob.license(&new_license.id()).is_some(),
+            "recipient has it"
+        );
         let bob_cert = f.bob.pseudonym_certs().last().unwrap();
         assert_eq!(
             KeyId::of_rsa(&new_license.body.holder),
             bob_cert.pseudonym_id()
         );
         // Transfer count decremented: fast_test template grants 2.
-        assert_eq!(
-            new_license.body.rights.transfer,
-            p2drm_rel::Limit::Count(1)
-        );
+        assert_eq!(new_license.body.rights.transfer, p2drm_rel::Limit::Count(1));
     }
 
     #[test]
@@ -151,7 +151,7 @@ mod tests {
         transfer(
             &mut f.alice,
             &mut f.bob,
-            &mut f.sys.provider,
+            &f.sys.provider,
             lid,
             epoch,
             &mut rng,
@@ -167,7 +167,7 @@ mod tests {
         let res = transfer(
             &mut f.alice,
             &mut carol,
-            &mut f.sys.provider,
+            &f.sys.provider,
             lid,
             epoch,
             &mut rng,
@@ -186,8 +186,13 @@ mod tests {
         let mut t = Transcript::new();
         let lid0 = f.license.id();
         let l1 = transfer(
-            &mut f.alice, &mut f.bob, &mut f.sys.provider,
-            lid0, epoch, &mut rng, &mut t,
+            &mut f.alice,
+            &mut f.bob,
+            &f.sys.provider,
+            lid0,
+            epoch,
+            &mut rng,
+            &mut t,
         )
         .unwrap();
 
@@ -195,8 +200,13 @@ mod tests {
         f.sys.ensure_pseudonym(&mut carol, &mut rng).unwrap();
         let lid1 = l1.id();
         let l2 = transfer(
-            &mut f.bob, &mut carol, &mut f.sys.provider,
-            lid1, epoch, &mut rng, &mut t,
+            &mut f.bob,
+            &mut carol,
+            &f.sys.provider,
+            lid1,
+            epoch,
+            &mut rng,
+            &mut t,
         )
         .unwrap();
         assert_eq!(l2.body.rights.transfer, p2drm_rel::Limit::Count(0));
@@ -205,8 +215,13 @@ mod tests {
         f.sys.ensure_pseudonym(&mut dave, &mut rng).unwrap();
         let lid2 = l2.id();
         let res = transfer(
-            &mut carol, &mut dave, &mut f.sys.provider,
-            lid2, epoch, &mut rng, &mut t,
+            &mut carol,
+            &mut dave,
+            &f.sys.provider,
+            lid2,
+            epoch,
+            &mut rng,
+            &mut t,
         );
         assert!(matches!(res, Err(CoreError::Denied(_))));
     }
@@ -215,7 +230,7 @@ mod tests {
     fn forged_proof_rejected() {
         // Bob tries to steal Alice's license by submitting a transfer
         // request signed with his own key.
-        let mut f = fixture(196);
+        let f = fixture(196);
         let mut rng = test_rng(197);
         let bob_cert = f.bob.pseudonym_certs().last().unwrap().clone();
         let bob_pseudonym = bob_cert.pseudonym_id();
@@ -230,7 +245,10 @@ mod tests {
             recipient_cert: bob_cert,
             proof: forged,
         };
-        let res = f.sys.provider.handle_transfer(&req, f.sys.epoch(), &mut rng);
+        let res = f
+            .sys
+            .provider
+            .handle_transfer(&req, f.sys.epoch(), &mut rng);
         assert!(matches!(res, Err(CoreError::BadProof)));
     }
 
@@ -244,7 +262,7 @@ mod tests {
         transfer(
             &mut f.alice,
             &mut f.bob,
-            &mut f.sys.provider,
+            &f.sys.provider,
             lid,
             epoch,
             &mut rng,

@@ -110,6 +110,7 @@ impl System {
                 key_bits: config.key_bits,
                 epoch_window: config.epoch_window,
                 validity: config.validity,
+                store_shards: 8,
             },
             rng,
         );
@@ -163,14 +164,19 @@ impl System {
     /// Publishes content on the private provider with the default rights
     /// template.
     pub fn publish_content<R: CryptoRng + ?Sized>(
-        &mut self,
+        &self,
         title: &str,
         price: u64,
         payload: &[u8],
         rng: &mut R,
     ) -> ContentId {
-        self.provider
-            .publish(title, price, payload, self.config.rights_template.clone(), rng)
+        self.provider.publish(
+            title,
+            price,
+            payload,
+            self.config.rights_template.clone(),
+            rng,
+        )
     }
 
     /// Publishes content on the baseline provider.
@@ -181,13 +187,18 @@ impl System {
         payload: &[u8],
         rng: &mut R,
     ) -> ContentId {
-        self.baseline
-            .publish(title, price, payload, self.config.rights_template.clone(), rng)
+        self.baseline.publish(
+            title,
+            price,
+            payload,
+            self.config.rights_template.clone(),
+            rng,
+        )
     }
 
     /// Registers a user (account name derived from the label).
     pub fn register_user<R: CryptoRng + ?Sized>(
-        &mut self,
+        &self,
         label: &str,
         rng: &mut R,
     ) -> Result<UserAgent, CoreError> {
@@ -197,14 +208,14 @@ impl System {
     /// Registers a user with an explicit card budget (experiments that
     /// accumulate many fresh pseudonyms need more than the default 64).
     pub fn register_user_with_budget<R: CryptoRng + ?Sized>(
-        &mut self,
+        &self,
         label: &str,
         budget: CardBudget,
         rng: &mut R,
     ) -> Result<UserAgent, CoreError> {
         let mut t = Transcript::new();
         protocol::register(
-            &mut self.ra,
+            &self.ra,
             UserId::from_label(label),
             format!("acct-{label}"),
             self.config.default_policy,
@@ -223,7 +234,7 @@ impl System {
     /// Ensures the user has a usable pseudonym under their policy,
     /// running blind issuance if needed.
     pub fn ensure_pseudonym<R: CryptoRng + ?Sized>(
-        &mut self,
+        &self,
         user: &mut UserAgent,
         rng: &mut R,
     ) -> Result<(), CoreError> {
@@ -231,7 +242,7 @@ impl System {
             let mut t = Transcript::new();
             protocol::obtain_pseudonym(
                 user,
-                &mut self.ra,
+                &self.ra,
                 self.ttp.escrow_key(),
                 self.epoch,
                 self.now,
@@ -244,7 +255,7 @@ impl System {
 
     /// Publishes attribute-restricted content (e.g. age-rated).
     pub fn publish_rated_content<R: CryptoRng + ?Sized>(
-        &mut self,
+        &self,
         title: &str,
         price: u64,
         payload: &[u8],
@@ -264,7 +275,7 @@ impl System {
     /// Records a verified attribute for the user at the RA and teaches the
     /// provider to trust that attribute's verification key.
     pub fn grant_attribute<R: CryptoRng + ?Sized>(
-        &mut self,
+        &self,
         user: &UserAgent,
         attribute: &str,
         rng: &mut R,
@@ -273,8 +284,7 @@ impl System {
         let key = self
             .ra
             .attribute_public(attribute)
-            .expect("key exists after grant")
-            .clone();
+            .expect("key exists after grant");
         self.provider.trust_attribute(attribute, key);
         Ok(())
     }
@@ -282,7 +292,7 @@ impl System {
     /// Ensures the user holds an attribute credential bound to their
     /// *current* pseudonym (obtaining pseudonym and credential as needed).
     pub fn ensure_attribute<R: CryptoRng + ?Sized>(
-        &mut self,
+        &self,
         user: &mut UserAgent,
         attribute: &str,
         rng: &mut R,
@@ -295,13 +305,7 @@ impl System {
         if user.attribute_cert_for(&pseudonym, attribute).is_none() {
             let mut t = Transcript::new();
             protocol::obtain_attribute(
-                user,
-                &mut self.ra,
-                attribute,
-                self.epoch,
-                self.now,
-                rng,
-                &mut t,
+                user, &self.ra, attribute, self.epoch, self.now, rng, &mut t,
             )?;
         }
         Ok(())
@@ -309,7 +313,7 @@ impl System {
 
     /// Full anonymous purchase (pseudonym top-up + coin + license).
     pub fn purchase<R: CryptoRng + ?Sized>(
-        &mut self,
+        &self,
         user: &mut UserAgent,
         content_id: ContentId,
         rng: &mut R,
@@ -320,7 +324,7 @@ impl System {
 
     /// Purchase with an externally supplied transcript (experiments).
     pub fn purchase_with_transcript<R: CryptoRng + ?Sized>(
-        &mut self,
+        &self,
         user: &mut UserAgent,
         content_id: ContentId,
         rng: &mut R,
@@ -329,7 +333,7 @@ impl System {
         self.ensure_pseudonym(user, rng)?;
         protocol::purchase(
             user,
-            &mut self.provider,
+            &self.provider,
             &self.mint,
             content_id,
             self.epoch,
@@ -384,7 +388,7 @@ impl System {
 
     /// Transfers a license between users (both pseudonym top-ups included).
     pub fn transfer<R: CryptoRng + ?Sized>(
-        &mut self,
+        &self,
         sender: &mut UserAgent,
         recipient: &mut UserAgent,
         license_id: LicenseId,
@@ -395,7 +399,7 @@ impl System {
         protocol::transfer(
             sender,
             recipient,
-            &mut self.provider,
+            &self.provider,
             license_id,
             self.epoch,
             rng,

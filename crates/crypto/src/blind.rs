@@ -81,7 +81,11 @@ pub fn blind_sign(kp: &RsaKeyPair, blinded: &UBig) -> Result<UBig, CryptoError> 
 }
 
 /// Verifies an unblinded FDH signature on `message`.
-pub fn verify_fdh(pk: &RsaPublicKey, message: &[u8], sig: &RsaSignature) -> Result<(), CryptoError> {
+pub fn verify_fdh(
+    pk: &RsaPublicKey,
+    message: &[u8],
+    sig: &RsaSignature,
+) -> Result<(), CryptoError> {
     if sig.as_ubig() >= pk.modulus() {
         return Err(CryptoError::BadSignature);
     }
@@ -158,7 +162,10 @@ impl CutChooseRequest {
 
     /// The blinded values, in candidate order, to send to the issuer.
     pub fn blinded_values(&self) -> Vec<UBig> {
-        self.candidates.iter().map(|c| c.blinded.blinded.clone()).collect()
+        self.candidates
+            .iter()
+            .map(|c| c.blinded.blinded.clone())
+            .collect()
     }
 
     /// Opens every candidate except `keep`, for issuer auditing.
@@ -370,8 +377,7 @@ mod tests {
         let mut openings = req.open_all_but(0);
         // Tamper with the revealed blinding factor.
         openings[0].1.r = &openings[0].1.r + &UBig::one();
-        let res =
-            CutChooseIssuer::audit_and_sign(&kp, &blinded, 0, &openings, |_| true);
+        let res = CutChooseIssuer::audit_and_sign(&kp, &blinded, 0, &openings, |_| true);
         assert!(res.is_err());
     }
 
@@ -382,8 +388,10 @@ mod tests {
         let req = CutChooseRequest::prepare(kp.public(), 3, |i| vec![i as u8], &mut rng).unwrap();
         let blinded = req.blinded_values();
         // keep out of range
-        assert!(CutChooseIssuer::audit_and_sign(&kp, &blinded, 9, &req.open_all_but(0), |_| true)
-            .is_err());
+        assert!(
+            CutChooseIssuer::audit_and_sign(&kp, &blinded, 9, &req.open_all_but(0), |_| true)
+                .is_err()
+        );
         // wrong number of openings
         let mut openings = req.open_all_but(0);
         openings.pop();

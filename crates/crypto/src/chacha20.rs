@@ -102,8 +102,7 @@ mod tests {
     fn rfc7539_block_function() {
         // RFC 7539 §2.3.2
         let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
-        let nonce: [u8; 12] =
-            hex_to_bytes("000000090000004a00000000").try_into().unwrap();
+        let nonce: [u8; 12] = hex_to_bytes("000000090000004a00000000").try_into().unwrap();
         let ks = block(&key, &nonce, 1);
         let expect = hex_to_bytes(
             "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
@@ -116,8 +115,7 @@ mod tests {
     fn rfc7539_encryption() {
         // RFC 7539 §2.4.2
         let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
-        let nonce: [u8; 12] =
-            hex_to_bytes("000000000000004a00000000").try_into().unwrap();
+        let nonce: [u8; 12] = hex_to_bytes("000000000000004a00000000").try_into().unwrap();
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
 only one tip for the future, sunscreen would be it.";
         let ct = encrypt(&key, &nonce, plaintext);

@@ -275,10 +275,7 @@ impl Decode for ElGamalCiphertext {
     fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
         let c1 = UBig::from_bytes_be(r.get_bytes()?);
         let body = r.get_bytes_owned()?;
-        let tag: [u8; DIGEST_LEN] = r
-            .get_raw(DIGEST_LEN)?
-            .try_into()
-            .expect("fixed-size read");
+        let tag: [u8; DIGEST_LEN] = r.get_raw(DIGEST_LEN)?.try_into().expect("fixed-size read");
         Ok(ElGamalCiphertext { c1, body, tag })
     }
 }

@@ -23,11 +23,7 @@ pub struct Envelope {
 }
 
 /// Seals `plaintext` to the holder of `pk`.
-pub fn seal<R: CryptoRng + ?Sized>(
-    pk: &RsaPublicKey,
-    plaintext: &[u8],
-    rng: &mut R,
-) -> Envelope {
+pub fn seal<R: CryptoRng + ?Sized>(pk: &RsaPublicKey, plaintext: &[u8], rng: &mut R) -> Envelope {
     let (kem_ct, shared) = kem_encapsulate(pk, rng);
     let okm = kdf::derive(b"p2drm-envelope", &shared, b"keys", 64);
     let enc_key: [u8; 32] = okm[..32].try_into().unwrap();

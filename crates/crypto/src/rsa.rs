@@ -18,8 +18,8 @@ const MR_ROUNDS: usize = 16;
 
 /// DER prefix of the SHA-256 `DigestInfo` used by PKCS#1 v1.5 signatures.
 const SHA256_DIGEST_INFO: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// An RSA public key `(n, e)` with a cached Montgomery context.
@@ -329,7 +329,11 @@ pub fn kem_encapsulate<R: CryptoRng + ?Sized>(
 ) -> (Vec<u8>, [u8; 32]) {
     let z = p2drm_bignum::rng::random_below(rng, pk.modulus());
     let c = pk.raw_public(&z).to_bytes_be_padded(pk.modulus_len());
-    let shared = crate::kdf::derive_key32(b"p2drm-rsa-kem", &z.to_bytes_be_padded(pk.modulus_len()), b"kem");
+    let shared = crate::kdf::derive_key32(
+        b"p2drm-rsa-kem",
+        &z.to_bytes_be_padded(pk.modulus_len()),
+        b"kem",
+    );
     (c, shared)
 }
 
@@ -368,16 +372,13 @@ impl Decode for RsaKeyPair {
         for _ in 0..6 {
             parts.push(UBig::from_bytes_be(r.get_bytes()?));
         }
-        let [d, p, q, dp, dq, qinv]: [UBig; 6] =
-            parts.try_into().expect("exactly six parts read");
+        let [d, p, q, dp, dq, qinv]: [UBig; 6] = parts.try_into().expect("exactly six parts read");
         // Consistency checks: p*q must be the modulus, both factors odd.
         if &(&p * &q) != public.modulus() || p.is_even() || q.is_even() {
             return Err(p2drm_codec::CodecError::BadDiscriminant(2));
         }
-        let mont_p =
-            Mont::new(&p).map_err(|_| p2drm_codec::CodecError::BadDiscriminant(2))?;
-        let mont_q =
-            Mont::new(&q).map_err(|_| p2drm_codec::CodecError::BadDiscriminant(2))?;
+        let mont_p = Mont::new(&p).map_err(|_| p2drm_codec::CodecError::BadDiscriminant(2))?;
+        let mont_q = Mont::new(&q).map_err(|_| p2drm_codec::CodecError::BadDiscriminant(2))?;
         Ok(RsaKeyPair {
             public,
             d,
@@ -561,7 +562,9 @@ mod tests {
         // an error; it must never return the original secret.
         let mut bad = ct1.clone();
         bad[5] ^= 1;
-        if let Ok(s) = kem_decapsulate(&kp, &bad) { assert_ne!(s, s1) }
+        if let Ok(s) = kem_decapsulate(&kp, &bad) {
+            assert_ne!(s, s1)
+        }
         assert!(kem_decapsulate(&kp, &[1, 2, 3]).is_err());
     }
 

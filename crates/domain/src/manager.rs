@@ -153,7 +153,9 @@ impl DomainManager {
     /// Stores a domain license (must be bound to the domain key).
     pub fn import_license(&mut self, license: License) -> Result<(), DomainError> {
         if KeyId::of_rsa(&license.body.holder) != KeyId::of_rsa(self.keys.public()) {
-            return Err(DomainError::BadMembership("license not bound to domain key"));
+            return Err(DomainError::BadMembership(
+                "license not bound to domain key",
+            ));
         }
         self.licenses.push(license);
         Ok(())

@@ -126,6 +126,9 @@ mod tests {
         let kp = RsaKeyPair::generate(512, &mut test_rng(233));
         let c = cert(&kp);
         let bytes = p2drm_codec::to_bytes(&c);
-        assert_eq!(p2drm_codec::from_bytes::<MembershipCert>(&bytes).unwrap(), c);
+        assert_eq!(
+            p2drm_codec::from_bytes::<MembershipCert>(&bytes).unwrap(),
+            c
+        );
     }
 }

@@ -22,7 +22,7 @@ pub fn buy_domain_license<S: Kv, R: CryptoRng + ?Sized>(
     manager: &mut DomainManager,
     wallet: &mut Wallet,
     account: &str,
-    provider: &mut ContentProvider<S>,
+    provider: &ContentProvider<S>,
     mint: &Mint,
     content_id: ContentId,
     now: u64,
@@ -31,10 +31,8 @@ pub fn buy_domain_license<S: Kv, R: CryptoRng + ?Sized>(
     transcript: &mut Transcript,
 ) -> Result<License, CoreError> {
     let price = provider
-        .catalog()
-        .get(&content_id)
+        .content_meta(&content_id)
         .ok_or(CoreError::UnknownContent(content_id))?
-        .meta
         .price;
     let coin = match wallet.take(price) {
         Some(c) => c,
@@ -135,8 +133,7 @@ pub fn play_in_domain<SP: Kv, SD: Kv, R: CryptoRng + ?Sized>(
         "download-response",
         ciphertext.clone(),
     );
-    let payload =
-        p2drm_core::content::decrypt_payload(&content_key, &content_nonce, &ciphertext);
+    let payload = p2drm_core::content::decrypt_payload(&content_key, &content_nonce, &ciphertext);
     device.consume(license, &req).map_err(DomainError::Core)?;
     Ok(payload)
 }

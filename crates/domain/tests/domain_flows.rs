@@ -42,7 +42,9 @@ fn fixture(seed: u64, max_members: usize) -> Fx {
 fn domain_purchase_and_member_playback() {
     let mut f = fixture(240, 4);
     let mut rng = test_rng(241);
-    let cid = f.sys.publish_content("Movie", 500, b"FEATURE FILM", &mut rng);
+    let cid = f
+        .sys
+        .publish_content("Movie", 500, b"FEATURE FILM", &mut rng);
 
     let mut tv = f.sys.register_device(&mut rng).unwrap();
     let root_key = f.sys.root.public_key().clone();
@@ -57,7 +59,7 @@ fn domain_purchase_and_member_playback() {
         &mut f.manager,
         &mut f.wallet,
         "household",
-        &mut f.sys.provider,
+        &f.sys.provider,
         &f.sys.mint,
         cid,
         now,
@@ -98,18 +100,38 @@ fn non_member_device_rejected() {
     let epoch = f.sys.epoch();
     let now = f.sys.now();
     let license = buy_domain_license(
-        &mut f.manager, &mut f.wallet, "household", &mut f.sys.provider, &f.sys.mint,
-        cid, now, epoch, &mut rng, &mut t,
+        &mut f.manager,
+        &mut f.wallet,
+        "household",
+        &f.sys.provider,
+        &f.sys.mint,
+        cid,
+        now,
+        epoch,
+        &mut rng,
+        &mut t,
     )
     .unwrap();
 
     let res = play_in_domain(
-        &f.manager, &mut outsider, &f.sys.provider, &license, now, &mut rng, &mut t,
+        &f.manager,
+        &mut outsider,
+        &f.sys.provider,
+        &license,
+        now,
+        &mut rng,
+        &mut t,
     );
     assert!(matches!(res, Err(DomainError::NotAMember)));
     // The enrolled member still works.
     assert!(play_in_domain(
-        &f.manager, &mut tv, &f.sys.provider, &license, now, &mut rng, &mut t
+        &f.manager,
+        &mut tv,
+        &f.sys.provider,
+        &license,
+        now,
+        &mut rng,
+        &mut t
     )
     .is_ok());
 }
@@ -153,15 +175,29 @@ fn removed_member_cannot_play() {
     let epoch = f.sys.epoch();
     let now = f.sys.now();
     let license = buy_domain_license(
-        &mut f.manager, &mut f.wallet, "household", &mut f.sys.provider, &f.sys.mint,
-        cid, now, epoch, &mut rng, &mut t,
+        &mut f.manager,
+        &mut f.wallet,
+        "household",
+        &f.sys.provider,
+        &f.sys.mint,
+        cid,
+        now,
+        epoch,
+        &mut rng,
+        &mut t,
     )
     .unwrap();
 
     let tv_id = KeyId::of_rsa(tv.certificate().body.subject_key.as_rsa().unwrap());
     f.manager.remove_member(&tv_id);
     let res = play_in_domain(
-        &f.manager, &mut tv, &f.sys.provider, &license, now, &mut rng, &mut t,
+        &f.manager,
+        &mut tv,
+        &f.sys.provider,
+        &license,
+        now,
+        &mut rng,
+        &mut t,
     );
     assert!(matches!(res, Err(DomainError::NotAMember)));
 }
@@ -183,8 +219,16 @@ fn provider_never_learns_domain_composition() {
     let epoch = f.sys.epoch();
     let now = f.sys.now();
     buy_domain_license(
-        &mut f.manager, &mut f.wallet, "household", &mut f.sys.provider, &f.sys.mint,
-        cid, now, epoch, &mut rng, &mut t,
+        &mut f.manager,
+        &mut f.wallet,
+        "household",
+        &f.sys.provider,
+        &f.sys.mint,
+        cid,
+        now,
+        epoch,
+        &mut rng,
+        &mut t,
     )
     .unwrap();
 

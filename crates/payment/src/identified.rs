@@ -69,7 +69,12 @@ impl PaymentProcessor {
 
     /// Account balance.
     pub fn balance(&self, account: &str) -> u64 {
-        self.inner.lock().balances.get(account).copied().unwrap_or(0)
+        self.inner
+            .lock()
+            .balances
+            .get(account)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Charges `account` by `amount`, returning the identifying receipt.

@@ -223,7 +223,10 @@ mod tests {
         let mut wallet = Wallet::new();
         assert!(matches!(
             wallet.withdraw(&m, "bob", 100, &mut rng),
-            Err(PaymentError::InsufficientFunds { balance: 50, requested: 100 })
+            Err(PaymentError::InsufficientFunds {
+                balance: 50,
+                requested: 100
+            })
         ));
         assert!(matches!(
             wallet.withdraw(&m, "carol", 100, &mut rng),

@@ -61,7 +61,10 @@ impl Wallet {
     /// Takes a coin of exactly `denomination` out of the wallet for
     /// spending, if one is held.
     pub fn take(&mut self, denomination: u64) -> Option<Coin> {
-        let idx = self.coins.iter().position(|c| c.denomination == denomination)?;
+        let idx = self
+            .coins
+            .iter()
+            .position(|c| c.denomination == denomination)?;
         Some(self.coins.swap_remove(idx))
     }
 

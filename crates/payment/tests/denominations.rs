@@ -71,7 +71,7 @@ fn overpaid_purchase_accepted_end_to_end() {
     // A provider accepts any coin >= price; the odd-priced content path.
     use p2drm_core::system::{System, SystemConfig};
     let mut rng = test_rng(504);
-    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
     let cid = sys.publish_content("oddly priced", 250, b"payload", &mut rng);
     let mut alice = sys.register_user("alice", &mut rng).unwrap();
     sys.fund(&alice, 1_000);

@@ -6,12 +6,17 @@ use crate::cert::{
 };
 use p2drm_crypto::rng::CryptoRng;
 use p2drm_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A certificate authority: an RSA signing key plus its own certificate.
+///
+/// Issuance takes `&self` (the serial counter is atomic), so shared
+/// server-side entities — the RA, a provider bootstrapping under one root
+/// — can certify subjects concurrently.
 pub struct CertificateAuthority {
     keypair: RsaKeyPair,
     cert: Certificate,
-    next_serial: u64,
+    next_serial: AtomicU64,
 }
 
 impl CertificateAuthority {
@@ -30,7 +35,7 @@ impl CertificateAuthority {
         CertificateAuthority {
             cert: Certificate { body, signature },
             keypair,
-            next_serial: 1,
+            next_serial: AtomicU64::new(1),
         }
     }
 
@@ -43,31 +48,35 @@ impl CertificateAuthority {
         rng: &mut R,
     ) -> Self {
         let keypair = RsaKeyPair::generate(bits, rng);
-        let cert = parent.issue(kind, SubjectKey::Rsa(keypair.public().clone()), validity, vec![]);
+        let cert = parent.issue(
+            kind,
+            SubjectKey::Rsa(keypair.public().clone()),
+            validity,
+            vec![],
+        );
         CertificateAuthority {
             keypair,
             cert,
-            next_serial: 1,
+            next_serial: AtomicU64::new(1),
         }
     }
 
     /// Issues a certificate for `subject_key`.
     pub fn issue(
-        &mut self,
+        &self,
         kind: EntityKind,
         subject_key: SubjectKey,
         validity: Validity,
         extensions: Vec<Extension>,
     ) -> Certificate {
         let body = CertificateBody {
-            serial: self.next_serial,
+            serial: self.next_serial.fetch_add(1, Ordering::Relaxed),
             kind,
             subject_key,
             issuer: KeyId::of_rsa(self.keypair.public()),
             validity,
             extensions,
         };
-        self.next_serial += 1;
         let signature = self.keypair.sign(&body.signing_bytes());
         Certificate { body, signature }
     }
@@ -173,7 +182,7 @@ mod tests {
     #[test]
     fn issued_cert_verifies_against_issuer_only() {
         let mut rng = test_rng(61);
-        let mut root = CertificateAuthority::new_root(512, validity(), &mut rng);
+        let root = CertificateAuthority::new_root(512, validity(), &mut rng);
         let other = CertificateAuthority::new_root(512, validity(), &mut rng);
         let subject = RsaKeyPair::generate(512, &mut rng);
         let cert = root.issue(
@@ -189,17 +198,27 @@ mod tests {
     #[test]
     fn serials_increment() {
         let mut rng = test_rng(62);
-        let mut root = CertificateAuthority::new_root(512, validity(), &mut rng);
+        let root = CertificateAuthority::new_root(512, validity(), &mut rng);
         let k = RsaKeyPair::generate(512, &mut rng);
-        let c1 = root.issue(EntityKind::Device, SubjectKey::Rsa(k.public().clone()), validity(), vec![]);
-        let c2 = root.issue(EntityKind::Device, SubjectKey::Rsa(k.public().clone()), validity(), vec![]);
+        let c1 = root.issue(
+            EntityKind::Device,
+            SubjectKey::Rsa(k.public().clone()),
+            validity(),
+            vec![],
+        );
+        let c2 = root.issue(
+            EntityKind::Device,
+            SubjectKey::Rsa(k.public().clone()),
+            validity(),
+            vec![],
+        );
         assert_eq!(c1.body.serial + 1, c2.body.serial);
     }
 
     #[test]
     fn expired_cert_rejected() {
         let mut rng = test_rng(63);
-        let mut root = CertificateAuthority::new_root(512, validity(), &mut rng);
+        let root = CertificateAuthority::new_root(512, validity(), &mut rng);
         let k = RsaKeyPair::generate(512, &mut rng);
         let cert = root.issue(
             EntityKind::Device,
@@ -218,7 +237,7 @@ mod tests {
     #[test]
     fn tampered_body_rejected() {
         let mut rng = test_rng(64);
-        let mut root = CertificateAuthority::new_root(512, validity(), &mut rng);
+        let root = CertificateAuthority::new_root(512, validity(), &mut rng);
         let k = RsaKeyPair::generate(512, &mut rng);
         let mut cert = root.issue(
             EntityKind::Device,
@@ -243,7 +262,11 @@ mod tests {
             ra.identity.public_key().fingerprint(),
             ra.blind_public().fingerprint()
         );
-        assert!(ra.identity.certificate().verify(root.public_key(), 10).is_ok());
+        assert!(ra
+            .identity
+            .certificate()
+            .verify(root.public_key(), 10)
+            .is_ok());
         assert!(ra.blind_cert.verify(root.public_key(), 10).is_ok());
         assert_eq!(
             ra.blind_cert.body.extension("usage"),
@@ -264,7 +287,6 @@ mod tests {
         );
         assert!(sub.certificate().verify(root.public_key(), 10).is_ok());
         // Sub can issue leaf certs verifiable against the sub key.
-        let mut sub = sub;
         let leaf_key = RsaKeyPair::generate(512, &mut rng);
         let leaf = sub.issue(
             EntityKind::Device,

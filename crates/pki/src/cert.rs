@@ -523,9 +523,7 @@ pub fn contains_subslice(haystack: &[u8], needle: &[u8]) -> bool {
     if needle.is_empty() {
         return true;
     }
-    haystack
-        .windows(needle.len())
-        .any(|w| w == needle)
+    haystack.windows(needle.len()).any(|w| w == needle)
 }
 
 /// Convenience: hash arbitrary bytes into a [`KeyId`]-shaped identifier.
@@ -540,7 +538,9 @@ mod tests {
     use p2drm_crypto::rsa::RsaKeyPair;
 
     fn rsa_pk(seed: u64) -> RsaPublicKey {
-        RsaKeyPair::generate(512, &mut test_rng(seed)).public().clone()
+        RsaKeyPair::generate(512, &mut test_rng(seed))
+            .public()
+            .clone()
     }
 
     #[test]

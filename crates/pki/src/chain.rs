@@ -93,7 +93,10 @@ impl TrustStore {
         for (pos, cert) in chain.iter().enumerate() {
             let subject = cert.subject_id();
             if self.revoked.contains(&subject) {
-                return Err(ChainError::Revoked { position: pos, id: subject });
+                return Err(ChainError::Revoked {
+                    position: pos,
+                    id: subject,
+                });
             }
             // Resolve the issuer key: next in chain, or a trusted root.
             let issuer_key: &RsaPublicKey = if pos + 1 < chain.len() {
@@ -112,7 +115,10 @@ impl TrustStore {
                     .ok_or(ChainError::NoTrustedRoot)?
             };
             cert.verify(issuer_key, now)
-                .map_err(|source| ChainError::Invalid { position: pos, source })?;
+                .map_err(|source| ChainError::Invalid {
+                    position: pos,
+                    source,
+                })?;
         }
         Ok(chain[0].body.kind)
     }
@@ -137,7 +143,7 @@ mod tests {
         let mut rng = test_rng(seed);
         let v = Validity::new(0, 1_000_000);
         let mut root = CertificateAuthority::new_root(512, v, &mut rng);
-        let mut sub = CertificateAuthority::new_subordinate(
+        let sub = CertificateAuthority::new_subordinate(
             &mut root,
             EntityKind::ContentProvider,
             512,
@@ -153,7 +159,12 @@ mod tests {
         );
         let mut store = TrustStore::new();
         store.add_root(root.public_key().clone());
-        Fixture { store, root, sub, leaf }
+        Fixture {
+            store,
+            root,
+            sub,
+            leaf,
+        }
     }
 
     #[test]
@@ -168,7 +179,7 @@ mod tests {
 
     #[test]
     fn direct_root_issued_cert_verifies() {
-        let mut f = fixture(81);
+        let f = fixture(81);
         let key = RsaKeyPair::generate(512, &mut test_rng(811));
         let cert = f.root.issue(
             EntityKind::SmartCard,
@@ -187,7 +198,9 @@ mod tests {
         let f = fixture(82);
         let mut empty = TrustStore::new();
         empty.add_root(
-            RsaKeyPair::generate(512, &mut test_rng(821)).public().clone(),
+            RsaKeyPair::generate(512, &mut test_rng(821))
+                .public()
+                .clone(),
         );
         assert_eq!(
             empty.verify_chain(&[&f.leaf, f.sub.certificate()], 100),
@@ -216,7 +229,7 @@ mod tests {
     fn expired_link_rejected_with_position() {
         let mut rng = test_rng(85);
         let v = Validity::new(0, 1_000);
-        let mut root = CertificateAuthority::new_root(512, v, &mut rng);
+        let root = CertificateAuthority::new_root(512, v, &mut rng);
         let key = RsaKeyPair::generate(512, &mut rng);
         let cert = root.issue(
             EntityKind::Device,
@@ -228,7 +241,10 @@ mod tests {
         store.add_root(root.public_key().clone());
         assert!(matches!(
             store.verify_chain(&[&cert], 100),
-            Err(ChainError::Invalid { position: 0, source: PkiError::Expired { .. } })
+            Err(ChainError::Invalid {
+                position: 0,
+                source: PkiError::Expired { .. }
+            })
         ));
     }
 
@@ -245,6 +261,9 @@ mod tests {
         let mut f = fixture(87);
         f.store.revoke(f.leaf.subject_id());
         f.store.set_revocations(RevocationList::new());
-        assert!(f.store.verify_chain(&[&f.leaf, f.sub.certificate()], 100).is_ok());
+        assert!(f
+            .store
+            .verify_chain(&[&f.leaf, f.sub.certificate()], 100)
+            .is_ok());
     }
 }

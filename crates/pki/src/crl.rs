@@ -169,7 +169,12 @@ pub struct SignedCrl {
 }
 
 impl SignedCrl {
-    fn payload_bytes(issuer: &KeyId, sequence: u64, issued_at: u64, list: &RevocationList) -> Vec<u8> {
+    fn payload_bytes(
+        issuer: &KeyId,
+        sequence: u64,
+        issued_at: u64,
+        list: &RevocationList,
+    ) -> Vec<u8> {
         let mut w = Writer::new();
         issuer.encode(&mut w);
         w.put_u64(sequence);
@@ -279,8 +284,7 @@ impl SignedCrlDelta {
         added.sort_unstable();
         added.dedup();
         let issuer = KeyId::of_rsa(issuer_kp.public());
-        let payload =
-            Self::payload_bytes(&issuer, from_sequence, to_sequence, issued_at, &added);
+        let payload = Self::payload_bytes(&issuer, from_sequence, to_sequence, issued_at, &added);
         SignedCrlDelta {
             issuer,
             from_sequence,
@@ -420,7 +424,9 @@ mod tests {
         for i in 0..1000 {
             bloom.insert(id(i));
         }
-        let fps = (1000..11_000).filter(|&i| bloom.maybe_contains(&id(i))).count();
+        let fps = (1000..11_000)
+            .filter(|&i| bloom.maybe_contains(&id(i)))
+            .count();
         // Target 1%; accept anything below 5% to keep the test robust.
         assert!(fps < 500, "false positive rate too high: {fps}/10000");
     }
@@ -455,7 +461,12 @@ mod tests {
     fn signed_crl_codec_roundtrip() {
         let mut rng = test_rng(71);
         let kp = RsaKeyPair::generate(512, &mut rng);
-        let crl = SignedCrl::create(&kp, 1, 5, RevocationList::from_ids((0..10).map(id).collect()));
+        let crl = SignedCrl::create(
+            &kp,
+            1,
+            5,
+            RevocationList::from_ids((0..10).map(id).collect()),
+        );
         let bytes = p2drm_codec::to_bytes(&crl);
         let back: SignedCrl = p2drm_codec::from_bytes(&bytes).unwrap();
         assert_eq!(back, crl);

@@ -43,14 +43,16 @@ fn cert_body() -> impl Strategy<Value = CertificateBody> {
         any::<u64>(),
         proptest::collection::vec(extension(), 0..4),
     )
-        .prop_map(|(serial, kind, issuer, from, until, extensions)| CertificateBody {
-            serial,
-            kind,
-            subject_key: SubjectKey::Rsa(fixed_rsa().clone()),
-            issuer: KeyId(issuer),
-            validity: Validity::new(from.min(until), from.max(until)),
-            extensions,
-        })
+        .prop_map(
+            |(serial, kind, issuer, from, until, extensions)| CertificateBody {
+                serial,
+                kind,
+                subject_key: SubjectKey::Rsa(fixed_rsa().clone()),
+                issuer: KeyId(issuer),
+                validity: Validity::new(from.min(until), from.max(until)),
+                extensions,
+            },
+        )
 }
 
 proptest! {

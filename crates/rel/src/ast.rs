@@ -323,11 +323,17 @@ mod tests {
 
     #[test]
     fn window_contains() {
-        let w = Window { from: Some(10), until: Some(20) };
+        let w = Window {
+            from: Some(10),
+            until: Some(20),
+        };
         assert!(!w.contains(9) && w.contains(10) && w.contains(20) && !w.contains(21));
         assert!(Window::default().contains(0));
         assert!(Window::default().contains(u64::MAX));
-        let half = Window { from: Some(5), until: None };
+        let half = Window {
+            from: Some(5),
+            until: None,
+        };
         assert!(!half.contains(4) && half.contains(u64::MAX));
     }
 

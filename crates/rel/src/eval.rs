@@ -116,7 +116,10 @@ impl Rights {
         }
         if let Some(until) = self.window.until {
             if req.now > until {
-                return Decision::Deny(DenyReason::Expired { until, now: req.now });
+                return Decision::Deny(DenyReason::Expired {
+                    until,
+                    now: req.now,
+                });
             }
         }
         if let Some(bound) = &self.device {
@@ -207,7 +210,10 @@ mod tests {
         assert!(r.evaluate(&s, &AccessRequest::play(200, DEV_A)).is_permit());
         assert_eq!(
             r.evaluate(&s, &AccessRequest::play(201, DEV_A)),
-            Decision::Deny(DenyReason::Expired { until: 200, now: 201 })
+            Decision::Deny(DenyReason::Expired {
+                until: 200,
+                now: 201
+            })
         );
     }
 

@@ -74,11 +74,17 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Equals, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Equals,
+                    offset: i,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    offset: i,
+                });
                 i += 1;
             }
             '"' => {
@@ -106,7 +112,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     s.push(ch);
                     i += 1;
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
             }
             '0' if i + 1 < bytes.len() && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X') => {
                 let start = i;
@@ -126,7 +135,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     .step_by(2)
                     .map(|j| u8::from_str_radix(&hex[j..j + 2], 16).unwrap())
                     .collect();
-                tokens.push(Token { kind: TokenKind::Hex(v), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Hex(v),
+                    offset: start,
+                });
             }
             '0'..='9' => {
                 let start = i;
@@ -137,7 +149,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     offset: start,
                     message: "number too large".into(),
                 })?;
-                tokens.push(Token { kind: TokenKind::Number(n), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Number(n),
+                    offset: start,
+                });
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;

@@ -45,7 +45,11 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Unexpected { offset, found, expected } => {
+            ParseError::Unexpected {
+                offset,
+                found,
+                expected,
+            } => {
                 write!(f, "at byte {offset}: found {found}, expected {expected}")
             }
             ParseError::UnexpectedEnd { expected } => {
@@ -123,7 +127,10 @@ impl Parser {
 
 /// Parses REL source into [`Rights`].
 pub fn parse(src: &str) -> Result<Rights, ParseError> {
-    let mut p = Parser { tokens: lex(src)?, pos: 0 };
+    let mut p = Parser {
+        tokens: lex(src)?,
+        pos: 0,
+    };
     let mut rights = Rights::default();
     let mut granted = [false; 3];
     let mut window_seen = false;
@@ -286,7 +293,9 @@ pub fn parse(src: &str) -> Result<Rights, ParseError> {
                     }
                 }
                 if !any {
-                    return Err(ParseError::Semantic("region needs at least one code".into()));
+                    return Err(ParseError::Semantic(
+                        "region needs at least one code".into(),
+                    ));
                 }
             }
             _ => {

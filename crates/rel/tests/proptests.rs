@@ -17,8 +17,14 @@ fn limit() -> impl Strategy<Value = Limit> {
 fn window() -> impl Strategy<Value = Window> {
     prop_oneof![
         Just(Window::default()),
-        (0u64..1000).prop_map(|f| Window { from: Some(f), until: None }),
-        (0u64..1000).prop_map(|u| Window { from: None, until: Some(u) }),
+        (0u64..1000).prop_map(|f| Window {
+            from: Some(f),
+            until: None
+        }),
+        (0u64..1000).prop_map(|u| Window {
+            from: None,
+            until: Some(u)
+        }),
         (0u64..1000, 0u64..1000).prop_map(|(a, b)| Window {
             from: Some(a.min(b)),
             until: Some(a.max(b)),
@@ -57,7 +63,11 @@ fn rights() -> impl Strategy<Value = Rights> {
 
 fn request() -> impl Strategy<Value = AccessRequest> {
     (
-        prop_oneof![Just(Action::Play), Just(Action::Copy), Just(Action::Transfer)],
+        prop_oneof![
+            Just(Action::Play),
+            Just(Action::Copy),
+            Just(Action::Transfer)
+        ],
         0u64..1200,
         any::<[u8; 32]>(),
         proptest::option::of("[a-z]{1,12}"),

@@ -11,11 +11,10 @@ use p2drm_core::system::{System, SystemConfig};
 use p2drm_core::UserId;
 use p2drm_pki::cert::KeyId;
 use rand::Rng;
-use serde::Serialize;
 use std::collections::HashMap;
 
 /// Linkability scores for one policy run.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct LinkabilityReport {
     /// Policy label ("fresh", "reuse4", "static", ...).
     pub policy: String,
@@ -35,6 +34,24 @@ pub struct LinkabilityReport {
     /// epoch the purchase happened (indistinguishable under fresh
     /// pseudonyms).
     pub mean_anonymity_set: f64,
+}
+
+impl crate::json::ToJson for LinkabilityReport {
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("policy", self.policy.to_json()),
+            ("users", self.users.to_json()),
+            ("purchases", self.purchases.to_json()),
+            ("pseudonyms_seen", self.pseudonyms_seen.to_json()),
+            (
+                "mean_max_cluster_fraction",
+                self.mean_max_cluster_fraction.to_json(),
+            ),
+            ("mean_profile_len", self.mean_profile_len.to_json()),
+            ("mean_anonymity_set", self.mean_anonymity_set.to_json()),
+        ])
+    }
 }
 
 /// Runs `purchases_per_user` purchases for `users` users under `policy`
@@ -102,7 +119,7 @@ fn score(
 
     // Cluster rows by pseudonym (the provider's only link handle).
     let mut clusters: HashMap<KeyId, usize> = HashMap::new();
-    for rec in log {
+    for rec in &log {
         *clusters.entry(rec.pseudonym).or_insert(0) += 1;
     }
 

@@ -13,10 +13,9 @@ use p2drm_core::entities::user::PseudonymPolicy;
 use p2drm_core::protocol;
 use p2drm_core::system::{System, SystemConfig};
 use p2drm_crypto::rng::test_rng;
+use p2drm_payment::{Mint, MintConfig, Wallet};
 use p2drm_sim::report::{fmt_bytes, fmt_ns, write_json, Table};
 use p2drm_sim::{linkability_experiment, purchase_throughput, ThroughputConfig};
-use p2drm_payment::{Mint, MintConfig, Wallet};
-use serde::Serialize;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,7 +53,7 @@ fn main() {
 /// T1: the anonymous purchase protocol figure as an executable transcript.
 fn t1_purchase_transcript() {
     let mut rng = test_rng(0xE1);
-    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
     let cid = sys.publish_content("Track #1", 100, &vec![7u8; 4096], &mut rng);
     let mut alice = sys.register_user("alice", &mut rng).unwrap();
     sys.fund(&alice, 1000);
@@ -65,7 +64,10 @@ fn t1_purchase_transcript() {
     sys.purchase_with_transcript(&mut alice, cid, &mut rng, &mut t)
         .unwrap();
 
-    println!("T1 — anonymous purchase protocol (executable transcript)\n{}", t.render());
+    println!(
+        "T1 — anonymous purchase protocol (executable transcript)\n{}",
+        t.render()
+    );
     println!(
         "  provider received {} bytes; contains user id: {}\n",
         t.bytes_received_by(Party::Provider),
@@ -76,7 +78,7 @@ fn t1_purchase_transcript() {
 /// T2: transfer + double-redeem rejection as an executable transcript.
 fn t2_transfer_transcript() {
     let mut rng = test_rng(0xE2);
-    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
     let cid = sys.publish_content("Track #2", 100, &vec![7u8; 1024], &mut rng);
     let mut alice = sys.register_user("alice", &mut rng).unwrap();
     let mut bob = sys.register_user("bob", &mut rng).unwrap();
@@ -92,14 +94,17 @@ fn t2_transfer_transcript() {
     protocol::transfer(
         &mut alice,
         &mut bob,
-        &mut sys.provider,
+        &sys.provider,
         license.id(),
         epoch,
         &mut rng,
         &mut t,
     )
     .unwrap();
-    println!("T2 — privacy-preserving transfer (executable transcript)\n{}", t.render());
+    println!(
+        "T2 — privacy-preserving transfer (executable transcript)\n{}",
+        t.render()
+    );
 
     // Double-redeem attempt from a "backup" of the old license.
     alice.add_license(saved, alice_pseudonym);
@@ -109,7 +114,7 @@ fn t2_transfer_transcript() {
     let res = protocol::transfer(
         &mut alice,
         &mut carol,
-        &mut sys.provider,
+        &sys.provider,
         license.id(),
         epoch,
         &mut rng,
@@ -124,12 +129,23 @@ fn t2_transfer_transcript() {
     );
 }
 
-#[derive(Serialize)]
 struct E1Row {
     protocol: String,
     messages: usize,
     total_bytes: usize,
     provider_bytes: usize,
+}
+
+impl p2drm_sim::json::ToJson for E1Row {
+    fn to_json(&self) -> p2drm_sim::json::Json {
+        use p2drm_sim::json::Json;
+        Json::obj([
+            ("protocol", self.protocol.to_json()),
+            ("messages", self.messages.to_json()),
+            ("total_bytes", self.total_bytes.to_json()),
+            ("provider_bytes", self.provider_bytes.to_json()),
+        ])
+    }
 }
 
 /// E1 (Table 1): message count and byte cost per protocol operation.
@@ -152,7 +168,7 @@ fn e1_message_costs() {
     // Registration.
     let mut t = Transcript::new();
     let mut alice = protocol::register(
-        &mut sys.ra,
+        &sys.ra,
         p2drm_core::UserId::from_label("e1-user"),
         "acct-e1-user",
         PseudonymPolicy::FreshPerPurchase,
@@ -170,7 +186,7 @@ fn e1_message_costs() {
     let now = sys.now();
     protocol::obtain_pseudonym(
         &mut alice,
-        &mut sys.ra,
+        &sys.ra,
         sys.ttp.escrow_key(),
         epoch,
         now,
@@ -183,15 +199,31 @@ fn e1_message_costs() {
     // Anonymous purchase (pseudonym already in place).
     let mut t = Transcript::new();
     let mint = sys.mint.clone();
-    let license =
-        protocol::purchase(&mut alice, &mut sys.provider, &mint, cid, epoch, &mut rng, &mut t)
-            .unwrap();
+    let license = protocol::purchase(
+        &mut alice,
+        &sys.provider,
+        &mint,
+        cid,
+        epoch,
+        &mut rng,
+        &mut t,
+    )
+    .unwrap();
     push("purchase (P2DRM)", &t);
 
     // Play.
     let mut device = sys.register_device(&mut rng).unwrap();
     let mut t = Transcript::new();
-    protocol::play(&alice, &mut device, &sys.provider, &license, now, &mut rng, &mut t).unwrap();
+    protocol::play(
+        &alice,
+        &mut device,
+        &sys.provider,
+        &license,
+        now,
+        &mut rng,
+        &mut t,
+    )
+    .unwrap();
     push("play (P2DRM)", &t);
 
     // Transfer.
@@ -202,7 +234,7 @@ fn e1_message_costs() {
     protocol::transfer(
         &mut alice,
         &mut bob,
-        &mut sys.provider,
+        &sys.provider,
         license.id(),
         epoch,
         &mut rng,
@@ -250,29 +282,30 @@ fn e1_message_costs() {
     let _ = write_json("e1_message_costs", &rows);
 }
 
-/// E3 (Fig 3): provider throughput vs concurrent clients.
+/// E3 (Fig 3): shared-provider throughput vs concurrent clients, with a
+/// serialized (1-shard) and a lock-sharded store for each thread count.
 fn e3_throughput(quick: bool) {
     let clients_sweep: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
     let per_client = if quick { 4 } else { 8 };
     let mut results = Vec::new();
     let mut table = Table::new(
-        "E3 (Fig 3): purchase throughput vs concurrency",
-        &["clients", "shards", "ops", "throughput", "p50", "p99"],
+        "E3 (Fig 3): purchase throughput vs concurrency (one shared provider)",
+        &["clients", "store shards", "ops", "throughput", "p50", "p99"],
     );
     for &clients in clients_sweep {
-        for shards in [1usize, clients] {
-            let mut rng = test_rng(0xE4 + clients as u64 + shards as u64 * 100);
+        for store_shards in [1usize, 8] {
+            let mut rng = test_rng(0xE4 + clients as u64 + store_shards as u64 * 100);
             let r = purchase_throughput(
                 ThroughputConfig {
                     clients,
                     purchases_per_client: per_client,
-                    shards,
+                    store_shards,
                 },
                 &mut rng,
             );
             table.row(&[
                 r.clients.to_string(),
-                r.shards.to_string(),
+                r.store_shards.to_string(),
                 r.completed.to_string(),
                 format!("{:.1}/s", r.throughput),
                 fmt_ns(r.latency.p50_ns as f64),
@@ -285,7 +318,6 @@ fn e3_throughput(quick: bool) {
     let _ = write_json("e3_throughput", &results);
 }
 
-#[derive(Serialize)]
 struct E6Row {
     purchases: usize,
     license_store_entries: usize,
@@ -295,18 +327,37 @@ struct E6Row {
     card_memory_bytes: usize,
 }
 
+impl p2drm_sim::json::ToJson for E6Row {
+    fn to_json(&self) -> p2drm_sim::json::Json {
+        use p2drm_sim::json::Json;
+        Json::obj([
+            ("purchases", self.purchases.to_json()),
+            (
+                "license_store_entries",
+                self.license_store_entries.to_json(),
+            ),
+            ("license_bytes_total", self.license_bytes_total.to_json()),
+            ("spent_entries", self.spent_entries.to_json()),
+            ("card_pseudonyms", self.card_pseudonyms.to_json()),
+            ("card_memory_bytes", self.card_memory_bytes.to_json()),
+        ])
+    }
+}
+
 /// E6 (Table 2): storage growth with purchase count.
 fn e6_storage(quick: bool) {
     let sweep: &[usize] = if quick { &[10, 50] } else { &[10, 100, 300] };
     let mut rows = Vec::new();
     for &n in sweep {
         let mut rng = test_rng(0xE6 + n as u64);
-        let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+        let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
         let cid = sys.publish_content("item", 100, &vec![0u8; 512], &mut rng);
         let mut user = sys
             .register_user_with_budget(
                 "hoarder",
-                p2drm_core::entities::smartcard::CardBudget { max_pseudonyms: n + 8 },
+                p2drm_core::entities::smartcard::CardBudget {
+                    max_pseudonyms: n + 8,
+                },
                 &mut rng,
             )
             .unwrap();
@@ -327,7 +378,14 @@ fn e6_storage(quick: bool) {
     }
     let mut table = Table::new(
         "E6 (Table 2): storage growth (fresh-pseudonym policy)",
-        &["purchases", "licenses", "license bytes", "spent ids", "card keys", "card memory"],
+        &[
+            "purchases",
+            "licenses",
+            "license bytes",
+            "spent ids",
+            "card keys",
+            "card memory",
+        ],
     );
     for r in &rows {
         table.row(&[
@@ -355,7 +413,14 @@ fn e7_linkability(quick: bool) {
     let mut reports = Vec::new();
     let mut table = Table::new(
         "E7 (Fig 6): provider linkability vs pseudonym policy",
-        &["policy", "purchases", "pseudonyms", "max-cluster frac", "profile len", "anon set"],
+        &[
+            "policy",
+            "purchases",
+            "pseudonyms",
+            "max-cluster frac",
+            "profile len",
+            "anon set",
+        ],
     );
     for (i, policy) in policies.iter().enumerate() {
         let mut rng = test_rng(0xE7 + i as u64);
@@ -374,11 +439,21 @@ fn e7_linkability(quick: bool) {
     let _ = write_json("e7_linkability", &reports);
 }
 
-#[derive(Serialize)]
 struct E10Row {
     op: String,
     iterations: usize,
     mean_ns: f64,
+}
+
+impl p2drm_sim::json::ToJson for E10Row {
+    fn to_json(&self) -> p2drm_sim::json::Json {
+        use p2drm_sim::json::Json;
+        Json::obj([
+            ("op", self.op.to_json()),
+            ("iterations", self.iterations.to_json()),
+            ("mean_ns", self.mean_ns.to_json()),
+        ])
+    }
 }
 
 /// E10: payment subsystem costs + double-spend detection rate.

@@ -1,0 +1,251 @@
+//! Dependency-free JSON emission for experiment results.
+//!
+//! The build environment is offline, so instead of `serde`/`serde_json`
+//! the report structs implement [`ToJson`] by hand — a few lines each,
+//! and the output stays byte-stable for EXPERIMENTS.md regeneration.
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true`/`false`
+    Bool(bool),
+    /// Unsigned integer (emitted without a decimal point).
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Floating-point number (non-finite values emit `null`).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience object builder.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => out.push_str(&n.to_string()),
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // Ensure a decimal point or exponent so the value
+                    // round-trips as a float.
+                    let s = format!("{f}");
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Types that can render themselves as a [`Json`] value.
+pub trait ToJson {
+    /// The JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self as u64)
+    }
+}
+
+impl ToJson for u32 {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self as u64)
+    }
+}
+
+impl ToJson for i64 {
+    fn to_json(&self) -> Json {
+        Json::Int(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_nesting() {
+        let v = Json::obj([
+            ("name", Json::Str("e3".into())),
+            ("count", Json::UInt(3)),
+            ("rate", Json::Float(1.5)),
+            ("whole", Json::Float(2.0)),
+            ("flags", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = v.render_pretty();
+        assert!(s.contains("\"name\": \"e3\""));
+        assert!(s.contains("\"count\": 3"));
+        assert!(s.contains("\"rate\": 1.5"));
+        assert!(s.contains("\"whole\": 2.0"), "float keeps decimal: {s}");
+        assert!(s.contains("[]"));
+        assert!(s.ends_with('\n'));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = Json::Str("a\"b\\c\nd".into()).render_pretty();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn vec_of_tojson() {
+        let rows = vec![1u64, 2, 3];
+        assert_eq!(
+            rows.to_json(),
+            Json::Arr(vec![Json::UInt(1), Json::UInt(2), Json::UInt(3)])
+        );
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(Json::Float(f64::NAN).render_pretty(), "null\n");
+    }
+}

@@ -6,8 +6,8 @@
 //!
 //! * [`workload`] — Zipf content popularity and seeded operation mixes;
 //! * [`metrics`] — log-bucketed latency histograms and summaries;
-//! * [`runner`] — multi-threaded purchase throughput (E3) over provider
-//!   shards;
+//! * [`runner`] — multi-threaded purchase throughput (E3) against one
+//!   shared `&self` provider;
 //! * [`adversary`] — the honest-but-curious provider trying to profile
 //!   users from its own purchase log (E7);
 //! * [`report`] — ASCII tables + JSON series for EXPERIMENTS.md.
@@ -16,6 +16,7 @@
 //! regenerates every table/figure artifact.
 
 pub mod adversary;
+pub mod json;
 pub mod metrics;
 pub mod mixed;
 pub mod report;
@@ -23,8 +24,8 @@ pub mod runner;
 pub mod workload;
 
 pub use adversary::{linkability_experiment, LinkabilityReport};
-pub use mixed::{simulate, SimReport};
 pub use metrics::{Histogram, Summary};
+pub use mixed::{simulate, SimReport};
 pub use report::Table;
 pub use runner::{purchase_throughput, ThroughputConfig, ThroughputResult};
 pub use workload::{Op, Workload, WorkloadConfig, Zipf};

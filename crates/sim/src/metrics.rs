@@ -1,7 +1,7 @@
 //! Latency metrics: a log-bucketed histogram (2 buckets per octave,
 //! nanosecond domain) with percentile summaries.
 
-use serde::Serialize;
+use crate::json::{Json, ToJson};
 use std::time::Duration;
 
 const BUCKETS_PER_OCTAVE: usize = 2;
@@ -130,7 +130,7 @@ impl Histogram {
 }
 
 /// Point-in-time summary of a [`Histogram`].
-#[derive(Clone, Copy, Debug, Serialize, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Summary {
     /// Sample count.
     pub count: u64,
@@ -152,6 +152,20 @@ impl Summary {
     /// Milliseconds rendering of the mean.
     pub fn mean_ms(&self) -> f64 {
         self.mean_ns / 1e6
+    }
+}
+
+impl ToJson for Summary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", self.count.to_json()),
+            ("mean_ns", self.mean_ns.to_json()),
+            ("p50_ns", self.p50_ns.to_json()),
+            ("p90_ns", self.p90_ns.to_json()),
+            ("p99_ns", self.p99_ns.to_json()),
+            ("min_ns", self.min_ns.to_json()),
+            ("max_ns", self.max_ns.to_json()),
+        ])
     }
 }
 

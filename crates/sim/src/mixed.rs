@@ -10,11 +10,10 @@ use p2drm_core::entities::CompliantDevice;
 use p2drm_core::system::{System, SystemConfig};
 use p2drm_core::CoreError;
 use rand::Rng;
-use serde::Serialize;
 use std::time::Instant;
 
 /// Outcome counters and latency summaries for a simulation run.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SimReport {
     /// Operations attempted.
     pub ops: usize,
@@ -50,7 +49,14 @@ pub struct SimReport {
 pub fn simulate<R: Rng>(workload: &Workload, policy: PseudonymPolicy, rng: &mut R) -> SimReport {
     let mut sys = System::bootstrap(SystemConfig::fast_test(), rng);
     let catalog: Vec<_> = (0..workload.config.catalog)
-        .map(|i| sys.publish_content(&format!("item-{i}"), 100, format!("payload-{i}").as_bytes(), rng))
+        .map(|i| {
+            sys.publish_content(
+                &format!("item-{i}"),
+                100,
+                format!("payload-{i}").as_bytes(),
+                rng,
+            )
+        })
         .collect();
 
     let mut users = Vec::with_capacity(workload.config.users);
@@ -157,6 +163,26 @@ pub fn simulate<R: Rng>(workload: &Workload, policy: PseudonymPolicy, rng: &mut 
     );
     assert_eq!(report.provider_spent, report.transfers_ok);
     report
+}
+
+impl crate::json::ToJson for SimReport {
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("ops", self.ops.to_json()),
+            ("purchases_ok", self.purchases_ok.to_json()),
+            ("plays_ok", self.plays_ok.to_json()),
+            ("plays_denied", self.plays_denied.to_json()),
+            ("transfers_ok", self.transfers_ok.to_json()),
+            ("transfers_denied", self.transfers_denied.to_json()),
+            ("skipped", self.skipped.to_json()),
+            ("purchase_latency", self.purchase_latency.to_json()),
+            ("play_latency", self.play_latency.to_json()),
+            ("transfer_latency", self.transfer_latency.to_json()),
+            ("provider_licenses", self.provider_licenses.to_json()),
+            ("provider_spent", self.provider_spent.to_json()),
+        ])
+    }
 }
 
 /// Mutable references to two distinct vector elements.

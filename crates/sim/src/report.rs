@@ -1,11 +1,11 @@
 //! Experiment output: ASCII tables for the terminal and JSON series for
 //! EXPERIMENTS.md regeneration.
 
-use serde::Serialize;
+use crate::json::{Json, ToJson};
 use std::fmt::Write as _;
 
 /// A printable result table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Table title (experiment id + description).
     pub title: String,
@@ -93,15 +93,27 @@ pub fn fmt_bytes(b: f64) -> String {
     }
 }
 
-/// Writes a serializable result to `results/<name>.json` under the
+/// Writes a [`ToJson`] result to `results/<name>.json` under the
 /// workspace root (best effort; returns the path written).
-pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+pub fn write_json<T: ToJson + ?Sized>(
+    name: &str,
+    value: &T,
+) -> std::io::Result<std::path::PathBuf> {
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serializable");
-    std::fs::write(&path, json)?;
+    std::fs::write(&path, value.to_json().render_pretty())?;
     Ok(path)
+}
+
+impl ToJson for Table {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("title", self.title.to_json()),
+            ("headers", self.headers.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
 }
 
 #[cfg(test)]

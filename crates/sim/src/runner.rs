@@ -1,18 +1,22 @@
 //! Concurrent purchase throughput (experiment E3).
 //!
-//! Client threads submit pre-built purchase requests against provider
-//! shards. With one shard the provider serializes (the spent-ID store and
-//! license signing sit behind one lock); with one shard per client the
-//! workload scales until the shared mint's deposit lock becomes the
-//! bottleneck — both shapes are reported in EXPERIMENTS.md.
+//! Client threads submit pre-built purchase requests against **one shared
+//! provider** through `&self` — the refactored `ContentProvider` is `Sync`,
+//! so no external mutex and no per-thread provider clones are involved.
+//! Parallelism comes from the provider's internal lock sharding: the
+//! spent-ID/license store is a `ShardedKv`, the catalog and rights
+//! templates are read-locked, and license signing needs no lock at all.
+//! `store_shards = 1` degenerates to a fully serialized store, which is
+//! the paper's single-license-server baseline.
 
+use crate::json::{Json, ToJson};
 use crate::metrics::{Histogram, Summary};
-use p2drm_core::entities::provider::ContentProvider;
+use p2drm_core::entities::provider::{ContentProvider, ProviderConfig};
 use p2drm_core::protocol::messages::PurchaseRequest;
 use p2drm_core::system::{System, SystemConfig};
 use parking_lot::Mutex;
-use rand::Rng;
-use serde::Serialize;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// Throughput run parameters.
@@ -22,17 +26,18 @@ pub struct ThroughputConfig {
     pub clients: usize,
     /// Purchases per client.
     pub purchases_per_client: usize,
-    /// Provider shards (1 = single license server).
-    pub shards: usize,
+    /// Lock shards inside the provider's store (1 = fully serialized
+    /// store, the single-license-server shape).
+    pub store_shards: usize,
 }
 
 /// Throughput results.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ThroughputResult {
     /// Threads used.
     pub clients: usize,
-    /// Provider shards used.
-    pub shards: usize,
+    /// Store lock shards used.
+    pub store_shards: usize,
     /// Completed purchases.
     pub completed: usize,
     /// Wall-clock seconds.
@@ -43,37 +48,41 @@ pub struct ThroughputResult {
     pub latency: Summary,
 }
 
+impl ToJson for ThroughputResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("clients", self.clients.to_json()),
+            ("store_shards", self.store_shards.to_json()),
+            ("completed", self.completed.to_json()),
+            ("wall_secs", self.wall_secs.to_json()),
+            ("throughput", self.throughput.to_json()),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
 /// Runs the throughput experiment. Setup (users, pseudonyms, coins) is
 /// excluded from the measured section; only provider-side handling is
 /// timed — the license-server capacity question.
 pub fn purchase_throughput<R: Rng>(config: ThroughputConfig, rng: &mut R) -> ThroughputResult {
     let mut sys = System::bootstrap(SystemConfig::fast_test(), rng);
-    let cid = sys.publish_content("hot-item", 100, &vec![0u8; 1024], rng);
-    let epoch = sys.epoch();
 
-    // Shards: independent provider instances sharing the mint (deposits,
-    // and thus double-spend protection, stay globally consistent).
-    let mut shards = Vec::with_capacity(config.shards);
+    // The shared provider under test, with the requested store sharding.
+    // It shares the system's mint, so deposits (and double-spend
+    // protection) stay globally consistent.
+    let provider = ContentProvider::new(
+        &mut sys.root,
+        sys.mint.clone(),
+        sys.ra.blind_public().clone(),
+        ProviderConfig {
+            store_shards: config.store_shards,
+            ..ProviderConfig::fast_test()
+        },
+        rng,
+    );
     let template = sys.config().rights_template.clone();
-    for s in 0..config.shards {
-        let mut p = ContentProvider::new(
-            &mut sys.root,
-            sys.mint.clone(),
-            sys.ra.blind_public().clone(),
-            p2drm_core::entities::provider::ProviderConfig::fast_test(),
-            rng,
-        );
-        // Same catalog entry id is not required — each shard sells its own
-        // copy at the same price.
-        let _ = p.publish(format!("hot-{s}"), 100, &vec![0u8; 1024], template.clone(), rng);
-        shards.push(p);
-    }
-    // Shard catalogs each have their own content id; collect them.
-    let shard_cids: Vec<_> = shards
-        .iter()
-        .map(|p| p.catalog().list()[0].id)
-        .collect();
-    let _ = cid;
+    let cid = provider.publish("hot-item", 100, &vec![0u8; 1024], template, rng);
+    let epoch = sys.epoch();
 
     // Pre-build all requests: one user per client, coins + pseudonyms
     // prepared up front.
@@ -83,16 +92,15 @@ pub fn purchase_throughput<R: Rng>(config: ThroughputConfig, rng: &mut R) -> Thr
         let mut user = sys.register_user(&format!("client-{c}"), rng).unwrap();
         sys.fund(&user, 100 * config.purchases_per_client as u64);
         let mut reqs = Vec::with_capacity(config.purchases_per_client);
-        for i in 0..config.purchases_per_client {
+        for _ in 0..config.purchases_per_client {
             sys.ensure_pseudonym(&mut user, rng).unwrap();
             let cert = user.current_pseudonym().unwrap().clone();
             let account = user.account.clone();
             let coin = user.wallet.withdraw(&sys.mint, &account, 100, rng).unwrap();
             user.wallet.take(100);
             user.note_pseudonym_use();
-            let shard = (c * config.purchases_per_client + i) % config.shards;
             reqs.push(PurchaseRequest {
-                content_id: shard_cids[shard],
+                content_id: cid,
                 pseudonym_cert: cert,
                 coin,
                 attribute_cert: None,
@@ -101,26 +109,22 @@ pub fn purchase_throughput<R: Rng>(config: ThroughputConfig, rng: &mut R) -> Thr
         requests.push(reqs);
     }
 
-    let shard_locks: Vec<Mutex<ContentProvider>> = shards.into_iter().map(Mutex::new).collect();
     let completed = std::sync::atomic::AtomicUsize::new(0);
     let histograms: Vec<Mutex<Histogram>> = (0..config.clients)
         .map(|_| Mutex::new(Histogram::new()))
         .collect();
 
     let start = Instant::now();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (c, reqs) in requests.iter().enumerate() {
-            let shard_locks = &shard_locks;
+            let provider = &provider;
             let completed = &completed;
             let histograms = &histograms;
-            scope.spawn(move |_| {
-                let mut rng = rand::rngs::StdRng::seed_from_u64(0xC11E57 + c as u64);
-                for (i, req) in reqs.iter().enumerate() {
-                    let shard = (c * reqs.len() + i) % shard_locks.len();
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xC11E57 + c as u64);
+                for req in reqs {
                     let t0 = Instant::now();
-                    let res = shard_locks[shard]
-                        .lock()
-                        .handle_purchase(req, epoch, &mut rng);
+                    let res = provider.handle_purchase(req, epoch, &mut rng);
                     let dt = t0.elapsed();
                     if res.is_ok() {
                         completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -129,8 +133,7 @@ pub fn purchase_throughput<R: Rng>(config: ThroughputConfig, rng: &mut R) -> Thr
                 }
             });
         }
-    })
-    .expect("threads join");
+    });
     let wall = start.elapsed();
 
     let mut merged = Histogram::new();
@@ -139,18 +142,21 @@ pub fn purchase_throughput<R: Rng>(config: ThroughputConfig, rng: &mut R) -> Thr
     }
     let completed = completed.load(std::sync::atomic::Ordering::Relaxed);
     assert_eq!(completed, total, "all purchases must succeed");
+    assert_eq!(
+        provider.license_count(),
+        total,
+        "license store accounts for every issuance"
+    );
 
     ThroughputResult {
         clients: config.clients,
-        shards: config.shards,
+        store_shards: config.store_shards,
         completed,
         wall_secs: wall.as_secs_f64(),
         throughput: completed as f64 / wall.as_secs_f64(),
         latency: merged.summary(),
     }
 }
-
-use rand::SeedableRng;
 
 #[cfg(test)]
 mod tests {
@@ -164,7 +170,7 @@ mod tests {
             ThroughputConfig {
                 clients: 2,
                 purchases_per_client: 3,
-                shards: 1,
+                store_shards: 1,
             },
             &mut rng,
         );
@@ -174,17 +180,17 @@ mod tests {
     }
 
     #[test]
-    fn sharded_run_completes() {
+    fn sharded_store_run_completes() {
         let mut rng = test_rng(271);
         let r = purchase_throughput(
             ThroughputConfig {
                 clients: 4,
                 purchases_per_client: 2,
-                shards: 2,
+                store_shards: 8,
             },
             &mut rng,
         );
         assert_eq!(r.completed, 8);
-        assert_eq!(r.shards, 2);
+        assert_eq!(r.store_shards, 8);
     }
 }

@@ -186,7 +186,12 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         // Rank 0 must dominate rank 50 heavily under s=1.
-        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
         // Everything in range.
         assert_eq!(counts.iter().sum::<usize>(), 20_000);
     }

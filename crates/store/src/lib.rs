@@ -14,7 +14,12 @@
 //!   replayed, a corrupt tail is detected and truncated;
 //! * [`typed`] — thin typed wrapper over any [`Kv`] using the canonical
 //!   codec;
-//! * [`SharedKv`] — `parking_lot`-locked handle for concurrent use.
+//! * [`SharedKv`] — `parking_lot`-locked handle for concurrent use;
+//! * [`ShardedKv`] — lock-sharded concurrent store: keys hash to one of N
+//!   independently locked shards, so writers on different shards never
+//!   contend (the license server's hot-path substrate);
+//! * [`ConcurrentKv`] — the `&self` store interface both concurrent
+//!   handles implement, which typed [`typed::Table`]s can operate over.
 //!
 //! ```
 //! use p2drm_store::{Kv, MemKv};
@@ -27,10 +32,12 @@
 
 pub mod log;
 pub mod mem;
+pub mod sharded;
 pub mod typed;
 pub mod walkv;
 
 pub use mem::MemKv;
+pub use sharded::ShardedKv;
 pub use walkv::{RecoveryReport, SyncPolicy, WalKv};
 
 use parking_lot::RwLock;
@@ -100,16 +107,19 @@ pub trait Kv {
         self.get(key).is_some()
     }
 
-    /// Atomic check-and-set: inserts only when absent, returning whether
-    /// the insert happened. This is the double-redemption primitive: a
-    /// license id is redeemable iff this returns `true` exactly once.
-    fn insert_if_absent(&mut self, key: &[u8], value: &[u8]) -> Result<bool, StoreError> {
-        if self.contains(key) {
-            return Ok(false);
-        }
-        self.put(key, value)?;
-        Ok(true)
-    }
+    /// Check-and-set: inserts only when absent, returning whether the
+    /// insert happened. This is the double-redemption primitive: a license
+    /// id is redeemable iff this returns `true` exactly once.
+    ///
+    /// **Required, not defaulted**: a naive `contains`-then-`put` default
+    /// would let a new backend silently lose the exactly-once guarantee
+    /// (e.g. a future remote/batched store whose `contains` and `put` are
+    /// separate round trips). Every backend must state its own atomic
+    /// implementation. Note the method takes `&mut self`, so within a
+    /// single store instance the check-and-set is already exclusive;
+    /// *concurrent* callers must go through [`SharedKv`] or [`ShardedKv`],
+    /// which hold the write lock across the whole operation.
+    fn insert_if_absent(&mut self, key: &[u8], value: &[u8]) -> Result<bool, StoreError>;
 
     /// Flushes buffered writes to the backing medium (no-op for memory).
     fn flush(&mut self) -> Result<(), StoreError> {
@@ -188,6 +198,74 @@ impl<S: Kv> SharedKv<S> {
     }
 }
 
+/// The `&self` store interface for concurrent handles.
+///
+/// Mirrors [`Kv`] but takes shared references: implementations guarantee
+/// that every operation is internally synchronized and that
+/// [`ConcurrentKv::insert_if_absent`] is atomic with respect to all other
+/// operations on the same key. Typed [`typed::Table`]s operate over either
+/// interface; the refactored provider state holds its tables over a
+/// [`ShardedKv`] through this trait.
+pub trait ConcurrentKv {
+    /// Reads a value.
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
+
+    /// Writes (inserts or overwrites) a value.
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError>;
+
+    /// Deletes a key; returns whether it existed.
+    fn delete(&self, key: &[u8]) -> Result<bool, StoreError>;
+
+    /// Atomic check-and-set under the handle's write lock.
+    fn insert_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool, StoreError>;
+
+    /// All pairs whose key starts with `prefix`, in key order.
+    fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)>;
+
+    /// Number of live keys.
+    fn len(&self) -> usize;
+
+    /// True when no keys are live.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when `key` exists.
+    fn contains(&self, key: &[u8]) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Flushes buffered writes to the backing medium.
+    fn flush(&self) -> Result<(), StoreError>;
+}
+
+impl<S: Kv> ConcurrentKv for SharedKv<S> {
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        SharedKv::get(self, key)
+    }
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        SharedKv::put(self, key, value)
+    }
+    fn delete(&self, key: &[u8]) -> Result<bool, StoreError> {
+        SharedKv::delete(self, key)
+    }
+    fn insert_if_absent(&self, key: &[u8], value: &[u8]) -> Result<bool, StoreError> {
+        SharedKv::insert_if_absent(self, key, value)
+    }
+    fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        SharedKv::scan_prefix(self, prefix)
+    }
+    fn len(&self) -> usize {
+        SharedKv::len(self)
+    }
+    fn contains(&self, key: &[u8]) -> bool {
+        SharedKv::contains(self, key)
+    }
+    fn flush(&self) -> Result<(), StoreError> {
+        self.with_mut(|s| s.flush())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,9 +292,7 @@ mod tests {
         let handles: Vec<_> = (0..8u8)
             .map(|i| {
                 let kv = kv.clone();
-                std::thread::spawn(move || {
-                    kv.insert_if_absent(b"unique-license-id", &[i]).unwrap()
-                })
+                std::thread::spawn(move || kv.insert_if_absent(b"unique-license-id", &[i]).unwrap())
             })
             .collect();
         let winners = handles

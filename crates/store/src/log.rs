@@ -23,10 +23,7 @@ pub struct LogWriter {
 impl LogWriter {
     /// Opens for append, creating the file if missing.
     pub fn open(path: &Path) -> Result<Self, StoreError> {
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)?;
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
         let offset = file.metadata()?.len();
         Ok(LogWriter {
             out: BufWriter::new(file),
@@ -250,7 +247,10 @@ mod tests {
         let mut w = LogWriter::open(&tmp.0).unwrap();
         w.append(b"third").unwrap();
         w.flush().unwrap();
-        assert_eq!(replay(&tmp.0).unwrap().records, vec![b"first".to_vec(), b"third".to_vec()]);
+        assert_eq!(
+            replay(&tmp.0).unwrap().records,
+            vec![b"first".to_vec(), b"third".to_vec()]
+        );
     }
 
     #[test]

@@ -41,6 +41,18 @@ impl Kv for MemKv {
     fn len(&self) -> usize {
         self.map.len()
     }
+
+    /// Single map-entry probe: the check and the insert are one operation
+    /// on the underlying `BTreeMap`, never a racy contains-then-put.
+    fn insert_if_absent(&mut self, key: &[u8], value: &[u8]) -> Result<bool, StoreError> {
+        match self.map.entry(key.to_vec()) {
+            std::collections::btree_map::Entry::Occupied(_) => Ok(false),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(value.to_vec());
+                Ok(true)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -67,7 +79,10 @@ mod tests {
             kv.put(k.as_bytes(), b"x").unwrap();
         }
         let hits = kv.scan_prefix(b"a/");
-        let keys: Vec<_> = hits.iter().map(|(k, _)| String::from_utf8_lossy(k).into_owned()).collect();
+        let keys: Vec<_> = hits
+            .iter()
+            .map(|(k, _)| String::from_utf8_lossy(k).into_owned())
+            .collect();
         assert_eq!(keys, vec!["a/1", "a/2", "a/30"]);
         // Empty prefix scans everything in order.
         assert_eq!(kv.scan_prefix(b"").len(), 5);

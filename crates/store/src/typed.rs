@@ -1,8 +1,10 @@
 //! Typed views over a [`Kv`]: values encode/decode through the canonical
 //! codec under a fixed key prefix, giving each logical table its own
-//! namespace inside one store.
+//! namespace inside one store. The `*_shared` variants operate over a
+//! [`ConcurrentKv`] handle (e.g. [`crate::ShardedKv`]) so many threads can
+//! use one table through `&self`.
 
-use crate::{Kv, StoreError};
+use crate::{ConcurrentKv, Kv, StoreError};
 use p2drm_codec::{from_bytes, to_bytes, Decode, Encode};
 use std::marker::PhantomData;
 
@@ -37,7 +39,12 @@ impl<V: Encode + Decode> Table<V> {
     }
 
     /// Encodes and writes.
-    pub fn put<S: Kv + ?Sized>(&self, store: &mut S, key: &[u8], value: &V) -> Result<(), StoreError> {
+    pub fn put<S: Kv + ?Sized>(
+        &self,
+        store: &mut S,
+        key: &[u8],
+        value: &V,
+    ) -> Result<(), StoreError> {
         store.put(&self.full_key(key), &to_bytes(value))
     }
 
@@ -72,6 +79,61 @@ impl<V: Encode + Decode> Table<V> {
 
     /// Number of rows in this table (scan-based; fine at simulation scale).
     pub fn len<S: Kv + ?Sized>(&self, store: &S) -> usize {
+        store.scan_prefix(&self.prefix).len()
+    }
+
+    /// Reads and decodes through a concurrent handle.
+    pub fn get_shared<C: ConcurrentKv + ?Sized>(
+        &self,
+        store: &C,
+        key: &[u8],
+    ) -> Result<Option<V>, StoreError> {
+        match store.get(&self.full_key(key)) {
+            None => Ok(None),
+            Some(bytes) => Ok(Some(from_bytes(&bytes)?)),
+        }
+    }
+
+    /// Encodes and writes through a concurrent handle.
+    pub fn put_shared<C: ConcurrentKv + ?Sized>(
+        &self,
+        store: &C,
+        key: &[u8],
+        value: &V,
+    ) -> Result<(), StoreError> {
+        store.put(&self.full_key(key), &to_bytes(value))
+    }
+
+    /// Membership test through a concurrent handle.
+    pub fn contains_shared<C: ConcurrentKv + ?Sized>(&self, store: &C, key: &[u8]) -> bool {
+        store.contains(&self.full_key(key))
+    }
+
+    /// Atomic insert-if-absent through a concurrent handle (the
+    /// double-redemption primitive on the provider's hot path).
+    pub fn insert_if_absent_shared<C: ConcurrentKv + ?Sized>(
+        &self,
+        store: &C,
+        key: &[u8],
+        value: &V,
+    ) -> Result<bool, StoreError> {
+        store.insert_if_absent(&self.full_key(key), &to_bytes(value))
+    }
+
+    /// All `(suffix, value)` pairs through a concurrent handle.
+    pub fn scan_shared<C: ConcurrentKv + ?Sized>(
+        &self,
+        store: &C,
+    ) -> Result<Vec<(Vec<u8>, V)>, StoreError> {
+        store
+            .scan_prefix(&self.prefix)
+            .into_iter()
+            .map(|(k, v)| Ok((k[self.prefix.len()..].to_vec(), from_bytes(&v)?)))
+            .collect()
+    }
+
+    /// Row count through a concurrent handle.
+    pub fn len_shared<C: ConcurrentKv + ?Sized>(&self, store: &C) -> usize {
         store.scan_prefix(&self.prefix).len()
     }
 }
@@ -120,11 +182,7 @@ mod tests {
         let rows = t.scan(&kv).unwrap();
         assert_eq!(
             rows,
-            vec![
-                (b"x".to_vec(), 1),
-                (b"y".to_vec(), 2),
-                (b"z".to_vec(), 3)
-            ]
+            vec![(b"x".to_vec(), 1), (b"y".to_vec(), 2), (b"z".to_vec(), 3)]
         );
     }
 

@@ -51,7 +51,10 @@ pub struct WalKv {
 impl WalKv {
     /// Opens (or creates) the store at `path`, replaying the log and
     /// truncating any torn tail.
-    pub fn open(path: impl Into<PathBuf>, policy: SyncPolicy) -> Result<(Self, RecoveryReport), StoreError> {
+    pub fn open(
+        path: impl Into<PathBuf>,
+        policy: SyncPolicy,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
         let path = path.into();
         let replayed = log::replay(&path)?;
         if replayed.torn_tail {
@@ -187,6 +190,18 @@ impl Kv for WalKv {
 
     fn len(&self) -> usize {
         self.index.len()
+    }
+
+    /// Index probe then log append: both steps happen under the `&mut`
+    /// borrow, and the WAL record is appended *before* the index changes,
+    /// so the exactly-once outcome also survives a crash between the two.
+    fn insert_if_absent(&mut self, key: &[u8], value: &[u8]) -> Result<bool, StoreError> {
+        if self.index.contains_key(key) {
+            return Ok(false);
+        }
+        self.append(OP_PUT, key, value)?;
+        self.index.insert(key.to_vec(), value.to_vec());
+        Ok(true)
     }
 
     fn flush(&mut self) -> Result<(), StoreError> {

@@ -33,11 +33,7 @@ impl TempPath {
     fn new() -> Self {
         static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let p = std::env::temp_dir().join(format!(
-            "p2drm-model-{}-{}",
-            std::process::id(),
-            n
-        ));
+        let p = std::env::temp_dir().join(format!("p2drm-model-{}-{}", std::process::id(), n));
         let _ = std::fs::remove_file(&p);
         TempPath(p)
     }

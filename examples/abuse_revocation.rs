@@ -53,9 +53,15 @@ fn main() {
 
     // First sale succeeds; the second hits the spent-ID store.
     let epoch = system.epoch();
-    system.provider.handle_transfer(&req1, epoch, &mut rng).unwrap();
+    system
+        .provider
+        .handle_transfer(&req1, epoch, &mut rng)
+        .unwrap();
     let second = system.provider.handle_transfer(&req2, epoch, &mut rng);
-    println!("second sale of the same license id: {}", second.unwrap_err());
+    println!(
+        "second sale of the same license id: {}",
+        second.unwrap_err()
+    );
 
     // The two signed requests ARE the fraud proof.
     let evidence = AbuseEvidence::DoubleTransfer {
@@ -65,8 +71,8 @@ fn main() {
     let mut transcript = Transcript::new();
     let unmasked = deanonymize_and_punish(
         &mut system.ttp,
-        &mut system.ra,
-        &mut system.provider,
+        &system.ra,
+        &system.provider,
         &evidence,
         &mallory_cert,
         &mut transcript,
@@ -78,7 +84,10 @@ fn main() {
         unmasked
     );
     assert_eq!(unmasked, mallory.user_id());
-    println!("RA card-CRL now has {} entry(ies)", system.ra.signed_card_crl(0).list.len());
+    println!(
+        "RA card-CRL now has {} entry(ies)",
+        system.ra.signed_card_crl(0).list.len()
+    );
 
     // Mallory can no longer obtain pseudonyms (card revoked at the RA).
     let blocked = system.ensure_pseudonym(
@@ -108,8 +117,8 @@ fn main() {
     let mut t2 = Transcript::new();
     let framed = deanonymize_and_punish(
         &mut system.ttp,
-        &mut system.ra,
-        &mut system.provider,
+        &system.ra,
+        &system.provider,
         &evidence,
         &innocent_cert,
         &mut t2,

@@ -37,8 +37,14 @@ fn main() {
     let root_key = system.root.public_key().clone();
     let now = system.now();
     manager.enroll(tv.certificate(), &root_key, now).unwrap();
-    manager.enroll(tablet.certificate(), &root_key, now).unwrap();
-    println!("domain '{}' has {} member devices", manager.name(), manager.member_count());
+    manager
+        .enroll(tablet.certificate(), &root_key, now)
+        .unwrap();
+    println!(
+        "domain '{}' has {} member devices",
+        manager.name(),
+        manager.member_count()
+    );
 
     // Buy one domain license with an anonymous coin.
     let mut transcript = Transcript::new();
@@ -47,7 +53,7 @@ fn main() {
         &mut manager,
         &mut wallet,
         "smith-family",
-        &mut system.provider,
+        &system.provider,
         &system.mint,
         film,
         now,
@@ -94,15 +100,23 @@ fn main() {
     let phone = system.register_device(&mut rng).unwrap();
     manager.enroll(phone.certificate(), &root_key, now).unwrap();
     let full = manager.enroll(console.certificate(), &root_key, now);
-    println!("4th device enroll at cap 3: {}", match &full {
-        Err(e) => format!("REFUSED — {e}"),
-        Ok(_) => "accepted (bug!)".into(),
-    });
+    println!(
+        "4th device enroll at cap 3: {}",
+        match &full {
+            Err(e) => format!("REFUSED — {e}"),
+            Ok(_) => "accepted (bug!)".into(),
+        }
+    );
 
     let tablet_id = KeyId::of_rsa(tablet.certificate().body.subject_key.as_rsa().unwrap());
     manager.remove_member(&tablet_id);
-    manager.enroll(console.certificate(), &root_key, now).unwrap();
-    println!("after removing the tablet, the console joins; members = {}", manager.member_count());
+    manager
+        .enroll(console.certificate(), &root_key, now)
+        .unwrap();
+    println!(
+        "after removing the tablet, the console joins; members = {}",
+        manager.member_count()
+    );
 
     // The removed tablet is locked out.
     let mut t = Transcript::new();
@@ -115,10 +129,13 @@ fn main() {
         &mut rng,
         &mut t,
     );
-    println!("removed tablet tries to play: {}", match locked_out {
-        Err(e) => format!("REFUSED — {e}"),
-        Ok(_) => "accepted (bug!)".into(),
-    });
+    println!(
+        "removed tablet tries to play: {}",
+        match locked_out {
+            Err(e) => format!("REFUSED — {e}"),
+            Ok(_) => "accepted (bug!)".into(),
+        }
+    );
 
     let _ = console.device_id();
 }

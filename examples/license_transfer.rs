@@ -32,7 +32,7 @@ fn main() {
     let resold = p2drm::core::protocol::transfer(
         &mut alice,
         &mut bob,
-        &mut system.provider,
+        &system.provider,
         original.id(),
         epoch,
         &mut rng,

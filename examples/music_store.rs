@@ -18,8 +18,12 @@ fn main() {
 
     // A small storefront.
     let titles = [
-        "Bohemian Raptor", "Stairway to Heapless", "Smells Like Clean Code",
-        "Hotel Cal-ifetime", "Sweet Child O' Types", "Borrow Checker Blues",
+        "Bohemian Raptor",
+        "Stairway to Heapless",
+        "Smells Like Clean Code",
+        "Hotel Cal-ifetime",
+        "Sweet Child O' Types",
+        "Borrow Checker Blues",
     ];
     let catalog: Vec<ContentId> = titles
         .iter()
@@ -94,7 +98,11 @@ fn main() {
     let stolen = system.play(thief, &mut thief_device, &license, &mut rng);
     println!(
         "\nplayback of a stolen license file without the holder's card: {}",
-        if stolen.is_err() { "REFUSED" } else { "allowed (bug!)" }
+        if stolen.is_err() {
+            "REFUSED"
+        } else {
+            "allowed (bug!)"
+        }
     );
     let _ = rng.gen::<u8>();
 }

@@ -36,7 +36,9 @@ fn main() {
     }
 
     // Obtain the blind credential and retry.
-    system.ensure_attribute(&mut alice, "adult", &mut rng).unwrap();
+    system
+        .ensure_attribute(&mut alice, "adult", &mut rng)
+        .unwrap();
     let mut transcript = Transcript::new();
     let license = system
         .purchase_with_transcript(&mut alice, rated, &mut rng, &mut transcript)
@@ -49,7 +51,9 @@ fn main() {
     );
 
     let mut device = system.register_device(&mut rng).unwrap();
-    let payload = system.play(&alice, &mut device, &license, &mut rng).unwrap();
+    let payload = system
+        .play(&alice, &mut device, &license, &mut rng)
+        .unwrap();
     println!("played {} bytes of rated content\n", payload.len());
 
     // A minor cannot get the credential at all.

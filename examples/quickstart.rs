@@ -14,12 +14,20 @@ fn main() {
     println!("bootstrapping P2DRM system (root CA, RA, TTP, mint, provider)...");
     let mut system = System::bootstrap(SystemConfig::fast_test(), &mut rng);
 
-    let song = system.publish_content("Demo Track", 100, b"\x52\x49\x46\x46 demo audio payload", &mut rng);
+    let song = system.publish_content(
+        "Demo Track",
+        100,
+        b"\x52\x49\x46\x46 demo audio payload",
+        &mut rng,
+    );
     println!("published content {song} at price 100\n");
 
     let mut alice = system.register_user("alice", &mut rng).unwrap();
     system.fund(&alice, 1_000);
-    println!("registered alice (user id {} — known only to RA/TTP)", alice.user_id());
+    println!(
+        "registered alice (user id {} — known only to RA/TTP)",
+        alice.user_id()
+    );
 
     let mut transcript = Transcript::new();
     let license = system
@@ -40,7 +48,9 @@ fn main() {
     );
 
     let mut player = system.register_device(&mut rng).unwrap();
-    let audio = system.play(&alice, &mut player, &license, &mut rng).unwrap();
+    let audio = system
+        .play(&alice, &mut player, &license, &mut rng)
+        .unwrap();
     println!(
         "\ndevice {} played {} bytes; plays used: {}",
         player.device_id(),

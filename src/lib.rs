@@ -8,6 +8,13 @@
 //! redeemed exactly once, and anonymity is conditionally revocable via a
 //! TTP identity escrow.
 //!
+//! The license server is a **shared-state concurrent service**: an
+//! immutable `ProviderCore` (keys, certificate, trust anchors) plus a
+//! `ProviderState` of individually locked tables over a lock-sharded KV,
+//! so purchase, play, transfer and CRL sync are all callable through
+//! `&self` from many threads at once — see
+//! [`core::entities::provider`] for the locking layout.
+//!
 //! This facade re-exports the whole workspace:
 //!
 //! | Module | Crate | Contents |
@@ -17,11 +24,11 @@
 //! | [`crypto`] | `p2drm-crypto` | SHA-256, ChaCha20, HMAC, RSA, blind signatures, ElGamal |
 //! | [`pki`] | `p2drm-pki` | certificates, authorities, CRLs |
 //! | [`rel`] | `p2drm-rel` | rights expression language + enforcement |
-//! | [`store`] | `p2drm-store` | WAL-backed KV with crash recovery |
+//! | [`store`] | `p2drm-store` | WAL-backed KV, crash recovery, `SharedKv`/`ShardedKv` concurrency |
 //! | [`payment`] | `p2drm-payment` | Chaum e-cash + identified baseline |
-//! | [`core`] | `p2drm-core` | **the paper's protocols** |
+//! | [`core`] | `p2drm-core` | **the paper's protocols**, concurrent provider + system bootstrap |
 //! | [`domain`] | `p2drm-domain` | authorized-domain extension |
-//! | [`sim`] | `p2drm-sim` | workloads, metrics, adversary, experiments |
+//! | [`sim`] | `p2drm-sim` | workloads, metrics, shared-provider throughput, adversary |
 //!
 //! ## Quickstart
 //!

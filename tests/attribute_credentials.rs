@@ -36,7 +36,7 @@ fn rated_content_requires_credential() {
 #[test]
 fn minor_cannot_obtain_or_use_credential() {
     let mut rng = test_rng(6002);
-    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
     let rated = sys.publish_rated_content("R-rated", 100, b"mature", "adult", &mut rng);
 
     // Register an adult so the attribute key exists and is trusted.
@@ -60,7 +60,7 @@ fn minor_cannot_obtain_or_use_credential() {
 #[test]
 fn credential_cannot_be_lent_to_another_pseudonym() {
     let mut rng = test_rng(6003);
-    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
     let rated = sys.publish_rated_content("R-rated", 100, b"mature", "adult", &mut rng);
 
     let mut adult = sys.register_user("adult2", &mut rng).unwrap();
@@ -93,14 +93,16 @@ fn credential_cannot_be_lent_to_another_pseudonym() {
     let res = sys.provider.handle_purchase(&req, epoch, &mut rng);
     assert!(matches!(
         res,
-        Err(CoreError::BadPseudonym("attribute bound to a different pseudonym"))
+        Err(CoreError::BadPseudonym(
+            "attribute bound to a different pseudonym"
+        ))
     ));
 }
 
 #[test]
 fn rated_purchase_still_identity_free() {
     let mut rng = test_rng(6004);
-    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
     let rated = sys.publish_rated_content("R-rated", 100, b"mature", "adult", &mut rng);
 
     let mut alice = sys.register_user("alice", &mut rng).unwrap();
@@ -121,7 +123,7 @@ fn rated_purchase_still_identity_free() {
 #[test]
 fn unrestricted_content_ignores_credentials() {
     let mut rng = test_rng(6005);
-    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
     let plain = sys.publish_content("G-rated", 100, b"family fun", &mut rng);
     let mut alice = sys.register_user("alice", &mut rng).unwrap();
     sys.fund(&alice, 1_000);

@@ -39,7 +39,7 @@ fn provider_spent_set_is_durable() {
 
     // A provider whose store is WAL-backed.
     let (wal, _) = WalKv::open(&tmp.0, SyncPolicy::FlushEach).unwrap();
-    let mut provider = ContentProvider::with_store(
+    let provider = ContentProvider::with_store(
         &mut sys.root,
         sys.mint.clone(),
         sys.ra.blind_public().clone(),
@@ -69,13 +69,12 @@ fn provider_spent_set_is_durable() {
     let mint = sys.mint.clone();
     let epoch = sys.epoch();
     let mut t = Transcript::new();
-    let license = p2drm::core::protocol::purchase(
-        &mut alice, &mut provider, &mint, cid, epoch, &mut rng, &mut t,
-    )
-    .unwrap();
+    let license =
+        p2drm::core::protocol::purchase(&mut alice, &provider, &mint, cid, epoch, &mut rng, &mut t)
+            .unwrap();
     let lid = license.id();
     p2drm::core::protocol::transfer(
-        &mut alice, &mut bob, &mut provider, lid, epoch, &mut rng, &mut t,
+        &mut alice, &mut bob, &provider, lid, epoch, &mut rng, &mut t,
     )
     .unwrap();
     assert_eq!(provider.spent_count(), 1);
@@ -104,7 +103,7 @@ fn full_provider_restart_with_key_vault() {
     let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
 
     let (wal, _) = WalKv::open(&tmp.0, SyncPolicy::FlushEach).unwrap();
-    let mut provider = ContentProvider::with_store(
+    let provider = ContentProvider::with_store(
         &mut sys.root,
         sys.mint.clone(),
         sys.ra.blind_public().clone(),
@@ -135,15 +134,14 @@ fn full_provider_restart_with_key_vault() {
     let mint = sys.mint.clone();
     let epoch = sys.epoch();
     let mut t = Transcript::new();
-    let license = p2drm::core::protocol::purchase(
-        &mut alice, &mut provider, &mint, cid, epoch, &mut rng, &mut t,
-    )
-    .unwrap();
+    let license =
+        p2drm::core::protocol::purchase(&mut alice, &provider, &mint, cid, epoch, &mut rng, &mut t)
+            .unwrap();
     let old_lid = license.id();
     let saved = license.clone();
     let alice_pseudonym = alice.licenses()[0].pseudonym;
     let bobs_license = p2drm::core::protocol::transfer(
-        &mut alice, &mut bob, &mut provider, old_lid, epoch, &mut rng, &mut t,
+        &mut alice, &mut bob, &provider, old_lid, epoch, &mut rng, &mut t,
     )
     .unwrap();
     let seq_before = provider.signed_license_crl(1).sequence;
@@ -153,7 +151,7 @@ fn full_provider_restart_with_key_vault() {
     let keys: p2drm::crypto::rsa::RsaKeyPair = p2drm::codec::from_bytes(&vault).unwrap();
     let (wal, report) = WalKv::open(&tmp.0, SyncPolicy::FlushEach).unwrap();
     assert!(report.replayed_ops > 0);
-    let mut provider = ContentProvider::resume(
+    let provider = ContentProvider::resume(
         keys,
         cert,
         sys.root.public_key().clone(),
@@ -173,7 +171,7 @@ fn full_provider_restart_with_key_vault() {
     sys.ensure_pseudonym(&mut carol, &mut rng).unwrap();
     let mut t2 = Transcript::new();
     let carols = p2drm::core::protocol::purchase(
-        &mut carol, &mut provider, &mint, cid, epoch, &mut rng, &mut t2,
+        &mut carol, &provider, &mint, cid, epoch, &mut rng, &mut t2,
     )
     .unwrap();
     assert!(carols.verify(provider.public_key()).is_ok());
@@ -183,7 +181,7 @@ fn full_provider_restart_with_key_vault() {
     alice.add_license(saved, alice_pseudonym);
     sys.ensure_pseudonym(&mut carol, &mut rng).unwrap();
     let res = p2drm::core::protocol::transfer(
-        &mut alice, &mut carol, &mut provider, old_lid, epoch, &mut rng, &mut t2,
+        &mut alice, &mut carol, &provider, old_lid, epoch, &mut rng, &mut t2,
     );
     assert!(matches!(res, Err(CoreError::AlreadyRedeemed(_))));
     assert!(provider.signed_license_crl(2).sequence >= seq_before);
@@ -205,7 +203,10 @@ fn spent_set_survives_torn_tail() {
     let len = std::fs::metadata(&tmp.0).unwrap().len();
     {
         use std::io::Write;
-        let mut f = std::fs::OpenOptions::new().append(true).open(&tmp.0).unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&tmp.0)
+            .unwrap();
         f.write_all(&[0x55, 0x00, 0x00]).unwrap();
     }
     assert!(std::fs::metadata(&tmp.0).unwrap().len() > len);
@@ -248,7 +249,13 @@ fn device_state_survives_restart() {
     for _ in 0..3 {
         let mut t = Transcript::new();
         p2drm::core::protocol::play(
-            &alice, &mut device, &sys.provider, &license, sys.now(), &mut rng, &mut t,
+            &alice,
+            &mut device,
+            &sys.provider,
+            &license,
+            sys.now(),
+            &mut rng,
+            &mut t,
         )
         .unwrap();
     }
@@ -269,7 +276,13 @@ fn device_state_survives_restart() {
     .unwrap();
     let mut t = Transcript::new();
     let res = p2drm::core::protocol::play(
-        &alice, &mut device, &sys.provider, &license, sys.now(), &mut rng, &mut t,
+        &alice,
+        &mut device,
+        &sys.provider,
+        &license,
+        sys.now(),
+        &mut rng,
+        &mut t,
     );
     assert!(matches!(res, Err(CoreError::Denied(_))));
 }

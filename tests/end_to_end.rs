@@ -65,10 +65,7 @@ fn full_license_lifecycle() {
 
 /// Finds the pseudonym a (possibly removed) license was bound to by
 /// matching holder keys against the user's certificates.
-fn alice_pseudonym_of(
-    user: &UserAgent,
-    license: &License,
-) -> p2drm::pki::cert::KeyId {
+fn alice_pseudonym_of(user: &UserAgent, license: &License) -> p2drm::pki::cert::KeyId {
     let holder = p2drm::pki::cert::KeyId::of_rsa(&license.body.holder);
     user.pseudonym_certs()
         .iter()
@@ -113,15 +110,23 @@ fn abuse_pipeline_end_to_end() {
     let req1 = mk(b1.pseudonym_certs().last().unwrap());
     let req2 = mk(b2.pseudonym_certs().last().unwrap());
     let epoch = sys.epoch();
-    sys.provider.handle_transfer(&req1, epoch, &mut rng).unwrap();
-    assert!(sys.provider.handle_transfer(&req2, epoch, &mut rng).is_err());
+    sys.provider
+        .handle_transfer(&req1, epoch, &mut rng)
+        .unwrap();
+    assert!(sys
+        .provider
+        .handle_transfer(&req2, epoch, &mut rng)
+        .is_err());
 
     let mut t = Transcript::new();
     let unmasked = deanonymize_and_punish(
         &mut sys.ttp,
-        &mut sys.ra,
-        &mut sys.provider,
-        &AbuseEvidence::DoubleTransfer { first: req1, second: req2 },
+        &sys.ra,
+        &sys.provider,
+        &AbuseEvidence::DoubleTransfer {
+            first: req1,
+            second: req2,
+        },
         &mallory_cert,
         &mut t,
     )
@@ -140,7 +145,7 @@ fn abuse_pipeline_end_to_end() {
 fn coins_are_single_use_across_the_whole_system() {
     // Craft a purchase that tries to reuse a deposited coin.
     let mut rng = test_rng(9003);
-    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
     let cid = sys.publish_content("Coin Test", 100, b"x", &mut rng);
     let mut alice = sys.register_user("alice", &mut rng).unwrap();
     sys.fund(&alice, 1_000);
@@ -164,7 +169,9 @@ fn coins_are_single_use_across_the_whole_system() {
     let res = sys.provider.handle_purchase(&req, epoch, &mut rng);
     assert!(matches!(
         res,
-        Err(CoreError::Payment(p2drm::payment::PaymentError::DoubleSpend))
+        Err(CoreError::Payment(
+            p2drm::payment::PaymentError::DoubleSpend
+        ))
     ));
 }
 
@@ -174,7 +181,14 @@ fn multi_user_multi_content_session() {
     let mut rng = test_rng(9004);
     let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
     let catalog: Vec<ContentId> = (0..4)
-        .map(|i| sys.publish_content(&format!("c{i}"), 100, format!("payload-{i}").as_bytes(), &mut rng))
+        .map(|i| {
+            sys.publish_content(
+                &format!("c{i}"),
+                100,
+                format!("payload-{i}").as_bytes(),
+                &mut rng,
+            )
+        })
         .collect();
 
     let mut users: Vec<UserAgent> = (0..4)

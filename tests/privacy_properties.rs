@@ -10,7 +10,7 @@ use p2drm::prelude::*;
 #[test]
 fn provider_view_is_identity_free() {
     let mut rng = test_rng(7001);
-    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
     let cid = sys.publish_content("x", 100, b"payload", &mut rng);
     let mut alice = sys.register_user("alice", &mut rng).unwrap();
     sys.fund(&alice, 10_000);
@@ -40,7 +40,7 @@ fn provider_view_is_identity_free() {
 #[test]
 fn fresh_purchases_use_distinct_pseudonyms_unknown_to_ra() {
     let mut rng = test_rng(7002);
-    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
     let cid = sys.publish_content("x", 100, b"p", &mut rng);
     let mut alice = sys.register_user("alice", &mut rng).unwrap();
     sys.fund(&alice, 10_000);
@@ -51,7 +51,10 @@ fn fresh_purchases_use_distinct_pseudonyms_unknown_to_ra() {
     // All pseudonyms distinct.
     let mut seen = std::collections::BTreeSet::new();
     for rec in sys.provider.purchase_log() {
-        assert!(seen.insert(rec.pseudonym), "pseudonym reused under fresh policy");
+        assert!(
+            seen.insert(rec.pseudonym),
+            "pseudonym reused under fresh policy"
+        );
     }
     // The RA's complete issuance view (blinded values) contains none of
     // the pseudonym moduli the provider saw.
@@ -60,7 +63,9 @@ fn fresh_purchases_use_distinct_pseudonyms_unknown_to_ra() {
         for rec in sys.ra.issuance_log() {
             let blinded = rec.blinded.to_bytes_be();
             assert!(
-                !blinded.windows(modulus.len().min(blinded.len())).any(|w| w == &modulus[..w.len()] && w.len() == modulus.len()),
+                !blinded
+                    .windows(modulus.len().min(blinded.len()))
+                    .any(|w| w == &modulus[..w.len()] && w.len() == modulus.len()),
                 "RA issuance log contains a pseudonym modulus"
             );
         }
@@ -72,7 +77,7 @@ fn fresh_purchases_use_distinct_pseudonyms_unknown_to_ra() {
 #[test]
 fn license_bytes_are_identity_free() {
     let mut rng = test_rng(7003);
-    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
     let cid = sys.publish_content("x", 100, b"p", &mut rng);
     let mut alice = sys.register_user("alice", &mut rng).unwrap();
     sys.fund(&alice, 1_000);
@@ -110,7 +115,7 @@ fn baseline_contrast() {
 #[test]
 fn escrow_opaque_to_non_ttp() {
     let mut rng = test_rng(7005);
-    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
     let mut alice = sys.register_user("alice", &mut rng).unwrap();
     sys.ensure_pseudonym(&mut alice, &mut rng).unwrap();
     let cert = alice.pseudonym_certs().last().unwrap();

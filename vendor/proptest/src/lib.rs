@@ -1,0 +1,549 @@
+//! Minimal API-compatible shim for the subset of `proptest` this
+//! workspace's property tests use, built in-tree because the build
+//! environment has no crates.io access.
+//!
+//! Supported surface: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(ProptestConfig::with_cases(N))]` header),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, [`prop_oneof!`],
+//! [`strategy::Just`], `any::<T>()`, tuple strategies, integer-range
+//! strategies, `prop_map`, [`collection::vec`], [`option::of`], and
+//! string strategies written as a single character class with a brace
+//! quantifier (e.g. `"[a-z]{1,12}"` — the only regex form used in-tree).
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test seed (override with `PROPTEST_SEED`), and there
+//! is **no shrinking** — a failing case reports its inputs verbatim.
+
+pub mod test_runner {
+    //! Test configuration and the per-test RNG.
+
+    pub use rand::rngs::StdRng as TestRng;
+    use rand::SeedableRng;
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic RNG for a named test (override seed via the
+    /// `PROPTEST_SEED` environment variable).
+    pub fn rng_for(test_name: &str) -> TestRng {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x5EED_CAFE);
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ base;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::seed_from_u64(h)
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe strategy core for boxing.
+    trait DynStrategy {
+        type Value;
+        fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<Value = V>>);
+
+    impl<V: Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always generates a clone of the provided value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among type-erased alternatives ([`crate::prop_oneof!`]).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V: Debug> Union<V> {
+        /// Builds a union over the given arms (must be non-empty).
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V: Debug> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.gen_range(0..self.arms.len());
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// `&str` as a pattern strategy. Only the form used by this
+    /// workspace is supported: one character class with an optional brace
+    /// quantifier — `"[class]{n}"`, `"[class]{m,n}"`, or `"[class]"`
+    /// (one char). Panics on anything else, loudly, at generation time.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, lo, hi) = parse_simple_pattern(self).unwrap_or_else(|| {
+                panic!("unsupported string pattern for shim proptest: {self:?}")
+            });
+            let len = if lo == hi {
+                lo
+            } else {
+                rng.gen_range(lo..hi + 1)
+            };
+            (0..len)
+                .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+                .collect()
+        }
+    }
+
+    /// Parses `[class]{m,n}` / `[class]{n}` / `[class]` into
+    /// `(alphabet, min_len, max_len)`.
+    fn parse_simple_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class = &rest[..close];
+        let quant = &rest[close + 1..];
+
+        let mut alphabet = Vec::new();
+        let chars: Vec<char> = class.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (a, b) = (chars[i], chars[i + 2]);
+                if a > b {
+                    return None;
+                }
+                for c in a..=b {
+                    alphabet.push(c);
+                }
+                i += 3;
+            } else {
+                alphabet.push(chars[i]);
+                i += 1;
+            }
+        }
+        if alphabet.is_empty() {
+            return None;
+        }
+
+        if quant.is_empty() {
+            return Some((alphabet, 1, 1));
+        }
+        let q = quant.strip_prefix('{')?.strip_suffix('}')?;
+        match q.split_once(',') {
+            Some((lo, hi)) => {
+                let lo = lo.trim().parse().ok()?;
+                let hi = hi.trim().parse().ok()?;
+                Some((alphabet, lo, hi))
+            }
+            None => {
+                let n = q.trim().parse().ok()?;
+                Some((alphabet, n, n))
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::test_runner::rng_for;
+
+        #[test]
+        fn pattern_parsing() {
+            let mut rng = rng_for("pattern_parsing");
+            for _ in 0..50 {
+                let s = "[a-z]{1,12}".generate(&mut rng);
+                assert!((1..=12).contains(&s.len()));
+                assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+                let s = "[A-Z]{2}".generate(&mut rng);
+                assert_eq!(s.len(), 2);
+                let s = "[a-zA-Z0-9 _-]{0,32}".generate(&mut rng);
+                assert!(s.len() <= 32);
+                assert!(s
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '_' || c == '-'));
+            }
+        }
+
+        #[test]
+        fn union_draws_every_arm() {
+            let u = Union::new(vec![
+                Just(1u8).boxed(),
+                Just(2u8).boxed(),
+                Just(3u8).boxed(),
+            ]);
+            let mut rng = rng_for("union_draws_every_arm");
+            let mut seen = [false; 4];
+            for _ in 0..100 {
+                seen[u.generate(&mut rng) as usize] = true;
+            }
+            assert!(seen[1] && seen[2] && seen[3]);
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-domain strategies per type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::{Rng, RngCore};
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized + Debug {
+        /// Draws one value from the full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let mut out = [0u8; N];
+            rng.fill_bytes(&mut out);
+            out
+        }
+    }
+
+    /// Strategy wrapper returned by [`any`].
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with length drawn from `len` (half-open).
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` strategy over `element` with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Option<T>`: `None` one time in four.
+    pub struct OptionStrategy<S>(S);
+
+    /// `Option` strategy over `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob import the test files use.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body (fails the case, with
+/// inputs reported, instead of panicking outright).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Equality assertion for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = &$lhs;
+        let rhs = &$rhs;
+        if !(*lhs == *rhs) {
+            return ::std::result::Result::Err(format!(
+                "assert_eq failed: {:?} != {:?}", lhs, rhs
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let lhs = &$lhs;
+        let rhs = &$rhs;
+        if !(*lhs == *rhs) {
+            return ::std::result::Result::Err(format!(
+                "assert_eq failed: {:?} != {:?}: {}", lhs, rhs, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = &$lhs;
+        let rhs = &$rhs;
+        if *lhs == *rhs {
+            return ::std::result::Result::Err(format!(
+                "assert_ne failed: both sides {:?}", lhs
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let lhs = &$lhs;
+        let rhs = &$rhs;
+        if *lhs == *rhs {
+            return ::std::result::Result::Err(format!(
+                "assert_ne failed: both sides {:?}: {}", lhs, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies with a shared value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Declares property tests. Each `name(arg in strategy, ...)` function
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! {
+            (<$crate::test_runner::Config as ::std::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::rng_for(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                // Inputs are rendered before the body runs: the body may
+                // move them, and there is no shrinker to replay the case.
+                let mut rendered_inputs = ::std::string::String::new();
+                $(
+                    rendered_inputs.push_str(stringify!($arg));
+                    rendered_inputs.push_str(" = ");
+                    rendered_inputs.push_str(&format!("{:?}; ", &$arg));
+                )+
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}:\n  {}\n  inputs: {}",
+                        stringify!($name), case, config.cases, message, rendered_inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+}
