@@ -17,11 +17,10 @@
 //!   once at construction, read lock-free from every thread.
 //! * [`ProviderState`] (`state` field) — the mutable tables, each behind
 //!   its own lock so unrelated operations never contend:
-//!   - the durable KV ([`ShardedKv`]) holding the **spent-ID set**,
-//!     license store, persisted catalog/rights/CRL tables — keys hash to
-//!     one of N independently locked shards, and `insert_if_absent` (the
-//!     double-redemption primitive) is atomic under one shard's write
-//!     lock;
+//!   - the KV **backend** (any [`ConcurrentKv`]) holding the **spent-ID
+//!     set**, license store, persisted catalog/rights/CRL tables;
+//!     `insert_if_absent` (the double-redemption primitive) is atomic per
+//!     key inside the backend;
 //!   - the in-memory catalog + rights templates (`RwLock`, read-mostly);
 //!   - trusted attribute keys (`RwLock`, read-mostly);
 //!   - CRL state — both revocation lists, their sequence numbers and
@@ -30,9 +29,29 @@
 //!   - the purchase/transfer observation logs (`Mutex`, append-only).
 //!
 //! Every protocol entry point (`handle_purchase`, `handle_transfer`,
-//! `download`, CRL sync) takes `&self`; `ContentProvider<S>` is `Sync`
-//! whenever the store is, so threads share one provider by reference —
+//! `download`, CRL sync) takes `&self`; `ContentProvider<B>` is `Sync`
+//! whenever the backend is, so threads share one provider by reference —
 //! no shard cloning, no external mutex.
+//!
+//! # Backend matrix and durability
+//!
+//! The backend type parameter picks the deployment shape:
+//!
+//! * [`ShardedKv`]`<MemKv>` (the [`MemBackend`] default,
+//!   [`ContentProvider::new`]) — volatile, lock-sharded; tests and
+//!   simulations;
+//! * [`ShardedKv`]`<S>` over a caller-supplied store
+//!   ([`ContentProvider::with_store`]) — e.g. one `WalKv` as a
+//!   single-shard durable store;
+//! * [`WalShardedKv`] ([`ContentProvider::open_durable`]) — the
+//!   production shape: per-shard WALs with group commit, so the provider
+//!   survives an unclean drop. Reopen with
+//!   [`ContentProvider::resume_durable`] (keys from the operator's
+//!   vault): spent ids, licenses, catalog and CRLs are intact, and a
+//!   double-redeem race spanning the restart still has exactly one
+//!   winner — the claim is WAL-logged before the in-memory index changes,
+//!   so the exactly-once decision is as durable as the chosen
+//!   [`p2drm_store::SyncPolicy`].
 
 use crate::content::{ContentCatalog, ContentMeta};
 use crate::ids::{ContentId, LicenseId};
@@ -48,9 +67,15 @@ use p2drm_pki::cert::{digest_id, Certificate, KeyId, PseudonymCertificate};
 use p2drm_pki::crl::{RevocationList, SignedCrl};
 use p2drm_rel::{Limit, Rights};
 use p2drm_store::typed::Table;
-use p2drm_store::{Kv, MemKv, ShardedKv};
+use p2drm_store::{
+    ConcurrentKv, Kv, MemKv, RecoveryReport, ShardedKv, WalShardedConfig, WalShardedKv,
+};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// The default volatile backend: lock-sharded in-memory store.
+pub type MemBackend = ShardedKv<MemKv>;
 
 /// Provider construction parameters.
 #[derive(Clone, Debug)]
@@ -137,9 +162,10 @@ impl CrlState {
 }
 
 /// The provider's mutable tables, each behind its own lock. See the
-/// module docs for the locking layout.
-pub struct ProviderState<S: Kv> {
-    store: ShardedKv<S>,
+/// module docs for the locking layout. Generic over the [`ConcurrentKv`]
+/// backend holding the persisted tables.
+pub struct ProviderState<B: ConcurrentKv> {
+    store: B,
     licenses: Table<License>,
     spent: Table<u32>,
     content_table: Table<crate::content::PackagedContent>,
@@ -155,13 +181,13 @@ pub struct ProviderState<S: Kv> {
     mint: Mint,
 }
 
-/// The content provider, generic over its durable store.
-pub struct ContentProvider<S: Kv = MemKv> {
+/// The content provider, generic over its [`ConcurrentKv`] store backend.
+pub struct ContentProvider<B: ConcurrentKv = MemBackend> {
     core: ProviderCore,
-    state: ProviderState<S>,
+    state: ProviderState<B>,
 }
 
-impl ContentProvider<MemKv> {
+impl ContentProvider<MemBackend> {
     /// Provider with a volatile store, lock-sharded per
     /// [`ProviderConfig::store_shards`].
     pub fn new<R: CryptoRng + ?Sized>(
@@ -172,7 +198,7 @@ impl ContentProvider<MemKv> {
         rng: &mut R,
     ) -> Self {
         let shards = config.store_shards.max(1);
-        Self::with_sharded_store(
+        Self::with_backend(
             root,
             mint,
             ra_blind_key,
@@ -183,7 +209,7 @@ impl ContentProvider<MemKv> {
     }
 }
 
-impl<S: Kv> ContentProvider<S> {
+impl<S: Kv> ContentProvider<ShardedKv<S>> {
     /// Provider over a caller-supplied store (e.g. [`p2drm_store::WalKv`]
     /// so the spent-ID set survives restarts). The single store becomes a
     /// one-shard [`ShardedKv`]: durability and recovery semantics are
@@ -196,7 +222,7 @@ impl<S: Kv> ContentProvider<S> {
         config: ProviderConfig,
         rng: &mut R,
     ) -> Self {
-        Self::with_sharded_store(
+        Self::with_backend(
             root,
             mint,
             ra_blind_key,
@@ -215,6 +241,101 @@ impl<S: Kv> ContentProvider<S> {
         config: ProviderConfig,
         rng: &mut R,
     ) -> Self {
+        Self::with_backend(root, mint, ra_blind_key, store, config, rng)
+    }
+
+    /// Restarts a provider from its persisted state: the serialized key
+    /// pair + certificate (the operator's key vault) and the durable store
+    /// holding catalog, licenses, spent ids and CRLs.
+    ///
+    /// After resume, previously issued licenses still verify, previously
+    /// spent license ids are still rejected, and CRL sequence numbers
+    /// continue monotonically.
+    pub fn resume(
+        keys: p2drm_crypto::rsa::RsaKeyPair,
+        cert: Certificate,
+        root_key: RsaPublicKey,
+        mint: Mint,
+        ra_blind_key: RsaPublicKey,
+        store: S,
+        config: ProviderConfig,
+    ) -> Result<Self, CoreError> {
+        Self::resume_backend(
+            keys,
+            cert,
+            root_key,
+            mint,
+            ra_blind_key,
+            ShardedKv::single(store),
+            config,
+        )
+    }
+}
+
+impl ContentProvider<WalShardedKv> {
+    /// Opens a **durable** provider over a [`WalShardedKv`] directory:
+    /// N per-shard write-ahead logs with group commit at
+    /// `durable.policy`. All shard logs are replayed (in parallel) and
+    /// any persisted catalog/rights/CRL/spent state is restored, so an
+    /// existing directory reopens with its tables intact.
+    ///
+    /// A **fresh signing identity** is generated; licenses issued by a
+    /// previous identity will not verify against the new key. For a true
+    /// restart — same keys, old licenses still valid — pair
+    /// [`ContentProvider::export_keys`] with
+    /// [`ContentProvider::resume_durable`].
+    pub fn open_durable<R: CryptoRng + ?Sized>(
+        root: &mut CertificateAuthority,
+        mint: Mint,
+        ra_blind_key: RsaPublicKey,
+        dir: impl Into<PathBuf>,
+        durable: WalShardedConfig,
+        config: ProviderConfig,
+        rng: &mut R,
+    ) -> Result<(Self, RecoveryReport), CoreError> {
+        let (store, report) = WalShardedKv::open(dir, durable)?;
+        let provider = Self::with_backend(root, mint, ra_blind_key, store, config, rng);
+        provider.restore_from_store()?;
+        Ok((provider, report))
+    }
+
+    /// The full durable restart: signing keys from the operator's vault
+    /// (see [`ContentProvider::export_keys`]), state replayed from the
+    /// WAL directory. Old licenses verify, spent ids stay spent, CRL
+    /// sequences continue monotonically.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume_durable(
+        keys: p2drm_crypto::rsa::RsaKeyPair,
+        cert: Certificate,
+        root_key: RsaPublicKey,
+        mint: Mint,
+        ra_blind_key: RsaPublicKey,
+        dir: impl Into<PathBuf>,
+        durable: WalShardedConfig,
+        config: ProviderConfig,
+    ) -> Result<(Self, RecoveryReport), CoreError> {
+        let (store, report) = WalShardedKv::open(dir, durable)?;
+        let provider =
+            Self::resume_backend(keys, cert, root_key, mint, ra_blind_key, store, config)?;
+        Ok((provider, report))
+    }
+}
+
+impl<B: ConcurrentKv> ContentProvider<B> {
+    /// Provider over any concurrent store backend — the most general
+    /// constructor ([`ContentProvider::new`], [`with_store`] and
+    /// [`open_durable`] are conveniences over it).
+    ///
+    /// [`with_store`]: ContentProvider::with_store
+    /// [`open_durable`]: ContentProvider::open_durable
+    pub fn with_backend<R: CryptoRng + ?Sized>(
+        root: &mut CertificateAuthority,
+        mint: Mint,
+        ra_blind_key: RsaPublicKey,
+        backend: B,
+        config: ProviderConfig,
+        rng: &mut R,
+    ) -> Self {
         let keys = p2drm_crypto::rsa::RsaKeyPair::generate(config.key_bits, rng);
         let cert = root.issue(
             p2drm_pki::cert::EntityKind::ContentProvider,
@@ -223,7 +344,7 @@ impl<S: Kv> ContentProvider<S> {
             vec![],
         );
         let root_key = root.public_key().clone();
-        Self::assemble(keys, cert, root_key, mint, ra_blind_key, store, config)
+        Self::assemble(keys, cert, root_key, mint, ra_blind_key, backend, config)
     }
 
     fn assemble(
@@ -232,7 +353,7 @@ impl<S: Kv> ContentProvider<S> {
         root_key: RsaPublicKey,
         mint: Mint,
         ra_blind_key: RsaPublicKey,
-        store: ShardedKv<S>,
+        store: B,
         config: ProviderConfig,
     ) -> Self {
         ContentProvider {
@@ -261,34 +382,35 @@ impl<S: Kv> ContentProvider<S> {
         }
     }
 
-    /// Restarts a provider from its persisted state: the serialized key
-    /// pair + certificate (the operator's key vault) and the durable store
-    /// holding catalog, licenses, spent ids and CRLs.
+    /// Restarts a provider over any backend from its persisted state: the
+    /// serialized key pair + certificate (the operator's key vault) and
+    /// the store holding catalog, licenses, spent ids and CRLs.
     ///
     /// After resume, previously issued licenses still verify, previously
     /// spent license ids are still rejected, and CRL sequence numbers
     /// continue monotonically.
-    pub fn resume(
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume_backend(
         keys: p2drm_crypto::rsa::RsaKeyPair,
         cert: Certificate,
         root_key: RsaPublicKey,
         mint: Mint,
         ra_blind_key: RsaPublicKey,
-        store: S,
+        backend: B,
         config: ProviderConfig,
     ) -> Result<Self, CoreError> {
-        let provider = Self::assemble(
-            keys,
-            cert,
-            root_key,
-            mint,
-            ra_blind_key,
-            ShardedKv::single(store),
-            config,
-        );
+        let provider = Self::assemble(keys, cert, root_key, mint, ra_blind_key, backend, config);
+        provider.restore_from_store()?;
+        Ok(provider)
+    }
+
+    /// Rebuilds the in-memory mirrors (catalog, rights templates, CRL
+    /// sets/sequences) from the persisted tables in the store backend.
+    /// Idempotent; called by every resume/open-durable path.
+    pub fn restore_from_store(&self) -> Result<(), CoreError> {
         {
             // Catalog + rights templates.
-            let state = &provider.state;
+            let state = &self.state;
             let mut catalog = state.catalog.write();
             let mut templates = state.rights_templates.write();
             for (_, item) in state.content_table.scan_shared(&state.store)? {
@@ -305,8 +427,10 @@ impl<S: Kv> ContentProvider<S> {
         {
             // CRLs: "crl/l/<id>" and "crl/p/<id>" entries whose value is
             // the sequence number at which the revocation happened.
-            let state = &provider.state;
+            let state = &self.state;
             let mut crl = state.crl.write();
+            crl.license_crl_events.clear();
+            crl.pseudonym_crl_events.clear();
             for (key, seq) in state.crl_table.scan_shared(&state.store)? {
                 if let Some(id_bytes) = key.strip_prefix(b"l/") {
                     if id_bytes.len() == 32 {
@@ -327,7 +451,7 @@ impl<S: Kv> ContentProvider<S> {
             crl.license_crl_events.sort_unstable();
             crl.pseudonym_crl_events.sort_unstable();
         }
-        Ok(provider)
+        Ok(())
     }
 
     /// Serialized private key material for the operator's key vault
@@ -868,9 +992,10 @@ impl<S: Kv> ContentProvider<S> {
         self.state.transfer_log.lock().clone()
     }
 
-    /// Direct store access (storage metrics in E6, maintenance such as
-    /// compaction via [`ShardedKv::for_each_shard`]).
-    pub fn store(&self) -> &ShardedKv<S> {
+    /// Direct backend access (storage metrics in E6, maintenance such as
+    /// compaction via [`ShardedKv::for_each_shard`] or
+    /// [`WalShardedKv::compact_all`]).
+    pub fn store(&self) -> &B {
         &self.state.store
     }
 }
@@ -916,9 +1041,10 @@ mod tests {
     }
 
     #[test]
-    fn provider_is_sync_over_sync_stores() {
+    fn provider_is_sync_over_sync_backends() {
         fn assert_sync<T: Sync>() {}
-        assert_sync::<ContentProvider<MemKv>>();
-        assert_sync::<ContentProvider<p2drm_store::WalKv>>();
+        assert_sync::<ContentProvider<MemBackend>>();
+        assert_sync::<ContentProvider<ShardedKv<p2drm_store::WalKv>>>();
+        assert_sync::<ContentProvider<WalShardedKv>>();
     }
 }

@@ -15,13 +15,13 @@ use crate::protocol::messages::{
 use crate::CoreError;
 use p2drm_crypto::rng::CryptoRng;
 use p2drm_rel::{AccessRequest, Action};
-use p2drm_store::Kv;
+use p2drm_store::{ConcurrentKv, Kv};
 
 /// Plays `license` on `device`, returning the decrypted content bytes.
-pub fn play<SP: Kv, SD: Kv, R: CryptoRng + ?Sized>(
+pub fn play<BP: ConcurrentKv, SD: Kv, R: CryptoRng + ?Sized>(
     user: &UserAgent,
     device: &mut CompliantDevice<SD>,
-    provider: &ContentProvider<SP>,
+    provider: &ContentProvider<BP>,
     license: &License,
     now: u64,
     rng: &mut R,

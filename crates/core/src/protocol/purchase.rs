@@ -14,16 +14,16 @@ use crate::protocol::messages::{PurchaseRequest, PurchaseResponse};
 use crate::CoreError;
 use p2drm_crypto::rng::CryptoRng;
 use p2drm_payment::Mint;
-use p2drm_store::Kv;
+use p2drm_store::ConcurrentKv;
 
 /// Runs the anonymous purchase protocol.
 ///
 /// Preconditions the caller (usually [`crate::system::System`]) arranges:
 /// the user has a usable pseudonym certificate per their refresh policy,
 /// and enough account balance at the mint for the coin withdrawal.
-pub fn purchase<S: Kv, R: CryptoRng + ?Sized>(
+pub fn purchase<B: ConcurrentKv, R: CryptoRng + ?Sized>(
     user: &mut UserAgent,
-    provider: &ContentProvider<S>,
+    provider: &ContentProvider<B>,
     mint: &Mint,
     content_id: ContentId,
     now_epoch: u32,

@@ -14,7 +14,7 @@ use crate::ids::UserId;
 use crate::protocol::messages::{transfer_proof_bytes, TransferRequest};
 use crate::CoreError;
 use p2drm_pki::cert::{KeyId, PseudonymCertificate};
-use p2drm_store::Kv;
+use p2drm_store::ConcurrentKv;
 
 /// Verifiable abuse evidence.
 #[derive(Clone, Debug)]
@@ -73,10 +73,10 @@ impl AbuseEvidence {
 /// Full pipeline: TTP verifies evidence and opens the escrow; the RA
 /// revokes the card; the provider revokes the pseudonym. Returns the
 /// de-anonymized user.
-pub fn deanonymize_and_punish<S: Kv>(
+pub fn deanonymize_and_punish<B: ConcurrentKv>(
     ttp: &mut Ttp,
     ra: &RegistrationAuthority,
-    provider: &ContentProvider<S>,
+    provider: &ContentProvider<B>,
     evidence: &AbuseEvidence,
     cert: &PseudonymCertificate,
     transcript: &mut Transcript,

@@ -14,13 +14,13 @@ use crate::license::License;
 use crate::protocol::messages::{transfer_proof_bytes, TransferRequest, TransferResponse};
 use crate::CoreError;
 use p2drm_crypto::rng::CryptoRng;
-use p2drm_store::Kv;
+use p2drm_store::ConcurrentKv;
 
 /// Transfers `license_id` from `sender` to `recipient`.
-pub fn transfer<S: Kv, R: CryptoRng + ?Sized>(
+pub fn transfer<B: ConcurrentKv, R: CryptoRng + ?Sized>(
     sender: &mut UserAgent,
     recipient: &mut UserAgent,
-    provider: &ContentProvider<S>,
+    provider: &ContentProvider<B>,
     license_id: LicenseId,
     now_epoch: u32,
     rng: &mut R,

@@ -3,7 +3,7 @@
 //! the convenience flows the examples, tests and benchmarks build on.
 
 use crate::entities::device::CompliantDevice;
-use crate::entities::provider::{ContentProvider, ProviderConfig};
+use crate::entities::provider::{ContentProvider, MemBackend, ProviderConfig};
 use crate::entities::ra::RegistrationAuthority;
 use crate::entities::smartcard::CardBudget;
 use crate::entities::ttp::Ttp;
@@ -67,8 +67,10 @@ impl SystemConfig {
     }
 }
 
-/// The wired system.
-pub struct System {
+/// The wired system, generic over the provider's store backend (the
+/// volatile lock-sharded [`MemBackend`] by default; see
+/// [`System::bootstrap_durable`] for the WAL-backed shape).
+pub struct System<B: p2drm_store::ConcurrentKv = MemBackend> {
     /// Root certificate authority (trust anchor).
     pub root: CertificateAuthority,
     /// Registration authority.
@@ -80,7 +82,7 @@ pub struct System {
     /// Identified payment processor (baseline).
     pub processor: PaymentProcessor,
     /// Privacy-preserving provider.
-    pub provider: ContentProvider,
+    pub provider: ContentProvider<B>,
     /// Conventional provider (comparator).
     pub baseline: crate::baseline::BaselineProvider,
     config: SystemConfig,
@@ -88,9 +90,18 @@ pub struct System {
     now: u64,
 }
 
-impl System {
-    /// Builds every entity and wires the trust relationships.
-    pub fn bootstrap<R: CryptoRng + ?Sized>(config: SystemConfig, rng: &mut R) -> Self {
+/// Everything [`System`] wires up besides the provider; intermediate
+/// state shared by the bootstrap paths.
+struct Scaffold {
+    root: CertificateAuthority,
+    ra: RegistrationAuthority,
+    ttp: Ttp,
+    mint: Mint,
+    processor: PaymentProcessor,
+}
+
+impl Scaffold {
+    fn build<R: CryptoRng + ?Sized>(config: &SystemConfig, rng: &mut R) -> Self {
         let mut root = CertificateAuthority::new_root(config.key_bits, config.validity, rng);
         let ra = RegistrationAuthority::new(&mut root, config.key_bits, config.validity, rng);
         let ttp = Ttp::new(config.elgamal_group, rng);
@@ -102,37 +113,114 @@ impl System {
             rng,
         );
         let processor = PaymentProcessor::new();
-        let provider = ContentProvider::new(
-            &mut root,
-            mint.clone(),
-            ra.blind_public().clone(),
-            ProviderConfig {
-                key_bits: config.key_bits,
-                epoch_window: config.epoch_window,
-                validity: config.validity,
-                store_shards: 8,
-            },
-            rng,
-        );
-        let baseline = crate::baseline::BaselineProvider::new(
-            &mut root,
-            processor.clone(),
-            config.key_bits,
-            config.validity,
-            rng,
-        );
-        System {
+        Scaffold {
             root,
             ra,
             ttp,
             mint,
             processor,
+        }
+    }
+
+    fn provider_config(config: &SystemConfig) -> ProviderConfig {
+        ProviderConfig {
+            key_bits: config.key_bits,
+            epoch_window: config.epoch_window,
+            validity: config.validity,
+            store_shards: 8,
+        }
+    }
+
+    fn finish<B: p2drm_store::ConcurrentKv, R: CryptoRng + ?Sized>(
+        mut self,
+        provider: ContentProvider<B>,
+        config: SystemConfig,
+        rng: &mut R,
+    ) -> System<B> {
+        let baseline = crate::baseline::BaselineProvider::new(
+            &mut self.root,
+            self.processor.clone(),
+            config.key_bits,
+            config.validity,
+            rng,
+        );
+        System {
+            root: self.root,
+            ra: self.ra,
+            ttp: self.ttp,
+            mint: self.mint,
+            processor: self.processor,
             provider,
             baseline,
             config,
             epoch: 0,
             now: 1,
         }
+    }
+}
+
+impl System {
+    /// Builds every entity and wires the trust relationships, with the
+    /// default volatile lock-sharded provider store.
+    pub fn bootstrap<R: CryptoRng + ?Sized>(config: SystemConfig, rng: &mut R) -> Self {
+        let mut scaffold = Scaffold::build(&config, rng);
+        let provider = ContentProvider::new(
+            &mut scaffold.root,
+            scaffold.mint.clone(),
+            scaffold.ra.blind_public().clone(),
+            Scaffold::provider_config(&config),
+            rng,
+        );
+        scaffold.finish(provider, config, rng)
+    }
+}
+
+impl System<p2drm_store::WalShardedKv> {
+    /// Bootstraps a system whose provider runs on a [`WalShardedKv`]
+    /// under `dir` — the durable license service. Returns the merged
+    /// recovery report from the shard-log replay (all zeros for a fresh
+    /// directory).
+    ///
+    /// [`WalShardedKv`]: p2drm_store::WalShardedKv
+    pub fn bootstrap_durable<R: CryptoRng + ?Sized>(
+        config: SystemConfig,
+        dir: impl Into<std::path::PathBuf>,
+        durable: p2drm_store::WalShardedConfig,
+        rng: &mut R,
+    ) -> Result<(Self, p2drm_store::RecoveryReport), crate::CoreError> {
+        let mut scaffold = Scaffold::build(&config, rng);
+        let (provider, report) = ContentProvider::open_durable(
+            &mut scaffold.root,
+            scaffold.mint.clone(),
+            scaffold.ra.blind_public().clone(),
+            dir,
+            durable,
+            Scaffold::provider_config(&config),
+            rng,
+        )?;
+        Ok((scaffold.finish(provider, config, rng), report))
+    }
+}
+
+impl<B: p2drm_store::ConcurrentKv> System<B> {
+    /// Bootstraps over a caller-supplied provider store backend (the
+    /// generic path behind [`System::bootstrap`] and
+    /// [`System::bootstrap_durable`]).
+    pub fn bootstrap_with_backend<R: CryptoRng + ?Sized>(
+        config: SystemConfig,
+        backend: B,
+        rng: &mut R,
+    ) -> Self {
+        let mut scaffold = Scaffold::build(&config, rng);
+        let provider = ContentProvider::with_backend(
+            &mut scaffold.root,
+            scaffold.mint.clone(),
+            scaffold.ra.blind_public().clone(),
+            backend,
+            Scaffold::provider_config(&config),
+            rng,
+        );
+        scaffold.finish(provider, config, rng)
     }
 
     /// Current epoch (pseudonym freshness bucket).

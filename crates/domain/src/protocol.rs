@@ -12,17 +12,17 @@ use p2drm_core::CoreError;
 use p2drm_crypto::rng::CryptoRng;
 use p2drm_payment::{Mint, Wallet};
 use p2drm_rel::AccessRequest;
-use p2drm_store::Kv;
+use p2drm_store::{ConcurrentKv, Kv};
 
 /// Buys a domain license: the household account withdraws an anonymous
 /// coin; the provider verifies the *manager* certificate (not any member)
 /// and binds the license to the domain key.
 #[allow(clippy::too_many_arguments)]
-pub fn buy_domain_license<S: Kv, R: CryptoRng + ?Sized>(
+pub fn buy_domain_license<B: ConcurrentKv, R: CryptoRng + ?Sized>(
     manager: &mut DomainManager,
     wallet: &mut Wallet,
     account: &str,
-    provider: &ContentProvider<S>,
+    provider: &ContentProvider<B>,
     mint: &Mint,
     content_id: ContentId,
     now: u64,
@@ -73,10 +73,10 @@ pub fn buy_domain_license<S: Kv, R: CryptoRng + ?Sized>(
 
 /// Plays a domain license on a member device: manager answers the holder
 /// challenge and releases the key only to verified members.
-pub fn play_in_domain<SP: Kv, SD: Kv, R: CryptoRng + ?Sized>(
+pub fn play_in_domain<BP: ConcurrentKv, SD: Kv, R: CryptoRng + ?Sized>(
     manager: &DomainManager,
     device: &mut CompliantDevice<SD>,
-    provider: &ContentProvider<SP>,
+    provider: &ContentProvider<BP>,
     license: &License,
     now: u64,
     rng: &mut R,

@@ -4,7 +4,7 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p p2drm-sim --bin experiments [all|t1|t2|e1|e3|e6|e7|e10] [--quick]
+//! cargo run --release -p p2drm-sim --bin experiments [all|t1|t2|e1|e3|e4|e6|e7|e10] [--quick]
 //! ```
 //! Results print as tables and are also written to `results/*.json`.
 
@@ -15,7 +15,8 @@ use p2drm_core::system::{System, SystemConfig};
 use p2drm_crypto::rng::test_rng;
 use p2drm_payment::{Mint, MintConfig, Wallet};
 use p2drm_sim::report::{fmt_bytes, fmt_ns, write_json, Table};
-use p2drm_sim::{linkability_experiment, purchase_throughput, ThroughputConfig};
+use p2drm_sim::{linkability_experiment, purchase_throughput, StoreBackend, ThroughputConfig};
+use p2drm_store::SyncPolicy;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,6 +32,7 @@ fn main() {
         "t2" => t2_transfer_transcript(),
         "e1" => e1_message_costs(),
         "e3" => e3_throughput(quick),
+        "e4" => e4_durability(quick),
         "e6" => e6_storage(quick),
         "e7" => e7_linkability(quick),
         "e10" => e10_payment(quick),
@@ -39,12 +41,13 @@ fn main() {
             t2_transfer_transcript();
             e1_message_costs();
             e3_throughput(quick);
+            e4_durability(quick);
             e6_storage(quick);
             e7_linkability(quick);
             e10_payment(quick);
         }
         other => {
-            eprintln!("unknown experiment {other}; use all|t1|t2|e1|e3|e6|e7|e10");
+            eprintln!("unknown experiment {other}; use all|t1|t2|e1|e3|e4|e6|e7|e10");
             std::process::exit(2);
         }
     }
@@ -300,6 +303,7 @@ fn e3_throughput(quick: bool) {
                     clients,
                     purchases_per_client: per_client,
                     store_shards,
+                    backend: StoreBackend::Mem,
                 },
                 &mut rng,
             );
@@ -316,6 +320,51 @@ fn e3_throughput(quick: bool) {
     }
     println!("{}", table.render());
     let _ = write_json("e3_throughput", &results);
+}
+
+/// E4: the price of durability — purchase throughput by store backend
+/// (volatile sharded vs WAL-sharded at each [`SyncPolicy`]) and thread
+/// count. Complements the `e4_durability` criterion bench, which sweeps
+/// the same grid at realistic measurement times.
+fn e4_durability(quick: bool) {
+    let clients_sweep: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let per_client = if quick { 3 } else { 6 };
+    let backends = [
+        StoreBackend::Mem,
+        StoreBackend::WalSharded(SyncPolicy::Buffered),
+        StoreBackend::WalSharded(SyncPolicy::FlushEach),
+        StoreBackend::WalSharded(SyncPolicy::SyncEach),
+    ];
+    let mut results = Vec::new();
+    let mut table = Table::new(
+        "E4: durable purchase throughput (backend × sync policy × threads)",
+        &["backend", "clients", "ops", "throughput", "p50", "p99"],
+    );
+    for &clients in clients_sweep {
+        for (b, backend) in backends.iter().enumerate() {
+            let mut rng = test_rng(0xE40 + clients as u64 * 10 + b as u64);
+            let r = purchase_throughput(
+                ThroughputConfig {
+                    clients,
+                    purchases_per_client: per_client,
+                    store_shards: 8,
+                    backend: backend.clone(),
+                },
+                &mut rng,
+            );
+            table.row(&[
+                r.backend.clone(),
+                r.clients.to_string(),
+                r.completed.to_string(),
+                format!("{:.1}/s", r.throughput),
+                fmt_ns(r.latency.p50_ns as f64),
+                fmt_ns(r.latency.p99_ns as f64),
+            ]);
+            results.push(r);
+        }
+    }
+    println!("{}", table.render());
+    let _ = write_json("e4_durability", &results);
 }
 
 struct E6Row {

@@ -27,5 +27,5 @@ pub use adversary::{linkability_experiment, LinkabilityReport};
 pub use metrics::{Histogram, Summary};
 pub use mixed::{simulate, SimReport};
 pub use report::Table;
-pub use runner::{purchase_throughput, ThroughputConfig, ThroughputResult};
+pub use runner::{purchase_throughput, StoreBackend, ThroughputConfig, ThroughputResult};
 pub use workload::{Op, Workload, WorkloadConfig, Zipf};

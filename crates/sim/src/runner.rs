@@ -14,10 +14,34 @@ use crate::metrics::{Histogram, Summary};
 use p2drm_core::entities::provider::{ContentProvider, ProviderConfig};
 use p2drm_core::protocol::messages::PurchaseRequest;
 use p2drm_core::system::{System, SystemConfig};
+use p2drm_store::{ConcurrentKv, SyncPolicy, WalShardedConfig};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
+
+/// Which store backend the provider under test runs on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreBackend {
+    /// Volatile lock-sharded store (`ShardedKv<MemKv>`) — the upper
+    /// bound: no durability cost.
+    Mem,
+    /// WAL-backed sharded store (`WalShardedKv`) at the given durability
+    /// level, in a unique temp directory (removed after the run).
+    WalSharded(SyncPolicy),
+}
+
+impl StoreBackend {
+    /// Short label for tables/JSON (`mem`, `wal-buffered`, …).
+    pub fn label(&self) -> String {
+        match self {
+            StoreBackend::Mem => "mem".into(),
+            StoreBackend::WalSharded(SyncPolicy::Buffered) => "wal-buffered".into(),
+            StoreBackend::WalSharded(SyncPolicy::FlushEach) => "wal-flush-each".into(),
+            StoreBackend::WalSharded(SyncPolicy::SyncEach) => "wal-sync-each".into(),
+        }
+    }
+}
 
 /// Throughput run parameters.
 #[derive(Clone, Debug)]
@@ -29,6 +53,8 @@ pub struct ThroughputConfig {
     /// Lock shards inside the provider's store (1 = fully serialized
     /// store, the single-license-server shape).
     pub store_shards: usize,
+    /// Store backend under test.
+    pub backend: StoreBackend,
 }
 
 /// Throughput results.
@@ -38,6 +64,8 @@ pub struct ThroughputResult {
     pub clients: usize,
     /// Store lock shards used.
     pub store_shards: usize,
+    /// Backend label (`mem`, `wal-flush-each`, …).
+    pub backend: String,
     /// Completed purchases.
     pub completed: usize,
     /// Wall-clock seconds.
@@ -53,6 +81,7 @@ impl ToJson for ThroughputResult {
         Json::obj([
             ("clients", self.clients.to_json()),
             ("store_shards", self.store_shards.to_json()),
+            ("backend", self.backend.to_json()),
             ("completed", self.completed.to_json()),
             ("wall_secs", self.wall_secs.to_json()),
             ("throughput", self.throughput.to_json()),
@@ -61,25 +90,81 @@ impl ToJson for ThroughputResult {
     }
 }
 
-/// Runs the throughput experiment. Setup (users, pseudonyms, coins) is
-/// excluded from the measured section; only provider-side handling is
-/// timed — the license-server capacity question.
+/// Self-cleaning unique temp directory for WAL-backed runs.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new() -> Self {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("p2drm-sim-throughput-{}-{n}", std::process::id()));
+        // Pre-clean: a stale directory from a crashed prior run (possibly
+        // with a different shard count) would fail the MANIFEST check.
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Runs the throughput experiment on the configured backend. Setup
+/// (users, pseudonyms, coins) is excluded from the measured section; only
+/// provider-side handling is timed — the license-server capacity
+/// question, now including the cost of durability when the backend is
+/// WAL-backed.
 pub fn purchase_throughput<R: Rng>(config: ThroughputConfig, rng: &mut R) -> ThroughputResult {
     let mut sys = System::bootstrap(SystemConfig::fast_test(), rng);
+    let provider_config = ProviderConfig {
+        store_shards: config.store_shards,
+        ..ProviderConfig::fast_test()
+    };
 
-    // The shared provider under test, with the requested store sharding.
-    // It shares the system's mint, so deposits (and double-spend
-    // protection) stay globally consistent.
-    let provider = ContentProvider::new(
-        &mut sys.root,
-        sys.mint.clone(),
-        sys.ra.blind_public().clone(),
-        ProviderConfig {
-            store_shards: config.store_shards,
-            ..ProviderConfig::fast_test()
-        },
-        rng,
-    );
+    // The shared provider under test, with the requested store sharding
+    // and backend. It shares the system's mint, so deposits (and
+    // double-spend protection) stay globally consistent.
+    match config.backend.clone() {
+        StoreBackend::Mem => {
+            let provider = ContentProvider::new(
+                &mut sys.root,
+                sys.mint.clone(),
+                sys.ra.blind_public().clone(),
+                provider_config,
+                rng,
+            );
+            drive_provider(config, sys, provider, rng)
+        }
+        StoreBackend::WalSharded(policy) => {
+            let tmp = TempDir::new();
+            let (provider, _report) = ContentProvider::open_durable(
+                &mut sys.root,
+                sys.mint.clone(),
+                sys.ra.blind_public().clone(),
+                &tmp.0,
+                WalShardedConfig {
+                    shards: config.store_shards.max(1),
+                    policy,
+                },
+                provider_config,
+                rng,
+            )
+            .expect("open durable provider");
+            drive_provider(config, sys, provider, rng)
+        }
+    }
+}
+
+/// Backend-generic measured section.
+fn drive_provider<B: ConcurrentKv + Sync, R: Rng>(
+    config: ThroughputConfig,
+    sys: System,
+    provider: ContentProvider<B>,
+    rng: &mut R,
+) -> ThroughputResult {
     let template = sys.config().rights_template.clone();
     let cid = provider.publish("hot-item", 100, &vec![0u8; 1024], template, rng);
     let epoch = sys.epoch();
@@ -151,6 +236,7 @@ pub fn purchase_throughput<R: Rng>(config: ThroughputConfig, rng: &mut R) -> Thr
     ThroughputResult {
         clients: config.clients,
         store_shards: config.store_shards,
+        backend: config.backend.label(),
         completed,
         wall_secs: wall.as_secs_f64(),
         throughput: completed as f64 / wall.as_secs_f64(),
@@ -171,12 +257,14 @@ mod tests {
                 clients: 2,
                 purchases_per_client: 3,
                 store_shards: 1,
+                backend: StoreBackend::Mem,
             },
             &mut rng,
         );
         assert_eq!(r.completed, 6);
         assert!(r.throughput > 0.0);
         assert_eq!(r.latency.count, 6);
+        assert_eq!(r.backend, "mem");
     }
 
     #[test]
@@ -187,10 +275,36 @@ mod tests {
                 clients: 4,
                 purchases_per_client: 2,
                 store_shards: 8,
+                backend: StoreBackend::Mem,
             },
             &mut rng,
         );
         assert_eq!(r.completed, 8);
         assert_eq!(r.store_shards, 8);
+    }
+
+    #[test]
+    fn wal_backed_run_completes_under_each_policy() {
+        for (i, policy) in [
+            SyncPolicy::Buffered,
+            SyncPolicy::FlushEach,
+            SyncPolicy::SyncEach,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut rng = test_rng(280 + i as u64);
+            let r = purchase_throughput(
+                ThroughputConfig {
+                    clients: 2,
+                    purchases_per_client: 2,
+                    store_shards: 4,
+                    backend: StoreBackend::WalSharded(policy),
+                },
+                &mut rng,
+            );
+            assert_eq!(r.completed, 4, "{policy:?}");
+            assert!(r.backend.starts_with("wal-"));
+        }
     }
 }

@@ -17,9 +17,29 @@
 //! * [`SharedKv`] — `parking_lot`-locked handle for concurrent use;
 //! * [`ShardedKv`] — lock-sharded concurrent store: keys hash to one of N
 //!   independently locked shards, so writers on different shards never
-//!   contend (the license server's hot-path substrate);
-//! * [`ConcurrentKv`] — the `&self` store interface both concurrent
+//!   contend (the license server's volatile hot-path substrate);
+//! * [`WalShardedKv`] — durable **and** sharded: N shards each backed by
+//!   its own WAL, per-shard group commit amortizing flush/fsync across
+//!   concurrent writers, parallel replay on open — the production
+//!   license-server backend;
+//! * [`ConcurrentKv`] — the `&self` store interface the concurrent
 //!   handles implement, which typed [`typed::Table`]s can operate over.
+//!
+//! # Backend matrix
+//!
+//! | backend | concurrency | durability | use |
+//! |---|---|---|---|
+//! | [`MemKv`] | `&mut self` | none | unit tests, single-thread sims |
+//! | [`SharedKv`] | 1 `RwLock` | backend's | simple shared handle |
+//! | [`ShardedKv`] | N shards | none (over [`MemKv`]) | max-throughput volatile serving |
+//! | [`WalKv`] | `&mut self` | WAL + torn-tail recovery | single-threaded durable state (devices) |
+//! | [`WalShardedKv`] | N shards | per-shard WAL, group commit | the durable license service |
+//!
+//! [`SyncPolicy`] picks the durability/latency trade-off for the WAL
+//! backends: `Buffered` (userspace buffering; flush on drop — fastest,
+//! loses the un-flushed tail on a crash but never corrupts), `FlushEach`
+//! (every mutation pushed to the OS — survives process death), `SyncEach`
+//! (fsync per commit batch — survives power loss).
 //!
 //! ```
 //! use p2drm_store::{Kv, MemKv};
@@ -35,10 +55,12 @@ pub mod mem;
 pub mod sharded;
 pub mod typed;
 pub mod walkv;
+pub mod walsharded;
 
 pub use mem::MemKv;
 pub use sharded::ShardedKv;
 pub use walkv::{RecoveryReport, SyncPolicy, WalKv};
+pub use walsharded::{WalShardedConfig, WalShardedKv};
 
 use parking_lot::RwLock;
 use std::sync::Arc;

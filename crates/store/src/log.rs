@@ -60,6 +60,15 @@ impl LogWriter {
         self.offset
     }
 
+    /// A second handle onto the backing file. Used by the group-commit
+    /// path in [`crate::WalShardedKv`]: the clone lets a commit leader
+    /// fsync already-flushed frames *without* holding the lock writers
+    /// need for new appends (both handles reach the same inode, and
+    /// `sync_data` on either covers every byte the OS has received).
+    pub fn try_clone_file(&self) -> Result<File, StoreError> {
+        Ok(self.out.get_ref().try_clone()?)
+    }
+
     /// True when the log has no frames.
     pub fn is_empty(&self) -> bool {
         self.offset == 0

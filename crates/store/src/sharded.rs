@@ -10,9 +10,11 @@
 //! under one shard's write lock.
 //!
 //! A [`ShardedKv`] can also be built over a **single** caller-supplied
-//! shard ([`ShardedKv::single`]) — the durable-provider path, where the
-//! one shard is a [`crate::WalKv`] and cross-restart recovery semantics
-//! must be preserved exactly.
+//! shard ([`ShardedKv::single`]) — the simplest durable-provider path,
+//! where the one shard is a [`crate::WalKv`] and cross-restart recovery
+//! semantics are preserved exactly. For durability *at sharded
+//! concurrency* — N per-shard WALs with group commit — use the sibling
+//! [`crate::WalShardedKv`], which routes keys identically.
 
 use crate::{ConcurrentKv, Kv, StoreError};
 use parking_lot::RwLock;
@@ -24,7 +26,10 @@ pub struct ShardedKv<S: Kv> {
 
 /// FNV-1a over the key: cheap, stable, good enough dispersion for shard
 /// routing (keys here are table-prefixed ids and hashes already).
-fn fnv1a(key: &[u8]) -> u64 {
+///
+/// Shared with [`crate::WalShardedKv`], whose **on-disk** shard files
+/// encode this routing — one definition so the two stores cannot drift.
+pub(crate) fn fnv1a(key: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in key {
         h ^= b as u64;

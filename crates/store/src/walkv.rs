@@ -136,6 +136,30 @@ impl WalKv {
     pub fn log_bytes(&self) -> u64 {
         self.writer.len()
     }
+
+    /// Total operations appended to the log so far. [`crate::WalShardedKv`]
+    /// uses this as the commit horizon its group-commit leader must cover.
+    pub fn ops_appended(&self) -> u64 {
+        self.log_ops
+    }
+
+    /// Pushes buffered frames to the OS **without** fsync (the
+    /// [`SyncPolicy::FlushEach`] durability level, callable externally by
+    /// a group-commit leader).
+    pub fn flush_to_os(&mut self) -> Result<(), StoreError> {
+        self.writer.flush()
+    }
+
+    /// Flushes and fsyncs (the [`SyncPolicy::SyncEach`] durability level).
+    pub fn sync_data(&mut self) -> Result<(), StoreError> {
+        self.writer.sync()
+    }
+
+    /// A second handle onto the log file, for fsyncing outside the store
+    /// lock (see [`crate::log::LogWriter::try_clone_file`]).
+    pub fn try_clone_log_file(&self) -> Result<std::fs::File, StoreError> {
+        self.writer.try_clone_file()
+    }
 }
 
 fn apply_record(index: &mut BTreeMap<Vec<u8>, Vec<u8>>, rec: &[u8]) -> Result<(), StoreError> {
@@ -296,6 +320,36 @@ mod tests {
         assert!(!report.truncated_tail, "tail already repaired");
         kv.put(b"after", b"3").unwrap();
         assert_eq!(kv.len(), 2);
+    }
+
+    #[test]
+    fn replayed_claim_refuses_second_redeem_after_crash() {
+        // Regression for the WAL ordering contract: `insert_if_absent`
+        // appends the claim record *before* touching the index, so a crash
+        // any time after the append (here: torn garbage from a mid-append
+        // power cut) still replays the claim, and the recovered store
+        // refuses a second redeem of the id spent before the crash.
+        let tmp = TempPath::new("claim-order");
+        {
+            let (mut kv, _) = WalKv::open(&tmp.0, SyncPolicy::FlushEach).unwrap();
+            assert!(kv.insert_if_absent(b"spent/pre-crash", b"").unwrap());
+        }
+        // Crash mid-append of a later record: partial frame header.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&tmp.0)
+                .unwrap();
+            f.write_all(&[0x09, 0x00]).unwrap();
+        }
+        let (mut kv, report) = WalKv::open(&tmp.0, SyncPolicy::FlushEach).unwrap();
+        assert!(report.truncated_tail);
+        assert_eq!(report.replayed_ops, 1, "the claim itself replayed");
+        assert!(
+            !kv.insert_if_absent(b"spent/pre-crash", b"").unwrap(),
+            "id spent before the crash must stay spent after replay"
+        );
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! restarts and torn writes.
 
 use p2drm::core::entities::provider::{ContentProvider, ProviderConfig};
+use p2drm::core::protocol::messages::{transfer_proof_bytes, TransferRequest};
 use p2drm::core::CoreError;
 use p2drm::prelude::*;
-use p2drm::store::{Kv, SyncPolicy, WalKv};
+use p2drm::store::walsharded::{WalShardedConfig, WalShardedKv};
+use p2drm::store::{ConcurrentKv, Kv, SyncPolicy, WalKv};
 use std::path::PathBuf;
 
 struct TempPath(PathBuf);
@@ -28,6 +30,30 @@ impl TempPath {
 impl Drop for TempPath {
     fn drop(&mut self) {
         let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Self-cleaning unique temp *directory* (for `WalShardedKv` stores).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let p = std::env::temp_dir().join(format!(
+            "p2drm-int-durability-dir-{}-{}-{}",
+            std::process::id(),
+            tag,
+            n
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
     }
 }
 
@@ -285,4 +311,309 @@ fn device_state_survives_restart() {
         &mut t,
     );
     assert!(matches!(res, Err(CoreError::Denied(_))));
+}
+
+/// Builds a valid transfer request moving `license` to a fresh recipient
+/// pseudonym (each request passes every provider check except the
+/// spent-ID rule).
+fn transfer_request_for(
+    sys: &System,
+    owner: &UserAgent,
+    owner_pseudonym: p2drm::pki::cert::KeyId,
+    license: &p2drm::core::license::License,
+    tag: &str,
+    rng: &mut impl p2drm::crypto::rng::CryptoRng,
+) -> TransferRequest {
+    let mut recipient = sys.register_user(tag, rng).unwrap();
+    sys.ensure_pseudonym(&mut recipient, rng).unwrap();
+    let cert = recipient.pseudonym_certs().last().unwrap().clone();
+    let proof = owner
+        .card
+        .sign_with_pseudonym(
+            &owner_pseudonym,
+            &transfer_proof_bytes(&license.id(), &cert.pseudonym_id()),
+        )
+        .unwrap();
+    TransferRequest {
+        license: license.clone(),
+        recipient_cert: cert,
+        proof,
+    }
+}
+
+#[test]
+fn durable_provider_restart_preserves_redeem_once() {
+    // The open_durable/resume_durable lifecycle over a WalShardedKv:
+    // purchase → spend (transfer) → unclean drop → resume from the WAL
+    // directory. The reopened provider must refuse to redeem the spent id
+    // again, keep its catalog, and keep serving new purchases.
+    let tmp = TempDir::new("restart");
+    let mut rng = test_rng(8101);
+    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let durable = WalShardedConfig {
+        shards: 4,
+        policy: SyncPolicy::FlushEach,
+    };
+
+    let (provider, report) = ContentProvider::open_durable(
+        &mut sys.root,
+        sys.mint.clone(),
+        sys.ra.blind_public().clone(),
+        &tmp.0,
+        durable,
+        ProviderConfig::fast_test(),
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(report.replayed_ops, 0, "fresh directory");
+    let cid = provider.publish(
+        "durable hit",
+        100,
+        b"payload",
+        Rights::builder()
+            .play(Limit::Unlimited)
+            .transfer(Limit::Count(3))
+            .build(),
+        &mut rng,
+    );
+    let vault = provider.export_keys();
+    let cert = provider.certificate().clone();
+
+    let mut alice = sys.register_user("alice", &mut rng).unwrap();
+    let mut bob = sys.register_user("bob", &mut rng).unwrap();
+    sys.fund(&alice, 1_000);
+    sys.fund(&bob, 1_000);
+    sys.ensure_pseudonym(&mut alice, &mut rng).unwrap();
+    sys.ensure_pseudonym(&mut bob, &mut rng).unwrap();
+    let mint = sys.mint.clone();
+    let epoch = sys.epoch();
+    let mut t = Transcript::new();
+    let license =
+        p2drm::core::protocol::purchase(&mut alice, &provider, &mint, cid, epoch, &mut rng, &mut t)
+            .unwrap();
+    let old_lid = license.id();
+    let saved = license.clone();
+    let alice_pseudonym = alice.licenses()[0].pseudonym;
+    p2drm::core::protocol::transfer(
+        &mut alice, &mut bob, &provider, old_lid, epoch, &mut rng, &mut t,
+    )
+    .unwrap();
+    assert_eq!(provider.spent_count(), 1);
+
+    // Unclean drop: no explicit flush/checkpoint call.
+    drop(provider);
+
+    let keys: p2drm::crypto::rsa::RsaKeyPair = p2drm::codec::from_bytes(&vault).unwrap();
+    let (provider, report) = ContentProvider::resume_durable(
+        keys,
+        cert,
+        sys.root.public_key().clone(),
+        sys.mint.clone(),
+        sys.ra.blind_public().clone(),
+        &tmp.0,
+        durable,
+        ProviderConfig::fast_test(),
+    )
+    .unwrap();
+    assert!(
+        report.replayed_ops >= 2,
+        "content + license + spent replayed"
+    );
+    assert_eq!(provider.spent_count(), 1, "spent set survived");
+    assert!(provider.download(&cid).is_ok(), "catalog survived");
+
+    // Double-redeem of the pre-restart license id is still refused.
+    alice.add_license(saved, alice_pseudonym);
+    let mut carol = sys.register_user("carol", &mut rng).unwrap();
+    sys.ensure_pseudonym(&mut carol, &mut rng).unwrap();
+    let mut t2 = Transcript::new();
+    let res = p2drm::core::protocol::transfer(
+        &mut alice, &mut carol, &provider, old_lid, epoch, &mut rng, &mut t2,
+    );
+    assert!(matches!(res, Err(CoreError::AlreadyRedeemed(_))));
+
+    // And the reopened provider still sells.
+    sys.fund(&carol, 1_000);
+    let carols = p2drm::core::protocol::purchase(
+        &mut carol, &provider, &mint, cid, epoch, &mut rng, &mut t2,
+    )
+    .unwrap();
+    assert!(carols.verify(provider.public_key()).is_ok());
+}
+
+#[test]
+fn racing_double_redeem_across_restart_has_exactly_one_winner() {
+    // The acceptance race: N threads race the same license id before the
+    // restart, the provider is dropped uncleanly, N more race it after
+    // resume — exactly one transfer wins across the whole timeline.
+    const RACERS_PER_PHASE: usize = 4;
+    let tmp = TempDir::new("race");
+    let mut rng = test_rng(8102);
+    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let durable = WalShardedConfig {
+        shards: 4,
+        policy: SyncPolicy::FlushEach,
+    };
+
+    let (provider, _) = ContentProvider::open_durable(
+        &mut sys.root,
+        sys.mint.clone(),
+        sys.ra.blind_public().clone(),
+        &tmp.0,
+        durable,
+        ProviderConfig::fast_test(),
+        &mut rng,
+    )
+    .unwrap();
+    let cid = provider.publish(
+        "contended",
+        100,
+        b"payload",
+        Rights::builder()
+            .play(Limit::Unlimited)
+            .transfer(Limit::Count(1))
+            .build(),
+        &mut rng,
+    );
+    let vault = provider.export_keys();
+    let cert = provider.certificate().clone();
+
+    let mut mallory = sys.register_user("mallory", &mut rng).unwrap();
+    sys.fund(&mallory, 1_000);
+    sys.ensure_pseudonym(&mut mallory, &mut rng).unwrap();
+    let mint = sys.mint.clone();
+    let epoch = sys.epoch();
+    let mut t = Transcript::new();
+    let license = p2drm::core::protocol::purchase(
+        &mut mallory,
+        &provider,
+        &mint,
+        cid,
+        epoch,
+        &mut rng,
+        &mut t,
+    )
+    .unwrap();
+    let mallory_pseudonym = mallory.licenses()[0].pseudonym;
+
+    let requests: Vec<TransferRequest> = (0..RACERS_PER_PHASE * 2)
+        .map(|i| {
+            transfer_request_for(
+                &sys,
+                &mallory,
+                mallory_pseudonym,
+                &license,
+                &format!("racer-{i}"),
+                &mut rng,
+            )
+        })
+        .collect();
+    let (pre, post) = requests.split_at(RACERS_PER_PHASE);
+
+    let race = |provider: &ContentProvider<WalShardedKv>, reqs: &[TransferRequest]| -> usize {
+        std::thread::scope(|scope| {
+            reqs.iter()
+                .enumerate()
+                .map(|(i, req)| {
+                    scope.spawn(move || {
+                        let mut rng = test_rng(0xBEEF + i as u64);
+                        provider.handle_transfer(req, epoch, &mut rng).is_ok()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .filter(|&won| won)
+                .count()
+        })
+    };
+
+    let pre_winners = race(&provider, pre);
+    assert_eq!(pre_winners, 1, "exactly one pre-restart winner");
+    drop(provider); // unclean: no checkpoint
+
+    let keys: p2drm::crypto::rsa::RsaKeyPair = p2drm::codec::from_bytes(&vault).unwrap();
+    let (provider, _) = ContentProvider::resume_durable(
+        keys,
+        cert,
+        sys.root.public_key().clone(),
+        sys.mint.clone(),
+        sys.ra.blind_public().clone(),
+        &tmp.0,
+        durable,
+        ProviderConfig::fast_test(),
+    )
+    .unwrap();
+
+    let post_winners = race(&provider, post);
+    assert_eq!(
+        pre_winners + post_winners,
+        1,
+        "a double-redeem race spanning the restart has exactly one winner"
+    );
+    assert_eq!(provider.spent_count(), 1);
+}
+
+#[test]
+fn torn_shard_tail_does_not_poison_other_shards() {
+    // Crash mid-append on *one* shard of a provider's WalShardedKv: that
+    // shard truncates its torn tail, the others replay untouched, and
+    // every completed spend is still refused a second redemption.
+    let tmp = TempDir::new("torn-shard");
+    let mut rng = test_rng(8103);
+    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let durable = WalShardedConfig {
+        shards: 4,
+        policy: SyncPolicy::FlushEach,
+    };
+
+    let spent_keys: Vec<Vec<u8>> = {
+        let (store, _) = WalShardedKv::open(&tmp.0, durable).unwrap();
+        // Simulate the provider's spent table directly (prefix "spent/"),
+        // spreading claims over all shards.
+        (0..32u32)
+            .map(|i| {
+                let key = format!("spent/lid-{i}").into_bytes();
+                assert!(store.insert_if_absent(&key, b"").unwrap());
+                key
+            })
+            .collect()
+    };
+    // Torn garbage on exactly one shard's log.
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(tmp.0.join("shard-001.wal"))
+            .unwrap();
+        f.write_all(&[0x77, 0x00, 0x13]).unwrap();
+    }
+
+    // A provider resumed over the damaged directory still refuses every
+    // completed spend (and reports exactly one truncated shard).
+    let (provider, report) = ContentProvider::open_durable(
+        &mut sys.root,
+        sys.mint.clone(),
+        sys.ra.blind_public().clone(),
+        &tmp.0,
+        durable,
+        ProviderConfig::fast_test(),
+        &mut rng,
+    )
+    .unwrap();
+    assert!(report.truncated_tail);
+    let torn = provider
+        .store()
+        .shard_recovery()
+        .iter()
+        .filter(|r| r.truncated_tail)
+        .count();
+    assert_eq!(torn, 1, "only the damaged shard truncated");
+    assert_eq!(provider.spent_count(), 32, "no completed claim lost");
+    for key in &spent_keys {
+        assert!(
+            !provider.store().insert_if_absent(key, b"").unwrap(),
+            "spent id survived the torn tail"
+        );
+    }
 }

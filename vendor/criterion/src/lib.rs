@@ -9,9 +9,25 @@
 //! `criterion` for that when a registry is available. Call sites need no
 //! changes: `criterion_group!`/`criterion_main!`, benchmark groups,
 //! `BenchmarkId`, `Throughput`, `b.iter`, and `b.iter_custom` all work.
+//!
+//! A **quick/test mode** (`cargo bench -- --quick`, `-- --test`, or
+//! `CRITERION_QUICK=1`) clamps every benchmark to 2 samples of a few
+//! milliseconds each, so CI can smoke-run the entire suite cheaply (the
+//! `bench-smoke` job); numbers printed in this mode are not meaningful.
 
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+/// True when the process was invoked in quick/test mode: either
+/// `cargo bench -- --quick` / `-- --test` (mirroring real criterion's
+/// flags) or `CRITERION_QUICK=1` in the environment. Quick mode clamps
+/// every benchmark to a couple of tiny samples — it exists so CI can
+/// execute the whole bench suite as a smoke test (does it still build,
+/// run, and finish?) without paying measurement-grade runtimes.
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick" || a == "--test")
+        || std::env::var_os("CRITERION_QUICK").is_some()
+}
 
 /// Top-level benchmark driver.
 #[derive(Default)]
@@ -30,6 +46,7 @@ impl Criterion {
             warm_up_time: Duration::from_millis(300),
             measurement_time: Duration::from_secs(1),
             throughput: None,
+            quick: quick_mode(),
         }
     }
 }
@@ -88,6 +105,8 @@ pub struct BenchmarkGroup {
     warm_up_time: Duration,
     measurement_time: Duration,
     throughput: Option<Throughput>,
+    /// Quick/test mode overrides the caller's measurement settings.
+    quick: bool,
 }
 
 impl BenchmarkGroup {
@@ -121,10 +140,17 @@ impl BenchmarkGroup {
         F: FnMut(&mut Bencher),
     {
         let id = id.into_id();
+        // Quick mode wins over per-group settings (callers tune those for
+        // real measurement; the smoke path must stay fast regardless).
+        let (sample_size, warm_up_time, measurement_time) = if self.quick {
+            (2, Duration::from_millis(5), Duration::from_millis(20))
+        } else {
+            (self.sample_size, self.warm_up_time, self.measurement_time)
+        };
         let mut bencher = Bencher {
-            warm_up_time: self.warm_up_time,
-            measurement_time: self.measurement_time,
-            sample_size: self.sample_size,
+            warm_up_time,
+            measurement_time,
+            sample_size,
             samples: Vec::new(),
         };
         f(&mut bencher);
