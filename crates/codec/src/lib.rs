@@ -56,6 +56,10 @@ pub enum CodecError {
     TrailingBytes(usize),
     /// An enum/discriminant byte had no defined meaning.
     BadDiscriminant(u8),
+    /// A variable-width big integer carried redundant leading zero bytes
+    /// (encoders must emit the minimal big-endian form so that equal
+    /// values always produce identical — hence signable — bytes).
+    NonMinimalInt,
 }
 
 impl fmt::Display for CodecError {
@@ -67,6 +71,7 @@ impl fmt::Display for CodecError {
             CodecError::InvalidUtf8 => write!(f, "invalid utf-8 in string"),
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
             CodecError::BadDiscriminant(d) => write!(f, "unknown discriminant {d}"),
+            CodecError::NonMinimalInt => write!(f, "big integer has redundant leading zeros"),
         }
     }
 }
@@ -264,6 +269,20 @@ impl<'a> Reader<'a> {
     /// Length-prefixed byte string (owned).
     pub fn get_bytes_owned(&mut self) -> Result<Vec<u8>> {
         Ok(self.get_bytes()?.to_vec())
+    }
+
+    /// Length-prefixed **canonical big-endian integer** field: like
+    /// [`Reader::get_bytes`], but rejects a redundant leading zero byte
+    /// ([`CodecError::NonMinimalInt`]). Writers emit minimal big-endian
+    /// bytes (zero = empty), so round-tripping any integer field is
+    /// byte-exact — two distinct byte strings can never decode to the
+    /// same value.
+    pub fn get_int_bytes(&mut self) -> Result<&'a [u8]> {
+        let bytes = self.get_bytes()?;
+        if bytes.first() == Some(&0) {
+            return Err(CodecError::NonMinimalInt);
+        }
+        Ok(bytes)
     }
 
     /// Length-prefixed UTF-8 string.
@@ -545,6 +564,28 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.get_seq::<u64>().unwrap(), items);
+    }
+
+    #[test]
+    fn int_bytes_reject_leading_zero() {
+        let mut w = Writer::new();
+        w.put_bytes(&[0x12, 0x34]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_int_bytes().unwrap(), &[0x12, 0x34]);
+
+        let mut w = Writer::new();
+        w.put_bytes(&[0x00, 0x12, 0x34]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_int_bytes(), Err(CodecError::NonMinimalInt));
+
+        // Zero is the empty byte string, which is minimal.
+        let mut w = Writer::new();
+        w.put_bytes(&[]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_int_bytes().unwrap(), &[] as &[u8]);
     }
 
     #[test]

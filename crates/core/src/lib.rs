@@ -21,6 +21,7 @@
 //! | [`baseline`] | Conventional identity-bound DRM (the comparator) |
 //! | [`audit`] | Transcript capture: message counts/sizes, leak scanning |
 //! | [`system`] | One-call bootstrap wiring every entity together |
+//! | [`service`] | Versioned wire API: envelopes, [`service::ApiErrorCode`], `ProviderService`, `WireClient` |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub mod entities;
 pub mod ids;
 pub mod license;
 pub mod protocol;
+pub mod service;
 pub mod system;
 
 pub use audit::{Party, Transcript};

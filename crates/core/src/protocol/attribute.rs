@@ -11,13 +11,19 @@
 use crate::audit::{Party, Transcript};
 use crate::entities::ra::RegistrationAuthority;
 use crate::entities::user::UserAgent;
+use crate::protocol::messages::AttributeIssueResponse;
+use crate::service::AttributeIssueSession;
 use crate::CoreError;
-use p2drm_crypto::blind::Blinded;
 use p2drm_crypto::rng::CryptoRng;
-use p2drm_pki::cert::{AttributeCertBody, AttributeCertificate, KeyId};
+use p2drm_pki::cert::KeyId;
 
 /// Obtains a blind attribute certificate bound to the user's current
 /// pseudonym; stores it on the agent and returns the pseudonym it binds to.
+///
+/// The card-side rounds are [`AttributeIssueSession`] — the same state
+/// machine the wire client drives — so the in-process engine and the
+/// byte-level path cannot drift apart; this engine only adds the direct
+/// RA call and the transcript recording.
 pub fn obtain_attribute<R: CryptoRng + ?Sized>(
     user: &mut UserAgent,
     ra: &RegistrationAuthority,
@@ -27,52 +33,34 @@ pub fn obtain_attribute<R: CryptoRng + ?Sized>(
     rng: &mut R,
     transcript: &mut Transcript,
 ) -> Result<KeyId, CoreError> {
-    let pseudonym_cert = user
-        .current_pseudonym()
-        .ok_or(CoreError::BadPseudonym("no usable pseudonym to bind to"))?;
-    let body = AttributeCertBody {
-        pseudonym_key: pseudonym_cert.body.pseudonym_key.clone(),
-        epoch,
-    };
-    let pseudonym_id = KeyId::of_rsa(&body.pseudonym_key);
-
     let attr_key = ra
         .attribute_public(attribute)
-        .ok_or(CoreError::Card("attribute unknown to RA"))?
-        .clone();
-    let blinded = Blinded::new(&attr_key, &body.signing_bytes(), rng)?;
-    let auth_sig = user.card.sign_with_master(&blinded.blinded.to_bytes_be())?;
+        .ok_or(CoreError::Card("attribute unknown to RA"))?;
+    let (session, request) = AttributeIssueSession::begin(user, attribute, &attr_key, epoch, rng)?;
     transcript.record(
         Party::Card,
         Party::Ra,
         "attribute-issue-request",
-        blinded.blinded.to_bytes_be(),
+        p2drm_codec::to_bytes(&request),
     );
 
     let blind_sig = ra.issue_attribute(
-        user.card.card_id(),
-        user.card.master_cert(),
-        attribute,
-        &blinded.blinded,
-        &auth_sig,
+        request.card_id,
+        &request.card_cert,
+        &request.attribute,
+        &request.blinded,
+        &request.auth_sig,
         now,
     )?;
+    let response = AttributeIssueResponse { blind_sig };
     transcript.record(
         Party::Ra,
         Party::Card,
         "attribute-issue-response",
-        blind_sig.to_bytes_be(),
+        p2drm_codec::to_bytes(&response),
     );
 
-    let signature = blinded.unblind(&attr_key, &blind_sig)?;
-    let cert = AttributeCertificate {
-        attribute: attribute.to_string(),
-        body,
-        signature,
-    };
-    debug_assert!(cert.verify(&attr_key).is_ok());
-    user.add_attribute_cert(cert);
-    Ok(pseudonym_id)
+    session.finish(user, &response)
 }
 
 #[cfg(test)]

@@ -3,9 +3,12 @@
 //! The engines move these structs between in-process entities, but always
 //! record `p2drm_codec::to_bytes(&msg)` in the transcript — so message
 //! sizes in experiment E1 are the real wire sizes a networked deployment
-//! would pay.
+//! would pay. Since the wire API landed ([`crate::service`]), every
+//! message also carries a [`Decode`] impl matching its [`Encode`], so the
+//! same bytes are *dispatchable*: `p2drm_codec::from_bytes` round-trips
+//! each message exactly and rejects trailing garbage.
 
-use crate::ids::{ContentId, LicenseId};
+use crate::ids::{CardId, ContentId, LicenseId};
 use crate::license::License;
 use p2drm_bignum::UBig;
 use p2drm_codec::{Decode, Encode, Reader, Writer};
@@ -14,9 +17,27 @@ use p2drm_crypto::rsa::RsaSignature;
 use p2drm_payment::Coin;
 use p2drm_pki::cert::{AttributeCertificate, Certificate, KeyId, PseudonymCertificate};
 
+/// Writes a [`UBig`] as a length-prefixed minimal big-endian byte string.
+fn put_ubig(w: &mut Writer, v: &UBig) {
+    w.put_bytes(&v.to_bytes_be());
+}
+
+/// Reads a [`UBig`] written by [`put_ubig`], rejecting non-minimal
+/// encodings (a redundant leading zero would let two byte strings decode
+/// to the same value, breaking encode/decode bijectivity). Nested
+/// integer fields — signatures, public keys, ElGamal components — apply
+/// the same rule through [`Reader::get_int_bytes`] in their own
+/// decoders, so whole messages are canonical, not just these fields.
+fn get_ubig(r: &mut Reader) -> p2drm_codec::Result<UBig> {
+    Ok(UBig::from_bytes_be(r.get_int_bytes()?))
+}
+
 /// Card → RA: blind pseudonym certification request.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PseudonymIssueRequest {
+    /// The requesting card (the RA's issuance-log handle; the card is
+    /// *authenticated* by the certificate below, not by this id).
+    pub card_id: CardId,
     /// Card master certificate (authenticates the card).
     pub card_cert: Certificate,
     /// Blinded FDH of the pseudonym certificate body.
@@ -27,14 +48,26 @@ pub struct PseudonymIssueRequest {
 
 impl Encode for PseudonymIssueRequest {
     fn encode(&self, w: &mut Writer) {
+        self.card_id.encode(w);
         self.card_cert.encode(w);
-        w.put_bytes(&self.blinded.to_bytes_be());
+        put_ubig(w, &self.blinded);
         self.auth_sig.encode(w);
     }
 }
 
+impl Decode for PseudonymIssueRequest {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(PseudonymIssueRequest {
+            card_id: CardId::decode(r)?,
+            card_cert: Certificate::decode(r)?,
+            blinded: get_ubig(r)?,
+            auth_sig: RsaSignature::decode(r)?,
+        })
+    }
+}
+
 /// RA → Card: the blind signature.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PseudonymIssueResponse {
     /// `blinded^d mod n` under the RA blind key.
     pub blind_sig: UBig,
@@ -42,12 +75,81 @@ pub struct PseudonymIssueResponse {
 
 impl Encode for PseudonymIssueResponse {
     fn encode(&self, w: &mut Writer) {
-        w.put_bytes(&self.blind_sig.to_bytes_be());
+        put_ubig(w, &self.blind_sig);
+    }
+}
+
+impl Decode for PseudonymIssueResponse {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(PseudonymIssueResponse {
+            blind_sig: get_ubig(r)?,
+        })
+    }
+}
+
+/// Card → RA: blind attribute certification request ("private
+/// credentials", e.g. *adult*). Like pseudonym issuance but naming the
+/// attribute so the RA can pick its per-attribute blind key and check the
+/// card owner's entitlement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttributeIssueRequest {
+    /// The requesting card.
+    pub card_id: CardId,
+    /// Card master certificate (authenticates the card).
+    pub card_cert: Certificate,
+    /// Which attribute is being certified.
+    pub attribute: String,
+    /// Blinded FDH of the attribute certificate body.
+    pub blinded: UBig,
+    /// Master-key signature over the blinded value.
+    pub auth_sig: RsaSignature,
+}
+
+impl Encode for AttributeIssueRequest {
+    fn encode(&self, w: &mut Writer) {
+        self.card_id.encode(w);
+        self.card_cert.encode(w);
+        w.put_str(&self.attribute);
+        put_ubig(w, &self.blinded);
+        self.auth_sig.encode(w);
+    }
+}
+
+impl Decode for AttributeIssueRequest {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(AttributeIssueRequest {
+            card_id: CardId::decode(r)?,
+            card_cert: Certificate::decode(r)?,
+            attribute: r.get_str()?,
+            blinded: get_ubig(r)?,
+            auth_sig: RsaSignature::decode(r)?,
+        })
+    }
+}
+
+/// RA → Card: the blind signature under the per-attribute key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttributeIssueResponse {
+    /// `blinded^d mod n` under the RA's key for the requested attribute.
+    pub blind_sig: UBig,
+}
+
+impl Encode for AttributeIssueResponse {
+    fn encode(&self, w: &mut Writer) {
+        put_ubig(w, &self.blind_sig);
+    }
+}
+
+impl Decode for AttributeIssueResponse {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(AttributeIssueResponse {
+            blind_sig: get_ubig(r)?,
+        })
     }
 }
 
 /// User → Provider: anonymous purchase.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PurchaseRequest {
     /// Desired content.
     pub content_id: ContentId,
@@ -69,8 +171,19 @@ impl Encode for PurchaseRequest {
     }
 }
 
+impl Decode for PurchaseRequest {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(PurchaseRequest {
+            content_id: ContentId::decode(r)?,
+            pseudonym_cert: PseudonymCertificate::decode(r)?,
+            coin: Coin::decode(r)?,
+            attribute_cert: r.get_option()?,
+        })
+    }
+}
+
 /// Provider → User: the license.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PurchaseResponse {
     /// Issued anonymous license.
     pub license: License,
@@ -82,8 +195,16 @@ impl Encode for PurchaseResponse {
     }
 }
 
+impl Decode for PurchaseResponse {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(PurchaseResponse {
+            license: License::decode(r)?,
+        })
+    }
+}
+
 /// User → Provider: anonymous content download (no auth needed).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DownloadRequest {
     /// Which item.
     pub content_id: ContentId,
@@ -95,8 +216,16 @@ impl Encode for DownloadRequest {
     }
 }
 
+impl Decode for DownloadRequest {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(DownloadRequest {
+            content_id: ContentId::decode(r)?,
+        })
+    }
+}
+
 /// Provider → User: protected payload.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DownloadResponse {
     /// Content nonce.
     pub nonce: [u8; 12],
@@ -111,8 +240,17 @@ impl Encode for DownloadResponse {
     }
 }
 
+impl Decode for DownloadResponse {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(DownloadResponse {
+            nonce: r.get_raw(12)?.try_into().expect("fixed width"),
+            ciphertext: r.get_bytes_owned()?,
+        })
+    }
+}
+
 /// Device → Card: holder challenge.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HolderChallenge {
     /// Fresh nonce.
     pub nonce: [u8; 32],
@@ -127,8 +265,17 @@ impl Encode for HolderChallenge {
     }
 }
 
+impl Decode for HolderChallenge {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(HolderChallenge {
+            nonce: r.get_raw(32)?.try_into().expect("fixed width"),
+            license_id: LicenseId::decode(r)?,
+        })
+    }
+}
+
 /// Card → Device: challenge answer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HolderProof {
     /// Signature by the license's holder key over the challenge message.
     pub signature: RsaSignature,
@@ -140,8 +287,16 @@ impl Encode for HolderProof {
     }
 }
 
+impl Decode for HolderProof {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(HolderProof {
+            signature: RsaSignature::decode(r)?,
+        })
+    }
+}
+
 /// Card → Device: content key sealed to the device key.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KeyRelease {
     /// The re-sealed envelope.
     pub sealed: Envelope,
@@ -153,8 +308,16 @@ impl Encode for KeyRelease {
     }
 }
 
+impl Decode for KeyRelease {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(KeyRelease {
+            sealed: Envelope::decode(r)?,
+        })
+    }
+}
+
 /// Holder → Provider: privacy-preserving transfer request.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TransferRequest {
     /// The license being given up.
     pub license: License,
@@ -172,6 +335,16 @@ impl Encode for TransferRequest {
     }
 }
 
+impl Decode for TransferRequest {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(TransferRequest {
+            license: License::decode(r)?,
+            recipient_cert: PseudonymCertificate::decode(r)?,
+            proof: RsaSignature::decode(r)?,
+        })
+    }
+}
+
 /// The bytes a holder signs to authorize a transfer.
 pub fn transfer_proof_bytes(lid: &LicenseId, recipient: &KeyId) -> Vec<u8> {
     let mut w = Writer::with_capacity(64);
@@ -182,7 +355,7 @@ pub fn transfer_proof_bytes(lid: &LicenseId, recipient: &KeyId) -> Vec<u8> {
 }
 
 /// Provider → Recipient: the fresh license.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TransferResponse {
     /// License reissued to the recipient pseudonym.
     pub license: License,
@@ -194,8 +367,44 @@ impl Encode for TransferResponse {
     }
 }
 
+impl Decode for TransferResponse {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(TransferResponse {
+            license: License::decode(r)?,
+        })
+    }
+}
+
+/// Device → Provider: CRL sync request, stating the sequences the device
+/// already holds (0 = none; the service currently always answers with the
+/// full signed lists, the sequences let a future delta path plug in
+/// without a wire change).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrlSyncRequest {
+    /// License-CRL sequence the device holds.
+    pub license_seq: u64,
+    /// Pseudonym-CRL sequence the device holds.
+    pub pseudonym_seq: u64,
+}
+
+impl Encode for CrlSyncRequest {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.license_seq);
+        w.put_u64(self.pseudonym_seq);
+    }
+}
+
+impl Decode for CrlSyncRequest {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(CrlSyncRequest {
+            license_seq: r.get_u64()?,
+            pseudonym_seq: r.get_u64()?,
+        })
+    }
+}
+
 /// CRL sync message (provider → device).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CrlSync {
     /// License CRL.
     pub license_crl: p2drm_pki::crl::SignedCrl,
@@ -210,35 +419,54 @@ impl Encode for CrlSync {
     }
 }
 
-// Decode impls for the messages that cross trust boundaries in a real
-// deployment (round-trip tested; the others are engine-internal).
-
-impl Decode for PurchaseRequest {
+impl Decode for CrlSync {
     fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
-        Ok(PurchaseRequest {
-            content_id: ContentId::decode(r)?,
-            pseudonym_cert: PseudonymCertificate::decode(r)?,
-            coin: Coin::decode(r)?,
-            attribute_cert: r.get_option()?,
+        Ok(CrlSync {
+            license_crl: p2drm_pki::crl::SignedCrl::decode(r)?,
+            pseudonym_crl: p2drm_pki::crl::SignedCrl::decode(r)?,
         })
     }
 }
 
-impl Decode for TransferRequest {
+/// User → Provider: anonymous catalog lookup — one item by id, or the
+/// whole listing when `content_id` is `None`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CatalogRequest {
+    /// Item to look up; `None` lists everything.
+    pub content_id: Option<ContentId>,
+}
+
+impl Encode for CatalogRequest {
+    fn encode(&self, w: &mut Writer) {
+        w.put_option(&self.content_id);
+    }
+}
+
+impl Decode for CatalogRequest {
     fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
-        Ok(TransferRequest {
-            license: License::decode(r)?,
-            recipient_cert: PseudonymCertificate::decode(r)?,
-            proof: RsaSignature::decode(r)?,
+        Ok(CatalogRequest {
+            content_id: r.get_option()?,
         })
     }
 }
 
-impl Decode for DownloadResponse {
+/// Provider → User: public catalog metadata (id-sorted for listings).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CatalogResponse {
+    /// The matching items (one for an id lookup, all for a listing).
+    pub items: Vec<crate::content::ContentMeta>,
+}
+
+impl Encode for CatalogResponse {
+    fn encode(&self, w: &mut Writer) {
+        w.put_seq(&self.items);
+    }
+}
+
+impl Decode for CatalogResponse {
     fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
-        Ok(DownloadResponse {
-            nonce: r.get_raw(12)?.try_into().expect("fixed width"),
-            ciphertext: r.get_bytes_owned()?,
+        Ok(CatalogResponse {
+            items: r.get_seq()?,
         })
     }
 }
@@ -246,6 +474,7 @@ impl Decode for DownloadResponse {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use p2drm_codec::CodecError;
 
     #[test]
     fn transfer_proof_bytes_bind_both_parties() {
@@ -275,7 +504,52 @@ mod tests {
         };
         let bytes = p2drm_codec::to_bytes(&msg);
         let back: DownloadResponse = p2drm_codec::from_bytes(&bytes).unwrap();
-        assert_eq!(back.nonce, msg.nonce);
-        assert_eq!(back.ciphertext, msg.ciphertext);
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn ubig_field_decode_rejects_leading_zero() {
+        // A PseudonymIssueResponse whose blind_sig bytes carry a
+        // redundant leading zero must not decode: it would re-encode to
+        // different (shorter) bytes.
+        let msg = PseudonymIssueResponse {
+            blind_sig: UBig::from_u64(0x1234),
+        };
+        let good = p2drm_codec::to_bytes(&msg);
+        assert_eq!(
+            p2drm_codec::from_bytes::<PseudonymIssueResponse>(&good).unwrap(),
+            msg
+        );
+        // Rebuild the same value with a padded length prefix + zero byte.
+        let mut w = Writer::new();
+        w.put_bytes(&[0x00, 0x12, 0x34]);
+        assert_eq!(
+            p2drm_codec::from_bytes::<PseudonymIssueResponse>(&w.into_bytes()),
+            Err(CodecError::NonMinimalInt)
+        );
+    }
+
+    #[test]
+    fn nested_signature_fields_are_not_malleable() {
+        // The canonicality rule reaches *nested* integers too: a message
+        // whose embedded RsaSignature bytes carry a redundant leading
+        // zero must be rejected, or two distinct byte strings would
+        // decode to the same request.
+        let sig = RsaSignature::from_ubig(p2drm_bignum::UBig::from_u64(0x1234));
+        let good = p2drm_codec::to_bytes(&HolderProof {
+            signature: sig.clone(),
+        });
+        assert_eq!(
+            p2drm_codec::from_bytes::<HolderProof>(&good)
+                .expect("canonical bytes decode")
+                .signature,
+            sig
+        );
+        let mut w = Writer::new();
+        w.put_bytes(&[0x00, 0x12, 0x34]); // same integer, padded
+        assert_eq!(
+            p2drm_codec::from_bytes::<HolderProof>(&w.into_bytes()),
+            Err(CodecError::NonMinimalInt)
+        );
     }
 }

@@ -9,15 +9,20 @@
 use crate::audit::{Party, Transcript};
 use crate::entities::ra::RegistrationAuthority;
 use crate::entities::user::UserAgent;
-use crate::protocol::messages::{PseudonymIssueRequest, PseudonymIssueResponse};
+use crate::protocol::messages::PseudonymIssueResponse;
+use crate::service::PseudonymIssueSession;
 use crate::CoreError;
-use p2drm_crypto::blind::Blinded;
 use p2drm_crypto::elgamal::ElGamalPublicKey;
 use p2drm_crypto::rng::CryptoRng;
 use p2drm_pki::cert::{KeyId, PseudonymCertificate};
 
 /// Runs the blind issuance protocol; the fresh certificate is stored on the
 /// user agent and its pseudonym id returned.
+///
+/// The card-side rounds are [`PseudonymIssueSession`] — the same state
+/// machine the wire client drives — so the in-process engine and the
+/// byte-level path cannot drift apart; this engine only adds the direct
+/// RA call and the transcript recording.
 pub fn obtain_pseudonym<R: CryptoRng + ?Sized>(
     user: &mut UserAgent,
     ra: &RegistrationAuthority,
@@ -27,19 +32,9 @@ pub fn obtain_pseudonym<R: CryptoRng + ?Sized>(
     rng: &mut R,
     transcript: &mut Transcript,
 ) -> Result<KeyId, CoreError> {
-    // Card: fresh pseudonym key + escrow, then blind the body digest.
-    let body = user.card.begin_pseudonym(ttp_key, epoch, rng)?;
-    let pseudonym_id = KeyId::of_rsa(&body.pseudonym_key);
-    let body_bytes = body.signing_bytes();
-    let blinded = Blinded::new(ra.blind_public(), &body_bytes, rng)?;
-
-    // Card authenticates the request with the master key.
-    let auth_sig = user.card.sign_with_master(&blinded.blinded.to_bytes_be())?;
-    let request = PseudonymIssueRequest {
-        card_cert: user.card.master_cert().clone(),
-        blinded: blinded.blinded.clone(),
-        auth_sig,
-    };
+    // Card: fresh pseudonym key + escrow, blind, authenticate.
+    let (session, request) =
+        PseudonymIssueSession::begin(user, ra.blind_public(), ttp_key, epoch, rng)?;
     transcript.record(
         Party::Card,
         Party::Ra,
@@ -49,15 +44,13 @@ pub fn obtain_pseudonym<R: CryptoRng + ?Sized>(
 
     // RA: authenticate card, blind-sign.
     let blind_sig = ra.issue_pseudonym(
-        user.card.card_id(),
+        request.card_id,
         &request.card_cert,
         &request.blinded,
         &request.auth_sig,
         now,
     )?;
-    let response = PseudonymIssueResponse {
-        blind_sig: blind_sig.clone(),
-    };
+    let response = PseudonymIssueResponse { blind_sig };
     transcript.record(
         Party::Ra,
         Party::Card,
@@ -65,12 +58,8 @@ pub fn obtain_pseudonym<R: CryptoRng + ?Sized>(
         p2drm_codec::to_bytes(&response),
     );
 
-    // Card: unblind and self-check.
-    let signature = blinded.unblind(ra.blind_public(), &blind_sig)?;
-    let cert = PseudonymCertificate { body, signature };
-    debug_assert!(cert.verify(ra.blind_public()).is_ok());
-    user.add_pseudonym(cert);
-    Ok(pseudonym_id)
+    // Card: unblind, self-check, store.
+    session.finish(user, ra.blind_public(), &response)
 }
 
 /// Cut-and-choose variant of blind issuance: the card prepares `k`

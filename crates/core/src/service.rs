@@ -1,0 +1,1502 @@
+//! The versioned wire API: a byte-level request/response layer over the
+//! provider and registration authority.
+//!
+//! Everything below [`crate::system::System`] is an in-process Rust call,
+//! but the paper's protocols are *message exchanges*: a user's device and
+//! the provider/RA interoperate only through serialized messages, never
+//! shared memory. This module makes that boundary real. Every operation a
+//! remote party can invoke travels as one tagged envelope:
+//!
+//! | offset | field | encoding |
+//! |---|---|---|
+//! | 0 | version | `u8`, currently [`WIRE_VERSION`] = 1 |
+//! | 1 | op-code | `u8`, see [`OpCode`] |
+//! | 2 | correlation id | `u64` little-endian, echoed verbatim in the response |
+//! | 10 | payload | the op's canonical message encoding, consuming the rest exactly |
+//!
+//! Requests decode with strict [`p2drm_codec::from_bytes`] semantics:
+//! trailing bytes, non-canonical varints and redundant integer padding are
+//! all rejected. A malformed, truncated or unknown-version request yields
+//! a well-formed [`WireResponse::Error`] — never a panic.
+//!
+//! # Error taxonomy
+//!
+//! The workspace's ten per-crate error enums are unified behind the
+//! stable numeric [`ApiErrorCode`] carried in error responses, so
+//! internal refactors cannot leak unstably onto the wire:
+//!
+//! | range | meaning |
+//! |---|---|
+//! | 1–9 | envelope: malformed, unsupported version, unknown op, unavailable |
+//! | 10–19 | cryptography (`CryptoError`) |
+//! | 20–29 | certificates and chains (`PkiError`, `ChainError`) |
+//! | 30–39 | payment (`PaymentError`) |
+//! | 40–49 | storage (`StoreError`) |
+//! | 50–59 | licenses and rights (`BadLicense`, `AlreadyRedeemed`, REL) |
+//! | 60–69 | identity and proofs (revocation, pseudonyms, cards, evidence) |
+//! | 70–79 | lookups (unknown content / license) |
+//! | 80–89 | authorized-domain extension (`DomainError`) |
+//! | 90–98 | big-number arithmetic (`BigError`) |
+//! | 99 | internal |
+//!
+//! # Serving and calling
+//!
+//! [`ProviderService`] is the server: one entry point,
+//! [`ProviderService::handle`]`(&self, &[u8]) -> Vec<u8>`, shared by N
+//! threads — it decodes, dispatches onto the `&self` concurrent
+//! [`ContentProvider`]/[`RegistrationAuthority`] paths (generic over the
+//! store backend, so it serves `MemBackend` and `WalShardedKv` alike) and
+//! encodes the reply. [`WireClient`] is the typed caller: it frames
+//! envelopes over a [`Transport`] (an in-proc [`Loopback`] is provided)
+//! and runs the multi-round flows as explicit session state machines
+//! ([`PurchaseSession`], [`PseudonymIssueSession`],
+//! [`AttributeIssueSession`], [`PlaySession`]).
+//!
+//! ```
+//! use p2drm_core::service::{Loopback, WireClient};
+//! use p2drm_core::system::{System, SystemConfig};
+//! use p2drm_crypto::rng::test_rng;
+//!
+//! let mut rng = test_rng(7);
+//! let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+//! let cid = sys.publish_content("Track", 100, b"bits", &mut rng);
+//! let mut alice = sys.register_user("alice", &mut rng).unwrap();
+//! sys.fund(&alice, 500);
+//! let mut device = sys.register_device(&mut rng).unwrap();
+//!
+//! let service = sys.wire_service(0xC0FFEE);
+//! let mut client = WireClient::new(Loopback(&service));
+//! client
+//!     .obtain_pseudonym(&mut alice, sys.ra.blind_public(), sys.ttp.escrow_key(), &mut rng)
+//!     .unwrap();
+//! let license = client.purchase(&mut alice, &sys.mint, cid, &mut rng).unwrap();
+//! let audio = client.play(&alice, &mut device, &license, &mut rng).unwrap();
+//! assert_eq!(audio, b"bits");
+//! ```
+
+use crate::content::ContentMeta;
+use crate::entities::device::{challenge_message, CompliantDevice};
+use crate::entities::provider::{ContentProvider, MemBackend};
+use crate::entities::ra::RegistrationAuthority;
+use crate::entities::user::UserAgent;
+use crate::ids::{ContentId, LicenseId};
+use crate::license::License;
+use crate::protocol::messages::{
+    transfer_proof_bytes, AttributeIssueRequest, AttributeIssueResponse, CatalogRequest,
+    CatalogResponse, CrlSync, CrlSyncRequest, DownloadRequest, DownloadResponse,
+    PseudonymIssueRequest, PseudonymIssueResponse, PurchaseRequest, PurchaseResponse,
+    TransferRequest, TransferResponse,
+};
+use crate::CoreError;
+use p2drm_codec::{CodecError, Decode, Encode, Reader, Writer};
+use p2drm_crypto::blind::Blinded;
+use p2drm_crypto::elgamal::ElGamalPublicKey;
+use p2drm_crypto::rng::CryptoRng;
+use p2drm_crypto::rsa::RsaPublicKey;
+use p2drm_payment::Mint;
+use p2drm_pki::cert::{AttributeCertBody, KeyId, PseudonymCertBody, PseudonymCertificate};
+use p2drm_rel::AccessRequest;
+use p2drm_store::{ConcurrentKv, Kv};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// The wire format version this build speaks.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Envelope header length: version + op-code + correlation id.
+pub const ENVELOPE_HEADER_LEN: usize = 10;
+
+// ---------------------------------------------------------------------------
+// Op-codes
+// ---------------------------------------------------------------------------
+
+/// Operation tag carried in envelope byte 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OpCode {
+    /// Error response (responses only; rejected in requests).
+    Error = 0,
+    /// Anonymous purchase.
+    Purchase = 1,
+    /// Anonymous content download (the remote half of play).
+    Download = 2,
+    /// Privacy-preserving transfer.
+    Transfer = 3,
+    /// Blind pseudonym issuance (RA).
+    PseudonymIssue = 4,
+    /// Blind attribute issuance (RA).
+    AttributeIssue = 5,
+    /// CRL synchronization.
+    CrlSync = 6,
+    /// Catalog lookup / listing.
+    Catalog = 7,
+}
+
+impl OpCode {
+    /// The wire byte.
+    pub fn byte(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a wire byte.
+    pub fn from_byte(b: u8) -> Option<OpCode> {
+        Some(match b {
+            0 => OpCode::Error,
+            1 => OpCode::Purchase,
+            2 => OpCode::Download,
+            3 => OpCode::Transfer,
+            4 => OpCode::PseudonymIssue,
+            5 => OpCode::AttributeIssue,
+            6 => OpCode::CrlSync,
+            7 => OpCode::Catalog,
+            _ => return None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Error codes
+// ---------------------------------------------------------------------------
+
+/// Stable numeric error taxonomy carried in [`ApiError`] responses.
+///
+/// Codes are part of the wire contract: a variant's number never changes,
+/// and new codes extend the table. Unknown codes received from a newer
+/// peer decode to [`ApiErrorCode::Unrecognized`], preserving the raw
+/// number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ApiErrorCode {
+    /// Request bytes failed to decode (truncated, trailing garbage,
+    /// non-canonical encoding).
+    MalformedRequest,
+    /// Envelope version byte unknown to this endpoint.
+    UnsupportedVersion,
+    /// Envelope op-code unknown (or `Error` in a request).
+    UnknownOpcode,
+    /// The op exists but this endpoint does not serve it (e.g. no RA
+    /// attached).
+    ServiceUnavailable,
+    /// Cryptographic failure other than a bad signature.
+    Crypto,
+    /// A signature failed to verify.
+    BadSignature,
+    /// Certificate invalid (issuer, structure, key type).
+    Certificate,
+    /// Certificate outside its validity window.
+    CertificateExpired,
+    /// Certificate chain failed to verify.
+    ChainInvalid,
+    /// Payment failure other than the two named below.
+    Payment,
+    /// Coin or balance does not cover the price.
+    InsufficientFunds,
+    /// Coin serial already deposited.
+    DoubleSpend,
+    /// Server-side storage failure.
+    Storage,
+    /// License signature or structure invalid.
+    BadLicense,
+    /// License id already redeemed/transferred (the paper's unique-ID
+    /// rule).
+    AlreadyRedeemed,
+    /// Rights denied the requested action.
+    RightsDenied,
+    /// Rights expression failed to parse.
+    RightsParse,
+    /// Entity revoked (card, pseudonym, license).
+    Revoked,
+    /// Pseudonym certificate rejected.
+    BadPseudonym,
+    /// Holder/authentication proof failed.
+    BadProof,
+    /// Smart card refused (budget, entitlement, unknown card).
+    CardRefused,
+    /// Evidence failed verification at the TTP.
+    BadEvidence,
+    /// Unknown content id.
+    UnknownContent,
+    /// Unknown license id.
+    UnknownLicense,
+    /// Authorized-domain failure.
+    Domain,
+    /// Big-number arithmetic failure.
+    Arithmetic,
+    /// Unclassified server-side failure.
+    Internal,
+    /// A code minted by a newer peer; the raw number is preserved.
+    Unrecognized(u16),
+}
+
+impl ApiErrorCode {
+    /// The stable numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            ApiErrorCode::MalformedRequest => 1,
+            ApiErrorCode::UnsupportedVersion => 2,
+            ApiErrorCode::UnknownOpcode => 3,
+            ApiErrorCode::ServiceUnavailable => 4,
+            ApiErrorCode::Crypto => 10,
+            ApiErrorCode::BadSignature => 11,
+            ApiErrorCode::Certificate => 20,
+            ApiErrorCode::CertificateExpired => 21,
+            ApiErrorCode::ChainInvalid => 22,
+            ApiErrorCode::Payment => 30,
+            ApiErrorCode::InsufficientFunds => 31,
+            ApiErrorCode::DoubleSpend => 32,
+            ApiErrorCode::Storage => 40,
+            ApiErrorCode::BadLicense => 50,
+            ApiErrorCode::AlreadyRedeemed => 51,
+            ApiErrorCode::RightsDenied => 52,
+            ApiErrorCode::RightsParse => 53,
+            ApiErrorCode::Revoked => 60,
+            ApiErrorCode::BadPseudonym => 61,
+            ApiErrorCode::BadProof => 62,
+            ApiErrorCode::CardRefused => 63,
+            ApiErrorCode::BadEvidence => 64,
+            ApiErrorCode::UnknownContent => 70,
+            ApiErrorCode::UnknownLicense => 71,
+            ApiErrorCode::Domain => 80,
+            ApiErrorCode::Arithmetic => 90,
+            ApiErrorCode::Internal => 99,
+            ApiErrorCode::Unrecognized(raw) => raw,
+        }
+    }
+
+    /// Maps a wire number back to its variant (unknown numbers are
+    /// preserved as [`ApiErrorCode::Unrecognized`]).
+    pub fn from_code(code: u16) -> ApiErrorCode {
+        match code {
+            1 => ApiErrorCode::MalformedRequest,
+            2 => ApiErrorCode::UnsupportedVersion,
+            3 => ApiErrorCode::UnknownOpcode,
+            4 => ApiErrorCode::ServiceUnavailable,
+            10 => ApiErrorCode::Crypto,
+            11 => ApiErrorCode::BadSignature,
+            20 => ApiErrorCode::Certificate,
+            21 => ApiErrorCode::CertificateExpired,
+            22 => ApiErrorCode::ChainInvalid,
+            30 => ApiErrorCode::Payment,
+            31 => ApiErrorCode::InsufficientFunds,
+            32 => ApiErrorCode::DoubleSpend,
+            40 => ApiErrorCode::Storage,
+            50 => ApiErrorCode::BadLicense,
+            51 => ApiErrorCode::AlreadyRedeemed,
+            52 => ApiErrorCode::RightsDenied,
+            53 => ApiErrorCode::RightsParse,
+            60 => ApiErrorCode::Revoked,
+            61 => ApiErrorCode::BadPseudonym,
+            62 => ApiErrorCode::BadProof,
+            63 => ApiErrorCode::CardRefused,
+            64 => ApiErrorCode::BadEvidence,
+            70 => ApiErrorCode::UnknownContent,
+            71 => ApiErrorCode::UnknownLicense,
+            80 => ApiErrorCode::Domain,
+            90 => ApiErrorCode::Arithmetic,
+            99 => ApiErrorCode::Internal,
+            raw => ApiErrorCode::Unrecognized(raw),
+        }
+    }
+
+    /// Whether this code belongs to the payment range (a failed purchase
+    /// whose coin was consumed or rejected by the mint — clients must not
+    /// return such a coin to the wallet).
+    pub fn is_payment(self) -> bool {
+        (30..40).contains(&self.code())
+    }
+}
+
+impl std::fmt::Display for ApiErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}({})", self, self.code())
+    }
+}
+
+impl From<&CodecError> for ApiErrorCode {
+    fn from(_: &CodecError) -> Self {
+        ApiErrorCode::MalformedRequest
+    }
+}
+
+impl From<&p2drm_crypto::CryptoError> for ApiErrorCode {
+    fn from(e: &p2drm_crypto::CryptoError) -> Self {
+        match e {
+            p2drm_crypto::CryptoError::BadSignature => ApiErrorCode::BadSignature,
+            _ => ApiErrorCode::Crypto,
+        }
+    }
+}
+
+impl From<&p2drm_pki::PkiError> for ApiErrorCode {
+    fn from(e: &p2drm_pki::PkiError) -> Self {
+        match e {
+            p2drm_pki::PkiError::Expired { .. } => ApiErrorCode::CertificateExpired,
+            _ => ApiErrorCode::Certificate,
+        }
+    }
+}
+
+impl From<&p2drm_pki::ChainError> for ApiErrorCode {
+    fn from(e: &p2drm_pki::ChainError) -> Self {
+        match e {
+            p2drm_pki::ChainError::Revoked { .. } => ApiErrorCode::Revoked,
+            _ => ApiErrorCode::ChainInvalid,
+        }
+    }
+}
+
+impl From<&p2drm_payment::PaymentError> for ApiErrorCode {
+    fn from(e: &p2drm_payment::PaymentError) -> Self {
+        match e {
+            p2drm_payment::PaymentError::InsufficientFunds { .. } => {
+                ApiErrorCode::InsufficientFunds
+            }
+            p2drm_payment::PaymentError::DoubleSpend => ApiErrorCode::DoubleSpend,
+            _ => ApiErrorCode::Payment,
+        }
+    }
+}
+
+impl From<&p2drm_store::StoreError> for ApiErrorCode {
+    fn from(_: &p2drm_store::StoreError) -> Self {
+        ApiErrorCode::Storage
+    }
+}
+
+impl From<&p2drm_rel::ParseError> for ApiErrorCode {
+    fn from(_: &p2drm_rel::ParseError) -> Self {
+        ApiErrorCode::RightsParse
+    }
+}
+
+impl From<&p2drm_bignum::BigError> for ApiErrorCode {
+    fn from(_: &p2drm_bignum::BigError) -> Self {
+        ApiErrorCode::Arithmetic
+    }
+}
+
+impl From<&CoreError> for ApiErrorCode {
+    fn from(e: &CoreError) -> Self {
+        match e {
+            CoreError::Pki(e) => e.into(),
+            CoreError::Chain(e) => e.into(),
+            CoreError::Crypto(e) => e.into(),
+            CoreError::Payment(e) => e.into(),
+            CoreError::Store(e) => e.into(),
+            CoreError::BadLicense(_) => ApiErrorCode::BadLicense,
+            CoreError::AlreadyRedeemed(_) => ApiErrorCode::AlreadyRedeemed,
+            CoreError::Denied(_) => ApiErrorCode::RightsDenied,
+            CoreError::Revoked(_) => ApiErrorCode::Revoked,
+            CoreError::BadPseudonym(_) => ApiErrorCode::BadPseudonym,
+            CoreError::BadProof => ApiErrorCode::BadProof,
+            CoreError::UnknownContent(_) => ApiErrorCode::UnknownContent,
+            CoreError::UnknownLicense(_) => ApiErrorCode::UnknownLicense,
+            CoreError::BadEvidence(_) => ApiErrorCode::BadEvidence,
+            CoreError::Card(_) => ApiErrorCode::CardRefused,
+        }
+    }
+}
+
+/// The wire error response: a stable code plus an advisory human-readable
+/// detail (the detail is **not** part of the contract; only the code is).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ApiError {
+    /// Stable numeric classification.
+    pub code: ApiErrorCode,
+    /// Free-text diagnosis (advisory only; may change between builds).
+    pub detail: String,
+}
+
+impl ApiError {
+    /// Builds an error response.
+    pub fn new(code: ApiErrorCode, detail: impl Into<String>) -> Self {
+        ApiError {
+            code,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.detail)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<CoreError> for ApiError {
+    fn from(e: CoreError) -> Self {
+        ApiError {
+            code: (&e).into(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl Encode for ApiError {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.code.code() as u32);
+        w.put_str(&self.detail);
+    }
+}
+
+impl Decode for ApiError {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        let raw = r.get_u32()?;
+        if raw > u16::MAX as u32 {
+            return Err(CodecError::BadLength(raw as u64));
+        }
+        Ok(ApiError {
+            code: ApiErrorCode::from_code(raw as u16),
+            detail: r.get_str()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request / response bodies and envelopes
+// ---------------------------------------------------------------------------
+
+/// Every operation a remote party can request, as a typed message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireRequest {
+    /// Anonymous purchase.
+    Purchase(PurchaseRequest),
+    /// Anonymous download (the remote half of play).
+    Download(DownloadRequest),
+    /// Privacy-preserving transfer.
+    Transfer(TransferRequest),
+    /// Blind pseudonym issuance.
+    PseudonymIssue(PseudonymIssueRequest),
+    /// Blind attribute issuance.
+    AttributeIssue(AttributeIssueRequest),
+    /// CRL synchronization.
+    CrlSync(CrlSyncRequest),
+    /// Catalog lookup / listing.
+    Catalog(CatalogRequest),
+}
+
+impl WireRequest {
+    /// The envelope op-code for this body.
+    pub fn opcode(&self) -> OpCode {
+        match self {
+            WireRequest::Purchase(_) => OpCode::Purchase,
+            WireRequest::Download(_) => OpCode::Download,
+            WireRequest::Transfer(_) => OpCode::Transfer,
+            WireRequest::PseudonymIssue(_) => OpCode::PseudonymIssue,
+            WireRequest::AttributeIssue(_) => OpCode::AttributeIssue,
+            WireRequest::CrlSync(_) => OpCode::CrlSync,
+            WireRequest::Catalog(_) => OpCode::Catalog,
+        }
+    }
+
+    fn encode_payload(&self, w: &mut Writer) {
+        match self {
+            WireRequest::Purchase(m) => m.encode(w),
+            WireRequest::Download(m) => m.encode(w),
+            WireRequest::Transfer(m) => m.encode(w),
+            WireRequest::PseudonymIssue(m) => m.encode(w),
+            WireRequest::AttributeIssue(m) => m.encode(w),
+            WireRequest::CrlSync(m) => m.encode(w),
+            WireRequest::Catalog(m) => m.encode(w),
+        }
+    }
+
+    fn decode_payload(op: OpCode, payload: &[u8]) -> Result<Self, EnvelopeError> {
+        let body = match op {
+            OpCode::Purchase => WireRequest::Purchase(decode_strict(payload)?),
+            OpCode::Download => WireRequest::Download(decode_strict(payload)?),
+            OpCode::Transfer => WireRequest::Transfer(decode_strict(payload)?),
+            OpCode::PseudonymIssue => WireRequest::PseudonymIssue(decode_strict(payload)?),
+            OpCode::AttributeIssue => WireRequest::AttributeIssue(decode_strict(payload)?),
+            OpCode::CrlSync => WireRequest::CrlSync(decode_strict(payload)?),
+            OpCode::Catalog => WireRequest::Catalog(decode_strict(payload)?),
+            OpCode::Error => return Err(EnvelopeError::UnknownOpcode(OpCode::Error.byte())),
+        };
+        Ok(body)
+    }
+}
+
+/// Every reply the service can produce.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireResponse {
+    /// Purchase succeeded: the license.
+    Purchase(PurchaseResponse),
+    /// Download payload.
+    Download(DownloadResponse),
+    /// Transfer succeeded: the reissued license.
+    Transfer(TransferResponse),
+    /// Blind signature over the pseudonym candidate.
+    PseudonymIssue(PseudonymIssueResponse),
+    /// Blind signature under the attribute key.
+    AttributeIssue(AttributeIssueResponse),
+    /// Full signed CRLs.
+    CrlSync(CrlSync),
+    /// Catalog metadata.
+    Catalog(CatalogResponse),
+    /// The request failed; the code is stable, the detail advisory.
+    Error(ApiError),
+}
+
+impl WireResponse {
+    /// The envelope op-code for this body.
+    pub fn opcode(&self) -> OpCode {
+        match self {
+            WireResponse::Purchase(_) => OpCode::Purchase,
+            WireResponse::Download(_) => OpCode::Download,
+            WireResponse::Transfer(_) => OpCode::Transfer,
+            WireResponse::PseudonymIssue(_) => OpCode::PseudonymIssue,
+            WireResponse::AttributeIssue(_) => OpCode::AttributeIssue,
+            WireResponse::CrlSync(_) => OpCode::CrlSync,
+            WireResponse::Catalog(_) => OpCode::Catalog,
+            WireResponse::Error(_) => OpCode::Error,
+        }
+    }
+
+    /// Short label for diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WireResponse::Purchase(_) => "purchase",
+            WireResponse::Download(_) => "download",
+            WireResponse::Transfer(_) => "transfer",
+            WireResponse::PseudonymIssue(_) => "pseudonym-issue",
+            WireResponse::AttributeIssue(_) => "attribute-issue",
+            WireResponse::CrlSync(_) => "crl-sync",
+            WireResponse::Catalog(_) => "catalog",
+            WireResponse::Error(_) => "error",
+        }
+    }
+
+    fn encode_payload(&self, w: &mut Writer) {
+        match self {
+            WireResponse::Purchase(m) => m.encode(w),
+            WireResponse::Download(m) => m.encode(w),
+            WireResponse::Transfer(m) => m.encode(w),
+            WireResponse::PseudonymIssue(m) => m.encode(w),
+            WireResponse::AttributeIssue(m) => m.encode(w),
+            WireResponse::CrlSync(m) => m.encode(w),
+            WireResponse::Catalog(m) => m.encode(w),
+            WireResponse::Error(m) => m.encode(w),
+        }
+    }
+
+    fn decode_payload(op: OpCode, payload: &[u8]) -> Result<Self, EnvelopeError> {
+        let body = match op {
+            OpCode::Purchase => WireResponse::Purchase(decode_strict(payload)?),
+            OpCode::Download => WireResponse::Download(decode_strict(payload)?),
+            OpCode::Transfer => WireResponse::Transfer(decode_strict(payload)?),
+            OpCode::PseudonymIssue => WireResponse::PseudonymIssue(decode_strict(payload)?),
+            OpCode::AttributeIssue => WireResponse::AttributeIssue(decode_strict(payload)?),
+            OpCode::CrlSync => WireResponse::CrlSync(decode_strict(payload)?),
+            OpCode::Catalog => WireResponse::Catalog(decode_strict(payload)?),
+            OpCode::Error => WireResponse::Error(decode_strict(payload)?),
+        };
+        Ok(body)
+    }
+}
+
+fn decode_strict<T: Decode>(payload: &[u8]) -> Result<T, EnvelopeError> {
+    p2drm_codec::from_bytes(payload).map_err(EnvelopeError::Malformed)
+}
+
+/// Why envelope bytes failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// Version byte is not [`WIRE_VERSION`].
+    UnsupportedVersion(u8),
+    /// Op-code byte undefined (or `Error` in a request).
+    UnknownOpcode(u8),
+    /// Header or payload failed strict decoding.
+    Malformed(CodecError),
+}
+
+impl std::fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvelopeError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            EnvelopeError::UnknownOpcode(b) => write!(f, "unknown op-code {b}"),
+            EnvelopeError::Malformed(e) => write!(f, "malformed envelope: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
+impl From<EnvelopeError> for ApiError {
+    fn from(e: EnvelopeError) -> Self {
+        let code = match e {
+            EnvelopeError::UnsupportedVersion(_) => ApiErrorCode::UnsupportedVersion,
+            EnvelopeError::UnknownOpcode(_) => ApiErrorCode::UnknownOpcode,
+            EnvelopeError::Malformed(_) => ApiErrorCode::MalformedRequest,
+        };
+        ApiError::new(code, e.to_string())
+    }
+}
+
+/// Splits envelope bytes into `(version, opcode byte, correlation,
+/// payload)` without interpreting the op.
+fn split_envelope(bytes: &[u8]) -> Result<(u8, u8, u64, &[u8]), EnvelopeError> {
+    if bytes.len() < ENVELOPE_HEADER_LEN {
+        return Err(EnvelopeError::Malformed(CodecError::UnexpectedEof));
+    }
+    let version = bytes[0];
+    let op = bytes[1];
+    let correlation = u64::from_le_bytes(
+        bytes[2..ENVELOPE_HEADER_LEN]
+            .try_into()
+            .expect("fixed width"),
+    );
+    Ok((version, op, correlation, &bytes[ENVELOPE_HEADER_LEN..]))
+}
+
+/// Best-effort correlation id extraction from (possibly malformed)
+/// request bytes, so even rejected requests get a correlated reply.
+pub fn correlation_hint(bytes: &[u8]) -> u64 {
+    if bytes.len() >= ENVELOPE_HEADER_LEN {
+        u64::from_le_bytes(
+            bytes[2..ENVELOPE_HEADER_LEN]
+                .try_into()
+                .expect("fixed width"),
+        )
+    } else {
+        0
+    }
+}
+
+/// A framed request: correlation id + typed body. Serializes to the
+/// envelope layout in the module docs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestEnvelope {
+    /// Client-chosen id echoed in the response.
+    pub correlation_id: u64,
+    /// The operation.
+    pub body: WireRequest,
+}
+
+impl RequestEnvelope {
+    /// Serializes the envelope.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(64);
+        w.put_u8(WIRE_VERSION);
+        w.put_u8(self.body.opcode().byte());
+        w.put_u64(self.correlation_id);
+        self.body.encode_payload(&mut w);
+        w.into_bytes()
+    }
+
+    /// Strictly parses request bytes (exact payload consumption, version
+    /// and op-code checked).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, EnvelopeError> {
+        let (version, op, correlation_id, payload) = split_envelope(bytes)?;
+        if version != WIRE_VERSION {
+            return Err(EnvelopeError::UnsupportedVersion(version));
+        }
+        let op = OpCode::from_byte(op).ok_or(EnvelopeError::UnknownOpcode(op))?;
+        Ok(RequestEnvelope {
+            correlation_id,
+            body: WireRequest::decode_payload(op, payload)?,
+        })
+    }
+}
+
+/// A framed response: correlation id + typed body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResponseEnvelope {
+    /// Echo of the request's correlation id.
+    pub correlation_id: u64,
+    /// The outcome.
+    pub body: WireResponse,
+}
+
+impl ResponseEnvelope {
+    /// Serializes the envelope.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(64);
+        w.put_u8(WIRE_VERSION);
+        w.put_u8(self.body.opcode().byte());
+        w.put_u64(self.correlation_id);
+        self.body.encode_payload(&mut w);
+        w.into_bytes()
+    }
+
+    /// Strictly parses response bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, EnvelopeError> {
+        let (version, op, correlation_id, payload) = split_envelope(bytes)?;
+        if version != WIRE_VERSION {
+            return Err(EnvelopeError::UnsupportedVersion(version));
+        }
+        let op = OpCode::from_byte(op).ok_or(EnvelopeError::UnknownOpcode(op))?;
+        Ok(ResponseEnvelope {
+            correlation_id,
+            body: WireResponse::decode_payload(op, payload)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// The byte-level DRM service: decodes envelopes, dispatches onto the
+/// shared `&self` provider (and RA, when attached) and encodes replies.
+///
+/// Generic over the provider's [`ConcurrentKv`] backend, so the same
+/// service fronts the volatile [`MemBackend`] and the durable
+/// [`WalShardedKv`](p2drm_store::WalShardedKv). All entry points take
+/// `&self`; the service is `Sync` whenever the backend is, so N transport
+/// threads share one instance.
+///
+/// The service keeps its own view of protocol time (epoch + clock) —
+/// server-authoritative, like a deployment would — settable through
+/// [`ProviderService::set_time`].
+pub struct ProviderService<'a, B: ConcurrentKv = MemBackend> {
+    provider: &'a ContentProvider<B>,
+    ra: Option<&'a RegistrationAuthority>,
+    epoch: AtomicU32,
+    now: AtomicU64,
+    /// Base seed for per-request RNG derivation (license ids, envelope
+    /// sealing). Each request mixes in a distinct counter value, so
+    /// concurrent requests never share generator state or a lock.
+    seed: u64,
+    requests: AtomicU64,
+}
+
+impl<'a, B: ConcurrentKv> ProviderService<'a, B> {
+    /// Service over a provider, with no RA attached (issuance ops answer
+    /// [`ApiErrorCode::ServiceUnavailable`]). Starts at epoch 0, time 1.
+    pub fn new(provider: &'a ContentProvider<B>, seed: u64) -> Self {
+        ProviderService {
+            provider,
+            ra: None,
+            epoch: AtomicU32::new(0),
+            now: AtomicU64::new(1),
+            seed,
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches a registration authority, enabling the pseudonym and
+    /// attribute issuance ops.
+    pub fn with_ra(mut self, ra: &'a RegistrationAuthority) -> Self {
+        self.ra = Some(ra);
+        self
+    }
+
+    /// Sets the service's protocol time.
+    pub fn set_time(&self, epoch: u32, now: u64) {
+        self.epoch.store(epoch, Ordering::Relaxed);
+        self.now.store(now, Ordering::Relaxed);
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Current wall-clock (unix-second stand-in).
+    pub fn now(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+
+    /// The single byte-level entry point: decode, dispatch, encode.
+    ///
+    /// Total: every input — truncated, bit-flipped, wrong version,
+    /// unknown op, trailing garbage — produces a well-formed
+    /// [`ResponseEnvelope`], never a panic, and a failed request leaves
+    /// the underlying provider fully serviceable.
+    pub fn handle(&self, request: &[u8]) -> Vec<u8> {
+        let n = self.requests.fetch_add(1, Ordering::Relaxed);
+        // SplitMix-style stream separation: one cheap independent RNG per
+        // request, no shared lock on the hot path.
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17),
+        );
+        self.handle_with_rng(request, &mut rng)
+    }
+
+    /// [`ProviderService::handle`] with caller-supplied randomness
+    /// (deterministic tests).
+    pub fn handle_with_rng<R: CryptoRng + ?Sized>(&self, request: &[u8], rng: &mut R) -> Vec<u8> {
+        let response = match RequestEnvelope::from_bytes(request) {
+            Ok(envelope) => ResponseEnvelope {
+                correlation_id: envelope.correlation_id,
+                body: self
+                    .dispatch(&envelope.body, rng)
+                    .unwrap_or_else(WireResponse::Error),
+            },
+            Err(e) => ResponseEnvelope {
+                correlation_id: correlation_hint(request),
+                body: WireResponse::Error(e.into()),
+            },
+        };
+        response.to_bytes()
+    }
+
+    /// Typed dispatch (the decoded middle of [`ProviderService::handle`]).
+    pub fn dispatch<R: CryptoRng + ?Sized>(
+        &self,
+        request: &WireRequest,
+        rng: &mut R,
+    ) -> Result<WireResponse, ApiError> {
+        let epoch = self.epoch();
+        let now = self.now();
+        match request {
+            WireRequest::Purchase(req) => {
+                let license = self.provider.handle_purchase(req, epoch, rng)?;
+                Ok(WireResponse::Purchase(PurchaseResponse { license }))
+            }
+            WireRequest::Download(req) => {
+                let (nonce, ciphertext) = self.provider.download(&req.content_id)?;
+                Ok(WireResponse::Download(DownloadResponse {
+                    nonce,
+                    ciphertext,
+                }))
+            }
+            WireRequest::Transfer(req) => {
+                let license = self.provider.handle_transfer(req, epoch, rng)?;
+                Ok(WireResponse::Transfer(TransferResponse { license }))
+            }
+            WireRequest::PseudonymIssue(req) => {
+                let ra = self.require_ra("pseudonym issuance")?;
+                let blind_sig = ra.issue_pseudonym(
+                    req.card_id,
+                    &req.card_cert,
+                    &req.blinded,
+                    &req.auth_sig,
+                    now,
+                )?;
+                Ok(WireResponse::PseudonymIssue(PseudonymIssueResponse {
+                    blind_sig,
+                }))
+            }
+            WireRequest::AttributeIssue(req) => {
+                let ra = self.require_ra("attribute issuance")?;
+                let blind_sig = ra.issue_attribute(
+                    req.card_id,
+                    &req.card_cert,
+                    &req.attribute,
+                    &req.blinded,
+                    &req.auth_sig,
+                    now,
+                )?;
+                Ok(WireResponse::AttributeIssue(AttributeIssueResponse {
+                    blind_sig,
+                }))
+            }
+            WireRequest::CrlSync(_) => Ok(WireResponse::CrlSync(CrlSync {
+                license_crl: self.provider.signed_license_crl(now),
+                pseudonym_crl: self.provider.signed_pseudonym_crl(now),
+            })),
+            WireRequest::Catalog(req) => {
+                let items = match req.content_id {
+                    Some(id) => vec![self.provider.content_meta(&id).ok_or_else(|| {
+                        ApiError::new(
+                            ApiErrorCode::UnknownContent,
+                            format!("unknown content {id}"),
+                        )
+                    })?],
+                    None => self.provider.list_content(),
+                };
+                Ok(WireResponse::Catalog(CatalogResponse { items }))
+            }
+        }
+    }
+
+    fn require_ra(&self, what: &str) -> Result<&'a RegistrationAuthority, ApiError> {
+        self.ra.ok_or_else(|| {
+            ApiError::new(
+                ApiErrorCode::ServiceUnavailable,
+                format!("{what} not served by this endpoint (no RA attached)"),
+            )
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transport + client
+// ---------------------------------------------------------------------------
+
+/// Moves one request's bytes to a service and returns the response bytes.
+/// Implementations may be sockets, queues, or the in-proc [`Loopback`].
+pub trait Transport {
+    /// Delivers `request` and returns the service's reply bytes.
+    fn roundtrip(&mut self, request: &[u8]) -> Vec<u8>;
+}
+
+/// In-process transport: calls [`ProviderService::handle`] directly. The
+/// bytes still make the full encode → dispatch → decode journey, so this
+/// is the serialization-overhead baseline a real socket would add to.
+pub struct Loopback<'s, 'p, B: ConcurrentKv>(pub &'s ProviderService<'p, B>);
+
+impl<B: ConcurrentKv> Transport for Loopback<'_, '_, B> {
+    fn roundtrip(&mut self, request: &[u8]) -> Vec<u8> {
+        self.0.handle(request)
+    }
+}
+
+/// Client-side failure of a wire call.
+#[derive(Debug)]
+pub enum WireError {
+    /// The service answered with an error response.
+    Api(ApiError),
+    /// The response bytes failed to parse.
+    Envelope(EnvelopeError),
+    /// The response echoed a different correlation id.
+    CorrelationMismatch {
+        /// Id the client sent.
+        sent: u64,
+        /// Id the response carried.
+        got: u64,
+    },
+    /// The response body was a different operation than requested.
+    UnexpectedResponse {
+        /// What the client asked for.
+        expected: &'static str,
+        /// What came back.
+        got: &'static str,
+    },
+    /// A client-side protocol step failed before/after the wire call.
+    Client(CoreError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Api(e) => write!(f, "service error: {e}"),
+            WireError::Envelope(e) => write!(f, "bad response envelope: {e}"),
+            WireError::CorrelationMismatch { sent, got } => {
+                write!(f, "correlation mismatch: sent {sent}, got {got}")
+            }
+            WireError::UnexpectedResponse { expected, got } => {
+                write!(f, "expected {expected} response, got {got}")
+            }
+            WireError::Client(e) => write!(f, "client-side failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CoreError> for WireError {
+    fn from(e: CoreError) -> Self {
+        WireError::Client(e)
+    }
+}
+
+impl From<ApiError> for WireError {
+    fn from(e: ApiError) -> Self {
+        WireError::Api(e)
+    }
+}
+
+impl From<EnvelopeError> for WireError {
+    fn from(e: EnvelopeError) -> Self {
+        WireError::Envelope(e)
+    }
+}
+
+impl From<p2drm_payment::PaymentError> for WireError {
+    fn from(e: p2drm_payment::PaymentError) -> Self {
+        WireError::Client(CoreError::Payment(e))
+    }
+}
+
+/// Typed client over any [`Transport`]: frames envelopes, matches
+/// correlation ids, and drives the multi-round protocol flows as session
+/// state machines against the client-side state (user agent, smart card,
+/// device) while the provider/RA live behind the wire.
+pub struct WireClient<T: Transport> {
+    transport: T,
+    next_correlation: u64,
+    /// Epoch the client stamps into pseudonym/attribute bodies. The
+    /// server validates freshness regardless; a stale hint just gets the
+    /// issuance rejected.
+    epoch: u32,
+    /// Server clock learned from signed CRL timestamps (cached).
+    now_hint: Option<u64>,
+}
+
+impl<T: Transport> WireClient<T> {
+    /// Client over `transport`, assuming epoch 0 until told otherwise.
+    pub fn new(transport: T) -> Self {
+        WireClient {
+            transport,
+            next_correlation: 0,
+            epoch: 0,
+            now_hint: None,
+        }
+    }
+
+    /// Sets the epoch used for blind-issuance bodies (out-of-band time
+    /// discipline, exactly like the in-process engines' `now_epoch`
+    /// parameter).
+    pub fn set_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+
+    /// One framed round trip: encode, send, decode, match correlation.
+    pub fn call(&mut self, body: WireRequest) -> Result<WireResponse, WireError> {
+        self.next_correlation += 1;
+        let sent = self.next_correlation;
+        let request = RequestEnvelope {
+            correlation_id: sent,
+            body,
+        };
+        let reply = self.transport.roundtrip(&request.to_bytes());
+        let envelope = ResponseEnvelope::from_bytes(&reply)?;
+        if envelope.correlation_id != sent {
+            return Err(WireError::CorrelationMismatch {
+                sent,
+                got: envelope.correlation_id,
+            });
+        }
+        Ok(envelope.body)
+    }
+
+    /// Lists the catalog.
+    pub fn catalog(&mut self) -> Result<Vec<ContentMeta>, WireError> {
+        match self.call(WireRequest::Catalog(CatalogRequest { content_id: None }))? {
+            WireResponse::Catalog(c) => Ok(c.items),
+            other => Err(unexpected("catalog", other)),
+        }
+    }
+
+    /// Looks up one catalog item.
+    pub fn content_meta(&mut self, id: ContentId) -> Result<ContentMeta, WireError> {
+        match self.call(WireRequest::Catalog(CatalogRequest {
+            content_id: Some(id),
+        }))? {
+            WireResponse::Catalog(mut c) if !c.items.is_empty() => Ok(c.items.remove(0)),
+            WireResponse::Catalog(_) => Err(WireError::Api(ApiError::new(
+                ApiErrorCode::UnknownContent,
+                format!("unknown content {id}"),
+            ))),
+            other => Err(unexpected("catalog", other)),
+        }
+    }
+
+    /// Blind pseudonym issuance over the wire (card-side state machine +
+    /// one RA round trip).
+    pub fn obtain_pseudonym<R: CryptoRng + ?Sized>(
+        &mut self,
+        user: &mut UserAgent,
+        ra_blind_key: &RsaPublicKey,
+        ttp_key: &ElGamalPublicKey,
+        rng: &mut R,
+    ) -> Result<KeyId, WireError> {
+        let (session, request) =
+            PseudonymIssueSession::begin(user, ra_blind_key, ttp_key, self.epoch, rng)?;
+        match self.call(WireRequest::PseudonymIssue(request))? {
+            WireResponse::PseudonymIssue(resp) => Ok(session.finish(user, ra_blind_key, &resp)?),
+            other => Err(unexpected("pseudonym-issue", other)),
+        }
+    }
+
+    /// Blind attribute issuance over the wire, bound to the user's
+    /// current pseudonym.
+    pub fn obtain_attribute<R: CryptoRng + ?Sized>(
+        &mut self,
+        user: &mut UserAgent,
+        attribute: &str,
+        attribute_key: &RsaPublicKey,
+        rng: &mut R,
+    ) -> Result<KeyId, WireError> {
+        let (session, request) =
+            AttributeIssueSession::begin(user, attribute, attribute_key, self.epoch, rng)?;
+        match self.call(WireRequest::AttributeIssue(request))? {
+            WireResponse::AttributeIssue(resp) => Ok(session.finish(user, &resp)?),
+            other => Err(unexpected("attribute-issue", other)),
+        }
+    }
+
+    /// Anonymous purchase over the wire: catalog quote, coin withdrawal
+    /// (client ↔ mint, off this wire), purchase round trip, wallet
+    /// recovery on non-payment failures.
+    pub fn purchase<R: CryptoRng + ?Sized>(
+        &mut self,
+        user: &mut UserAgent,
+        mint: &Mint,
+        content_id: ContentId,
+        rng: &mut R,
+    ) -> Result<License, WireError> {
+        let meta = self.content_meta(content_id)?;
+        let (session, request) = PurchaseSession::begin(user, mint, &meta, rng)?;
+        match self.call(WireRequest::Purchase(request))? {
+            WireResponse::Purchase(resp) => Ok(session.finish(user, resp)),
+            WireResponse::Error(e) => {
+                session.abort(user, &e);
+                Err(WireError::Api(e))
+            }
+            other => Err(unexpected("purchase", other)),
+        }
+    }
+
+    /// Privacy-preserving transfer over the wire (both agents are local
+    /// to this client — e.g. a marketplace app handling the hand-over).
+    pub fn transfer<R: CryptoRng + ?Sized>(
+        &mut self,
+        sender: &mut UserAgent,
+        recipient: &mut UserAgent,
+        license_id: LicenseId,
+        _rng: &mut R,
+    ) -> Result<License, WireError> {
+        let owned = sender
+            .license(&license_id)
+            .ok_or(CoreError::UnknownLicense(license_id))?
+            .clone();
+        let recipient_cert = recipient
+            .current_pseudonym()
+            .ok_or(CoreError::BadPseudonym("recipient has no usable pseudonym"))?
+            .clone();
+        let proof_bytes = transfer_proof_bytes(&license_id, &recipient_cert.pseudonym_id());
+        let proof = sender
+            .card
+            .sign_with_pseudonym(&owned.pseudonym, &proof_bytes)?;
+        let recipient_pseudonym = recipient_cert.pseudonym_id();
+        let request = TransferRequest {
+            license: owned.license,
+            recipient_cert,
+            proof,
+        };
+        match self.call(WireRequest::Transfer(request))? {
+            WireResponse::Transfer(resp) => {
+                sender.remove_license(&license_id);
+                recipient.note_pseudonym_use();
+                recipient.add_license(resp.license.clone(), recipient_pseudonym);
+                Ok(resp.license)
+            }
+            other => Err(unexpected("transfer", other)),
+        }
+    }
+
+    /// Plays a license on a device: the challenge/proof/key-release
+    /// rounds run locally between device and card, only the anonymous
+    /// download crosses the wire.
+    pub fn play<SD: Kv, R: CryptoRng + ?Sized>(
+        &mut self,
+        user: &UserAgent,
+        device: &mut CompliantDevice<SD>,
+        license: &License,
+        rng: &mut R,
+    ) -> Result<Vec<u8>, WireError> {
+        let now = self.server_now()?;
+        let (session, request) = PlaySession::begin(user, device, license, now, rng)?;
+        match self.call(WireRequest::Download(request))? {
+            WireResponse::Download(resp) => Ok(session.finish(device, &resp)?),
+            other => Err(unexpected("download", other)),
+        }
+    }
+
+    /// Synchronizes the device's CRLs from the service.
+    pub fn sync_crls<SD: Kv>(&mut self, device: &mut CompliantDevice<SD>) -> Result<(), WireError> {
+        let request = CrlSyncRequest {
+            license_seq: device.crl_sequence(),
+            pseudonym_seq: 0,
+        };
+        match self.call(WireRequest::CrlSync(request))? {
+            WireResponse::CrlSync(resp) => {
+                self.now_hint = Some(resp.license_crl.issued_at);
+                device.sync_crls(&resp.license_crl, &resp.pseudonym_crl)?;
+                Ok(())
+            }
+            other => Err(unexpected("crl-sync", other)),
+        }
+    }
+
+    /// The server clock, learned from the `issued_at` stamp of a signed
+    /// CRL (cached after the first probe; the paper's devices sync CRLs
+    /// anyway, so this costs nothing extra in practice).
+    fn server_now(&mut self) -> Result<u64, WireError> {
+        if let Some(now) = self.now_hint {
+            return Ok(now);
+        }
+        match self.call(WireRequest::CrlSync(CrlSyncRequest {
+            license_seq: 0,
+            pseudonym_seq: 0,
+        }))? {
+            WireResponse::CrlSync(resp) => {
+                self.now_hint = Some(resp.license_crl.issued_at);
+                Ok(resp.license_crl.issued_at)
+            }
+            other => Err(unexpected("crl-sync", other)),
+        }
+    }
+}
+
+fn unexpected(expected: &'static str, got: WireResponse) -> WireError {
+    match got {
+        WireResponse::Error(e) => WireError::Api(e),
+        other => WireError::UnexpectedResponse {
+            expected,
+            got: other.label(),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client-side session state machines
+// ---------------------------------------------------------------------------
+
+/// Client half of blind pseudonym issuance.
+///
+/// `begin` (card builds body + escrow, blinds, authenticates) →
+/// *wire round trip* → `finish` (unblind, self-check, store).
+pub struct PseudonymIssueSession {
+    body: PseudonymCertBody,
+    blinded: Blinded,
+}
+
+impl PseudonymIssueSession {
+    /// Card-side first round: returns the session and the request to
+    /// send.
+    pub fn begin<R: CryptoRng + ?Sized>(
+        user: &mut UserAgent,
+        ra_blind_key: &RsaPublicKey,
+        ttp_key: &ElGamalPublicKey,
+        epoch: u32,
+        rng: &mut R,
+    ) -> Result<(Self, PseudonymIssueRequest), CoreError> {
+        let body = user.card.begin_pseudonym(ttp_key, epoch, rng)?;
+        let blinded = Blinded::new(ra_blind_key, &body.signing_bytes(), rng)?;
+        let auth_sig = user.card.sign_with_master(&blinded.blinded.to_bytes_be())?;
+        let request = PseudonymIssueRequest {
+            card_id: user.card.card_id(),
+            card_cert: user.card.master_cert().clone(),
+            blinded: blinded.blinded.clone(),
+            auth_sig,
+        };
+        Ok((PseudonymIssueSession { body, blinded }, request))
+    }
+
+    /// Card-side final round: unblind the RA's signature, verify the
+    /// resulting certificate, store it on the agent.
+    pub fn finish(
+        self,
+        user: &mut UserAgent,
+        ra_blind_key: &RsaPublicKey,
+        response: &PseudonymIssueResponse,
+    ) -> Result<KeyId, CoreError> {
+        let signature = self.blinded.unblind(ra_blind_key, &response.blind_sig)?;
+        let cert = PseudonymCertificate {
+            body: self.body,
+            signature,
+        };
+        cert.verify(ra_blind_key)
+            .map_err(|_| CoreError::BadPseudonym("unblinded signature invalid"))?;
+        let id = cert.pseudonym_id();
+        user.add_pseudonym(cert);
+        Ok(id)
+    }
+}
+
+/// Client half of blind attribute issuance (binds to the current
+/// pseudonym).
+pub struct AttributeIssueSession {
+    attribute: String,
+    attribute_key: RsaPublicKey,
+    body: AttributeCertBody,
+    blinded: Blinded,
+}
+
+impl AttributeIssueSession {
+    /// Card-side first round.
+    pub fn begin<R: CryptoRng + ?Sized>(
+        user: &mut UserAgent,
+        attribute: &str,
+        attribute_key: &RsaPublicKey,
+        epoch: u32,
+        rng: &mut R,
+    ) -> Result<(Self, AttributeIssueRequest), CoreError> {
+        let pseudonym_cert = user
+            .current_pseudonym()
+            .ok_or(CoreError::BadPseudonym("no usable pseudonym to bind to"))?;
+        let body = AttributeCertBody {
+            pseudonym_key: pseudonym_cert.body.pseudonym_key.clone(),
+            epoch,
+        };
+        let blinded = Blinded::new(attribute_key, &body.signing_bytes(), rng)?;
+        let auth_sig = user.card.sign_with_master(&blinded.blinded.to_bytes_be())?;
+        let request = AttributeIssueRequest {
+            card_id: user.card.card_id(),
+            card_cert: user.card.master_cert().clone(),
+            attribute: attribute.to_string(),
+            blinded: blinded.blinded.clone(),
+            auth_sig,
+        };
+        Ok((
+            AttributeIssueSession {
+                attribute: attribute.to_string(),
+                attribute_key: attribute_key.clone(),
+                body,
+                blinded,
+            },
+            request,
+        ))
+    }
+
+    /// Card-side final round.
+    pub fn finish(
+        self,
+        user: &mut UserAgent,
+        response: &AttributeIssueResponse,
+    ) -> Result<KeyId, CoreError> {
+        let signature = self
+            .blinded
+            .unblind(&self.attribute_key, &response.blind_sig)?;
+        let cert = p2drm_pki::cert::AttributeCertificate {
+            attribute: self.attribute,
+            body: self.body,
+            signature,
+        };
+        cert.verify(&self.attribute_key)
+            .map_err(|_| CoreError::BadPseudonym("unblinded attribute signature invalid"))?;
+        let id = cert.pseudonym_id();
+        user.add_attribute_cert(cert);
+        Ok(id)
+    }
+}
+
+/// Client half of an anonymous purchase: quote → pay (coin withdrawal
+/// with the mint) → request → settle, with coin recovery on non-payment
+/// failures (mirrors [`crate::protocol::purchase()`]).
+pub struct PurchaseSession {
+    /// The withdrawn coin, kept so [`PurchaseSession::abort`] can return
+    /// it to the wallet (the rest of the request needs no unwinding).
+    coin: p2drm_payment::Coin,
+    pseudonym: KeyId,
+}
+
+impl PurchaseSession {
+    /// Builds the purchase request from a catalog quote: attaches the
+    /// current pseudonym, a covering coin, and the attribute credential
+    /// when the item demands one.
+    pub fn begin<R: CryptoRng + ?Sized>(
+        user: &mut UserAgent,
+        mint: &Mint,
+        meta: &ContentMeta,
+        rng: &mut R,
+    ) -> Result<(Self, PurchaseRequest), CoreError> {
+        let pseudonym_cert = user
+            .current_pseudonym()
+            .ok_or(CoreError::BadPseudonym("no usable pseudonym (policy)"))?
+            .clone();
+        let attribute_cert = match &meta.required_attribute {
+            None => None,
+            Some(attr) => Some(
+                user.attribute_cert_for(&pseudonym_cert.pseudonym_id(), attr)
+                    .ok_or(CoreError::BadPseudonym(
+                        "attribute credential required but not held for this pseudonym",
+                    ))?
+                    .clone(),
+            ),
+        };
+        let account = user.account.clone();
+        let coin = user
+            .wallet
+            .coin_for_amount(mint, &account, meta.price, rng)?;
+        let request = PurchaseRequest {
+            content_id: meta.id,
+            pseudonym_cert,
+            coin,
+            attribute_cert,
+        };
+        Ok((
+            PurchaseSession {
+                coin: request.coin.clone(),
+                pseudonym: request.pseudonym_cert.pseudonym_id(),
+            },
+            request,
+        ))
+    }
+
+    /// Settles a successful purchase: bookkeeping on the agent, returns
+    /// the license.
+    pub fn finish(self, user: &mut UserAgent, response: PurchaseResponse) -> License {
+        user.note_pseudonym_use();
+        user.add_license(response.license.clone(), self.pseudonym);
+        response.license
+    }
+
+    /// Unwinds a failed purchase: the withdrawn coin goes back to the
+    /// wallet unless the failure was a payment error (the mint consumed
+    /// or rejected the coin — re-spending it would double-spend).
+    pub fn abort(self, user: &mut UserAgent, error: &ApiError) {
+        if !error.code.is_payment() {
+            user.wallet.put_back(self.coin);
+        }
+    }
+}
+
+/// Client half of play: the device↔card challenge/proof/key-release
+/// rounds run locally in `begin`; the provider only ever sees the
+/// anonymous [`DownloadRequest`], and `finish` decrypts + consumes.
+pub struct PlaySession {
+    content_key: [u8; 32],
+    license: License,
+    access: AccessRequest,
+}
+
+impl PlaySession {
+    /// Local rounds: holder challenge, card proof, device compliance
+    /// check, key release. Returns the single message that crosses the
+    /// wire.
+    pub fn begin<SD: Kv, R: CryptoRng + ?Sized>(
+        user: &UserAgent,
+        device: &mut CompliantDevice<SD>,
+        license: &License,
+        now: u64,
+        rng: &mut R,
+    ) -> Result<(Self, DownloadRequest), CoreError> {
+        let owned = user
+            .license(&license.id())
+            .ok_or(CoreError::UnknownLicense(license.id()))?;
+        let pseudonym_cert = user
+            .pseudonym_certs()
+            .iter()
+            .find(|c| c.pseudonym_id() == owned.pseudonym)
+            .ok_or(CoreError::BadPseudonym(
+                "certificate for holder key missing",
+            ))?;
+
+        let nonce = device.make_challenge(rng);
+        let proof_sig = user
+            .card
+            .sign_with_pseudonym(&owned.pseudonym, &challenge_message(&nonce, &license.id()))?;
+        let access = AccessRequest::play(now, device.binding_id());
+        device.check_access(license, Some(pseudonym_cert), &nonce, &proof_sig, &access)?;
+        let sealed = user.card.unwrap_and_reseal(
+            &owned.pseudonym,
+            &license.body.key_envelope,
+            device.public_key(),
+            rng,
+        )?;
+        let content_key = device.open_sealed_key(&sealed)?;
+        Ok((
+            PlaySession {
+                content_key,
+                license: license.clone(),
+                access,
+            },
+            DownloadRequest {
+                content_id: license.body.content_id,
+            },
+        ))
+    }
+
+    /// Decrypts the downloaded payload and consumes the play on the
+    /// device.
+    pub fn finish<SD: Kv>(
+        self,
+        device: &mut CompliantDevice<SD>,
+        response: &DownloadResponse,
+    ) -> Result<Vec<u8>, CoreError> {
+        let payload = crate::content::decrypt_payload(
+            &self.content_key,
+            &response.nonce,
+            &response.ciphertext,
+        );
+        device.consume(&self.license, &self.access)?;
+        Ok(payload)
+    }
+}

@@ -249,6 +249,16 @@ impl<B: p2drm_store::ConcurrentKv> System<B> {
         &self.config
     }
 
+    /// Stands up the byte-level wire service over this system's provider
+    /// and RA, synchronized to the current epoch/clock (re-sync after
+    /// [`System::advance_epoch`] with
+    /// [`crate::service::ProviderService::set_time`]).
+    pub fn wire_service(&self, seed: u64) -> crate::service::ProviderService<'_, B> {
+        let service = crate::service::ProviderService::new(&self.provider, seed).with_ra(&self.ra);
+        service.set_time(self.epoch, self.now);
+        service
+    }
+
     /// Publishes content on the private provider with the default rights
     /// template.
     pub fn publish_content<R: CryptoRng + ?Sized>(
@@ -523,11 +533,21 @@ mod tests {
         let mut rng = test_rng(221);
         let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
         let cid = sys.publish_content("Track", 100, b"bits", &mut rng);
-        let mut u = sys.register_user("u", &mut rng).unwrap();
+        let mut u = sys
+            .register_user("u", &mut rng)
+            .expect("user label is unique on a fresh RA");
         sys.fund(&u, 300);
-        let lic = sys.purchase(&mut u, cid, &mut rng).unwrap();
-        let mut dev = sys.register_device(&mut rng).unwrap();
-        assert_eq!(sys.play(&u, &mut dev, &lic, &mut rng).unwrap(), b"bits");
+        let lic = sys
+            .purchase(&mut u, cid, &mut rng)
+            .expect("funded user purchases published content");
+        let mut dev = sys
+            .register_device(&mut rng)
+            .expect("root CA issues device certificates");
+        assert_eq!(
+            sys.play(&u, &mut dev, &lic, &mut rng)
+                .expect("fresh license plays within its count limit"),
+            b"bits"
+        );
         assert_eq!(sys.provider.license_count(), 1);
         assert_eq!(sys.mint.deposited_total(), 100);
     }

@@ -234,9 +234,9 @@ impl Encode for ElGamalPublicKey {
 
 impl Decode for ElGamalPublicKey {
     fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
-        let p = UBig::from_bytes_be(r.get_bytes()?);
-        let g = UBig::from_bytes_be(r.get_bytes()?);
-        let h = UBig::from_bytes_be(r.get_bytes()?);
+        let p = UBig::from_bytes_be(r.get_int_bytes()?);
+        let g = UBig::from_bytes_be(r.get_int_bytes()?);
+        let h = UBig::from_bytes_be(r.get_int_bytes()?);
         let group =
             ElGamalGroup::new(p, g).map_err(|_| p2drm_codec::CodecError::BadDiscriminant(1))?;
         Ok(ElGamalPublicKey { group, h })
@@ -254,7 +254,7 @@ impl Encode for ElGamalKeyPair {
 impl Decode for ElGamalKeyPair {
     fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
         let public = ElGamalPublicKey::decode(r)?;
-        let x = UBig::from_bytes_be(r.get_bytes()?);
+        let x = UBig::from_bytes_be(r.get_int_bytes()?);
         // Consistency: h must equal g^x.
         if public.group.pow_g(&x) != public.h {
             return Err(p2drm_codec::CodecError::BadDiscriminant(2));
@@ -273,7 +273,7 @@ impl Encode for ElGamalCiphertext {
 
 impl Decode for ElGamalCiphertext {
     fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
-        let c1 = UBig::from_bytes_be(r.get_bytes()?);
+        let c1 = UBig::from_bytes_be(r.get_int_bytes()?);
         let body = r.get_bytes_owned()?;
         let tag: [u8; DIGEST_LEN] = r.get_raw(DIGEST_LEN)?.try_into().expect("fixed-size read");
         Ok(ElGamalCiphertext { c1, body, tag })

@@ -140,8 +140,8 @@ impl Encode for RsaPublicKey {
 
 impl Decode for RsaPublicKey {
     fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
-        let n = UBig::from_bytes_be(r.get_bytes()?);
-        let e = UBig::from_bytes_be(r.get_bytes()?);
+        let n = UBig::from_bytes_be(r.get_int_bytes()?);
+        let e = UBig::from_bytes_be(r.get_int_bytes()?);
         RsaPublicKey::new(n, e).map_err(|_| p2drm_codec::CodecError::BadDiscriminant(0))
     }
 }
@@ -178,7 +178,7 @@ impl Encode for RsaSignature {
 impl Decode for RsaSignature {
     fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
         Ok(RsaSignature {
-            s: UBig::from_bytes_be(r.get_bytes()?),
+            s: UBig::from_bytes_be(r.get_int_bytes()?),
         })
     }
 }
@@ -370,7 +370,7 @@ impl Decode for RsaKeyPair {
         let public = RsaPublicKey::decode(r)?;
         let mut parts = Vec::with_capacity(6);
         for _ in 0..6 {
-            parts.push(UBig::from_bytes_be(r.get_bytes()?));
+            parts.push(UBig::from_bytes_be(r.get_int_bytes()?));
         }
         let [d, p, q, dp, dq, qinv]: [UBig; 6] = parts.try_into().expect("exactly six parts read");
         // Consistency checks: p*q must be the modulus, both factors odd.

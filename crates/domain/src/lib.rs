@@ -54,3 +54,14 @@ impl From<p2drm_core::CoreError> for DomainError {
         DomainError::Core(e)
     }
 }
+
+impl From<&DomainError> for p2drm_core::service::ApiErrorCode {
+    fn from(e: &DomainError) -> Self {
+        match e {
+            // Core failures keep their precise classification; only the
+            // domain-specific shapes land in the 80-range.
+            DomainError::Core(e) => e.into(),
+            _ => p2drm_core::service::ApiErrorCode::Domain,
+        }
+    }
+}

@@ -1,4 +1,6 @@
-//! The honest-but-curious provider as an adversary (experiment E7).
+//! Adversarial tooling: the honest-but-curious provider profiling users
+//! from its purchase log (experiment E7), and byte-level [`corruption`]
+//! helpers for fuzzing the wire service.
 //!
 //! The provider's entire view is its purchase log: `(pseudonym, content,
 //! epoch)` rows. Its best profiling move is to group rows by pseudonym —
@@ -182,10 +184,69 @@ fn score(
     }
 }
 
+/// Byte-level corruptions an adversarial (or faulty) peer might put on
+/// the wire. The robustness suite feeds these to
+/// `ProviderService::handle`, which must answer every one with a
+/// well-formed error response — no panics, no wedged shards.
+pub mod corruption {
+    /// Every strict prefix of `bytes` (all truncation points, including
+    /// the empty message).
+    pub fn truncations(bytes: &[u8]) -> impl Iterator<Item = Vec<u8>> + '_ {
+        (0..bytes.len()).map(move |n| bytes[..n].to_vec())
+    }
+
+    /// `bytes` with one bit flipped (empty input comes back unchanged —
+    /// there is no bit to flip).
+    pub fn flip_bit(bytes: &[u8], index: usize, bit: u8) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        if !out.is_empty() {
+            let i = index % out.len();
+            out[i] ^= 1 << (bit % 8);
+        }
+        out
+    }
+
+    /// Deterministic single-bit-flip sweep: every bit of every byte for
+    /// short messages, a stride-sampled subset (still touching the
+    /// header and the tail) for long ones. At most ~`cap` variants.
+    pub fn bit_flips(bytes: &[u8], cap: usize) -> Vec<Vec<u8>> {
+        let total_bits = bytes.len() * 8;
+        let stride = (total_bits / cap.max(1)).max(1);
+        (0..total_bits)
+            .step_by(stride)
+            .map(|b| flip_bit(bytes, b / 8, (b % 8) as u8))
+            .collect()
+    }
+
+    /// `bytes` with the envelope version byte replaced.
+    pub fn with_version(bytes: &[u8], version: u8) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        if let Some(v) = out.first_mut() {
+            *v = version;
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use p2drm_crypto::rng::test_rng;
+
+    #[test]
+    fn corruption_helpers_cover_the_message() {
+        let msg = [0xAAu8; 16];
+        assert_eq!(corruption::truncations(&msg).count(), 16);
+        let flips = corruption::bit_flips(&msg, 1000);
+        assert_eq!(flips.len(), 128, "short messages get every bit");
+        for f in &flips {
+            assert_eq!(f.len(), msg.len());
+            assert_ne!(f.as_slice(), msg.as_slice());
+        }
+        let capped = corruption::bit_flips(&msg, 32);
+        assert!(capped.len() <= 43, "stride sampling bounds the sweep");
+        assert_eq!(corruption::with_version(&msg, 9)[0], 9);
+    }
 
     #[test]
     fn fresh_policy_fragments_profiles() {

@@ -4,7 +4,7 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p p2drm-sim --bin experiments [all|t1|t2|e1|e3|e4|e6|e7|e10] [--quick]
+//! cargo run --release -p p2drm-sim --bin experiments [all|t1|t2|e1|e3|e4|e5|e6|e7|e10] [--quick]
 //! ```
 //! Results print as tables and are also written to `results/*.json`.
 
@@ -15,7 +15,9 @@ use p2drm_core::system::{System, SystemConfig};
 use p2drm_crypto::rng::test_rng;
 use p2drm_payment::{Mint, MintConfig, Wallet};
 use p2drm_sim::report::{fmt_bytes, fmt_ns, write_json, Table};
-use p2drm_sim::{linkability_experiment, purchase_throughput, StoreBackend, ThroughputConfig};
+use p2drm_sim::{
+    linkability_experiment, purchase_throughput, DispatchMode, StoreBackend, ThroughputConfig,
+};
 use p2drm_store::SyncPolicy;
 
 fn main() {
@@ -33,6 +35,7 @@ fn main() {
         "e1" => e1_message_costs(),
         "e3" => e3_throughput(quick),
         "e4" => e4_durability(quick),
+        "e5" => e5_wire(quick),
         "e6" => e6_storage(quick),
         "e7" => e7_linkability(quick),
         "e10" => e10_payment(quick),
@@ -42,12 +45,13 @@ fn main() {
             e1_message_costs();
             e3_throughput(quick);
             e4_durability(quick);
+            e5_wire(quick);
             e6_storage(quick);
             e7_linkability(quick);
             e10_payment(quick);
         }
         other => {
-            eprintln!("unknown experiment {other}; use all|t1|t2|e1|e3|e4|e6|e7|e10");
+            eprintln!("unknown experiment {other}; use all|t1|t2|e1|e3|e4|e5|e6|e7|e10");
             std::process::exit(2);
         }
     }
@@ -304,6 +308,7 @@ fn e3_throughput(quick: bool) {
                     purchases_per_client: per_client,
                     store_shards,
                     backend: StoreBackend::Mem,
+                    mode: DispatchMode::InProc,
                 },
                 &mut rng,
             );
@@ -349,6 +354,7 @@ fn e4_durability(quick: bool) {
                     purchases_per_client: per_client,
                     store_shards: 8,
                     backend: backend.clone(),
+                    mode: DispatchMode::InProc,
                 },
                 &mut rng,
             );
@@ -365,6 +371,58 @@ fn e4_durability(quick: bool) {
     }
     println!("{}", table.render());
     let _ = write_json("e4_durability", &results);
+}
+
+/// E5: the price of the wire — purchase throughput with direct `&self`
+/// dispatch vs the full byte-level path (envelope encode →
+/// `ProviderService::handle` → response decode) at each thread count.
+/// The gap is pure serialization + dispatch overhead: both modes hit the
+/// same shared provider on the same volatile backend.
+fn e5_wire(quick: bool) {
+    let clients_sweep: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let per_client = if quick { 3 } else { 40 };
+    let mut results = Vec::new();
+    let mut table = Table::new(
+        "E5: wire-dispatch overhead (in-proc vs encode→dispatch→decode)",
+        &["mode", "clients", "ops", "throughput", "p50", "p99"],
+    );
+    for &clients in clients_sweep {
+        let mut pair = Vec::new();
+        for (m, mode) in [DispatchMode::InProc, DispatchMode::Wire]
+            .into_iter()
+            .enumerate()
+        {
+            let mut rng = test_rng(0xE50 + clients as u64 * 10 + m as u64);
+            let r = purchase_throughput(
+                ThroughputConfig {
+                    clients,
+                    purchases_per_client: per_client,
+                    store_shards: 8,
+                    backend: StoreBackend::Mem,
+                    mode,
+                },
+                &mut rng,
+            );
+            table.row(&[
+                r.mode.clone(),
+                r.clients.to_string(),
+                r.completed.to_string(),
+                format!("{:.1}/s", r.throughput),
+                fmt_ns(r.latency.p50_ns as f64),
+                fmt_ns(r.latency.p99_ns as f64),
+            ]);
+            pair.push(r.throughput);
+            results.push(r);
+        }
+        if let [inproc, wire] = pair[..] {
+            println!(
+                "  {clients} clients: wire/in-proc throughput ratio {:.3}",
+                wire / inproc
+            );
+        }
+    }
+    println!("{}", table.render());
+    let _ = write_json("e5_wire", &results);
 }
 
 struct E6Row {

@@ -27,5 +27,7 @@ pub use adversary::{linkability_experiment, LinkabilityReport};
 pub use metrics::{Histogram, Summary};
 pub use mixed::{simulate, SimReport};
 pub use report::Table;
-pub use runner::{purchase_throughput, StoreBackend, ThroughputConfig, ThroughputResult};
+pub use runner::{
+    purchase_throughput, DispatchMode, StoreBackend, ThroughputConfig, ThroughputResult,
+};
 pub use workload::{Op, Workload, WorkloadConfig, Zipf};

@@ -1,4 +1,4 @@
-//! Concurrent purchase throughput (experiment E3).
+//! Concurrent purchase throughput (experiments E3/E4/E5).
 //!
 //! Client threads submit pre-built purchase requests against **one shared
 //! provider** through `&self` — the refactored `ContentProvider` is `Sync`,
@@ -8,11 +8,20 @@
 //! templates are read-locked, and license signing needs no lock at all.
 //! `store_shards = 1` degenerates to a fully serialized store, which is
 //! the paper's single-license-server baseline.
+//!
+//! Two orthogonal knobs pick the deployment shape under test:
+//! [`StoreBackend`] (volatile vs WAL-backed) and [`DispatchMode`]
+//! (direct `&self` calls vs the full byte-level wire path through
+//! [`ProviderService`] — encode request, dispatch, decode response —
+//! which is what experiment E5 uses to price serialization).
 
 use crate::json::{Json, ToJson};
 use crate::metrics::{Histogram, Summary};
 use p2drm_core::entities::provider::{ContentProvider, ProviderConfig};
 use p2drm_core::protocol::messages::PurchaseRequest;
+use p2drm_core::service::{
+    ProviderService, RequestEnvelope, ResponseEnvelope, WireRequest, WireResponse,
+};
 use p2drm_core::system::{System, SystemConfig};
 use p2drm_store::{ConcurrentKv, SyncPolicy, WalShardedConfig};
 use parking_lot::Mutex;
@@ -43,6 +52,27 @@ impl StoreBackend {
     }
 }
 
+/// How client threads reach the provider.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Direct in-process `&self` calls (no serialization).
+    InProc,
+    /// Full wire path per purchase: encode a [`RequestEnvelope`],
+    /// [`ProviderService::handle`] the bytes, decode the
+    /// [`ResponseEnvelope`].
+    Wire,
+}
+
+impl DispatchMode {
+    /// Short label for tables/JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DispatchMode::InProc => "in-proc",
+            DispatchMode::Wire => "wire",
+        }
+    }
+}
+
 /// Throughput run parameters.
 #[derive(Clone, Debug)]
 pub struct ThroughputConfig {
@@ -55,6 +85,8 @@ pub struct ThroughputConfig {
     pub store_shards: usize,
     /// Store backend under test.
     pub backend: StoreBackend,
+    /// In-process calls or the byte-level wire path.
+    pub mode: DispatchMode,
 }
 
 /// Throughput results.
@@ -66,6 +98,8 @@ pub struct ThroughputResult {
     pub store_shards: usize,
     /// Backend label (`mem`, `wal-flush-each`, …).
     pub backend: String,
+    /// Dispatch label (`in-proc`, `wire`).
+    pub mode: String,
     /// Completed purchases.
     pub completed: usize,
     /// Wall-clock seconds.
@@ -82,6 +116,7 @@ impl ToJson for ThroughputResult {
             ("clients", self.clients.to_json()),
             ("store_shards", self.store_shards.to_json()),
             ("backend", self.backend.to_json()),
+            ("mode", self.mode.to_json()),
             ("completed", self.completed.to_json()),
             ("wall_secs", self.wall_secs.to_json()),
             ("throughput", self.throughput.to_json()),
@@ -199,19 +234,47 @@ fn drive_provider<B: ConcurrentKv + Sync, R: Rng>(
         .map(|_| Mutex::new(Histogram::new()))
         .collect();
 
+    // Wire mode fronts the same provider with the byte-level service;
+    // each purchase then pays encode → handle (decode, dispatch, encode)
+    // → decode inside the timed section.
+    let service = ProviderService::new(&provider, 0x317E_0000);
+    service.set_time(epoch, sys.now());
+    let mode = config.mode;
+
     let start = Instant::now();
     std::thread::scope(|scope| {
         for (c, reqs) in requests.iter().enumerate() {
             let provider = &provider;
+            let service = &service;
             let completed = &completed;
             let histograms = &histograms;
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(0xC11E57 + c as u64);
-                for req in reqs {
+                for (i, req) in reqs.iter().enumerate() {
+                    // The request clone stands in for the client-side
+                    // message the caller would already hold; it stays
+                    // outside the timed section so wire mode measures
+                    // encode → dispatch → decode, nothing else.
+                    let body = match mode {
+                        DispatchMode::InProc => None,
+                        DispatchMode::Wire => Some(WireRequest::Purchase(req.clone())),
+                    };
                     let t0 = Instant::now();
-                    let res = provider.handle_purchase(req, epoch, &mut rng);
+                    let ok = match body {
+                        None => provider.handle_purchase(req, epoch, &mut rng).is_ok(),
+                        Some(body) => {
+                            let envelope = RequestEnvelope {
+                                correlation_id: ((c as u64) << 32) | i as u64,
+                                body,
+                            };
+                            let reply = service.handle(&envelope.to_bytes());
+                            let envelope = ResponseEnvelope::from_bytes(&reply)
+                                .expect("service replies are well-formed");
+                            matches!(envelope.body, WireResponse::Purchase(_))
+                        }
+                    };
                     let dt = t0.elapsed();
-                    if res.is_ok() {
+                    if ok {
                         completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         histograms[c].lock().record_duration(dt);
                     }
@@ -237,6 +300,7 @@ fn drive_provider<B: ConcurrentKv + Sync, R: Rng>(
         clients: config.clients,
         store_shards: config.store_shards,
         backend: config.backend.label(),
+        mode: config.mode.label().to_string(),
         completed,
         wall_secs: wall.as_secs_f64(),
         throughput: completed as f64 / wall.as_secs_f64(),
@@ -258,6 +322,7 @@ mod tests {
                 purchases_per_client: 3,
                 store_shards: 1,
                 backend: StoreBackend::Mem,
+                mode: DispatchMode::InProc,
             },
             &mut rng,
         );
@@ -265,6 +330,7 @@ mod tests {
         assert!(r.throughput > 0.0);
         assert_eq!(r.latency.count, 6);
         assert_eq!(r.backend, "mem");
+        assert_eq!(r.mode, "in-proc");
     }
 
     #[test]
@@ -276,11 +342,47 @@ mod tests {
                 purchases_per_client: 2,
                 store_shards: 8,
                 backend: StoreBackend::Mem,
+                mode: DispatchMode::InProc,
             },
             &mut rng,
         );
         assert_eq!(r.completed, 8);
         assert_eq!(r.store_shards, 8);
+    }
+
+    #[test]
+    fn wire_mode_completes_all_purchases() {
+        let mut rng = test_rng(272);
+        let r = purchase_throughput(
+            ThroughputConfig {
+                clients: 2,
+                purchases_per_client: 3,
+                store_shards: 8,
+                backend: StoreBackend::Mem,
+                mode: DispatchMode::Wire,
+            },
+            &mut rng,
+        );
+        assert_eq!(r.completed, 6);
+        assert_eq!(r.mode, "wire");
+    }
+
+    #[test]
+    fn wire_mode_works_over_wal_backend() {
+        let mut rng = test_rng(273);
+        let r = purchase_throughput(
+            ThroughputConfig {
+                clients: 2,
+                purchases_per_client: 2,
+                store_shards: 4,
+                backend: StoreBackend::WalSharded(SyncPolicy::Buffered),
+                mode: DispatchMode::Wire,
+            },
+            &mut rng,
+        );
+        assert_eq!(r.completed, 4);
+        assert_eq!(r.mode, "wire");
+        assert!(r.backend.starts_with("wal-"));
     }
 
     #[test]
@@ -300,6 +402,7 @@ mod tests {
                     purchases_per_client: 2,
                     store_shards: 4,
                     backend: StoreBackend::WalSharded(policy),
+                    mode: DispatchMode::InProc,
                 },
                 &mut rng,
             );

@@ -13,7 +13,13 @@
 //! `ProviderState` of individually locked tables over a lock-sharded KV,
 //! so purchase, play, transfer and CRL sync are all callable through
 //! `&self` from many threads at once — see
-//! [`core::entities::provider`] for the locking layout.
+//! [`core::entities::provider`] for the locking layout. The same paths
+//! are servable at the **byte level** through the versioned wire API in
+//! [`core::service`]: a tagged envelope (version, op-code, correlation
+//! id, payload), a `ProviderService` whose single entry point is
+//! `handle(&self, &[u8]) -> Vec<u8>`, stable numeric error codes, and a
+//! typed `WireClient` running the multi-round flows as session state
+//! machines.
 //!
 //! This facade re-exports the whole workspace:
 //!
@@ -27,8 +33,9 @@
 //! | [`store`] | `p2drm-store` | WAL-backed KV, crash recovery, `SharedKv`/`ShardedKv` concurrency |
 //! | [`payment`] | `p2drm-payment` | Chaum e-cash + identified baseline |
 //! | [`core`] | `p2drm-core` | **the paper's protocols**, concurrent provider + system bootstrap |
+//! | [`core::service`] | `p2drm-core` | **the wire API**: versioned envelopes, `ApiErrorCode`, `ProviderService`, `WireClient` |
 //! | [`domain`] | `p2drm-domain` | authorized-domain extension |
-//! | [`sim`] | `p2drm-sim` | workloads, metrics, shared-provider throughput, adversary |
+//! | [`sim`] | `p2drm-sim` | workloads, metrics, shared-provider throughput (in-proc & wire), adversary |
 //!
 //! ## Quickstart
 //!

@@ -1,0 +1,208 @@
+//! Wire-parity acceptance: flows driven through `WireClient` →
+//! `ProviderService` **bytes** interoperate exactly with the in-process
+//! paths — a wire-purchased license plays in-proc, a wire transfer obeys
+//! the unique-ID rule, and error codes are stable numbers.
+
+use p2drm::core::service::{ApiErrorCode, Loopback, WireClient, WireError};
+use p2drm::core::system::{System, SystemConfig};
+use p2drm::crypto::rng::test_rng;
+
+#[test]
+fn wire_purchase_plays_through_inproc_path() {
+    let mut rng = test_rng(0x317E01);
+    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let cid = sys.publish_content("Wire Track", 100, b"WIRE AUDIO", &mut rng);
+    let mut alice = sys.register_user("alice", &mut rng).expect("fresh user");
+    sys.fund(&alice, 500);
+    let mut device = sys.register_device(&mut rng).expect("compliant device");
+
+    let service = sys.wire_service(0xA11CE);
+    let mut client = WireClient::new(Loopback(&service));
+    client.set_epoch(sys.epoch());
+
+    // Catalog over the wire sees the published item.
+    let listing = client.catalog().expect("catalog listing");
+    assert_eq!(listing.len(), 1);
+    assert_eq!(listing[0].id, cid);
+    assert_eq!(listing[0].price, 100);
+
+    // Blind pseudonym issuance and purchase, entirely through bytes.
+    client
+        .obtain_pseudonym(
+            &mut alice,
+            sys.ra.blind_public(),
+            sys.ttp.escrow_key(),
+            &mut rng,
+        )
+        .expect("wire pseudonym issuance");
+    let license = client
+        .purchase(&mut alice, &sys.mint, cid, &mut rng)
+        .expect("wire purchase");
+
+    // Parity: the license the wire handed back is accepted by the
+    // in-process play path (same provider key, same catalog, same spent
+    // store).
+    let audio = sys
+        .play(&alice, &mut device, &license, &mut rng)
+        .expect("in-proc play of wire-purchased license");
+    assert_eq!(audio, b"WIRE AUDIO");
+    assert_eq!(sys.provider.license_count(), 1);
+    assert_eq!(sys.mint.deposited_total(), 100);
+}
+
+#[test]
+fn wire_play_matches_inproc_play() {
+    let mut rng = test_rng(0x317E02);
+    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let cid = sys.publish_content("Track", 100, b"BOTH PATHS", &mut rng);
+    let mut alice = sys.register_user("alice", &mut rng).expect("fresh user");
+    sys.fund(&alice, 500);
+    let mut device = sys.register_device(&mut rng).expect("compliant device");
+    let license = sys.purchase(&mut alice, cid, &mut rng).expect("purchase");
+
+    let service = sys.wire_service(0xB0B);
+    let mut client = WireClient::new(Loopback(&service));
+    let audio = client
+        .play(&alice, &mut device, &license, &mut rng)
+        .expect("wire play of in-proc license");
+    assert_eq!(audio, b"BOTH PATHS");
+    // The device consumed one play through the wire path.
+    assert_eq!(
+        device
+            .rights_state(&license)
+            .expect("state exists")
+            .plays_used,
+        1
+    );
+}
+
+#[test]
+fn wire_double_redeem_rejected_with_stable_code() {
+    let mut rng = test_rng(0x317E03);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let cid = sys.publish_content("Track", 100, b"X", &mut rng);
+    let mut alice = sys.register_user("alice", &mut rng).expect("fresh user");
+    let mut bob = sys.register_user("bob", &mut rng).expect("fresh user");
+    let mut carol = sys.register_user("carol", &mut rng).expect("fresh user");
+    sys.fund(&alice, 500);
+    let license = sys.purchase(&mut alice, cid, &mut rng).expect("purchase");
+    sys.ensure_pseudonym(&mut bob, &mut rng).expect("pseudonym");
+    sys.ensure_pseudonym(&mut carol, &mut rng)
+        .expect("pseudonym");
+
+    let service = sys.wire_service(0xD0D0);
+    let mut client = WireClient::new(Loopback(&service));
+
+    let lid = license.id();
+    let saved = license.clone();
+    let alice_pseudonym = alice.licenses()[0].pseudonym;
+    client
+        .transfer(&mut alice, &mut bob, lid, &mut rng)
+        .expect("first wire transfer");
+
+    // Alice "restores from backup" and replays the spent id over the
+    // wire: the spent-ID store must reject it with the stable code.
+    alice.add_license(saved, alice_pseudonym);
+    let err = client
+        .transfer(&mut alice, &mut carol, lid, &mut rng)
+        .expect_err("double redeem must fail");
+    match err {
+        WireError::Api(e) => {
+            assert_eq!(e.code, ApiErrorCode::AlreadyRedeemed);
+            assert_eq!(e.code.code(), 51, "wire code is part of the contract");
+        }
+        other => panic!("expected Api error, got {other}"),
+    }
+    assert!(carol.licenses().is_empty());
+}
+
+#[test]
+fn wire_attribute_flow_gates_rated_content() {
+    let mut rng = test_rng(0x317E04);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let rated = sys.publish_rated_content("Rated", 100, b"18+", "adult", &mut rng);
+    let mut minor = sys.register_user("minor", &mut rng).expect("fresh user");
+    let mut adult = sys.register_user("adult", &mut rng).expect("fresh user");
+    sys.fund(&minor, 500);
+    sys.fund(&adult, 500);
+    sys.grant_attribute(&adult, "adult", &mut rng).expect("kyc");
+
+    let service = sys.wire_service(0xAD17);
+    let mut client = WireClient::new(Loopback(&service));
+    client.set_epoch(sys.epoch());
+
+    // The minor holds a pseudonym but no credential: client-side refusal
+    // (the request is never even sent without the credential).
+    client
+        .obtain_pseudonym(
+            &mut minor,
+            sys.ra.blind_public(),
+            sys.ttp.escrow_key(),
+            &mut rng,
+        )
+        .expect("pseudonym for minor");
+    let err = client
+        .purchase(&mut minor, &sys.mint, rated, &mut rng)
+        .expect_err("no credential, no sale");
+    assert!(matches!(err, WireError::Client(_)), "got {err}");
+
+    // The adult obtains the credential over the wire and buys.
+    client
+        .obtain_pseudonym(
+            &mut adult,
+            sys.ra.blind_public(),
+            sys.ttp.escrow_key(),
+            &mut rng,
+        )
+        .expect("pseudonym for adult");
+    let attr_key = sys
+        .ra
+        .attribute_public("adult")
+        .expect("key exists after grant");
+    client
+        .obtain_attribute(&mut adult, "adult", &attr_key, &mut rng)
+        .expect("wire attribute issuance");
+    let license = client
+        .purchase(&mut adult, &sys.mint, rated, &mut rng)
+        .expect("credentialed wire purchase");
+    assert!(license.verify(sys.provider.public_key()).is_ok());
+}
+
+#[test]
+fn wire_crl_sync_propagates_revocation() {
+    let mut rng = test_rng(0x317E05);
+    let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let cid = sys.publish_content("Track", 100, b"GONE", &mut rng);
+    let mut alice = sys.register_user("alice", &mut rng).expect("fresh user");
+    sys.fund(&alice, 500);
+    let mut device = sys.register_device(&mut rng).expect("compliant device");
+    let license = sys.purchase(&mut alice, cid, &mut rng).expect("purchase");
+
+    sys.provider.revoke_license(&license.id()).expect("revoke");
+
+    let service = sys.wire_service(0xC71);
+    let mut client = WireClient::new(Loopback(&service));
+    client.sync_crls(&mut device).expect("wire CRL sync");
+
+    // The synced device refuses the revoked license on either path.
+    let res = sys.play(&alice, &mut device, &license, &mut rng);
+    assert!(res.is_err(), "revoked license must not play");
+}
+
+#[test]
+fn unknown_content_maps_to_stable_code() {
+    let mut rng = test_rng(0x317E06);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let service = sys.wire_service(0x404);
+    let mut client = WireClient::new(Loopback(&service));
+    let err = client
+        .content_meta(p2drm::core::ContentId::from_label("ghost"))
+        .expect_err("nothing published");
+    match err {
+        WireError::Api(e) => {
+            assert_eq!(e.code, ApiErrorCode::UnknownContent);
+            assert_eq!(e.code.code(), 70);
+        }
+        other => panic!("expected Api error, got {other}"),
+    }
+}
