@@ -56,7 +56,7 @@
 use crate::content::{ContentCatalog, ContentMeta};
 use crate::ids::{ContentId, LicenseId};
 use crate::license::{License, LicenseBody};
-use crate::protocol::messages::{self, PurchaseRequest, TransferRequest};
+use crate::protocol::messages::{self, LicenseStatus, PurchaseRequest, TransferRequest};
 use crate::CoreError;
 use p2drm_crypto::envelope;
 use p2drm_crypto::rng::CryptoRng;
@@ -906,6 +906,47 @@ impl<B: ConcurrentKv> ContentProvider<B> {
         crl.license_crl.insert(id);
         crl.license_crl_seq += 1;
         self.persist_crl_entry(&mut crl, b'l', &id)
+    }
+
+    /// Authoritative status of a license id — the reconciliation query
+    /// for ambiguous wire outcomes: a client whose transfer response was
+    /// lost re-asks here whether the old id committed (`Transferred`) or
+    /// is still `Active`. License ids are 16 unguessable random bytes,
+    /// so only a party already holding the id can ask about it.
+    pub fn license_status(&self, lid: &LicenseId) -> LicenseStatus {
+        // The spent table is the authoritative exactly-once record; its
+        // value distinguishes a committed transfer (the transfer epoch)
+        // from a direct revocation (`u32::MAX`, see `revoke_license`).
+        if let Ok(Some(mark)) = self
+            .state
+            .spent
+            .get_shared(&self.state.store, lid.as_bytes())
+        {
+            return if mark == u32::MAX {
+                LicenseStatus::Revoked
+            } else {
+                LicenseStatus::Transferred
+            };
+        }
+        if self
+            .state
+            .crl
+            .read()
+            .license_crl
+            .contains(&license_crl_id(lid))
+        {
+            return LicenseStatus::Revoked;
+        }
+        match self
+            .state
+            .licenses
+            .get_shared(&self.state.store, lid.as_bytes())
+        {
+            Ok(Some(license)) => LicenseStatus::Active {
+                holder: KeyId::of_rsa(&license.body.holder),
+            },
+            _ => LicenseStatus::Unknown,
+        }
     }
 
     /// Signed license CRL for full device sync.

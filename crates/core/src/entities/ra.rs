@@ -9,6 +9,7 @@
 
 use crate::entities::smartcard::{CardBudget, SmartCard};
 use crate::ids::{CardId, UserId};
+use crate::protocol::messages;
 use crate::CoreError;
 use p2drm_bignum::UBig;
 use p2drm_crypto::blind;
@@ -46,6 +47,26 @@ struct RaState {
     card_crl: RevocationList,
     crl_seq: u64,
     issuance_log: Vec<IssuanceRecord>,
+}
+
+impl RaState {
+    /// The issuance gate every blind endpoint runs under the registry
+    /// lock: the *claimed* `card_id` must be the card the presented
+    /// certificate was issued to (`card_id` travels attacker-controlled
+    /// on the wire — without this check any registered card could claim
+    /// another card's id, spoofing issuance-log attribution and, for
+    /// attributes, the entitlement lookup), and the card must not be
+    /// revoked.
+    fn check_card(&self, card_id: &CardId, master_key_id: &KeyId) -> Result<(), CoreError> {
+        match self.cards.get(card_id) {
+            Some(registered) if registered == master_key_id => {}
+            _ => return Err(CoreError::Card("card id not bound to authenticated card")),
+        }
+        if self.card_crl.contains(master_key_id) {
+            return Err(CoreError::Revoked("card"));
+        }
+        Ok(())
+    }
 }
 
 /// The registration authority.
@@ -138,8 +159,11 @@ impl RegistrationAuthority {
     /// Blind pseudonym issuance endpoint.
     ///
     /// The card authenticates (master certificate + master-key signature
-    /// over the blinded value) — this moment is linkable, which is fine:
-    /// the RA learns "card X obtained *a* pseudonym", never *which*.
+    /// over [`messages::pseudonym_auth_bytes`], which binds the claimed
+    /// `card_id` to the blinded value) — this moment is linkable, which
+    /// is fine: the RA learns "card X obtained *a* pseudonym", never
+    /// *which*. The claimed `card_id` must be the card the certificate
+    /// was issued to; otherwise the issuance log could be mis-attributed.
     pub fn issue_pseudonym(
         &self,
         card_id: CardId,
@@ -149,13 +173,12 @@ impl RegistrationAuthority {
         now: u64,
     ) -> Result<UBig, CoreError> {
         card_cert.verify(self.identity_public(), now)?;
-        let master_key_id = card_cert.subject_id();
-        if self.state.lock().card_crl.contains(&master_key_id) {
-            return Err(CoreError::Revoked("card"));
-        }
+        self.state
+            .lock()
+            .check_card(&card_id, &card_cert.subject_id())?;
         let master_key = card_cert.body.subject_key.as_rsa()?;
         master_key
-            .verify(&blinded.to_bytes_be(), auth_sig)
+            .verify(&messages::pseudonym_auth_bytes(&card_id, blinded), auth_sig)
             .map_err(|_| CoreError::BadProof)?;
         self.state.lock().issuance_log.push(IssuanceRecord {
             card: card_id,
@@ -184,17 +207,17 @@ impl RegistrationAuthority {
         rng: &mut R,
     ) -> Result<(usize, UBig), CoreError> {
         card_cert.verify(self.identity_public(), now)?;
-        if self.state.lock().card_crl.contains(&card_cert.subject_id()) {
-            return Err(CoreError::Revoked("card"));
-        }
-        // Authenticate the whole candidate set at once.
-        let mut all = Vec::new();
-        for b in blinded_values {
-            all.extend_from_slice(&b.to_bytes_be());
-        }
+        self.state
+            .lock()
+            .check_card(&card_id, &card_cert.subject_id())?;
+        // Authenticate the whole candidate set at once, bound to the
+        // claimed card id.
         let master_key = card_cert.body.subject_key.as_rsa()?;
         master_key
-            .verify(&all, auth_sig)
+            .verify(
+                &messages::cut_choose_auth_bytes(&card_id, blinded_values),
+                auth_sig,
+            )
             .map_err(|_| CoreError::BadProof)?;
 
         let keep = p2drm_crypto::blind::CutChooseIssuer::choose(blinded_values.len(), rng);
@@ -302,8 +325,11 @@ impl RegistrationAuthority {
     }
 
     /// Blind attribute certification: like pseudonym issuance, but the RA
-    /// signs with the per-attribute key — and only after checking the
-    /// authenticated card's owner actually holds the attribute.
+    /// signs with the per-attribute key — and only after checking that
+    /// the claimed `card_id` is the card the presented certificate was
+    /// issued to (entitlement is looked up by card id, so an unchecked id
+    /// would let any registered card borrow an entitled user's
+    /// attributes) and that the card's owner actually holds the attribute.
     pub fn issue_attribute(
         &self,
         card_id: CardId,
@@ -316,12 +342,13 @@ impl RegistrationAuthority {
         card_cert.verify(self.identity_public(), now)?;
         let master_key = card_cert.body.subject_key.as_rsa()?;
         master_key
-            .verify(&blinded.to_bytes_be(), auth_sig)
+            .verify(
+                &messages::attribute_auth_bytes(&card_id, attribute, blinded),
+                auth_sig,
+            )
             .map_err(|_| CoreError::BadProof)?;
         let mut state = self.state.lock();
-        if state.card_crl.contains(&card_cert.subject_id()) {
-            return Err(CoreError::Revoked("card"));
-        }
+        state.check_card(&card_id, &card_cert.subject_id())?;
         let owner = *state
             .card_owners
             .get(&card_id)
@@ -353,5 +380,97 @@ impl RegistrationAuthority {
     /// Snapshot of the adversarial-RA issuance transcript.
     pub fn issuance_log(&self) -> Vec<IssuanceRecord> {
         self.state.lock().issuance_log.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{System, SystemConfig};
+    use p2drm_crypto::rng::test_rng;
+
+    /// A card claiming *another* card's id — its own certificate and a
+    /// valid signature over the spoofed request — must be refused: the
+    /// attribute entitlement lookup keys on card id, and the issuance
+    /// log must attribute requests to the card that authenticated.
+    #[test]
+    fn spoofed_card_id_is_refused() {
+        let mut rng = test_rng(0x5F00F);
+        let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+        let alice = sys.register_user("alice", &mut rng).unwrap();
+        let mallory = sys.register_user("mallory", &mut rng).unwrap();
+        sys.grant_attribute(&alice, "adult", &mut rng).unwrap();
+        let victim_id = alice.card.card_id();
+        let now = sys.now();
+
+        // Attribute issuance: mallory is not entitled but claims alice's
+        // card id, signing the spoofed request with her own master key.
+        let blinded = UBig::from_u64(0xB11D);
+        let sig = mallory
+            .card
+            .sign_with_master(&messages::attribute_auth_bytes(
+                &victim_id, "adult", &blinded,
+            ))
+            .unwrap();
+        let res = sys.ra.issue_attribute(
+            victim_id,
+            mallory.card.master_cert(),
+            "adult",
+            &blinded,
+            &sig,
+            now,
+        );
+        assert!(
+            matches!(res, Err(CoreError::Card(_))),
+            "spoofed attribute issuance must be refused, got {res:?}"
+        );
+
+        // Pseudonym issuance: same spoof, refused before the log entry.
+        let sig = mallory
+            .card
+            .sign_with_master(&messages::pseudonym_auth_bytes(&victim_id, &blinded))
+            .unwrap();
+        let res =
+            sys.ra
+                .issue_pseudonym(victim_id, mallory.card.master_cert(), &blinded, &sig, now);
+        assert!(
+            matches!(res, Err(CoreError::Card(_))),
+            "spoofed pseudonym issuance must be refused, got {res:?}"
+        );
+        assert!(
+            sys.ra.issuance_log().iter().all(|r| r.card != victim_id),
+            "no issuance may be attributed to the spoofed card"
+        );
+    }
+
+    /// The auth signature covers the claimed card id: a signature minted
+    /// for one id does not verify for a request claiming another.
+    #[test]
+    fn auth_signature_binds_card_id() {
+        let mut rng = test_rng(0x5F10F);
+        let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+        let alice = sys.register_user("alice", &mut rng).unwrap();
+        let mallory = sys.register_user("mallory", &mut rng).unwrap();
+        let now = sys.now();
+        let blinded = UBig::from_u64(0xB11D);
+        // Mallory signs honestly for her own card id...
+        let sig = mallory
+            .card
+            .sign_with_master(&messages::pseudonym_auth_bytes(
+                &mallory.card.card_id(),
+                &blinded,
+            ))
+            .unwrap();
+        // ...but replays the signature on a request claiming alice's id:
+        // even if the binding check were bypassed, the signature check
+        // fails because the signed bytes name the card id.
+        let res = sys.ra.issue_pseudonym(
+            alice.card.card_id(),
+            mallory.card.master_cert(),
+            &blinded,
+            &sig,
+            now,
+        );
+        assert!(res.is_err(), "cross-card signature replay must fail");
     }
 }

@@ -42,7 +42,8 @@ pub struct PseudonymIssueRequest {
     pub card_cert: Certificate,
     /// Blinded FDH of the pseudonym certificate body.
     pub blinded: UBig,
-    /// Master-key signature over the blinded value.
+    /// Master-key signature over [`pseudonym_auth_bytes`] (binds the
+    /// claimed card id to the blinded value).
     pub auth_sig: RsaSignature,
 }
 
@@ -101,7 +102,8 @@ pub struct AttributeIssueRequest {
     pub attribute: String,
     /// Blinded FDH of the attribute certificate body.
     pub blinded: UBig,
-    /// Master-key signature over the blinded value.
+    /// Master-key signature over [`attribute_auth_bytes`] (binds the
+    /// claimed card id and the attribute name to the blinded value).
     pub auth_sig: RsaSignature,
 }
 
@@ -354,6 +356,46 @@ pub fn transfer_proof_bytes(lid: &LicenseId, recipient: &KeyId) -> Vec<u8> {
     w.into_bytes()
 }
 
+/// The bytes a card signs to authenticate a [`PseudonymIssueRequest`]:
+/// a domain tag, the claimed card id and the blinded value. Covering the
+/// card id (not just the blinded value) means the RA-verified signature
+/// binds the request fields — a request whose `card_id` was swapped for
+/// another card's no longer verifies under the authenticated master key.
+pub fn pseudonym_auth_bytes(card_id: &CardId, blinded: &UBig) -> Vec<u8> {
+    let mut w = Writer::with_capacity(96);
+    w.put_raw(b"p2drm-pseudonym-auth");
+    card_id.encode(&mut w);
+    put_ubig(&mut w, blinded);
+    w.into_bytes()
+}
+
+/// The bytes a card signs to authenticate an [`AttributeIssueRequest`]:
+/// domain tag, claimed card id, the named attribute and the blinded
+/// value — so neither the card id nor the attribute can be swapped
+/// without breaking the signature.
+pub fn attribute_auth_bytes(card_id: &CardId, attribute: &str, blinded: &UBig) -> Vec<u8> {
+    let mut w = Writer::with_capacity(96);
+    w.put_raw(b"p2drm-attribute-auth");
+    card_id.encode(&mut w);
+    w.put_str(attribute);
+    put_ubig(&mut w, blinded);
+    w.into_bytes()
+}
+
+/// The bytes a card signs to authenticate a cut-and-choose candidate
+/// set: domain tag, claimed card id, then the length-prefixed candidates
+/// (count first, so two sets cannot collide by concatenation).
+pub fn cut_choose_auth_bytes(card_id: &CardId, blinded_values: &[UBig]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(64 * (blinded_values.len() + 1));
+    w.put_raw(b"p2drm-cut-choose-auth");
+    card_id.encode(&mut w);
+    w.put_varint(blinded_values.len() as u64);
+    for b in blinded_values {
+        put_ubig(&mut w, b);
+    }
+    w.into_bytes()
+}
+
 /// Provider → Recipient: the fresh license.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TransferResponse {
@@ -467,6 +509,97 @@ impl Decode for CatalogResponse {
     fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
         Ok(CatalogResponse {
             items: r.get_seq()?,
+        })
+    }
+}
+
+/// User → Provider: authoritative status of a license id (the
+/// reconciliation query for ambiguous transfer outcomes — license ids
+/// are 16 unguessable random bytes, so only a party to the license can
+/// ask about it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LicenseStatusRequest {
+    /// The id being queried.
+    pub license_id: LicenseId,
+}
+
+impl Encode for LicenseStatusRequest {
+    fn encode(&self, w: &mut Writer) {
+        self.license_id.encode(w);
+    }
+}
+
+impl Decode for LicenseStatusRequest {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(LicenseStatusRequest {
+            license_id: LicenseId::decode(r)?,
+        })
+    }
+}
+
+/// The provider's authoritative view of one license id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LicenseStatus {
+    /// Never issued by this provider.
+    Unknown,
+    /// Issued and still exercisable; `holder` is the pseudonym key id it
+    /// is bound to.
+    Active {
+        /// Current holder pseudonym key id.
+        holder: KeyId,
+    },
+    /// Consumed by a committed transfer (a successor license exists
+    /// under the recipient pseudonym).
+    Transferred,
+    /// Revoked without a transfer (abuse handling, de-anonymization).
+    Revoked,
+}
+
+impl Encode for LicenseStatus {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            LicenseStatus::Unknown => w.put_u8(0),
+            LicenseStatus::Active { holder } => {
+                w.put_u8(1);
+                holder.encode(w);
+            }
+            LicenseStatus::Transferred => w.put_u8(2),
+            LicenseStatus::Revoked => w.put_u8(3),
+        }
+    }
+}
+
+impl Decode for LicenseStatus {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(match r.get_u8()? {
+            0 => LicenseStatus::Unknown,
+            1 => LicenseStatus::Active {
+                holder: KeyId::decode(r)?,
+            },
+            2 => LicenseStatus::Transferred,
+            3 => LicenseStatus::Revoked,
+            tag => return Err(p2drm_codec::CodecError::BadDiscriminant(tag)),
+        })
+    }
+}
+
+/// Provider → User: the status answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LicenseStatusResponse {
+    /// Authoritative status of the queried id.
+    pub status: LicenseStatus,
+}
+
+impl Encode for LicenseStatusResponse {
+    fn encode(&self, w: &mut Writer) {
+        self.status.encode(w);
+    }
+}
+
+impl Decode for LicenseStatusResponse {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(LicenseStatusResponse {
+            status: LicenseStatus::decode(r)?,
         })
     }
 }

@@ -92,12 +92,10 @@ pub fn obtain_pseudonym_cut_and_choose<R: CryptoRng + ?Sized>(
         rng,
     )?;
     let blinded_values = request.blinded_values();
-    let mut all = Vec::new();
-    for b in &blinded_values {
-        all.extend_from_slice(&b.to_bytes_be());
-    }
-    let auth_sig = user.card.sign_with_master(&all)?;
-    transcript.record(Party::Card, Party::Ra, "cut-choose-candidates", all);
+    let auth_bytes =
+        crate::protocol::messages::cut_choose_auth_bytes(&user.card.card_id(), &blinded_values);
+    let auth_sig = user.card.sign_with_master(&auth_bytes)?;
+    transcript.record(Party::Card, Party::Ra, "cut-choose-candidates", auth_bytes);
 
     let (keep, blind_sig) = ra.issue_pseudonym_cut_and_choose(
         user.card.card_id(),
@@ -288,11 +286,14 @@ mod tests {
         )
         .unwrap();
         let blinded = request.blinded_values();
-        let mut all = Vec::new();
-        for b in &blinded {
-            all.extend_from_slice(&b.to_bytes_be());
-        }
-        let auth = f.user.card.sign_with_master(&all).unwrap();
+        let auth = f
+            .user
+            .card
+            .sign_with_master(&crate::protocol::messages::cut_choose_auth_bytes(
+                &f.user.card.card_id(),
+                &blinded,
+            ))
+            .unwrap();
         let res = f.ra.issue_pseudonym_cut_and_choose(
             f.user.card.card_id(),
             &f.user.card.master_cert().clone(),

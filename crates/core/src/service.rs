@@ -83,22 +83,21 @@ use crate::ids::{ContentId, LicenseId};
 use crate::license::License;
 use crate::protocol::messages::{
     transfer_proof_bytes, AttributeIssueRequest, AttributeIssueResponse, CatalogRequest,
-    CatalogResponse, CrlSync, CrlSyncRequest, DownloadRequest, DownloadResponse,
-    PseudonymIssueRequest, PseudonymIssueResponse, PurchaseRequest, PurchaseResponse,
-    TransferRequest, TransferResponse,
+    CatalogResponse, CrlSync, CrlSyncRequest, DownloadRequest, DownloadResponse, LicenseStatus,
+    LicenseStatusRequest, LicenseStatusResponse, PseudonymIssueRequest, PseudonymIssueResponse,
+    PurchaseRequest, PurchaseResponse, TransferRequest, TransferResponse,
 };
 use crate::CoreError;
 use p2drm_codec::{CodecError, Decode, Encode, Reader, Writer};
 use p2drm_crypto::blind::Blinded;
 use p2drm_crypto::elgamal::ElGamalPublicKey;
+use p2drm_crypto::rng::ChaChaRng;
 use p2drm_crypto::rng::CryptoRng;
 use p2drm_crypto::rsa::RsaPublicKey;
 use p2drm_payment::Mint;
 use p2drm_pki::cert::{AttributeCertBody, KeyId, PseudonymCertBody, PseudonymCertificate};
 use p2drm_rel::AccessRequest;
 use p2drm_store::{ConcurrentKv, Kv};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// The wire format version this build speaks.
@@ -131,6 +130,8 @@ pub enum OpCode {
     CrlSync = 6,
     /// Catalog lookup / listing.
     Catalog = 7,
+    /// License-status query (transfer reconciliation).
+    LicenseStatus = 8,
 }
 
 impl OpCode {
@@ -150,6 +151,7 @@ impl OpCode {
             5 => OpCode::AttributeIssue,
             6 => OpCode::CrlSync,
             7 => OpCode::Catalog,
+            8 => OpCode::LicenseStatus,
             _ => return None,
         })
     }
@@ -475,6 +477,8 @@ pub enum WireRequest {
     CrlSync(CrlSyncRequest),
     /// Catalog lookup / listing.
     Catalog(CatalogRequest),
+    /// License-status query (transfer reconciliation).
+    LicenseStatus(LicenseStatusRequest),
 }
 
 impl WireRequest {
@@ -488,6 +492,7 @@ impl WireRequest {
             WireRequest::AttributeIssue(_) => OpCode::AttributeIssue,
             WireRequest::CrlSync(_) => OpCode::CrlSync,
             WireRequest::Catalog(_) => OpCode::Catalog,
+            WireRequest::LicenseStatus(_) => OpCode::LicenseStatus,
         }
     }
 
@@ -500,6 +505,7 @@ impl WireRequest {
             WireRequest::AttributeIssue(m) => m.encode(w),
             WireRequest::CrlSync(m) => m.encode(w),
             WireRequest::Catalog(m) => m.encode(w),
+            WireRequest::LicenseStatus(m) => m.encode(w),
         }
     }
 
@@ -512,6 +518,7 @@ impl WireRequest {
             OpCode::AttributeIssue => WireRequest::AttributeIssue(decode_strict(payload)?),
             OpCode::CrlSync => WireRequest::CrlSync(decode_strict(payload)?),
             OpCode::Catalog => WireRequest::Catalog(decode_strict(payload)?),
+            OpCode::LicenseStatus => WireRequest::LicenseStatus(decode_strict(payload)?),
             OpCode::Error => return Err(EnvelopeError::UnknownOpcode(OpCode::Error.byte())),
         };
         Ok(body)
@@ -535,6 +542,8 @@ pub enum WireResponse {
     CrlSync(CrlSync),
     /// Catalog metadata.
     Catalog(CatalogResponse),
+    /// Authoritative license status.
+    LicenseStatus(LicenseStatusResponse),
     /// The request failed; the code is stable, the detail advisory.
     Error(ApiError),
 }
@@ -550,6 +559,7 @@ impl WireResponse {
             WireResponse::AttributeIssue(_) => OpCode::AttributeIssue,
             WireResponse::CrlSync(_) => OpCode::CrlSync,
             WireResponse::Catalog(_) => OpCode::Catalog,
+            WireResponse::LicenseStatus(_) => OpCode::LicenseStatus,
             WireResponse::Error(_) => OpCode::Error,
         }
     }
@@ -564,6 +574,7 @@ impl WireResponse {
             WireResponse::AttributeIssue(_) => "attribute-issue",
             WireResponse::CrlSync(_) => "crl-sync",
             WireResponse::Catalog(_) => "catalog",
+            WireResponse::LicenseStatus(_) => "license-status",
             WireResponse::Error(_) => "error",
         }
     }
@@ -577,6 +588,7 @@ impl WireResponse {
             WireResponse::AttributeIssue(m) => m.encode(w),
             WireResponse::CrlSync(m) => m.encode(w),
             WireResponse::Catalog(m) => m.encode(w),
+            WireResponse::LicenseStatus(m) => m.encode(w),
             WireResponse::Error(m) => m.encode(w),
         }
     }
@@ -590,6 +602,7 @@ impl WireResponse {
             OpCode::AttributeIssue => WireResponse::AttributeIssue(decode_strict(payload)?),
             OpCode::CrlSync => WireResponse::CrlSync(decode_strict(payload)?),
             OpCode::Catalog => WireResponse::Catalog(decode_strict(payload)?),
+            OpCode::LicenseStatus => WireResponse::LicenseStatus(decode_strict(payload)?),
             OpCode::Error => WireResponse::Error(decode_strict(payload)?),
         };
         Ok(body)
@@ -755,23 +768,39 @@ pub struct ProviderService<'a, B: ConcurrentKv = MemBackend> {
     ra: Option<&'a RegistrationAuthority>,
     epoch: AtomicU32,
     now: AtomicU64,
-    /// Base seed for per-request RNG derivation (license ids, envelope
-    /// sealing). Each request mixes in a distinct counter value, so
-    /// concurrent requests never share generator state or a lock.
-    seed: u64,
+    /// 256-bit key for per-request RNG derivation (license ids, envelope
+    /// sealing): SHA-256 of the caller's seed mixed with fresh OS
+    /// entropy. The caller seed only *separates* services — it is never
+    /// the sole source of cryptographic randomness — and each request
+    /// keys an independent ChaCha20 stream by its counter, so concurrent
+    /// requests never share generator state or a lock.
+    rng_key: [u8; 32],
     requests: AtomicU64,
 }
 
 impl<'a, B: ConcurrentKv> ProviderService<'a, B> {
     /// Service over a provider, with no RA attached (issuance ops answer
     /// [`ApiErrorCode::ServiceUnavailable`]). Starts at epoch 0, time 1.
+    ///
+    /// `seed` separates this service's RNG streams from other instances;
+    /// it is hashed together with 256 bits of fresh OS entropy into the
+    /// service's RNG key, so the randomness behind
+    /// [`ProviderService::handle`] — license ids, key envelopes — is a
+    /// ChaCha20 keystream unpredictable even to a caller who knows the
+    /// seed (and, unlike the test-grade xoshiro `StdRng`, not
+    /// recoverable from observed output). Deterministic tests should
+    /// drive [`ProviderService::handle_with_rng`] instead.
     pub fn new(provider: &'a ContentProvider<B>, seed: u64) -> Self {
         ProviderService {
             provider,
             ra: None,
             epoch: AtomicU32::new(0),
             now: AtomicU64::new(1),
-            seed,
+            rng_key: p2drm_crypto::sha256::sha256_concat(&[
+                b"p2drm-service-rng-v1",
+                &seed.to_le_bytes(),
+                &p2drm_crypto::rng::os_entropy32(),
+            ]),
             requests: AtomicU64::new(0),
         }
     }
@@ -807,11 +836,13 @@ impl<'a, B: ConcurrentKv> ProviderService<'a, B> {
     /// the underlying provider fully serviceable.
     pub fn handle(&self, request: &[u8]) -> Vec<u8> {
         let n = self.requests.fetch_add(1, Ordering::Relaxed);
-        // SplitMix-style stream separation: one cheap independent RNG per
-        // request, no shared lock on the hot path.
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17),
-        );
+        // Nonce-separated ChaCha20 streams under one entropy-keyed
+        // 256-bit key: one independent CSPRNG per request, no shared
+        // lock on the hot path, and no way to predict one request's
+        // randomness from another's output.
+        let mut nonce = [0u8; 12];
+        nonce[..8].copy_from_slice(&n.to_le_bytes());
+        let mut rng = ChaChaRng::new(self.rng_key, nonce);
         self.handle_with_rng(request, &mut rng)
     }
 
@@ -899,6 +930,11 @@ impl<'a, B: ConcurrentKv> ProviderService<'a, B> {
                     None => self.provider.list_content(),
                 };
                 Ok(WireResponse::Catalog(CatalogResponse { items }))
+            }
+            WireRequest::LicenseStatus(req) => {
+                Ok(WireResponse::LicenseStatus(LicenseStatusResponse {
+                    status: self.provider.license_status(&req.license_id),
+                }))
             }
         }
     }
@@ -1112,7 +1148,19 @@ impl<T: Transport> WireClient<T> {
 
     /// Anonymous purchase over the wire: catalog quote, coin withdrawal
     /// (client ↔ mint, off this wire), purchase round trip, wallet
-    /// recovery on non-payment failures.
+    /// recovery on failure.
+    ///
+    /// Coin accounting on the failure paths:
+    /// * decoded **error response** — the server did not issue; the coin
+    ///   returns to the wallet unless the error is in the payment range
+    ///   (the mint consumed or rejected it);
+    /// * **ambiguous outcome** (reply fails to decode, correlation
+    ///   mismatch, unexpected response op) — the server may or may not
+    ///   have deposited the coin, so it is parked in the wallet's
+    ///   pending pool ([`p2drm_payment::Wallet::pending`]) rather than
+    ///   silently dropped; once the transport recovers, settle it with
+    ///   [`p2drm_payment::Wallet::reconcile_pending`] against the
+    ///   mint's authoritative spent-serial record.
     pub fn purchase<R: CryptoRng + ?Sized>(
         &mut self,
         user: &mut UserAgent,
@@ -1122,18 +1170,37 @@ impl<T: Transport> WireClient<T> {
     ) -> Result<License, WireError> {
         let meta = self.content_meta(content_id)?;
         let (session, request) = PurchaseSession::begin(user, mint, &meta, rng)?;
-        match self.call(WireRequest::Purchase(request))? {
-            WireResponse::Purchase(resp) => Ok(session.finish(user, resp)),
-            WireResponse::Error(e) => {
+        match self.call(WireRequest::Purchase(request)) {
+            Ok(WireResponse::Purchase(resp)) => Ok(session.finish(user, resp)),
+            Ok(WireResponse::Error(e)) => {
                 session.abort(user, &e);
                 Err(WireError::Api(e))
             }
-            other => Err(unexpected("purchase", other)),
+            Ok(other) => {
+                session.park(user);
+                Err(unexpected("purchase", other))
+            }
+            Err(e) => {
+                session.park(user);
+                Err(e)
+            }
         }
     }
 
     /// Privacy-preserving transfer over the wire (both agents are local
     /// to this client — e.g. a marketplace app handling the hand-over).
+    ///
+    /// Local state moves only after a decoded success response. That is
+    /// deliberately conservative, and it leaves a known divergence
+    /// window: if the provider **commits** the transfer but the response
+    /// is lost or fails to decode, this call errors while the sender
+    /// still holds a license the provider has already retired (the
+    /// recipient's fresh license bytes were in the lost response and
+    /// cannot be recovered here). After any ambiguous outcome — an
+    /// [`WireError::Envelope`], [`WireError::CorrelationMismatch`] or
+    /// [`WireError::UnexpectedResponse`] — repair the sender's view with
+    /// [`WireClient::reconcile_transfer`], which re-queries the
+    /// authoritative license status by id.
     pub fn transfer<R: CryptoRng + ?Sized>(
         &mut self,
         sender: &mut UserAgent,
@@ -1167,6 +1234,37 @@ impl<T: Transport> WireClient<T> {
                 Ok(resp.license)
             }
             other => Err(unexpected("transfer", other)),
+        }
+    }
+
+    /// Queries the provider's authoritative status of a license id.
+    pub fn license_status(&mut self, license_id: LicenseId) -> Result<LicenseStatus, WireError> {
+        match self.call(WireRequest::LicenseStatus(LicenseStatusRequest {
+            license_id,
+        }))? {
+            WireResponse::LicenseStatus(resp) => Ok(resp.status),
+            other => Err(unexpected("license-status", other)),
+        }
+    }
+
+    /// Repairs the sender's local state after an ambiguous transfer
+    /// outcome (see [`WireClient::transfer`]): re-queries the license's
+    /// authoritative status and drops it locally when the provider has
+    /// already retired it ([`LicenseStatus::Transferred`] — the transfer
+    /// committed server-side — or [`LicenseStatus::Revoked`]). Returns
+    /// `true` when a stale local license was dropped, `false` when the
+    /// license is still active (the transfer never committed; the sender
+    /// keeps it and may retry).
+    pub fn reconcile_transfer(
+        &mut self,
+        sender: &mut UserAgent,
+        license_id: LicenseId,
+    ) -> Result<bool, WireError> {
+        match self.license_status(license_id)? {
+            LicenseStatus::Transferred | LicenseStatus::Revoked => {
+                Ok(sender.remove_license(&license_id).is_some())
+            }
+            LicenseStatus::Active { .. } | LicenseStatus::Unknown => Ok(false),
         }
     }
 
@@ -1259,7 +1357,12 @@ impl PseudonymIssueSession {
     ) -> Result<(Self, PseudonymIssueRequest), CoreError> {
         let body = user.card.begin_pseudonym(ttp_key, epoch, rng)?;
         let blinded = Blinded::new(ra_blind_key, &body.signing_bytes(), rng)?;
-        let auth_sig = user.card.sign_with_master(&blinded.blinded.to_bytes_be())?;
+        let auth_sig =
+            user.card
+                .sign_with_master(&crate::protocol::messages::pseudonym_auth_bytes(
+                    &user.card.card_id(),
+                    &blinded.blinded,
+                ))?;
         let request = PseudonymIssueRequest {
             card_id: user.card.card_id(),
             card_cert: user.card.master_cert().clone(),
@@ -1316,7 +1419,13 @@ impl AttributeIssueSession {
             epoch,
         };
         let blinded = Blinded::new(attribute_key, &body.signing_bytes(), rng)?;
-        let auth_sig = user.card.sign_with_master(&blinded.blinded.to_bytes_be())?;
+        let auth_sig =
+            user.card
+                .sign_with_master(&crate::protocol::messages::attribute_auth_bytes(
+                    &user.card.card_id(),
+                    attribute,
+                    &blinded.blinded,
+                ))?;
         let request = AttributeIssueRequest {
             card_id: user.card.card_id(),
             card_cert: user.card.master_cert().clone(),
@@ -1425,6 +1534,15 @@ impl PurchaseSession {
         if !error.code.is_payment() {
             user.wallet.put_back(self.coin);
         }
+    }
+
+    /// Parks the coin after an **ambiguous** outcome — the request went
+    /// out but no decodable answer came back, so the provider may or may
+    /// not have deposited the coin. It moves to the wallet's pending
+    /// pool: not spendable (that could double-spend), not lost (the
+    /// wallet reconciles it later).
+    pub fn park(self, user: &mut UserAgent) {
+        user.wallet.park(self.coin);
     }
 }
 

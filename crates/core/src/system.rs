@@ -252,7 +252,9 @@ impl<B: p2drm_store::ConcurrentKv> System<B> {
     /// Stands up the byte-level wire service over this system's provider
     /// and RA, synchronized to the current epoch/clock (re-sync after
     /// [`System::advance_epoch`] with
-    /// [`crate::service::ProviderService::set_time`]).
+    /// [`crate::service::ProviderService::set_time`]). `seed` separates
+    /// RNG streams between services; the service mixes it with OS
+    /// entropy, so `handle` output is never predictable from the seed.
     pub fn wire_service(&self, seed: u64) -> crate::service::ProviderService<'_, B> {
         let service = crate::service::ProviderService::new(&self.provider, seed).with_ra(&self.ra);
         service.set_time(self.epoch, self.now);

@@ -269,6 +269,27 @@ proptest! {
     }
 
     #[test]
+    fn license_status_request_roundtrip(seed in any::<u64>()) {
+        let m = LicenseStatusRequest { license_id: LicenseId(id16(seed)) };
+        prop_assert!(check_roundtrip(&m).is_ok(), "{:?}", check_roundtrip(&m));
+    }
+
+    #[test]
+    fn license_status_response_roundtrip(variant in 0u8..4) {
+        let fx = fixture();
+        let status = match variant {
+            0 => LicenseStatus::Unknown,
+            1 => LicenseStatus::Active {
+                holder: p2drm_pki::cert::KeyId::of_rsa(&fx.license.body.holder),
+            },
+            2 => LicenseStatus::Transferred,
+            _ => LicenseStatus::Revoked,
+        };
+        let m = LicenseStatusResponse { status };
+        prop_assert!(check_roundtrip(&m).is_ok(), "{:?}", check_roundtrip(&m));
+    }
+
+    #[test]
     fn catalog_response_roundtrip(seed in any::<u64>(), n in 0usize..4) {
         let fx = fixture();
         let items = (0..n)
@@ -333,6 +354,9 @@ fn envelopes_roundtrip_every_opcode() {
         WireRequest::Catalog(CatalogRequest {
             content_id: Some(fx.meta.id),
         }),
+        WireRequest::LicenseStatus(LicenseStatusRequest {
+            license_id: LicenseId(id16(5)),
+        }),
     ];
     for (i, body) in requests.into_iter().enumerate() {
         let envelope = RequestEnvelope {
@@ -373,6 +397,9 @@ fn envelopes_roundtrip_every_opcode() {
         }),
         WireResponse::Catalog(CatalogResponse {
             items: vec![fx.meta.clone()],
+        }),
+        WireResponse::LicenseStatus(LicenseStatusResponse {
+            status: LicenseStatus::Transferred,
         }),
         WireResponse::Error(ApiError::new(ApiErrorCode::BadProof, "nope")),
     ];

@@ -26,6 +26,112 @@ pub fn random_array<const N: usize, R: CryptoRng + ?Sized>(rng: &mut R) -> [u8; 
     out
 }
 
+/// 256 bits of best-effort OS entropy for keying CSPRNGs.
+///
+/// Reads `/dev/urandom` and SHA-256-mixes it with time, pid and a
+/// process-global counter, so two calls never return the same key even
+/// when the entropy device is unavailable (the mix is then merely
+/// unique, not secret — the same degradation the `rand` shim's
+/// `from_entropy` has, but with a 256-bit output instead of 64).
+pub fn os_entropy32() -> [u8; 32] {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut hasher = crate::sha256::Sha256::new();
+    hasher.update(b"p2drm-os-entropy-v1");
+    let os_bytes = (|| {
+        use std::io::Read;
+        let mut f = std::fs::File::open("/dev/urandom")?;
+        let mut b = [0u8; 32];
+        f.read_exact(&mut b)?;
+        Ok::<_, std::io::Error>(b)
+    })();
+    if let Ok(bytes) = os_bytes {
+        hasher.update(&bytes);
+    }
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    hasher.update(&t.to_le_bytes());
+    hasher.update(&(std::process::id() as u64).to_le_bytes());
+    hasher.update(&COUNTER.fetch_add(1, Ordering::Relaxed).to_le_bytes());
+    hasher.finalize()
+}
+
+/// ChaCha20-keystream CSPRNG: 256-bit key, 96-bit stream nonce.
+///
+/// Unlike the vendored [`StdRng`] (xoshiro256\*\* behind a 64-bit seed —
+/// fine for tests and simulations, trivially recoverable from output),
+/// this generator's output is a ChaCha20 keystream: observing any amount
+/// of it reveals nothing about the key or the rest of the stream.
+/// Distinct nonces under one key yield independent streams, so a server
+/// can derive one generator per request from a single 256-bit secret
+/// without locking.
+pub struct ChaChaRng {
+    key: [u8; crate::chacha20::KEY_LEN],
+    nonce: [u8; crate::chacha20::NONCE_LEN],
+    counter: u32,
+    block: [u8; 64],
+    used: usize,
+}
+
+impl ChaChaRng {
+    /// Generator over the keystream of (`key`, `nonce`).
+    pub fn new(
+        key: [u8; crate::chacha20::KEY_LEN],
+        nonce: [u8; crate::chacha20::NONCE_LEN],
+    ) -> Self {
+        ChaChaRng {
+            key,
+            nonce,
+            counter: 0,
+            block: [0u8; 64],
+            used: 64,
+        }
+    }
+
+    /// Fresh OS-entropy-keyed generator (stream 0).
+    pub fn from_os_entropy() -> Self {
+        ChaChaRng::new(os_entropy32(), [0u8; crate::chacha20::NONCE_LEN])
+    }
+
+    fn refill(&mut self) {
+        self.block = crate::chacha20::block(&self.key, &self.nonce, self.counter);
+        self.counter = self
+            .counter
+            .checked_add(1)
+            .expect("ChaCha20 stream exhausted (2^38 bytes from one nonce)");
+        self.used = 0;
+    }
+}
+
+impl rand::RngCore for ChaChaRng {
+    fn next_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        rand::RngCore::fill_bytes(self, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        rand::RngCore::fill_bytes(self, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut filled = 0;
+        while filled < dest.len() {
+            if self.used == 64 {
+                self.refill();
+            }
+            let take = (dest.len() - filled).min(64 - self.used);
+            dest[filled..filled + take].copy_from_slice(&self.block[self.used..self.used + take]);
+            self.used += take;
+            filled += take;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,5 +150,38 @@ mod tests {
         let a: [u8; 16] = random_array(&mut os_rng());
         let b: [u8; 16] = random_array(&mut os_rng());
         assert_ne!(a, b); // 2^-128 collision probability
+    }
+
+    #[test]
+    fn chacha_rng_streams_are_deterministic_and_nonce_separated() {
+        let key = [7u8; 32];
+        let a: [u8; 100] = random_array(&mut ChaChaRng::new(key, [0u8; 12]));
+        let b: [u8; 100] = random_array(&mut ChaChaRng::new(key, [0u8; 12]));
+        let c: [u8; 100] = random_array(&mut ChaChaRng::new(key, [1u8; 12]));
+        assert_eq!(a, b, "same key+nonce replays the same stream");
+        assert_ne!(a, c, "distinct nonces give independent streams");
+        assert_ne!(
+            random_array::<32, _>(&mut ChaChaRng::new([8u8; 32], [0u8; 12])),
+            a[..32],
+            "distinct keys give independent streams"
+        );
+    }
+
+    #[test]
+    fn chacha_rng_fill_is_position_consistent() {
+        // Reading 100 bytes at once equals reading them word-by-word.
+        let key = [3u8; 32];
+        let bulk: [u8; 24] = random_array(&mut ChaChaRng::new(key, [9u8; 12]));
+        let mut rng = ChaChaRng::new(key, [9u8; 12]);
+        let mut words = Vec::new();
+        for _ in 0..3 {
+            words.extend_from_slice(&rand::RngCore::next_u64(&mut rng).to_le_bytes());
+        }
+        assert_eq!(&bulk[..], &words[..]);
+    }
+
+    #[test]
+    fn os_entropy_keys_are_distinct() {
+        assert_ne!(os_entropy32(), os_entropy32());
     }
 }

@@ -174,6 +174,20 @@ impl<S: Kv> Mint<S> {
         Ok(())
     }
 
+    /// Whether a coin serial has been deposited — the reconciliation
+    /// query for ambiguously-spent coins: a wallet holding a coin whose
+    /// purchase reply was lost asks here before deciding between
+    /// re-spending (serial unknown → the deposit never happened) and
+    /// discarding (serial spent → re-spending would double-spend). The
+    /// serial is 32 unguessable random bytes only its withdrawer knows,
+    /// so the query leaks nothing to third parties.
+    pub fn is_spent(&self, serial: &[u8; 32]) -> bool {
+        let mut spent_key = Vec::with_capacity(38);
+        spent_key.extend_from_slice(b"spent/");
+        spent_key.extend_from_slice(serial);
+        self.inner.spent.contains(&spent_key)
+    }
+
     /// Total value deposited so far.
     pub fn deposited_total(&self) -> u64 {
         *self.inner.deposited_total.lock()

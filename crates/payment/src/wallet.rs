@@ -6,10 +6,14 @@ use p2drm_crypto::blind::Blinded;
 use p2drm_crypto::rng::CryptoRng;
 use p2drm_store::Kv;
 
-/// Holds withdrawn, not-yet-spent coins.
+/// Holds withdrawn, not-yet-spent coins, plus a **pending** pool for
+/// coins whose fate is ambiguous: a purchase whose response was lost may
+/// or may not have deposited the coin, so it is neither spendable nor
+/// discardable until reconciled out-of-band ([`Wallet::park`]).
 #[derive(Default)]
 pub struct Wallet {
     coins: Vec<Coin>,
+    pending: Vec<Coin>,
 }
 
 impl Wallet {
@@ -107,6 +111,48 @@ impl Wallet {
     pub fn put_back(&mut self, coin: Coin) {
         self.coins.push(coin);
     }
+
+    /// Parks a coin whose fate is ambiguous (e.g. a purchase whose
+    /// response never decoded: the provider may or may not have
+    /// deposited it). Parked coins are excluded from [`Wallet::balance`]
+    /// and cannot be spent — re-spending a deposited coin would
+    /// double-spend — but they are not silently lost either: they stay
+    /// visible through [`Wallet::pending`] until
+    /// [`Wallet::reconcile_pending`] settles them against the mint's
+    /// authoritative spent-serial record (or the owner drains them
+    /// manually via [`Wallet::take_pending`]).
+    pub fn park(&mut self, coin: Coin) {
+        self.pending.push(coin);
+    }
+
+    /// Coins awaiting reconciliation after an ambiguous spend.
+    pub fn pending(&self) -> &[Coin] {
+        &self.pending
+    }
+
+    /// Drains the pending pool, handing the coins to the caller for
+    /// reconciliation (put the survivors back with [`Wallet::put_back`]).
+    pub fn take_pending(&mut self) -> Vec<Coin> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Settles every parked coin against the mint's spent-serial record
+    /// ([`Mint::is_spent`]): serials the mint never saw return to the
+    /// spendable pool (the ambiguous spend never happened), deposited
+    /// serials are discarded (their value was consumed by the spend).
+    /// Returns `(restored, discarded)` counts.
+    pub fn reconcile_pending<S: Kv>(&mut self, mint: &Mint<S>) -> (usize, usize) {
+        let (mut restored, mut discarded) = (0, 0);
+        for coin in std::mem::take(&mut self.pending) {
+            if mint.is_spent(&coin.serial) {
+                discarded += 1;
+            } else {
+                self.coins.push(coin);
+                restored += 1;
+            }
+        }
+        (restored, discarded)
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +191,55 @@ mod tests {
             let c = w.withdraw(&mint, "u", 100, &mut rng).unwrap();
             assert!(serials.insert(c.serial), "serial collision");
         }
+    }
+
+    #[test]
+    fn parked_coins_are_neither_spendable_nor_lost() {
+        let mint = Mint::new(MintConfig::default(), &mut test_rng(116));
+        mint.fund_account("u", 1000);
+        let mut rng = test_rng(117);
+        let mut w = Wallet::new();
+        w.withdraw(&mint, "u", 100, &mut rng).unwrap();
+        let c = w.take(100).unwrap();
+        w.park(c.clone());
+        // Excluded from the spendable pool...
+        assert_eq!(w.balance(), 0);
+        assert!(w.take(100).is_none());
+        // ...but recoverable after reconciliation.
+        assert_eq!(w.pending().len(), 1);
+        let recovered = w.take_pending();
+        assert_eq!(recovered[0].serial, c.serial);
+        assert!(w.pending().is_empty());
+        w.put_back(recovered.into_iter().next().unwrap());
+        assert_eq!(w.balance(), 100);
+    }
+
+    #[test]
+    fn reconcile_pending_settles_against_the_mint() {
+        let mint = Mint::new(MintConfig::default(), &mut test_rng(118));
+        mint.fund_account("u", 1000);
+        let mut rng = test_rng(119);
+        let mut w = Wallet::new();
+        let spent = w.withdraw(&mint, "u", 100, &mut rng).unwrap();
+        let unspent = w.withdraw(&mint, "u", 100, &mut rng).unwrap();
+        w.take(100).unwrap();
+        w.take(100).unwrap();
+        w.park(spent.clone());
+        w.park(unspent.clone());
+        // One ambiguous spend actually landed at the mint.
+        mint.deposit(&spent).unwrap();
+
+        assert_eq!(w.reconcile_pending(&mint), (1, 1));
+        assert!(w.pending().is_empty());
+        assert_eq!(w.balance(), 100, "only the unspent coin came back");
+        let restored = w.take(100).unwrap();
+        assert_eq!(restored.serial, unspent.serial);
+        // The restored coin really is spendable exactly once.
+        mint.deposit(&restored).unwrap();
+        assert!(matches!(
+            mint.deposit(&restored),
+            Err(PaymentError::DoubleSpend)
+        ));
     }
 
     #[test]

@@ -3,9 +3,49 @@
 //! paths — a wire-purchased license plays in-proc, a wire transfer obeys
 //! the unique-ID rule, and error codes are stable numbers.
 
-use p2drm::core::service::{ApiErrorCode, Loopback, WireClient, WireError};
+use p2drm::core::entities::provider::MemBackend;
+use p2drm::core::protocol::messages::{attribute_auth_bytes, AttributeIssueRequest, LicenseStatus};
+use p2drm::core::service::{
+    ApiErrorCode, Loopback, OpCode, Transport, WireClient, WireError, WireRequest, WireResponse,
+};
 use p2drm::core::system::{System, SystemConfig};
 use p2drm::crypto::rng::test_rng;
+
+/// A transport that delivers every request but "loses" the replies of
+/// one op (returns undecodable bytes instead) — the ambiguous-outcome
+/// simulator: the server committed, the client never learned.
+struct LoseRepliesOf<'s, 'p> {
+    inner: Loopback<'s, 'p, MemBackend>,
+    lost_op: OpCode,
+}
+
+impl Transport for LoseRepliesOf<'_, '_> {
+    fn roundtrip(&mut self, request: &[u8]) -> Vec<u8> {
+        let reply = self.inner.roundtrip(request);
+        if reply.get(1) == Some(&self.lost_op.byte()) {
+            vec![0xDE, 0xAD]
+        } else {
+            reply
+        }
+    }
+}
+
+/// A transport that never even delivers requests of one op — the other
+/// ambiguous outcome: the server saw nothing, the client can't tell.
+struct BlackholeOp<'s, 'p> {
+    inner: Loopback<'s, 'p, MemBackend>,
+    op: OpCode,
+}
+
+impl Transport for BlackholeOp<'_, '_> {
+    fn roundtrip(&mut self, request: &[u8]) -> Vec<u8> {
+        if request.get(1) == Some(&self.op.byte()) {
+            vec![0xEE]
+        } else {
+            self.inner.roundtrip(request)
+        }
+    }
+}
 
 #[test]
 fn wire_purchase_plays_through_inproc_path() {
@@ -187,6 +227,154 @@ fn wire_crl_sync_propagates_revocation() {
     // The synced device refuses the revoked license on either path.
     let res = sys.play(&alice, &mut device, &license, &mut rng);
     assert!(res.is_err(), "revoked license must not play");
+}
+
+#[test]
+fn ambiguous_purchase_parks_coin_instead_of_losing_it() {
+    let mut rng = test_rng(0x317E07);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let cid = sys.publish_content("Track", 100, b"X", &mut rng);
+    let mut alice = sys.register_user("alice", &mut rng).expect("fresh user");
+    sys.fund(&alice, 500);
+    sys.ensure_pseudonym(&mut alice, &mut rng)
+        .expect("pseudonym");
+
+    let service = sys.wire_service(0x10_57);
+    let mut client = WireClient::new(LoseRepliesOf {
+        inner: Loopback(&service),
+        lost_op: OpCode::Purchase,
+    });
+    client.set_epoch(sys.epoch());
+
+    let err = client
+        .purchase(&mut alice, &sys.mint, cid, &mut rng)
+        .expect_err("lost reply must surface as an error");
+    assert!(matches!(err, WireError::Envelope(_)), "got {err}");
+
+    // The server committed: coin deposited, license issued (and lost
+    // with the reply). Re-spending the coin would double-spend, so it
+    // must not return to the spendable pool — but it must not vanish
+    // either: it is parked for reconciliation.
+    assert_eq!(sys.mint.deposited_total(), 100);
+    assert_eq!(sys.provider.license_count(), 1);
+    assert!(alice.licenses().is_empty());
+    assert_eq!(alice.wallet.pending().len(), 1, "coin parked, not lost");
+    assert_eq!(alice.wallet.balance(), 0, "parked coin is not spendable");
+
+    // Reconciliation against the mint settles it: the serial was
+    // deposited, so the coin is discarded, not restored.
+    assert_eq!(alice.wallet.reconcile_pending(&sys.mint), (0, 1));
+    assert!(alice.wallet.pending().is_empty());
+
+    // The other ambiguous shape: the request never reaches the server.
+    let mut client = WireClient::new(BlackholeOp {
+        inner: Loopback(&service),
+        op: OpCode::Purchase,
+    });
+    client.set_epoch(sys.epoch());
+    client
+        .purchase(&mut alice, &sys.mint, cid, &mut rng)
+        .expect_err("blackholed request must surface as an error");
+    assert_eq!(alice.wallet.pending().len(), 1);
+    assert_eq!(sys.mint.deposited_total(), 100, "nothing new deposited");
+    // This time the mint never saw the serial: the coin comes back.
+    assert_eq!(alice.wallet.reconcile_pending(&sys.mint), (1, 0));
+    assert_eq!(alice.wallet.balance(), 100, "undeposited coin restored");
+
+    // And the restored coin completes a real purchase end-to-end.
+    let mut client = WireClient::new(Loopback(&service));
+    client.set_epoch(sys.epoch());
+    let license = client
+        .purchase(&mut alice, &sys.mint, cid, &mut rng)
+        .expect("restored coin spends");
+    assert!(license.verify(sys.provider.public_key()).is_ok());
+    assert_eq!(sys.mint.deposited_total(), 200);
+}
+
+#[test]
+fn ambiguous_transfer_reconciles_via_license_status() {
+    let mut rng = test_rng(0x317E08);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let cid = sys.publish_content("Track", 100, b"X", &mut rng);
+    let mut alice = sys.register_user("alice", &mut rng).expect("fresh user");
+    let mut bob = sys.register_user("bob", &mut rng).expect("fresh user");
+    sys.fund(&alice, 500);
+    let license = sys.purchase(&mut alice, cid, &mut rng).expect("purchase");
+    sys.ensure_pseudonym(&mut bob, &mut rng).expect("pseudonym");
+    let lid = license.id();
+
+    let service = sys.wire_service(0x10_58);
+    let mut client = WireClient::new(LoseRepliesOf {
+        inner: Loopback(&service),
+        lost_op: OpCode::Transfer,
+    });
+
+    // Before the transfer, the status query sees the active license.
+    assert!(matches!(
+        client.license_status(lid).expect("status query"),
+        LicenseStatus::Active { .. }
+    ));
+
+    let err = client
+        .transfer(&mut alice, &mut bob, lid, &mut rng)
+        .expect_err("lost reply must surface as an error");
+    assert!(matches!(err, WireError::Envelope(_)), "got {err}");
+
+    // Divergence: the provider committed (old id retired, successor
+    // issued) while the sender still holds the stale license.
+    assert_eq!(alice.licenses().len(), 1, "sender state diverged");
+    assert!(bob.licenses().is_empty(), "recipient reply was lost");
+
+    // Reconciliation: the authoritative status query repairs the
+    // sender's view.
+    assert_eq!(
+        client.license_status(lid).expect("status query"),
+        LicenseStatus::Transferred
+    );
+    assert!(client
+        .reconcile_transfer(&mut alice, lid)
+        .expect("reconcile"));
+    assert!(alice.licenses().is_empty(), "stale license dropped");
+    // Reconciling an already-consistent view is a no-op.
+    assert!(!client
+        .reconcile_transfer(&mut alice, lid)
+        .expect("idempotent reconcile"));
+}
+
+#[test]
+fn spoofed_card_id_is_refused_over_the_wire() {
+    let mut rng = test_rng(0x317E09);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let alice = sys.register_user("alice", &mut rng).expect("fresh user");
+    let mallory = sys.register_user("mallory", &mut rng).expect("fresh user");
+    sys.grant_attribute(&alice, "adult", &mut rng)
+        .expect("alice is entitled");
+
+    let service = sys.wire_service(0x5F00F);
+    let mut client = WireClient::new(Loopback(&service));
+
+    // Mallory (registered, not entitled) claims alice's card id on the
+    // wire; her own certificate and a valid signature over the spoofed
+    // request fields must not be enough.
+    let victim_id = alice.card.card_id();
+    let blinded = p2drm::bignum::UBig::from_u64(0xB11D);
+    let auth_sig = mallory
+        .card
+        .sign_with_master(&attribute_auth_bytes(&victim_id, "adult", &blinded))
+        .expect("card signs");
+    let reply = client
+        .call(WireRequest::AttributeIssue(AttributeIssueRequest {
+            card_id: victim_id,
+            card_cert: mallory.card.master_cert().clone(),
+            attribute: "adult".into(),
+            blinded,
+            auth_sig,
+        }))
+        .expect("transport works");
+    match reply {
+        WireResponse::Error(e) => assert_eq!(e.code, ApiErrorCode::CardRefused),
+        other => panic!("spoofed issuance accepted as {}", other.label()),
+    }
 }
 
 #[test]

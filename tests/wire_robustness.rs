@@ -5,8 +5,8 @@
 //! poisoned shards).
 
 use p2drm::core::protocol::messages::{
-    AttributeIssueRequest, CatalogRequest, CrlSyncRequest, DownloadRequest, PseudonymIssueRequest,
-    PurchaseRequest, TransferRequest,
+    AttributeIssueRequest, CatalogRequest, CrlSyncRequest, DownloadRequest, LicenseStatusRequest,
+    PseudonymIssueRequest, PurchaseRequest, TransferRequest,
 };
 use p2drm::core::service::{
     correlation_hint, ApiErrorCode, ProviderService, RequestEnvelope, ResponseEnvelope,
@@ -100,6 +100,12 @@ fn fuzzbed(seed: u64) -> Fuzzbed {
             "catalog",
             WireRequest::Catalog(CatalogRequest {
                 content_id: Some(cid),
+            }),
+        ),
+        (
+            "license-status",
+            WireRequest::LicenseStatus(LicenseStatusRequest {
+                license_id: license.id(),
             }),
         ),
     ];
@@ -213,7 +219,7 @@ fn unknown_opcodes_are_rejected() {
     let bed = fuzzbed(0xF0_04);
     let service = bed.sys.wire_service(0x74);
     let (_, base) = &bed.envelopes[0];
-    for opcode in [8u8, 42, 0xFF, 0 /* Error is not a request */] {
+    for opcode in [9u8, 42, 0xFF, 0 /* Error is not a request */] {
         let mut mutant = base.clone();
         mutant[1] = opcode;
         match assert_well_formed(&service, &mutant, "opcode-mutant") {
