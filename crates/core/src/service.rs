@@ -99,6 +99,7 @@ use p2drm_pki::cert::{AttributeCertBody, KeyId, PseudonymCertBody, PseudonymCert
 use p2drm_rel::AccessRequest;
 use p2drm_store::{ConcurrentKv, Kv};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The wire format version this build speaks.
 pub const WIRE_VERSION: u8 = 1;
@@ -763,9 +764,14 @@ impl ResponseEnvelope {
 /// The service keeps its own view of protocol time (epoch + clock) —
 /// server-authoritative, like a deployment would — settable through
 /// [`ProviderService::set_time`].
-pub struct ProviderService<'a, B: ConcurrentKv = MemBackend> {
-    provider: &'a ContentProvider<B>,
-    ra: Option<&'a RegistrationAuthority>,
+///
+/// The provider (and optional RA) are held by [`Arc`], so the service is
+/// a self-contained value: hand it to a transport server that spawns its
+/// own threads (`p2drm-net`'s `DrmServer` does exactly that) while the
+/// caller keeps its own handles to the same provider for inspection.
+pub struct ProviderService<B: ConcurrentKv = MemBackend> {
+    provider: Arc<ContentProvider<B>>,
+    ra: Option<Arc<RegistrationAuthority>>,
     epoch: AtomicU32,
     now: AtomicU64,
     /// 256-bit key for per-request RNG derivation (license ids, envelope
@@ -778,7 +784,7 @@ pub struct ProviderService<'a, B: ConcurrentKv = MemBackend> {
     requests: AtomicU64,
 }
 
-impl<'a, B: ConcurrentKv> ProviderService<'a, B> {
+impl<B: ConcurrentKv> ProviderService<B> {
     /// Service over a provider, with no RA attached (issuance ops answer
     /// [`ApiErrorCode::ServiceUnavailable`]). Starts at epoch 0, time 1.
     ///
@@ -790,7 +796,7 @@ impl<'a, B: ConcurrentKv> ProviderService<'a, B> {
     /// seed (and, unlike the test-grade xoshiro `StdRng`, not
     /// recoverable from observed output). Deterministic tests should
     /// drive [`ProviderService::handle_with_rng`] instead.
-    pub fn new(provider: &'a ContentProvider<B>, seed: u64) -> Self {
+    pub fn new(provider: Arc<ContentProvider<B>>, seed: u64) -> Self {
         ProviderService {
             provider,
             ra: None,
@@ -807,9 +813,14 @@ impl<'a, B: ConcurrentKv> ProviderService<'a, B> {
 
     /// Attaches a registration authority, enabling the pseudonym and
     /// attribute issuance ops.
-    pub fn with_ra(mut self, ra: &'a RegistrationAuthority) -> Self {
+    pub fn with_ra(mut self, ra: Arc<RegistrationAuthority>) -> Self {
         self.ra = Some(ra);
         self
+    }
+
+    /// The provider this service fronts (shared handle).
+    pub fn provider(&self) -> &Arc<ContentProvider<B>> {
+        &self.provider
     }
 
     /// Sets the service's protocol time.
@@ -939,8 +950,8 @@ impl<'a, B: ConcurrentKv> ProviderService<'a, B> {
         }
     }
 
-    fn require_ra(&self, what: &str) -> Result<&'a RegistrationAuthority, ApiError> {
-        self.ra.ok_or_else(|| {
+    fn require_ra(&self, what: &str) -> Result<&RegistrationAuthority, ApiError> {
+        self.ra.as_deref().ok_or_else(|| {
             ApiError::new(
                 ApiErrorCode::ServiceUnavailable,
                 format!("{what} not served by this endpoint (no RA attached)"),
@@ -953,21 +964,66 @@ impl<'a, B: ConcurrentKv> ProviderService<'a, B> {
 // Transport + client
 // ---------------------------------------------------------------------------
 
+/// Why a transport failed to complete a round trip.
+///
+/// Real transports fail, and the variants split on the one question the
+/// client's recovery logic needs answered: **did the request possibly
+/// reach the service?** [`TransportError::Unreachable`] means definitely
+/// not (client state can unwind as if the call was never made); the
+/// other variants are ambiguous (the service may have committed), so
+/// consumed resources — a purchase's coin — must be parked and
+/// reconciled, never silently restored or dropped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The request was never sent — no connection could be established,
+    /// or the transport refused it locally (e.g. over the frame cap).
+    Unreachable(String),
+    /// The connection failed after the request may have left this host.
+    Broken(String),
+    /// A frame violated the framing contract (oversized, torn, garbage
+    /// length prefix). The request may still have been served.
+    Frame(String),
+}
+
+impl TransportError {
+    /// Whether the request definitely never reached the service, making
+    /// it safe to unwind client-side state as if the call had not
+    /// happened. Everything else is ambiguous.
+    pub fn definitely_unsent(&self) -> bool {
+        matches!(self, TransportError::Unreachable(_))
+    }
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Unreachable(d) => write!(f, "service unreachable: {d}"),
+            TransportError::Broken(d) => write!(f, "connection broken mid-exchange: {d}"),
+            TransportError::Frame(d) => write!(f, "framing violation: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
 /// Moves one request's bytes to a service and returns the response bytes.
 /// Implementations may be sockets, queues, or the in-proc [`Loopback`].
 pub trait Transport {
-    /// Delivers `request` and returns the service's reply bytes.
-    fn roundtrip(&mut self, request: &[u8]) -> Vec<u8>;
+    /// Delivers `request` and returns the service's reply bytes, or a
+    /// typed [`TransportError`] when the round trip could not complete.
+    fn roundtrip(&mut self, request: &[u8]) -> Result<Vec<u8>, TransportError>;
 }
 
 /// In-process transport: calls [`ProviderService::handle`] directly. The
 /// bytes still make the full encode → dispatch → decode journey, so this
 /// is the serialization-overhead baseline a real socket would add to.
-pub struct Loopback<'s, 'p, B: ConcurrentKv>(pub &'s ProviderService<'p, B>);
+/// Infallible by construction — there is no wire to lose bytes on, so
+/// `roundtrip` always returns `Ok`.
+pub struct Loopback<'s, B: ConcurrentKv>(pub &'s ProviderService<B>);
 
-impl<B: ConcurrentKv> Transport for Loopback<'_, '_, B> {
-    fn roundtrip(&mut self, request: &[u8]) -> Vec<u8> {
-        self.0.handle(request)
+impl<B: ConcurrentKv> Transport for Loopback<'_, B> {
+    fn roundtrip(&mut self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
+        Ok(self.0.handle(request))
     }
 }
 
@@ -976,6 +1032,8 @@ impl<B: ConcurrentKv> Transport for Loopback<'_, '_, B> {
 pub enum WireError {
     /// The service answered with an error response.
     Api(ApiError),
+    /// The transport could not complete the round trip.
+    Transport(TransportError),
     /// The response bytes failed to parse.
     Envelope(EnvelopeError),
     /// The response echoed a different correlation id.
@@ -1000,6 +1058,7 @@ impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WireError::Api(e) => write!(f, "service error: {e}"),
+            WireError::Transport(e) => write!(f, "transport failure: {e}"),
             WireError::Envelope(e) => write!(f, "bad response envelope: {e}"),
             WireError::CorrelationMismatch { sent, got } => {
                 write!(f, "correlation mismatch: sent {sent}, got {got}")
@@ -1029,6 +1088,12 @@ impl From<ApiError> for WireError {
 impl From<EnvelopeError> for WireError {
     fn from(e: EnvelopeError) -> Self {
         WireError::Envelope(e)
+    }
+}
+
+impl From<TransportError> for WireError {
+    fn from(e: TransportError) -> Self {
+        WireError::Transport(e)
     }
 }
 
@@ -1079,9 +1144,19 @@ impl<T: Transport> WireClient<T> {
             correlation_id: sent,
             body,
         };
-        let reply = self.transport.roundtrip(&request.to_bytes());
+        let reply = self.transport.roundtrip(&request.to_bytes())?;
         let envelope = ResponseEnvelope::from_bytes(&reply)?;
         if envelope.correlation_id != sent {
+            // Correlation id 0 on an error body is a server's
+            // *pre-decode* reply — a busy shed or a frame-level reject
+            // sent before any request was read. The request was
+            // provably not dispatched, so the error is authoritative
+            // (and failure handling can safely unwind), not a mismatch.
+            if envelope.correlation_id == 0 {
+                if let WireResponse::Error(e) = envelope.body {
+                    return Ok(WireResponse::Error(e));
+                }
+            }
             return Err(WireError::CorrelationMismatch {
                 sent,
                 got: envelope.correlation_id,
@@ -1154,11 +1229,16 @@ impl<T: Transport> WireClient<T> {
     /// * decoded **error response** — the server did not issue; the coin
     ///   returns to the wallet unless the error is in the payment range
     ///   (the mint consumed or rejected it);
-    /// * **ambiguous outcome** (reply fails to decode, correlation
-    ///   mismatch, unexpected response op) — the server may or may not
-    ///   have deposited the coin, so it is parked in the wallet's
-    ///   pending pool ([`p2drm_payment::Wallet::pending`]) rather than
-    ///   silently dropped; once the transport recovers, settle it with
+    /// * **definitely-unsent transport failure**
+    ///   ([`TransportError::definitely_unsent`], e.g. connect refused) —
+    ///   the request never left this host, so the coin simply returns
+    ///   to the wallet;
+    /// * **ambiguous outcome** (connection broke mid-exchange, reply
+    ///   fails to decode, correlation mismatch, unexpected response op)
+    ///   — the server may or may not have deposited the coin, so it is
+    ///   parked in the wallet's pending pool
+    ///   ([`p2drm_payment::Wallet::pending`]) rather than silently
+    ///   dropped; once the transport recovers, settle it with
     ///   [`p2drm_payment::Wallet::reconcile_pending`] against the
     ///   mint's authoritative spent-serial record.
     pub fn purchase<R: CryptoRng + ?Sized>(
@@ -1179,6 +1259,10 @@ impl<T: Transport> WireClient<T> {
             Ok(other) => {
                 session.park(user);
                 Err(unexpected("purchase", other))
+            }
+            Err(WireError::Transport(t)) if t.definitely_unsent() => {
+                session.recover(user);
+                Err(WireError::Transport(t))
             }
             Err(e) => {
                 session.park(user);
@@ -1543,6 +1627,14 @@ impl PurchaseSession {
     /// wallet reconciles it later).
     pub fn park(self, user: &mut UserAgent) {
         user.wallet.park(self.coin);
+    }
+
+    /// Returns the coin to the spendable wallet after a failure that
+    /// **provably never reached the service**
+    /// ([`TransportError::definitely_unsent`]): nothing was deposited,
+    /// so re-spending cannot double-spend.
+    pub fn recover(self, user: &mut UserAgent) {
+        user.wallet.put_back(self.coin);
     }
 }
 

@@ -73,16 +73,19 @@ impl SystemConfig {
 pub struct System<B: p2drm_store::ConcurrentKv = MemBackend> {
     /// Root certificate authority (trust anchor).
     pub root: CertificateAuthority,
-    /// Registration authority.
-    pub ra: RegistrationAuthority,
+    /// Registration authority (shared handle — every entry point takes
+    /// `&self`, so the same RA serves in-proc calls and wire services).
+    pub ra: std::sync::Arc<RegistrationAuthority>,
     /// Anonymity-revocation TTP.
     pub ttp: Ttp,
     /// E-cash mint.
     pub mint: Mint,
     /// Identified payment processor (baseline).
     pub processor: PaymentProcessor,
-    /// Privacy-preserving provider.
-    pub provider: ContentProvider<B>,
+    /// Privacy-preserving provider (shared handle, same reasoning as
+    /// [`System::ra`]; a wire service or TCP server clones the `Arc` and
+    /// the system keeps inspecting the same instance).
+    pub provider: std::sync::Arc<ContentProvider<B>>,
     /// Conventional provider (comparator).
     pub baseline: crate::baseline::BaselineProvider,
     config: SystemConfig,
@@ -146,11 +149,11 @@ impl Scaffold {
         );
         System {
             root: self.root,
-            ra: self.ra,
+            ra: std::sync::Arc::new(self.ra),
             ttp: self.ttp,
             mint: self.mint,
             processor: self.processor,
-            provider,
+            provider: std::sync::Arc::new(provider),
             baseline,
             config,
             epoch: 0,
@@ -255,8 +258,9 @@ impl<B: p2drm_store::ConcurrentKv> System<B> {
     /// [`crate::service::ProviderService::set_time`]). `seed` separates
     /// RNG streams between services; the service mixes it with OS
     /// entropy, so `handle` output is never predictable from the seed.
-    pub fn wire_service(&self, seed: u64) -> crate::service::ProviderService<'_, B> {
-        let service = crate::service::ProviderService::new(&self.provider, seed).with_ra(&self.ra);
+    pub fn wire_service(&self, seed: u64) -> crate::service::ProviderService<B> {
+        let service = crate::service::ProviderService::new(self.provider.clone(), seed)
+            .with_ra(self.ra.clone());
         service.set_time(self.epoch, self.now);
         service
     }

@@ -1,0 +1,242 @@
+//! The client side: a [`Transport`] over a real socket, with connect
+//! retry, keep-alive reuse, and reconnect when a cached connection turns
+//! out to be dead.
+//!
+//! The error mapping is the whole point: the core client's recovery
+//! logic ([`p2drm_core::service::WireClient`]) splits on
+//! [`TransportError::definitely_unsent`], so this transport must only
+//! claim `Unreachable` when **no byte of the request** can have reached
+//! the server — connect failures, and a first write syscall that failed
+//! outright. Everything after that is `Broken`/`Frame`: ambiguous, and
+//! the client parks consumed resources for reconciliation instead of
+//! unwinding them.
+
+use crate::frame::{read_frame_within, FrameError, LEN_PREFIX};
+use p2drm_core::service::{Transport, TransportError};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::Duration;
+
+/// Client socket tuning.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Extra connect attempts after the first (total = retries + 1).
+    pub connect_retries: u32,
+    /// Sleep between connect attempts, multiplied by the attempt number.
+    pub retry_backoff: Duration,
+    /// Reply read timeout.
+    pub read_timeout: Duration,
+    /// Request write timeout.
+    pub write_timeout: Duration,
+    /// Hard cap on request/response frame payloads (must match the
+    /// server's to avoid spurious rejections).
+    pub max_frame: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_retries: 2,
+            retry_backoff: Duration::from_millis(20),
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            max_frame: crate::frame::DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// A keep-alive TCP [`Transport`]: one connection, reused across round
+/// trips, transparently re-established when it breaks between requests.
+pub struct TcpTransport {
+    addr: SocketAddr,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+}
+
+impl TcpTransport {
+    /// Resolves `addr` and connects eagerly with the default config.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, TransportError> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Resolves `addr` and connects eagerly with `config`.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Self, TransportError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| TransportError::Unreachable(format!("address resolution failed: {e}")))?
+            .next()
+            .ok_or_else(|| {
+                TransportError::Unreachable("address resolved to nothing".to_string())
+            })?;
+        let mut transport = TcpTransport {
+            addr,
+            config,
+            stream: None,
+        };
+        transport.stream = Some(transport.fresh_stream()?);
+        Ok(transport)
+    }
+
+    /// The server address this transport talks to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a connection is currently cached (diagnostics only — it
+    /// may still turn out dead on next use).
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Dials with retry + linear backoff; `Unreachable` when every
+    /// attempt fails (nothing was ever sent).
+    fn fresh_stream(&self) -> Result<TcpStream, TransportError> {
+        let attempts = self.config.connect_retries + 1;
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                thread::sleep(self.config.retry_backoff * attempt);
+            }
+            match TcpStream::connect(self.addr) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+                    let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+                    return Ok(stream);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(TransportError::Unreachable(format!(
+            "connect to {} failed after {attempts} attempts: {}",
+            self.addr,
+            last_err.expect("at least one attempt ran")
+        )))
+    }
+
+    /// One request/reply exchange on the cached stream.
+    fn exchange(&mut self, request: &[u8]) -> Result<Vec<u8>, ExchangeError> {
+        let max_frame = self.config.max_frame;
+        let stream = self.stream.as_mut().expect("exchange requires a stream");
+
+        // Write the frame manually so "the very first write syscall
+        // failed" is distinguishable: in that case zero request bytes
+        // entered the kernel, so the server provably saw nothing and the
+        // request can be safely retried on a fresh connection.
+        let mut buf = Vec::with_capacity(LEN_PREFIX + request.len());
+        buf.extend_from_slice(&(request.len() as u32).to_le_bytes());
+        buf.extend_from_slice(request);
+        let mut written = 0;
+        while written < buf.len() {
+            match stream.write(&buf[written..]) {
+                Ok(0) if written == 0 => {
+                    return Err(ExchangeError::NothingSent(
+                        "write accepted 0 bytes".to_string(),
+                    ))
+                }
+                Ok(0) => {
+                    return Err(ExchangeError::Fatal(TransportError::Broken(
+                        "connection closed mid-request".to_string(),
+                    )))
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if written == 0 => return Err(ExchangeError::NothingSent(e.to_string())),
+                Err(e) => {
+                    return Err(ExchangeError::Fatal(TransportError::Broken(format!(
+                        "request write failed after {written} bytes: {e}"
+                    ))))
+                }
+            }
+        }
+        if let Err(e) = stream.flush() {
+            return Err(ExchangeError::Fatal(TransportError::Broken(format!(
+                "request flush failed: {e}"
+            ))));
+        }
+
+        // From here on every failure is ambiguous: the request is out.
+        // The whole-frame budget keeps a trickling server from pinning
+        // this client past ~2× its read timeout.
+        match read_frame_within(stream, max_frame, self.config.read_timeout) {
+            Ok(Some(reply)) => Ok(reply),
+            Ok(None) => Err(ExchangeError::Fatal(TransportError::Broken(
+                "server closed the connection before replying".to_string(),
+            ))),
+            Err(FrameError::IdleTimeout) => Err(ExchangeError::Fatal(TransportError::Broken(
+                "timed out waiting for the reply".to_string(),
+            ))),
+            Err(e @ (FrameError::Oversized { .. } | FrameError::Torn { .. })) => {
+                Err(ExchangeError::Fatal(TransportError::Frame(e.to_string())))
+            }
+            Err(FrameError::Io(e)) => Err(ExchangeError::Fatal(TransportError::Broken(format!(
+                "reply read failed: {e}"
+            )))),
+        }
+    }
+}
+
+/// Internal exchange outcome, split on retry safety.
+enum ExchangeError {
+    /// Zero request bytes left this host — safe to retry on a fresh
+    /// connection (the cached one was stale).
+    NothingSent(String),
+    /// The request may have been delivered; do not retry.
+    Fatal(TransportError),
+}
+
+impl Transport for TcpTransport {
+    fn roundtrip(&mut self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
+        // A request over the frame cap is refused locally, before any
+        // byte moves: `Unreachable` so callers can unwind client state
+        // (the server provably saw nothing), and the cached connection
+        // stays usable for the next, well-sized request.
+        if request.len() > self.config.max_frame as usize {
+            return Err(TransportError::Unreachable(format!(
+                "request of {} bytes exceeds the {}-byte frame limit — not sent",
+                request.len(),
+                self.config.max_frame
+            )));
+        }
+        let reused = self.stream.is_some();
+        if self.stream.is_none() {
+            self.stream = Some(self.fresh_stream()?);
+        }
+        match self.exchange(request) {
+            Ok(reply) => Ok(reply),
+            Err(ExchangeError::NothingSent(_)) if reused => {
+                // The kept-alive connection had died (idle close, server
+                // restart). The request never left, so a one-shot retry
+                // on a fresh connection is exactly-once safe.
+                self.stream = Some(self.fresh_stream()?);
+                match self.exchange(request) {
+                    Ok(reply) => Ok(reply),
+                    Err(ExchangeError::NothingSent(detail)) => {
+                        self.stream = None;
+                        Err(TransportError::Unreachable(format!(
+                            "fresh connection refused the request: {detail}"
+                        )))
+                    }
+                    Err(ExchangeError::Fatal(e)) => {
+                        self.stream = None;
+                        Err(e)
+                    }
+                }
+            }
+            Err(ExchangeError::NothingSent(detail)) => {
+                self.stream = None;
+                Err(TransportError::Unreachable(format!(
+                    "connection died before the request was sent: {detail}"
+                )))
+            }
+            Err(ExchangeError::Fatal(e)) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Length-prefixed framing shared by the client and the server.
+//!
+//! A frame is `u32` little-endian payload length followed by exactly
+//! that many payload bytes (one wire envelope). The length prefix never
+//! counts itself. Both directions enforce a hard maximum frame size: an
+//! advertised length above the limit is rejected **without reading the
+//! payload**, so a hostile peer cannot make an endpoint buffer arbitrary
+//! amounts of memory, and a torn frame (the stream dying mid-message) is
+//! reported as [`FrameError::Torn`], never silently padded or retried.
+
+use std::io::{self, Read, Write};
+
+/// Bytes in the length prefix.
+pub const LEN_PREFIX: usize = 4;
+
+/// Default hard cap on a frame's payload size (1 MiB — an order of
+/// magnitude above the largest legitimate envelope, which is bounded by
+/// content payload size).
+pub const DEFAULT_MAX_FRAME: u32 = 1 << 20;
+
+/// Why a frame could not be read or written.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The advertised payload length exceeds the negotiated maximum.
+    /// The payload was not read.
+    Oversized {
+        /// Length the prefix claimed.
+        len: u32,
+        /// The enforced maximum.
+        max: u32,
+    },
+    /// The stream ended (EOF or timeout) part-way through a frame; the
+    /// message can never complete and the connection cannot resync.
+    Torn {
+        /// Bytes of the current section actually received.
+        got: usize,
+        /// Bytes the section needed.
+        wanted: usize,
+    },
+    /// The read timed out **between** frames — no byte of the next
+    /// frame had arrived. For a keep-alive server this is the idle
+    /// heartbeat (check shutdown, keep waiting), not a protocol error.
+    IdleTimeout,
+    /// Any other socket failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            FrameError::Torn { got, wanted } => {
+                write!(f, "stream died mid-frame ({got}/{wanted} bytes)")
+            }
+            FrameError::IdleTimeout => write!(f, "idle timeout between frames"),
+            FrameError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Fills `buf`, distinguishing clean EOF before the first byte
+/// (`Ok(false)`) from EOF/timeout part-way through (`Torn`) and a
+/// timeout before the first byte (`IdleTimeout`).
+///
+/// `deadline` is the whole-frame budget shared by both sections of one
+/// frame: it is armed by the first byte of the frame (an idle
+/// connection never expires) and checked between reads, so a slow-loris
+/// peer trickling one byte per read cannot hold the caller past the
+/// budget — without it, a per-read socket timeout never fires as long
+/// as each read delivers *something*.
+fn read_section(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    budget: Option<std::time::Duration>,
+    deadline: &mut Option<std::time::Instant>,
+) -> Result<bool, FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        if let Some(d) = *deadline {
+            if std::time::Instant::now() >= d {
+                return Err(FrameError::Torn {
+                    got,
+                    wanted: buf.len(),
+                });
+            }
+        }
+        match r.read(&mut buf[got..]) {
+            Ok(0) if got == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(FrameError::Torn {
+                    got,
+                    wanted: buf.len(),
+                })
+            }
+            Ok(n) => {
+                got += n;
+                if deadline.is_none() {
+                    *deadline = budget.map(|b| std::time::Instant::now() + b);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) && got == 0 => return Err(FrameError::IdleTimeout),
+            Err(e) if is_timeout(&e) => {
+                return Err(FrameError::Torn {
+                    got,
+                    wanted: buf.len(),
+                })
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame. `Ok(None)` is a clean close: the peer shut the
+/// stream down exactly on a frame boundary. An oversized advertised
+/// length is rejected before any payload byte is read.
+///
+/// No whole-frame time bound is enforced — use
+/// [`read_frame_within`] when the peer is untrusted.
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Option<Vec<u8>>, FrameError> {
+    read_frame_impl(r, max_frame, None)
+}
+
+/// [`read_frame`] with a whole-frame time budget, armed by the frame's
+/// first byte: once a frame has started, it must complete within
+/// `budget` (checked between reads, so the effective bound is `budget`
+/// plus one socket read timeout) or the frame is reported [torn]. An
+/// idle connection — no byte of the next frame yet — never expires
+/// here; that is the socket read timeout's job ([`FrameError::IdleTimeout`]).
+///
+/// [torn]: FrameError::Torn
+pub fn read_frame_within(
+    r: &mut impl Read,
+    max_frame: u32,
+    budget: std::time::Duration,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    read_frame_impl(r, max_frame, Some(budget))
+}
+
+fn read_frame_impl(
+    r: &mut impl Read,
+    max_frame: u32,
+    budget: Option<std::time::Duration>,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut deadline = None;
+    let mut prefix = [0u8; LEN_PREFIX];
+    if !read_section(r, &mut prefix, budget, &mut deadline)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len > max_frame {
+        return Err(FrameError::Oversized {
+            len,
+            max: max_frame,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_section(r, &mut payload, budget, &mut deadline) {
+        Ok(true) => Ok(Some(payload)),
+        // EOF — or a timeout — exactly between prefix and payload still
+        // tore the frame: the prefix promised `len` more bytes, and
+        // treating the stall as "idle" would desync the stream (the
+        // late payload's first bytes would be parsed as a new prefix).
+        Ok(false) | Err(FrameError::IdleTimeout) => Err(FrameError::Torn {
+            got: 0,
+            wanted: len as usize,
+        }),
+        Err(e) => Err(e),
+    }
+}
+
+/// Writes one frame (prefix + payload in a single buffer, so a
+/// well-behaved kernel sees one send) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8], max_frame: u32) -> Result<(), FrameError> {
+    if payload.len() > max_frame as usize {
+        return Err(FrameError::Oversized {
+            len: payload.len() as u32,
+            max: max_frame,
+        });
+    }
+    let mut buf = Vec::with_capacity(LEN_PREFIX + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf).map_err(FrameError::Io)?;
+    w.flush().map_err(FrameError::Io)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        for len in [0usize, 1, 7, 255, 4096] {
+            let payload = vec![0xA5u8; len];
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &payload, DEFAULT_MAX_FRAME).unwrap();
+            assert_eq!(buf.len(), LEN_PREFIX + len);
+            let mut r = Cursor::new(buf);
+            let back = read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap();
+            assert_eq!(back, payload);
+            // And the stream is exactly consumed: next read is clean EOF.
+            assert!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_reading_payload() {
+        let mut bytes = 9u32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 9]);
+        let mut r = Cursor::new(bytes);
+        match read_frame(&mut r, 8) {
+            Err(FrameError::Oversized { len: 9, max: 8 }) => {}
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // The payload was left unread.
+        assert_eq!(r.position(), LEN_PREFIX as u64);
+    }
+
+    #[test]
+    fn oversized_write_is_refused() {
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_frame(&mut buf, &[0u8; 16], 8),
+            Err(FrameError::Oversized { len: 16, max: 8 })
+        ));
+        assert!(buf.is_empty(), "nothing must hit the wire");
+    }
+
+    #[test]
+    fn torn_prefix_and_torn_payload_are_reported() {
+        // Half a length prefix, then EOF.
+        let mut r = Cursor::new(vec![0x02u8, 0x00]);
+        assert!(matches!(
+            read_frame(&mut r, 64),
+            Err(FrameError::Torn { got: 2, wanted: 4 })
+        ));
+        // Full prefix promising 4 bytes, only 1 delivered.
+        let mut bytes = 4u32.to_le_bytes().to_vec();
+        bytes.push(0xFF);
+        let mut r = Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut r, 64),
+            Err(FrameError::Torn { got: 1, wanted: 4 })
+        ));
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let mut r = Cursor::new(Vec::<u8>::new());
+        assert!(read_frame(&mut r, 64).unwrap().is_none());
+    }
+
+    /// Yields its bytes, then times out (a stalled socket under a read
+    /// timeout).
+    struct StallAfter(Cursor<Vec<u8>>);
+
+    impl Read for StallAfter {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.0.read(buf) {
+                Ok(0) => Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled")),
+                other => other,
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_before_any_byte_is_idle_but_after_the_prefix_is_torn() {
+        // No bytes at all: the idle keep-alive heartbeat.
+        let mut r = StallAfter(Cursor::new(Vec::new()));
+        assert!(matches!(
+            read_frame(&mut r, 64),
+            Err(FrameError::IdleTimeout)
+        ));
+
+        // Full prefix, then a stall: mid-frame, so the frame is torn —
+        // reporting idle here would desync the stream (the late
+        // payload's first bytes would later be read as a new prefix).
+        let mut r = StallAfter(Cursor::new(4u32.to_le_bytes().to_vec()));
+        assert!(matches!(
+            read_frame(&mut r, 64),
+            Err(FrameError::Torn { got: 0, wanted: 4 })
+        ));
+
+        // Partial payload, then a stall: also torn.
+        let mut bytes = 4u32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[1, 2]);
+        let mut r = StallAfter(Cursor::new(bytes));
+        assert!(matches!(
+            read_frame(&mut r, 64),
+            Err(FrameError::Torn { got: 2, wanted: 4 })
+        ));
+    }
+
+    /// Delivers one byte per `read` call — the slow-loris shape, where
+    /// a per-read socket timeout never fires.
+    struct ByteAtATime(Cursor<Vec<u8>>);
+
+    impl Read for ByteAtATime {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = 1.min(buf.len());
+            self.0.read(&mut buf[..n])
+        }
+    }
+
+    #[test]
+    fn frame_budget_bounds_a_trickling_peer() {
+        let mut bytes = 8u32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[7u8; 8]);
+
+        // Without a budget the trickle completes (no per-frame bound).
+        let mut r = ByteAtATime(Cursor::new(bytes.clone()));
+        assert_eq!(read_frame(&mut r, 64).unwrap().unwrap(), vec![7u8; 8]);
+
+        // With a zero budget the deadline arms on the first byte and
+        // the very next read attempt reports the frame torn — the
+        // trickle cannot pin the caller.
+        let mut r = ByteAtATime(Cursor::new(bytes));
+        assert!(matches!(
+            read_frame_within(&mut r, 64, std::time::Duration::ZERO),
+            Err(FrameError::Torn { .. })
+        ));
+    }
+}

@@ -1,0 +1,74 @@
+//! `p2drm-net` — the real network layer: the wire API's bytes over TCP.
+//!
+//! The paper's DRM architecture is client/server — devices talk to the
+//! content provider and registration authority over a network — and
+//! everything below this crate already speaks serialized envelopes
+//! ([`p2drm_core::service`]). This crate puts those bytes on actual
+//! sockets, using only `std::net` (the workspace builds offline; like
+//! the `vendor/` shims, the async runtime is replaced by hand-rolled
+//! threads):
+//!
+//! * [`frame`] — length-prefixed framing (`u32` LE length ‖ envelope
+//!   bytes) with a hard maximum frame size, shared by both directions:
+//!   oversized lengths are rejected before the payload is read, torn
+//!   frames are typed errors, a clean close is distinguishable from a
+//!   dead stream;
+//! * [`DrmServer`] — a threaded keep-alive server: an accept loop feeds
+//!   a fixed worker pool over a bounded queue, connections past
+//!   [`NetConfig::max_connections`] are shed with a well-formed busy
+//!   error response, reads run under timeouts so malformed peers cannot
+//!   wedge a worker, and [`ServerHandle::shutdown`] drains in-flight
+//!   requests before joining every thread;
+//! * [`TcpTransport`] — the client half of
+//!   [`p2drm_core::service::Transport`]: connect retry with backoff,
+//!   connection reuse across round trips, reconnect when the kept-alive
+//!   connection died, and the error taxonomy the core client's
+//!   coin-recovery logic depends on (`Unreachable` only when the
+//!   request provably never left this host);
+//! * [`ServerMetrics`] — atomic counters (connections accepted/active,
+//!   requests served, decode errors, busy rejections) snapshotted as a
+//!   plain [`MetricsSnapshot`].
+//!
+//! # A purchase over real sockets
+//!
+//! ```
+//! use p2drm_core::system::{System, SystemConfig};
+//! use p2drm_core::service::WireClient;
+//! use p2drm_crypto::rng::test_rng;
+//! use p2drm_net::{DrmServer, NetConfig, TcpTransport};
+//!
+//! let mut rng = test_rng(7);
+//! let mut sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+//! let cid = sys.publish_content("Track", 100, b"bits", &mut rng);
+//! let mut alice = sys.register_user("alice", &mut rng).unwrap();
+//! sys.fund(&alice, 500);
+//!
+//! // The service owns shared handles, so the server can take it whole
+//! // while `sys` keeps inspecting the same provider.
+//! let server = DrmServer::bind("127.0.0.1:0", sys.wire_service(0xD0C), NetConfig::fast_test())
+//!     .expect("bind loopback");
+//!
+//! let transport = TcpTransport::connect(server.local_addr()).expect("connect");
+//! let mut client = WireClient::new(transport);
+//! client.set_epoch(sys.epoch());
+//! client
+//!     .obtain_pseudonym(&mut alice, sys.ra.blind_public(), sys.ttp.escrow_key(), &mut rng)
+//!     .unwrap();
+//! let license = client.purchase(&mut alice, &sys.mint, cid, &mut rng).unwrap();
+//! assert!(license.verify(sys.provider.public_key()).is_ok());
+//!
+//! let metrics = server.shutdown();
+//! assert!(metrics.requests_served >= 3);
+//! ```
+
+pub mod client;
+pub mod frame;
+pub mod metrics;
+pub mod server;
+
+pub use client::{ClientConfig, TcpTransport};
+pub use frame::{
+    read_frame, read_frame_within, write_frame, FrameError, DEFAULT_MAX_FRAME, LEN_PREFIX,
+};
+pub use metrics::{MetricsSnapshot, ServerMetrics};
+pub use server::{DrmServer, NetConfig, NetService, ServerHandle, ServiceFn};

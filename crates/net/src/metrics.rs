@@ -1,0 +1,103 @@
+//! Lock-free server observability: atomic counters the accept loop and
+//! workers bump on their hot paths, snapshotted on demand into a plain
+//! value the sim can report or serialize.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters, shared by every server thread. All updates are
+/// `Relaxed` — the counters are monotone operational telemetry, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    served: AtomicU64,
+    decode_errors: AtomicU64,
+    busy_rejections: AtomicU64,
+    oversized_replies: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn connection_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn connection_opened(&self) {
+        self.active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn connection_closed(&self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn request_served(&self) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn decode_error(&self) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn busy_rejection(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn oversized_reply(&self) {
+        self.oversized_replies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A coherent-enough point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            accepted_connections: self.accepted.load(Ordering::Relaxed),
+            active_connections: self.active.load(Ordering::Relaxed),
+            requests_served: self.served.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            oversized_replies: self.oversized_replies.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time server counters ([`ServerMetrics::snapshot`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Connections the accept loop took from the listener (including
+    /// ones later shed as busy).
+    pub accepted_connections: u64,
+    /// Connections currently being served by a worker.
+    pub active_connections: u64,
+    /// Requests decoded from a frame and answered by the service.
+    pub requests_served: u64,
+    /// Inbound framing violations — oversized advertised length, torn
+    /// frame, garbage prefix that never completed — i.e. byte streams
+    /// that failed to decode into a frame.
+    pub decode_errors: u64,
+    /// Connections answered with the busy error and closed because the
+    /// connection limit or queue depth was reached.
+    pub busy_rejections: u64,
+    /// Service replies that exceeded the frame cap and could not be
+    /// sent (the connection was closed instead; the request *was*
+    /// dispatched).
+    pub oversized_replies: u64,
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "accepted={} active={} served={} decode_errors={} busy={} oversized_replies={}",
+            self.accepted_connections,
+            self.active_connections,
+            self.requests_served,
+            self.decode_errors,
+            self.busy_rejections,
+            self.oversized_replies
+        )
+    }
+}

@@ -1,0 +1,421 @@
+//! The threaded TCP server: an accept loop feeding a fixed worker pool
+//! over a bounded hand-off queue.
+//!
+//! Connections are **keep-alive**: a worker owns one connection and
+//! serves request frames on it until the peer closes, the stream dies,
+//! or the server shuts down — so `workers` bounds the number of
+//! concurrently served connections, and `max_connections` bounds how
+//! many the server will hold (serving + queued) before it sheds load
+//! with a well-formed busy error response instead of an opaque hang.
+//!
+//! Every read runs under [`NetConfig::read_timeout`], and each frame
+//! additionally gets that same duration as a **whole-frame budget**
+//! ([`read_frame_within`]). Between frames the timeout is the idle
+//! heartbeat (the worker checks the shutdown flag and keeps waiting);
+//! mid-frame — a half-written length prefix, or a slow-loris peer
+//! trickling one byte per read so the per-read timeout never fires —
+//! the frame is torn and the connection dropped, so no byte stream can
+//! wedge a worker for more than about two timeout ticks.
+
+use crate::frame::{read_frame_within, write_frame, FrameError, DEFAULT_MAX_FRAME};
+use crate::metrics::{MetricsSnapshot, ServerMetrics};
+use p2drm_core::service::{
+    ApiError, ApiErrorCode, ProviderService, ResponseEnvelope, WireResponse,
+};
+use p2drm_store::ConcurrentKv;
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Anything the server can put behind a socket: one total function from
+/// request bytes to response bytes, callable from many worker threads.
+pub trait NetService: Send + Sync + 'static {
+    /// Answers one request. Must be total — malformed input yields an
+    /// error *response*, never a panic (the wire service already is).
+    fn handle(&self, request: &[u8]) -> Vec<u8>;
+}
+
+impl<B> NetService for ProviderService<B>
+where
+    B: ConcurrentKv + Send + Sync + 'static,
+{
+    fn handle(&self, request: &[u8]) -> Vec<u8> {
+        ProviderService::handle(self, request)
+    }
+}
+
+/// Adapter turning a closure into a [`NetService`] (test middleware:
+/// inject latency, count requests, wrap a real service).
+pub struct ServiceFn<F>(pub F);
+
+impl<F> NetService for ServiceFn<F>
+where
+    F: Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static,
+{
+    fn handle(&self, request: &[u8]) -> Vec<u8> {
+        (self.0)(request)
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Worker threads — the concurrently-served connection bound.
+    pub workers: usize,
+    /// Serving + queued connections the server holds before shedding
+    /// new ones with a busy response. `workers + queue_depth` already
+    /// bounds held connections structurally, so this knob only bites
+    /// when set **below** that sum (shedding with a decodable busy
+    /// envelope earlier than the queue would).
+    pub max_connections: usize,
+    /// Accepted-but-unclaimed connections the hand-off queue buffers.
+    pub queue_depth: usize,
+    /// Hard cap on request/response frame payloads.
+    pub max_frame: u32,
+    /// Socket read timeout: the idle-connection heartbeat and the bound
+    /// on how long a torn frame can occupy a worker.
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            workers: 4,
+            max_connections: 64,
+            queue_depth: 16,
+            max_frame: DEFAULT_MAX_FRAME,
+            read_timeout: Duration::from_millis(250),
+            write_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Short timeouts for tests: malformed-frame sweeps and shutdown
+    /// paths resolve in tens of milliseconds.
+    pub fn fast_test() -> Self {
+        NetConfig {
+            read_timeout: Duration::from_millis(60),
+            write_timeout: Duration::from_millis(500),
+            ..Self::default()
+        }
+    }
+}
+
+/// State shared by the accept loop, the workers, and the handle.
+struct Control {
+    config: NetConfig,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    /// Connections currently queued or being served (the
+    /// `max_connections` gauge).
+    occupancy: AtomicUsize,
+}
+
+/// A poisoned queue lock is recovered, not propagated: the queue holds
+/// plain values, so a panicking holder cannot leave it inconsistent.
+fn lock_queue(control: &Control) -> MutexGuard<'_, VecDeque<TcpStream>> {
+    control
+        .queue
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The TCP front of a wire service.
+pub struct DrmServer;
+
+impl DrmServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port), spawns the
+    /// accept loop and `config.workers` workers, and returns the running
+    /// server's handle. The service is shared by every worker.
+    pub fn bind<S: NetService>(
+        addr: impl ToSocketAddrs,
+        service: S,
+        config: NetConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        // Non-blocking accept + short poll keeps shutdown prompt without
+        // a self-connection trick or signal plumbing.
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let control = Arc::new(Control {
+            config: config.clone(),
+            metrics: ServerMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            occupancy: AtomicUsize::new(0),
+        });
+        let service = Arc::new(service);
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let control = control.clone();
+            let service = service.clone();
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("p2drm-net-worker-{i}"))
+                    .spawn(move || worker_loop(&control, service.as_ref()))?,
+            );
+        }
+        let acceptor = {
+            let control = control.clone();
+            thread::Builder::new()
+                .name("p2drm-net-accept".into())
+                .spawn(move || accept_loop(&listener, &control))?
+        };
+
+        Ok(ServerHandle {
+            control,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+/// Handle to a running [`DrmServer`]: address, live metrics, shutdown.
+///
+/// Dropping the handle also shuts the server down (and joins every
+/// thread), so a panicking test cannot leak a listener.
+pub struct ServerHandle {
+    control: Arc<Control>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.control.metrics.snapshot()
+    }
+
+    /// Graceful shutdown: stops accepting, lets every worker finish the
+    /// request it is serving (the reply is written before the connection
+    /// closes), joins all threads, and returns the final metrics.
+    /// Completes within roughly one [`NetConfig::read_timeout`] tick.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop_and_join();
+        self.control.metrics.snapshot()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.control.shutdown.store(true, Ordering::SeqCst);
+        self.control.queue_cv.notify_all();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Accepted-but-never-claimed connections are dropped; their
+        // clients observe a clean close before any request was read.
+        lock_queue(&self.control).clear();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// A well-formed error response frame with correlation id 0 (used before
+/// any request was decoded, so there is no id to echo).
+fn error_frame(code: ApiErrorCode, detail: &str) -> Vec<u8> {
+    ResponseEnvelope {
+        correlation_id: 0,
+        body: WireResponse::Error(ApiError::new(code, detail)),
+    }
+    .to_bytes()
+}
+
+fn accept_loop(listener: &TcpListener, control: &Control) {
+    while !control.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => admit(control, stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Transient accept failures (EMFILE, aborted handshake) must
+            // not kill the loop; back off briefly and keep serving.
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Configures a fresh connection and either queues it for a worker or
+/// sheds it with a busy response.
+fn admit(control: &Control, stream: TcpStream) {
+    control.metrics.connection_accepted();
+    let config = &control.config;
+    // BSD-family kernels hand accepted sockets the listener's
+    // O_NONBLOCK; workers rely on blocking reads under a timeout, so
+    // reset it explicitly (a no-op on Linux).
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+
+    if control.occupancy.load(Ordering::SeqCst) >= config.max_connections {
+        return shed_busy(control, stream, "connection limit reached");
+    }
+    let mut queue = lock_queue(control);
+    if queue.len() >= config.queue_depth {
+        drop(queue);
+        return shed_busy(control, stream, "accept queue full");
+    }
+    control.occupancy.fetch_add(1, Ordering::SeqCst);
+    queue.push_back(stream);
+    drop(queue);
+    control.queue_cv.notify_one();
+}
+
+/// Best-effort busy reply, then close. The client sees a decodable
+/// `ServiceUnavailable` error envelope rather than a silent reset.
+fn shed_busy(control: &Control, mut stream: TcpStream, why: &str) {
+    control.metrics.busy_rejection();
+    let frame = error_frame(
+        ApiErrorCode::ServiceUnavailable,
+        &format!("server busy: {why}"),
+    );
+    if write_frame(&mut stream, &frame, control.config.max_frame).is_ok() {
+        drain_before_close(&mut stream);
+    }
+}
+
+/// Half-closes and drains a bounded amount of the peer's already-sent
+/// bytes before the stream drops. Closing a socket with unread receive
+/// data makes Linux send RST instead of FIN, and an RST discards data
+/// buffered at the peer — which would eat the error envelope we just
+/// wrote (a pipelining client sends its request before reading). The
+/// drain is bounded in bytes and per-read time, so a hostile peer can
+/// stall the caller only briefly.
+fn drain_before_close(stream: &mut TcpStream) {
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut sink = [0u8; 4096];
+    let mut drained = 0usize;
+    // Total deadline, not just per-read: a peer trickling a byte per
+    // read would otherwise stall the caller (possibly the accept loop)
+    // until the byte cap — for minutes, not milliseconds.
+    let deadline = std::time::Instant::now() + Duration::from_millis(250);
+    while drained < 64 * 1024 && std::time::Instant::now() < deadline {
+        match stream.read(&mut sink) {
+            // Peer closed its side too: close() now sends a clean FIN.
+            Ok(0) => break,
+            Ok(n) => drained += n,
+            // Timeout or error: best effort, give up.
+            Err(_) => break,
+        }
+    }
+}
+
+fn worker_loop<S: NetService>(control: &Control, service: &S) {
+    loop {
+        let stream = {
+            let mut queue = lock_queue(control);
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if control.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = control
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                queue = guard;
+            }
+        };
+        let Some(stream) = stream else { return };
+        serve_connection(control, service, stream);
+        control.occupancy.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The keep-alive request loop for one connection. Returns when the
+/// peer closes, the stream dies, a frame violates the contract, or the
+/// server shuts down — in the last case only after the in-flight
+/// request's reply has been written.
+fn serve_connection<S: NetService>(control: &Control, service: &S, mut stream: TcpStream) {
+    control.metrics.connection_opened();
+    let max_frame = control.config.max_frame;
+    let frame_budget = control.config.read_timeout;
+    loop {
+        match read_frame_within(&mut stream, max_frame, frame_budget) {
+            Ok(Some(request)) => {
+                let reply = service.handle(&request);
+                control.metrics.request_served();
+                match write_frame(&mut stream, &reply, max_frame) {
+                    Ok(()) => {}
+                    // The service produced a reply over the frame cap
+                    // (nothing hit the wire — write_frame checks
+                    // first). Deliberately no error envelope: the op
+                    // *was* dispatched, and an error reply would make
+                    // clients unwind state that must instead go
+                    // through their ambiguous-outcome reconciliation.
+                    // Count it and break so the client sees a broken
+                    // connection, and operators see the counter.
+                    Err(FrameError::Oversized { .. }) => {
+                        control.metrics.oversized_reply();
+                        break;
+                    }
+                    Err(_) => break,
+                }
+                if control.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            // Peer closed on a frame boundary: clean end of session.
+            Ok(None) => break,
+            // Nothing in flight; check for shutdown and keep listening.
+            Err(FrameError::IdleTimeout) => {
+                if control.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            // Oversized advertised length: the payload was never read,
+            // so the stream position is known — still, resync is
+            // impossible in a length-prefixed protocol once we refuse
+            // the payload. Answer well-formed, then close.
+            Err(FrameError::Oversized { len, max }) => {
+                control.metrics.decode_error();
+                let frame = error_frame(
+                    ApiErrorCode::MalformedRequest,
+                    &format!("frame of {len} bytes exceeds the {max}-byte limit"),
+                );
+                if write_frame(&mut stream, &frame, max_frame).is_ok() {
+                    // The refused payload sits unread in the receive
+                    // buffer; drain a bounded amount so closing cannot
+                    // RST the error frame out of the peer's buffer.
+                    drain_before_close(&mut stream);
+                }
+                break;
+            }
+            // Torn frame / garbage that never completed / socket error:
+            // nothing well-formed can be said to this peer.
+            Err(FrameError::Torn { .. }) | Err(FrameError::Io(_)) => {
+                control.metrics.decode_error();
+                break;
+            }
+        }
+    }
+    control.metrics.connection_closed();
+}

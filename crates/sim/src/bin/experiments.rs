@@ -4,9 +4,11 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p p2drm-sim --bin experiments [all|t1|t2|e1|e3|e4|e5|e6|e7|e10] [--quick]
+//! cargo run --release -p p2drm-sim --bin experiments [all|t1|t2|e1|e2|e3|e4|e5|e6|e7|e10] [--quick]
 //! ```
 //! Results print as tables and are also written to `results/*.json`.
+//! (E2 is storage growth — renumbered from its earlier `e6` slot when
+//! the TCP experiment took `e6`.)
 
 use p2drm_core::audit::{Party, Transcript};
 use p2drm_core::entities::user::PseudonymPolicy;
@@ -33,25 +35,27 @@ fn main() {
         "t1" => t1_purchase_transcript(),
         "t2" => t2_transfer_transcript(),
         "e1" => e1_message_costs(),
+        "e2" => e2_storage(quick),
         "e3" => e3_throughput(quick),
         "e4" => e4_durability(quick),
         "e5" => e5_wire(quick),
-        "e6" => e6_storage(quick),
+        "e6" => e6_tcp(quick),
         "e7" => e7_linkability(quick),
         "e10" => e10_payment(quick),
         "all" => {
             t1_purchase_transcript();
             t2_transfer_transcript();
             e1_message_costs();
+            e2_storage(quick);
             e3_throughput(quick);
             e4_durability(quick);
             e5_wire(quick);
-            e6_storage(quick);
+            e6_tcp(quick);
             e7_linkability(quick);
             e10_payment(quick);
         }
         other => {
-            eprintln!("unknown experiment {other}; use all|t1|t2|e1|e3|e4|e5|e6|e7|e10");
+            eprintln!("unknown experiment {other}; use all|t1|t2|e1|e2|e3|e4|e5|e6|e7|e10");
             std::process::exit(2);
         }
     }
@@ -425,7 +429,7 @@ fn e5_wire(quick: bool) {
     let _ = write_json("e5_wire", &results);
 }
 
-struct E6Row {
+struct E2Row {
     purchases: usize,
     license_store_entries: usize,
     license_bytes_total: usize,
@@ -434,7 +438,7 @@ struct E6Row {
     card_memory_bytes: usize,
 }
 
-impl p2drm_sim::json::ToJson for E6Row {
+impl p2drm_sim::json::ToJson for E2Row {
     fn to_json(&self) -> p2drm_sim::json::Json {
         use p2drm_sim::json::Json;
         Json::obj([
@@ -451,8 +455,8 @@ impl p2drm_sim::json::ToJson for E6Row {
     }
 }
 
-/// E6 (Table 2): storage growth with purchase count.
-fn e6_storage(quick: bool) {
+/// E2 (Table 2): storage growth with purchase count.
+fn e2_storage(quick: bool) {
     let sweep: &[usize] = if quick { &[10, 50] } else { &[10, 100, 300] };
     let mut rows = Vec::new();
     for &n in sweep {
@@ -474,7 +478,7 @@ fn e6_storage(quick: bool) {
             let lic = sys.purchase(&mut user, cid, &mut rng).unwrap();
             license_bytes += lic.encoded_len();
         }
-        rows.push(E6Row {
+        rows.push(E2Row {
             purchases: n,
             license_store_entries: sys.provider.license_count(),
             license_bytes_total: license_bytes,
@@ -484,7 +488,7 @@ fn e6_storage(quick: bool) {
         });
     }
     let mut table = Table::new(
-        "E6 (Table 2): storage growth (fresh-pseudonym policy)",
+        "E2 (Table 2): storage growth (fresh-pseudonym policy)",
         &[
             "purchases",
             "licenses",
@@ -505,7 +509,61 @@ fn e6_storage(quick: bool) {
         ]);
     }
     println!("{}", table.render());
-    let _ = write_json("e6_storage", &rows);
+    let _ = write_json("e2_storage", &rows);
+}
+
+/// E6: the price of the network — purchase throughput with direct
+/// `&self` dispatch, the in-proc byte-level wire path, and **real TCP
+/// sockets** (a `DrmServer` on a loopback port, one keep-alive
+/// `TcpTransport` per client thread) at each thread count. The
+/// wire→tcp gap is framing plus the kernel TCP stack; all three modes
+/// hit the same shared provider on the same volatile backend.
+fn e6_tcp(quick: bool) {
+    let clients_sweep: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let per_client = if quick { 3 } else { 25 };
+    let mut results = Vec::new();
+    let mut table = Table::new(
+        "E6: network overhead (in-proc vs loopback wire vs real TCP)",
+        &["mode", "clients", "ops", "throughput", "p50", "p99"],
+    );
+    for &clients in clients_sweep {
+        let mut trio = Vec::new();
+        for (m, mode) in [DispatchMode::InProc, DispatchMode::Wire, DispatchMode::Tcp]
+            .into_iter()
+            .enumerate()
+        {
+            let mut rng = test_rng(0xE60 + clients as u64 * 10 + m as u64);
+            let r = purchase_throughput(
+                ThroughputConfig {
+                    clients,
+                    purchases_per_client: per_client,
+                    store_shards: 8,
+                    backend: StoreBackend::Mem,
+                    mode,
+                },
+                &mut rng,
+            );
+            table.row(&[
+                r.mode.clone(),
+                r.clients.to_string(),
+                r.completed.to_string(),
+                format!("{:.1}/s", r.throughput),
+                fmt_ns(r.latency.p50_ns as f64),
+                fmt_ns(r.latency.p99_ns as f64),
+            ]);
+            trio.push(r.throughput);
+            results.push(r);
+        }
+        if let [inproc, wire, tcp] = trio[..] {
+            println!(
+                "  {clients} clients: wire/in-proc ratio {:.3}, tcp/wire ratio {:.3}",
+                wire / inproc,
+                tcp / wire
+            );
+        }
+    }
+    println!("{}", table.render());
+    let _ = write_json("e6_tcp", &results);
 }
 
 /// E7 (Fig 6): linkability vs pseudonym refresh policy.

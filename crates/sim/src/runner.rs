@@ -11,9 +11,11 @@
 //!
 //! Two orthogonal knobs pick the deployment shape under test:
 //! [`StoreBackend`] (volatile vs WAL-backed) and [`DispatchMode`]
-//! (direct `&self` calls vs the full byte-level wire path through
+//! (direct `&self` calls, the byte-level wire path through
 //! [`ProviderService`] — encode request, dispatch, decode response —
-//! which is what experiment E5 uses to price serialization).
+//! which is what experiment E5 uses to price serialization, or real
+//! TCP sockets through `p2drm-net`'s `DrmServer`/`TcpTransport`, which
+//! is what experiment E6 uses to price the network stack itself).
 
 use crate::json::{Json, ToJson};
 use crate::metrics::{Histogram, Summary};
@@ -23,10 +25,12 @@ use p2drm_core::service::{
     ProviderService, RequestEnvelope, ResponseEnvelope, WireRequest, WireResponse,
 };
 use p2drm_core::system::{System, SystemConfig};
+use p2drm_net::{ClientConfig, DrmServer, NetConfig, ServerHandle, TcpTransport};
 use p2drm_store::{ConcurrentKv, SyncPolicy, WalShardedConfig};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which store backend the provider under test runs on.
@@ -61,6 +65,11 @@ pub enum DispatchMode {
     /// [`ProviderService::handle`] the bytes, decode the
     /// [`ResponseEnvelope`].
     Wire,
+    /// Real sockets: a `DrmServer` bound to a loopback port with one
+    /// worker per client thread, each client holding a keep-alive
+    /// `TcpTransport` connection. Adds framing plus the kernel TCP
+    /// stack on top of [`DispatchMode::Wire`].
+    Tcp,
 }
 
 impl DispatchMode {
@@ -69,6 +78,7 @@ impl DispatchMode {
         match self {
             DispatchMode::InProc => "in-proc",
             DispatchMode::Wire => "wire",
+            DispatchMode::Tcp => "tcp",
         }
     }
 }
@@ -194,12 +204,13 @@ pub fn purchase_throughput<R: Rng>(config: ThroughputConfig, rng: &mut R) -> Thr
 }
 
 /// Backend-generic measured section.
-fn drive_provider<B: ConcurrentKv + Sync, R: Rng>(
+fn drive_provider<B: ConcurrentKv + Send + Sync + 'static, R: Rng>(
     config: ThroughputConfig,
     sys: System,
     provider: ContentProvider<B>,
     rng: &mut R,
 ) -> ThroughputResult {
+    let provider = Arc::new(provider);
     let template = sys.config().rights_template.clone();
     let cid = provider.publish("hot-item", 100, &vec![0u8; 1024], template, rng);
     let epoch = sys.epoch();
@@ -237,13 +248,50 @@ fn drive_provider<B: ConcurrentKv + Sync, R: Rng>(
     // Wire mode fronts the same provider with the byte-level service;
     // each purchase then pays encode → handle (decode, dispatch, encode)
     // → decode inside the timed section.
-    let service = ProviderService::new(&provider, 0x317E_0000);
+    let service = ProviderService::new(provider.clone(), 0x317E_0000);
     service.set_time(epoch, sys.now());
     let mode = config.mode;
 
+    // Tcp mode additionally boots a real server on a loopback port (its
+    // own service instance over the same shared provider) with one
+    // worker per client thread, so keep-alive connections are never
+    // starved. Connections are established outside the timed section —
+    // the steady-state cost under test is request/reply, not dialing.
+    let server: Option<ServerHandle> = match mode {
+        DispatchMode::Tcp => {
+            let tcp_service = ProviderService::new(provider.clone(), 0x317E_0001);
+            tcp_service.set_time(epoch, sys.now());
+            Some(
+                DrmServer::bind(
+                    "127.0.0.1:0",
+                    tcp_service,
+                    NetConfig {
+                        workers: config.clients,
+                        max_connections: config.clients + 4,
+                        ..NetConfig::default()
+                    },
+                )
+                .expect("bind loopback server"),
+            )
+        }
+        _ => None,
+    };
+
+    // Dial every keep-alive client connection *before* the clock
+    // starts: the steady-state cost under test is request/reply, not
+    // connection establishment.
+    let mut transports: Vec<Option<TcpTransport>> = (0..config.clients)
+        .map(|_| {
+            server.as_ref().map(|s| {
+                TcpTransport::connect_with(s.local_addr(), ClientConfig::default())
+                    .expect("connect to loopback server")
+            })
+        })
+        .collect();
+
     let start = Instant::now();
     std::thread::scope(|scope| {
-        for (c, reqs) in requests.iter().enumerate() {
+        for ((c, reqs), mut transport) in requests.iter().enumerate().zip(transports.drain(..)) {
             let provider = &provider;
             let service = &service;
             let completed = &completed;
@@ -253,11 +301,13 @@ fn drive_provider<B: ConcurrentKv + Sync, R: Rng>(
                 for (i, req) in reqs.iter().enumerate() {
                     // The request clone stands in for the client-side
                     // message the caller would already hold; it stays
-                    // outside the timed section so wire mode measures
-                    // encode → dispatch → decode, nothing else.
+                    // outside the timed section so wire/tcp modes
+                    // measure encode → dispatch → decode, nothing else.
                     let body = match mode {
                         DispatchMode::InProc => None,
-                        DispatchMode::Wire => Some(WireRequest::Purchase(req.clone())),
+                        DispatchMode::Wire | DispatchMode::Tcp => {
+                            Some(WireRequest::Purchase(req.clone()))
+                        }
                     };
                     let t0 = Instant::now();
                     let ok = match body {
@@ -267,7 +317,14 @@ fn drive_provider<B: ConcurrentKv + Sync, R: Rng>(
                                 correlation_id: ((c as u64) << 32) | i as u64,
                                 body,
                             };
-                            let reply = service.handle(&envelope.to_bytes());
+                            let request = envelope.to_bytes();
+                            let reply = match &mut transport {
+                                None => service.handle(&request),
+                                Some(t) => {
+                                    use p2drm_core::service::Transport;
+                                    t.roundtrip(&request).expect("loopback tcp roundtrip")
+                                }
+                            };
                             let envelope = ResponseEnvelope::from_bytes(&reply)
                                 .expect("service replies are well-formed");
                             matches!(envelope.body, WireResponse::Purchase(_))
@@ -283,6 +340,9 @@ fn drive_provider<B: ConcurrentKv + Sync, R: Rng>(
         }
     });
     let wall = start.elapsed();
+    if let Some(server) = server {
+        server.shutdown();
+    }
 
     let mut merged = Histogram::new();
     for h in &histograms {
@@ -365,6 +425,23 @@ mod tests {
         );
         assert_eq!(r.completed, 6);
         assert_eq!(r.mode, "wire");
+    }
+
+    #[test]
+    fn tcp_mode_completes_all_purchases() {
+        let mut rng = test_rng(274);
+        let r = purchase_throughput(
+            ThroughputConfig {
+                clients: 2,
+                purchases_per_client: 3,
+                store_shards: 8,
+                backend: StoreBackend::Mem,
+                mode: DispatchMode::Tcp,
+            },
+            &mut rng,
+        );
+        assert_eq!(r.completed, 6);
+        assert_eq!(r.mode, "tcp");
     }
 
     #[test]

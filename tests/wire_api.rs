@@ -6,41 +6,47 @@
 use p2drm::core::entities::provider::MemBackend;
 use p2drm::core::protocol::messages::{attribute_auth_bytes, AttributeIssueRequest, LicenseStatus};
 use p2drm::core::service::{
-    ApiErrorCode, Loopback, OpCode, Transport, WireClient, WireError, WireRequest, WireResponse,
+    ApiErrorCode, Loopback, OpCode, Transport, TransportError, WireClient, WireError, WireRequest,
+    WireResponse,
 };
 use p2drm::core::system::{System, SystemConfig};
 use p2drm::crypto::rng::test_rng;
 
 /// A transport that delivers every request but "loses" the replies of
-/// one op (returns undecodable bytes instead) — the ambiguous-outcome
+/// one op (typed `Broken` transport error) — the ambiguous-outcome
 /// simulator: the server committed, the client never learned.
-struct LoseRepliesOf<'s, 'p> {
-    inner: Loopback<'s, 'p, MemBackend>,
+struct LoseRepliesOf<'s> {
+    inner: Loopback<'s, MemBackend>,
     lost_op: OpCode,
 }
 
-impl Transport for LoseRepliesOf<'_, '_> {
-    fn roundtrip(&mut self, request: &[u8]) -> Vec<u8> {
-        let reply = self.inner.roundtrip(request);
+impl Transport for LoseRepliesOf<'_> {
+    fn roundtrip(&mut self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
+        let reply = self.inner.roundtrip(request)?;
         if reply.get(1) == Some(&self.lost_op.byte()) {
-            vec![0xDE, 0xAD]
+            Err(TransportError::Broken(
+                "reply lost in transit (simulated)".to_string(),
+            ))
         } else {
-            reply
+            Ok(reply)
         }
     }
 }
 
 /// A transport that never even delivers requests of one op — the other
-/// ambiguous outcome: the server saw nothing, the client can't tell.
-struct BlackholeOp<'s, 'p> {
-    inner: Loopback<'s, 'p, MemBackend>,
+/// ambiguous outcome: the server saw nothing, but the client only
+/// observes a broken connection and can't tell which side failed.
+struct BlackholeOp<'s> {
+    inner: Loopback<'s, MemBackend>,
     op: OpCode,
 }
 
-impl Transport for BlackholeOp<'_, '_> {
-    fn roundtrip(&mut self, request: &[u8]) -> Vec<u8> {
+impl Transport for BlackholeOp<'_> {
+    fn roundtrip(&mut self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
         if request.get(1) == Some(&self.op.byte()) {
-            vec![0xEE]
+            Err(TransportError::Broken(
+                "request swallowed by the network (simulated)".to_string(),
+            ))
         } else {
             self.inner.roundtrip(request)
         }
@@ -249,7 +255,7 @@ fn ambiguous_purchase_parks_coin_instead_of_losing_it() {
     let err = client
         .purchase(&mut alice, &sys.mint, cid, &mut rng)
         .expect_err("lost reply must surface as an error");
-    assert!(matches!(err, WireError::Envelope(_)), "got {err}");
+    assert!(matches!(err, WireError::Transport(_)), "got {err}");
 
     // The server committed: coin deposited, license issued (and lost
     // with the reply). Re-spending the coin would double-spend, so it
@@ -318,7 +324,7 @@ fn ambiguous_transfer_reconciles_via_license_status() {
     let err = client
         .transfer(&mut alice, &mut bob, lid, &mut rng)
         .expect_err("lost reply must surface as an error");
-    assert!(matches!(err, WireError::Envelope(_)), "got {err}");
+    assert!(matches!(err, WireError::Transport(_)), "got {err}");
 
     // Divergence: the provider committed (old id retired, successor
     // issued) while the sender still holds the stale license.

@@ -132,7 +132,7 @@ fn fuzzbed(seed: u64) -> Fuzzbed {
 
 /// The single robustness invariant: whatever bytes go in, a well-formed
 /// response envelope comes out.
-fn assert_well_formed(service: &ProviderService<'_>, input: &[u8], what: &str) -> WireResponse {
+fn assert_well_formed(service: &ProviderService, input: &[u8], what: &str) -> WireResponse {
     let reply = service.handle(input);
     let envelope = ResponseEnvelope::from_bytes(&reply)
         .unwrap_or_else(|e| panic!("{what}: reply not a well-formed envelope: {e}"));
