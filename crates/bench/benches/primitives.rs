@@ -47,11 +47,51 @@ fn bench_modexp(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("mont_pow_full_exp", bits), |b| {
             b.iter(|| mont.pow(&base, &exp))
         });
+        // Ablation: the pre-optimization kernel on the same inputs.
+        group.bench_function(BenchmarkId::new("mont_pow_reference", bits), |b| {
+            b.iter(|| mont.pow_reference(&base, &exp))
+        });
         let e65537 = UBig::from_u64(65537);
         group.bench_function(BenchmarkId::new("mont_pow_e65537", bits), |b| {
             b.iter(|| mont.pow(&base, &e65537))
         });
+        // Dedicated squaring vs the general product on the same operand.
+        let bm = mont.to_mont(&base);
+        group.bench_function(BenchmarkId::new("mont_mul_self", bits), |b| {
+            b.iter(|| mont.mont_mul(&bm, &bm))
+        });
+        group.bench_function(BenchmarkId::new("mont_sqr", bits), |b| {
+            b.iter(|| mont.mont_sqr(&bm))
+        });
     }
+    group.finish();
+}
+
+fn bench_fixed_base(c: &mut Criterion) {
+    use p2drm_crypto::elgamal::ElGamalGroup;
+    let mut group = c.benchmark_group("prim_fixed_base");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let mut rng = test_rng(0xF2);
+    let g = ElGamalGroup::modp_1024();
+    let exps: Vec<_> = (0..8).map(|_| g.random_exponent(&mut rng)).collect();
+    let _ = g.pow_g(&exps[0]); // build the table outside the measurement
+    let gen = g.generator().clone();
+    let mut i = 0usize;
+    group.bench_function("elgamal_pow_g_generic", |b| {
+        b.iter(|| {
+            i += 1;
+            g.pow(&gen, &exps[i % exps.len()])
+        })
+    });
+    group.bench_function("elgamal_pow_g_fixed_base", |b| {
+        b.iter(|| {
+            i += 1;
+            g.pow_g(&exps[i % exps.len()])
+        })
+    });
     group.finish();
 }
 
@@ -101,6 +141,7 @@ criterion_group!(
     benches,
     bench_symmetric,
     bench_modexp,
+    bench_fixed_base,
     bench_mul_ablation,
     bench_store
 );

@@ -9,7 +9,8 @@
 //!   conversions.
 //! * [`Mont`] — a Montgomery reduction context (CIOS) for fast modular
 //!   exponentiation with odd moduli, the workhorse of all public-key
-//!   operations.
+//!   operations; [`MontForm`] keeps values in Montgomery form across a
+//!   whole computation so conversions are paid at the boundary only.
 //! * [`modring`] — plain modular arithmetic, extended GCD, modular inverse
 //!   and the Jacobi symbol.
 //! * [`prime`] — Miller–Rabin probabilistic primality testing and random
@@ -42,7 +43,7 @@ pub mod prime;
 pub mod rng;
 pub mod ubig;
 
-pub use mont::Mont;
+pub use mont::{Mont, MontForm};
 pub use rng::BigRng;
 pub use ubig::UBig;
 

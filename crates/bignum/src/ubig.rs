@@ -119,6 +119,24 @@ impl UBig {
         self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
+    /// Reads `width` bits starting at bit `pos` (LSB = bit 0) as a word,
+    /// limb-wise — the window-extraction primitive for exponent scanning
+    /// (no per-bit [`UBig::bit`] calls). Bits beyond the length read as 0.
+    ///
+    /// # Panics
+    /// Panics when `width` is 0 or exceeds 32.
+    pub fn bits_at(&self, pos: usize, width: usize) -> u64 {
+        assert!((1..=32).contains(&width), "window width must be in 1..=32");
+        let (limb, off) = (pos / 64, pos % 64);
+        let mut v = self.limbs.get(limb).copied().unwrap_or(0) >> off;
+        if off + width > 64 {
+            if let Some(&hi) = self.limbs.get(limb + 1) {
+                v |= hi << (64 - off);
+            }
+        }
+        v & ((1u64 << width) - 1)
+    }
+
     /// Sets bit `i` to 1, growing the limb vector if needed.
     pub fn set_bit(&mut self, i: usize) {
         let (limb, off) = (i / 64, i % 64);
@@ -350,15 +368,23 @@ impl UBig {
         UBig::from_limbs(out)
     }
 
+    // Karatsuba pays off well above typical RSA sizes; threshold chosen
+    // by the e9 ablation bench (32 limbs = 2048 bits).
+    const KARATSUBA_THRESHOLD: usize = 32;
+
     /// Schoolbook product with a Karatsuba fast path for large operands.
+    /// Self-multiplication (same allocation or equal value) routes through
+    /// the cheaper [`UBig::square`] partial-product-symmetric path.
     pub fn mul(&self, other: &UBig) -> UBig {
         if self.is_zero() || other.is_zero() {
             return UBig::zero();
         }
-        // Karatsuba pays off well above typical RSA sizes; threshold chosen
-        // by the e9 ablation bench (32 limbs = 2048 bits).
-        const KARATSUBA_THRESHOLD: usize = 32;
-        if self.limbs.len() >= KARATSUBA_THRESHOLD && other.limbs.len() >= KARATSUBA_THRESHOLD {
+        if std::ptr::eq(self, other) || self == other {
+            return self.square();
+        }
+        if self.limbs.len() >= Self::KARATSUBA_THRESHOLD
+            && other.limbs.len() >= Self::KARATSUBA_THRESHOLD
+        {
             return self.mul_karatsuba(other);
         }
         self.mul_schoolbook(other)
@@ -419,9 +445,72 @@ impl UBig {
         UBig::from_limbs(limbs)
     }
 
-    /// `self * self`, slightly cheaper than `mul(self, self)` at large sizes.
+    /// `self * self` via dedicated squaring: each cross product
+    /// `limb[i]·limb[j]` (`i < j`) is computed once and doubled, roughly
+    /// halving the multiplication count of the schoolbook product; above
+    /// the Karatsuba threshold the three recursive half-size products are
+    /// squarings too.
     pub fn square(&self) -> UBig {
-        self.mul(self)
+        if self.is_zero() {
+            return UBig::zero();
+        }
+        if self.limbs.len() >= Self::KARATSUBA_THRESHOLD {
+            return self.sqr_karatsuba();
+        }
+        self.sqr_schoolbook()
+    }
+
+    fn sqr_schoolbook(&self) -> UBig {
+        let s = self.limbs.len();
+        let mut out = vec![0u64; 2 * s];
+        // Cross products a[i]*a[j] for i < j.
+        for i in 0..s {
+            let ai = self.limbs[i];
+            if ai == 0 {
+                continue;
+            }
+            let mut carry: u128 = 0;
+            for j in (i + 1)..s {
+                let cur = out[i + j] as u128 + ai as u128 * self.limbs[j] as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            // Position i + s is untouched by earlier iterations.
+            out[i + s] = carry as u64;
+        }
+        // Double the cross products; the final carry is always zero
+        // because 2 * cross < a^2 fits in 2s limbs.
+        let mut dcarry = 0u64;
+        for limb in out.iter_mut() {
+            let v = *limb;
+            *limb = (v << 1) | dcarry;
+            dcarry = v >> 63;
+        }
+        debug_assert_eq!(dcarry, 0);
+        // Add the diagonal terms a[i]^2 at position 2i.
+        let mut carry = 0u64;
+        for i in 0..s {
+            let sq = self.limbs[i] as u128 * self.limbs[i] as u128;
+            let cur = out[2 * i] as u128 + (sq as u64) as u128 + carry as u128;
+            out[2 * i] = cur as u64;
+            let cur2 = out[2 * i + 1] as u128 + (sq >> 64) + (cur >> 64);
+            out[2 * i + 1] = cur2 as u64;
+            carry = (cur2 >> 64) as u64;
+        }
+        debug_assert_eq!(carry, 0);
+        UBig::from_limbs(out)
+    }
+
+    fn sqr_karatsuba(&self) -> UBig {
+        let half = self.limbs.len() / 2;
+        let (a0, a1) = self.split_at(half);
+        // (a1*B + a0)^2 = a1^2*B^2 + ((a0+a1)^2 - a0^2 - a1^2)*B + a0^2
+        let z0 = a0.square();
+        let z2 = a1.square();
+        let z1 = (&a0 + &a1).square().sub(&z0).sub(&z2);
+        let mut acc = z2.shl_limbs(2 * half);
+        acc = &acc + &z1.shl_limbs(half);
+        &acc + &z0
     }
 
     // ---- shifts -----------------------------------------------------------
@@ -792,6 +881,35 @@ mod tests {
         let a = UBig::from_limbs(limbs_a);
         let b = UBig::from_limbs(limbs_b);
         assert_eq!(a.mul_karatsuba(&b), a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn square_matches_schoolbook_mul() {
+        // Compare against (a+1)(a-1) + 1 = a^2 computed through the
+        // ordinary (unequal-operand) multiplication path, so the check
+        // does not route through `square` itself.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for limbs in [1usize, 2, 5, 31, 32, 40, 65] {
+            let mut v = Vec::with_capacity(limbs);
+            for _ in 0..limbs {
+                x = x.wrapping_mul(0xbf58476d1ce4e5b9).wrapping_add(7);
+                v.push(x | 1);
+            }
+            let a = UBig::from_limbs(v);
+            let via_mul = &(&(&a + &UBig::one()) * &a.sub(&UBig::one())) + &UBig::one();
+            assert_eq!(a.square(), via_mul, "limbs={limbs}");
+        }
+        assert_eq!(UBig::zero().square(), UBig::zero());
+        assert_eq!(UBig::one().square(), UBig::one());
+    }
+
+    #[test]
+    fn mul_detects_self_multiplication() {
+        let a = big("0xdeadbeefcafebabe0123456789abcdef00112233445566778899aabbccddeeff");
+        let b = a.clone();
+        // Same allocation and equal-value cases both agree with square().
+        assert_eq!(&a * &a, a.square());
+        assert_eq!(&a * &b, a.square());
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Counting-allocator regression test: `Mont::pow`'s square-and-multiply
+//! main loop must perform **zero heap allocations** — every buffer (window
+//! table, accumulator, scratch) is allocated once before the loop starts.
+//!
+//! The old kernel allocated a fresh `Vec` per Montgomery product (~5 per 4
+//! exponent bits, i.e. ~1000 extra allocations when the exponent grows from
+//! 256 to 1024 bits). With the allocation-free kernel the count difference
+//! between a short and a long exponent is only the (slightly larger) window
+//! table, independent of the loop trip count.
+//!
+//! This file intentionally holds a single `#[test]` so no concurrent test
+//! thread can inflate the process-wide allocation counter mid-measurement.
+
+use p2drm_bignum::{Mont, UBig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocs_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let v = f();
+    (v, ALLOCS.load(Ordering::Relaxed) - before)
+}
+
+/// Deterministic pseudo-random limbs (no RNG dependency in this binary).
+fn limbs(n: usize, mut seed: u64) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            seed = seed
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(0xbf58476d1ce4e5b9);
+            seed ^ (seed >> 31)
+        })
+        .collect()
+}
+
+#[test]
+fn pow_main_loop_is_allocation_free() {
+    // 1024-bit odd modulus with the top bit set.
+    let mut n_limbs = limbs(16, 41);
+    n_limbs[0] |= 1;
+    n_limbs[15] |= 1 << 63;
+    let n = UBig::from_limbs(n_limbs);
+    let mont = Mont::new(&n).unwrap();
+    let base = UBig::from_limbs(limbs(15, 97));
+    let mut exp_short = UBig::from_limbs(limbs(4, 7)); // 256-bit exponent
+    let mut exp_long = UBig::from_limbs(limbs(16, 11)); // 1024-bit exponent
+    exp_short.set_bit(255);
+    exp_long.set_bit(1023);
+
+    // Warm-up: fault in lazy statics and allocator pools.
+    let _ = mont.pow(&base, &exp_short);
+    let _ = mont.pow(&base, &exp_long);
+
+    let (r_short, a_short) = allocs_during(|| mont.pow(&base, &exp_short));
+    let (r_long, a_long) = allocs_during(|| mont.pow(&base, &exp_long));
+
+    // Sanity: results agree with the reference kernel.
+    assert_eq!(r_short, mont.pow_reference(&base, &exp_short));
+    assert_eq!(r_long, mont.pow_reference(&base, &exp_long));
+
+    // Quadrupling the exponent length (and the loop trip count with it)
+    // must not grow the allocation count beyond the window-table delta
+    // (16 extra entries when the width steps from 4 to 5 bits).
+    assert!(
+        a_long <= a_short + 24,
+        "main loop allocates: {a_short} allocs @256-bit exp vs {a_long} @1024-bit exp"
+    );
+    // Absolute bound: window table (<= 32 entries) + accumulator + scratch
+    // + boundary conversions. The old kernel needed ~1300 here.
+    assert!(
+        a_long < 100,
+        "pow allocates too much overall: {a_long} allocations"
+    );
+
+    // The reference kernel is the ablation baseline: it must still show
+    // the per-iteration allocation behavior the fast kernel removed.
+    let (_, ref_long) = allocs_during(|| mont.pow_reference(&base, &exp_long));
+    assert!(
+        ref_long > 4 * a_long,
+        "reference kernel unexpectedly lean: {ref_long} vs fast {a_long}"
+    );
+}

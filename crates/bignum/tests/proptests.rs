@@ -18,6 +18,12 @@ fn ubig_nonzero() -> impl Strategy<Value = UBig> {
     ubig().prop_map(|v| if v.is_zero() { UBig::one() } else { v })
 }
 
+/// Strategy: arbitrary UBig up to ~2560 bits, crossing the Karatsuba
+/// threshold (32 limbs).
+fn ubig_wide() -> impl Strategy<Value = UBig> {
+    proptest::collection::vec(any::<u8>(), 0..320).prop_map(|b| UBig::from_bytes_be(&b))
+}
+
 /// Strategy: odd modulus >= 3.
 fn odd_modulus() -> impl Strategy<Value = UBig> {
     ubig().prop_map(|v| {
@@ -106,6 +112,44 @@ proptest! {
         let mont = Mont::new(&n).unwrap();
         let e = UBig::from_u64(e);
         prop_assert_eq!(mont.pow(&a, &e), a.pow_mod(&e, &n).unwrap());
+    }
+
+    #[test]
+    fn mont_sqr_matches_mont_mul(a in ubig(), n in odd_modulus()) {
+        let mont = Mont::new(&n).unwrap();
+        let am = mont.to_mont(&a);
+        prop_assert_eq!(mont.mont_sqr(&am), mont.mont_mul(&am, &am));
+    }
+
+    #[test]
+    fn square_matches_non_self_mul(a in ubig_wide()) {
+        // (a+1)(a-1) + 1 = a^2 goes through the ordinary unequal-operand
+        // multiplication path, so this does not route through square().
+        let via_mul = &(&(&a + &UBig::one()) * &a.checked_sub(&UBig::one()).unwrap_or_default())
+            + &if a.is_zero() { UBig::zero() } else { UBig::one() };
+        prop_assert_eq!(a.square(), via_mul);
+    }
+
+    #[test]
+    fn fast_kernel_matches_reference_kernel(a in ubig(), e in ubig(), n in odd_modulus()) {
+        let mont = Mont::new(&n).unwrap();
+        prop_assert_eq!(mont.pow(&a, &e), mont.pow_reference(&a, &e));
+    }
+
+    #[test]
+    fn pow_form_roundtrip_matches_pow(a in ubig(), e in ubig(), n in odd_modulus()) {
+        let mont = Mont::new(&n).unwrap();
+        let r = mont.from_form(&mont.pow_form(&mont.to_form(&a), &e));
+        prop_assert_eq!(r, mont.pow(&a, &e));
+    }
+
+    #[test]
+    fn bits_at_matches_per_bit_reads(a in ubig(), pos in 0usize..300, w in 1usize..33) {
+        let mut expect = 0u64;
+        for k in (0..w).rev() {
+            expect = (expect << 1) | a.bit(pos + k) as u64;
+        }
+        prop_assert_eq!(a.bits_at(pos, w), expect);
     }
 
     #[test]

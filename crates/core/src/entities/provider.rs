@@ -90,6 +90,11 @@ pub struct ProviderConfig {
     /// [`ContentProvider::with_store`], which wraps the caller's single
     /// store).
     pub store_shards: usize,
+    /// Entry bound of the signature-verification cache consulted by
+    /// [`ContentProvider::verify_pseudonym`] and the attribute-credential
+    /// check; `0` disables caching (every presentation pays the full RSA
+    /// verify — the E11 ablation configuration).
+    pub verify_cache_capacity: usize,
 }
 
 impl ProviderConfig {
@@ -100,6 +105,7 @@ impl ProviderConfig {
             epoch_window: 4,
             validity: p2drm_pki::cert::Validity::new(0, u64::MAX / 2),
             store_shards: 8,
+            verify_cache_capacity: 4096,
         }
     }
 }
@@ -134,7 +140,15 @@ pub struct ProviderCore {
     cert: Certificate,
     root_key: RsaPublicKey,
     ra_blind_key: RsaPublicKey,
+    /// Cached fingerprint of `ra_blind_key` (cache-key component; hashing
+    /// the key on every verification would eat into the cache win).
+    ra_blind_key_fp: [u8; 32],
     config: ProviderConfig,
+    /// Signature-verification cache: N requests presenting the same
+    /// certificate bytes in the same epoch pay for one RSA verify.
+    /// Interior-mutable and sharded, so it lives in the otherwise
+    /// immutable core and is consulted lock-free-ish from every thread.
+    vcache: p2drm_pki::VerifyCache,
 }
 
 /// CRL state: both revocation lists plus the sequence counters and
@@ -358,6 +372,8 @@ impl<B: ConcurrentKv> ContentProvider<B> {
     ) -> Self {
         ContentProvider {
             core: ProviderCore {
+                ra_blind_key_fp: ra_blind_key.fingerprint(),
+                vcache: p2drm_pki::VerifyCache::new(config.verify_cache_capacity),
                 keys,
                 cert,
                 root_key,
@@ -577,8 +593,18 @@ impl<B: ConcurrentKv> ContentProvider<B> {
         let key = trust
             .get(attr)
             .ok_or(CoreError::BadPseudonym("attribute issuer not trusted"))?;
-        cert.verify(key)
-            .map_err(|_| CoreError::BadPseudonym("attribute signature invalid"))?;
+        // Cached like the pseudonym check: repeat presentations of the
+        // same credential skip the RSA verify; the binding and epoch
+        // checks below always re-run.
+        let cache_key = p2drm_pki::VerifyCache::key(&[
+            &p2drm_codec::to_bytes(cert),
+            &key.fingerprint(),
+            &now_epoch.to_le_bytes(),
+        ]);
+        self.core.vcache.verify_with(cache_key, || {
+            cert.verify(key)
+                .map_err(|_| CoreError::BadPseudonym("attribute signature invalid"))
+        })?;
         // The credential must bind to the very pseudonym making the
         // purchase — it cannot be lent to another card.
         if cert.pseudonym_id() != req.pseudonym_cert.pseudonym_id() {
@@ -621,13 +647,20 @@ impl<B: ConcurrentKv> ContentProvider<B> {
 
     /// Validates a pseudonym certificate: RA blind signature, epoch
     /// freshness, and the pseudonym CRL.
+    ///
+    /// The blind-signature check consults the provider's verification
+    /// cache (key = SHA-256 of cert bytes ‖ RA key fingerprint ‖ epoch),
+    /// so N purchases presenting the same certificate pay for one RSA
+    /// verify. Epoch freshness and the CRL are *always* re-checked — a
+    /// revoked or aged-out certificate is refused even when a signature
+    /// success from an earlier request (or earlier epoch bucket) is still
+    /// cached.
     pub fn verify_pseudonym(
         &self,
         cert: &PseudonymCertificate,
         now_epoch: u32,
     ) -> Result<(), CoreError> {
-        cert.verify(&self.core.ra_blind_key)
-            .map_err(|_| CoreError::BadPseudonym("RA signature invalid"))?;
+        // Cheap structural checks first, unconditionally.
         if cert.body.epoch > now_epoch {
             return Err(CoreError::BadPseudonym("epoch in the future"));
         }
@@ -643,7 +676,21 @@ impl<B: ConcurrentKv> ContentProvider<B> {
         {
             return Err(CoreError::BadPseudonym("pseudonym revoked"));
         }
-        Ok(())
+        let key = p2drm_pki::VerifyCache::key(&[
+            &p2drm_codec::to_bytes(cert),
+            &self.core.ra_blind_key_fp,
+            &now_epoch.to_le_bytes(),
+        ]);
+        self.core.vcache.verify_with(key, || {
+            cert.verify(&self.core.ra_blind_key)
+                .map_err(|_| CoreError::BadPseudonym("RA signature invalid"))
+        })
+    }
+
+    /// Hit/miss counters of the provider's verification cache (reported
+    /// by the sim and experiment E11).
+    pub fn verify_cache_counters(&self) -> p2drm_pki::CacheCounters {
+        self.core.vcache.counters()
     }
 
     /// Anonymous purchase: verify pseudonym + coin, deposit, issue license.

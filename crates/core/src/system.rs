@@ -130,7 +130,7 @@ impl Scaffold {
             key_bits: config.key_bits,
             epoch_window: config.epoch_window,
             validity: config.validity,
-            store_shards: 8,
+            ..ProviderConfig::fast_test()
         }
     }
 

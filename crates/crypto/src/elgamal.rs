@@ -14,9 +14,9 @@ use crate::kdf;
 use crate::rng::CryptoRng;
 use crate::sha256::DIGEST_LEN;
 use crate::{chacha20, hmac, CryptoError};
-use p2drm_bignum::{prime, rng as brng, Mont, UBig};
+use p2drm_bignum::{mont, prime, rng as brng, Mont, UBig};
 use p2drm_codec::{Decode, Encode, Reader, Writer};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// The 1024-bit MODP prime from RFC 2409 (Second Oakley Group).
 const MODP_1024_HEX: &str = concat!(
@@ -26,12 +26,96 @@ const MODP_1024_HEX: &str = concat!(
     "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF",
 );
 
+/// Window width for the fixed-base precomputation tables. 4 bits keeps
+/// the per-base table at `(bits/4) · 16` Montgomery-form entries (~128 KiB
+/// for a 512-bit group, ~512 KiB for MODP-1024) while turning a full
+/// exponentiation into at most `bits/4` products with **no squarings**.
+const FIXED_BASE_WINDOW: usize = 4;
+
+/// Fixed-base exponentiation table (radix-2^W): `tables[i][d]` holds
+/// `base^(d · 2^(i·W))` in Montgomery form, so `base^x` is the product of
+/// one table entry per W-bit window of `x` — table lookups plus
+/// `mont_mul`s, nothing else. Built lazily (behind a `OnceLock`) the first
+/// time a base is exponentiated, then shared by every clone of the owner.
+#[derive(Debug)]
+struct FixedBase {
+    /// Exponent bits covered (the full Montgomery width, ≥ any exponent
+    /// reduced mod `p-1`).
+    bits: usize,
+    tables: Vec<Vec<Vec<u64>>>,
+}
+
+impl FixedBase {
+    fn build(mont: &Mont, base: &UBig) -> Self {
+        let s = mont.limb_len();
+        let bits = 64 * s;
+        let nwin = bits.div_ceil(FIXED_BASE_WINDOW);
+        let mut scratch = mont.alloc_scratch();
+        let mut tmp = vec![0u64; s];
+        let mut tables = Vec::with_capacity(nwin);
+        // b = base^(2^(i·W)) for the current window i.
+        let mut b = mont.to_mont(base);
+        for _ in 0..nwin {
+            let mut tab: Vec<Vec<u64>> = Vec::with_capacity(1 << FIXED_BASE_WINDOW);
+            tab.push(mont.one_form().into_limbs());
+            tab.push(b.clone());
+            for d in 2..(1 << FIXED_BASE_WINDOW) {
+                let mut next = vec![0u64; s];
+                mont.mont_mul_into(&tab[d - 1], &b, &mut next, &mut scratch);
+                tab.push(next);
+            }
+            for _ in 0..FIXED_BASE_WINDOW {
+                mont.mont_sqr_into(&b, &mut tmp, &mut scratch);
+                std::mem::swap(&mut b, &mut tmp);
+            }
+            tables.push(tab);
+        }
+        FixedBase { bits, tables }
+    }
+
+    /// `base^exp mod n`, or `None` when the exponent is wider than the
+    /// table covers (callers then fall back to the generic kernel).
+    fn pow(&self, mont: &Mont, exp: &UBig) -> Option<UBig> {
+        if exp.bit_len() > self.bits {
+            return None;
+        }
+        let s = mont.limb_len();
+        let mut acc = mont.one_form().into_limbs();
+        let mut tmp = vec![0u64; s];
+        let mut scratch = mont.alloc_scratch();
+        for (i, tab) in self.tables.iter().enumerate() {
+            let d = exp.bits_at(i * FIXED_BASE_WINDOW, FIXED_BASE_WINDOW) as usize;
+            if d != 0 {
+                mont.mont_mul_into(&acc, &tab[d], &mut tmp, &mut scratch);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+        }
+        Some(mont.from_mont(&acc))
+    }
+}
+
+/// Dispatches an exponentiation through a lazily built fixed-base table
+/// (when the fast kernel is active) or the generic Montgomery kernel.
+fn fixed_base_pow(table: &OnceLock<FixedBase>, ctx: &Mont, base: &UBig, exp: &UBig) -> UBig {
+    if mont::kernel() == mont::Kernel::Fast {
+        if let Some(r) = table
+            .get_or_init(|| FixedBase::build(ctx, base))
+            .pow(ctx, exp)
+        {
+            return r;
+        }
+    }
+    ctx.pow(base, exp)
+}
+
 /// A multiplicative group mod a safe prime `p = 2q + 1` with generator `g`.
 #[derive(Clone, Debug)]
 pub struct ElGamalGroup {
     p: UBig,
     g: UBig,
     mont: Mont,
+    /// Lazily built fixed-base table for `g`, shared across clones.
+    g_table: Arc<OnceLock<FixedBase>>,
 }
 
 impl PartialEq for ElGamalGroup {
@@ -52,7 +136,12 @@ impl ElGamalGroup {
             return Err(CryptoError::BadKey("generator out of range"));
         }
         let mont = Mont::new(&p).map_err(|_| CryptoError::BadKey("bad modulus"))?;
-        Ok(ElGamalGroup { p, g, mont })
+        Ok(ElGamalGroup {
+            p,
+            g,
+            mont,
+            g_table: Arc::new(OnceLock::new()),
+        })
     }
 
     /// The standard 1024-bit MODP group (generator 2).
@@ -87,12 +176,13 @@ impl ElGamalGroup {
         &self.g
     }
 
-    /// `g^x mod p`.
+    /// `g^x mod p` through the lazily built fixed-base table for `g`:
+    /// one table lookup + `mont_mul` per 4 exponent bits, no squarings.
     pub fn pow_g(&self, x: &UBig) -> UBig {
-        self.mont.pow(&self.g, x)
+        fixed_base_pow(&self.g_table, &self.mont, &self.g, x)
     }
 
-    /// `b^x mod p`.
+    /// `b^x mod p` (generic kernel — `b` varies per call).
     pub fn pow(&self, b: &UBig, x: &UBig) -> UBig {
         self.mont.pow(b, x)
     }
@@ -115,11 +205,21 @@ pub fn gen_safe_prime<R: CryptoRng + ?Sized>(bits: usize, rng: &mut R) -> UBig {
 }
 
 /// ElGamal public key `h = g^x`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct ElGamalPublicKey {
     group: ElGamalGroup,
     h: UBig,
+    /// Lazily built fixed-base table for `h`, shared across clones.
+    h_table: Arc<OnceLock<FixedBase>>,
 }
+
+impl PartialEq for ElGamalPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.group == other.group && self.h == other.h
+    }
+}
+
+impl Eq for ElGamalPublicKey {}
 
 /// ElGamal key pair.
 #[derive(Clone, Debug)]
@@ -148,6 +248,7 @@ impl ElGamalKeyPair {
             public: ElGamalPublicKey {
                 group: group.clone(),
                 h,
+                h_table: Arc::new(OnceLock::new()),
             },
             x,
         }
@@ -187,7 +288,14 @@ impl ElGamalPublicKey {
         &self.h
     }
 
+    /// `h^x mod p` through the lazily built fixed-base table for `h`.
+    pub fn pow_h(&self, x: &UBig) -> UBig {
+        fixed_base_pow(&self.h_table, &self.group.mont, &self.h, x)
+    }
+
     /// Encrypts `plaintext` (any length) with a fresh ephemeral exponent.
+    /// Both exponentiations (`g^y` and `h^y`) go through fixed-base
+    /// tables, so steady-state encryption is table lookups + `mont_mul`s.
     pub fn encrypt<R: CryptoRng + ?Sized>(
         &self,
         plaintext: &[u8],
@@ -195,7 +303,7 @@ impl ElGamalPublicKey {
     ) -> ElGamalCiphertext {
         let y = self.group.random_exponent(rng);
         let c1 = self.group.pow_g(&y);
-        let shared = self.group.pow(&self.h, &y);
+        let shared = self.pow_h(&y);
         let (enc_key, mac_key) = derive_keys(&shared);
         let body = chacha20::encrypt(&enc_key, &[0u8; 12], plaintext);
         let mut mac = hmac::HmacSha256::new(&mac_key);
@@ -239,7 +347,11 @@ impl Decode for ElGamalPublicKey {
         let h = UBig::from_bytes_be(r.get_int_bytes()?);
         let group =
             ElGamalGroup::new(p, g).map_err(|_| p2drm_codec::CodecError::BadDiscriminant(1))?;
-        Ok(ElGamalPublicKey { group, h })
+        Ok(ElGamalPublicKey {
+            group,
+            h,
+            h_table: Arc::new(OnceLock::new()),
+        })
     }
 }
 
@@ -255,8 +367,10 @@ impl Decode for ElGamalKeyPair {
     fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
         let public = ElGamalPublicKey::decode(r)?;
         let x = UBig::from_bytes_be(r.get_int_bytes()?);
-        // Consistency: h must equal g^x.
-        if public.group.pow_g(&x) != public.h {
+        // Consistency: h must equal g^x. One-shot check on a freshly
+        // decoded group — the generic kernel, not pow_g, so no fixed-base
+        // table is built for a single exponentiation.
+        if public.group.pow(public.group.generator(), &x) != public.h {
             return Err(p2drm_codec::CodecError::BadDiscriminant(2));
         }
         Ok(ElGamalKeyPair { public, x })

@@ -28,6 +28,10 @@ pub struct RsaPublicKey {
     n: UBig,
     e: UBig,
     mont: Mont,
+    /// Memoized fingerprint, computed on first use and shared across
+    /// clones — key ids are taken of the same key all over the hot path
+    /// (CRL checks, purchase logs, verification-cache keys).
+    fp: std::sync::Arc<std::sync::OnceLock<[u8; DIGEST_LEN]>>,
 }
 
 impl PartialEq for RsaPublicKey {
@@ -45,7 +49,12 @@ impl RsaPublicKey {
             return Err(CryptoError::BadKey("modulus must be odd and >= 64 bits"));
         }
         let mont = Mont::new(&n).map_err(|_| CryptoError::BadKey("bad modulus"))?;
-        Ok(RsaPublicKey { n, e, mont })
+        Ok(RsaPublicKey {
+            n,
+            e,
+            mont,
+            fp: std::sync::Arc::new(std::sync::OnceLock::new()),
+        })
     }
 
     /// The modulus.
@@ -64,8 +73,17 @@ impl RsaPublicKey {
     }
 
     /// Raw RSA public operation `x^e mod n`.
+    ///
+    /// Small public exponents (everything that fits a machine word, i.e.
+    /// every real-world `e` including F4) take the dedicated
+    /// [`Mont::pow_u64`] path: plain square-and-multiply with no window
+    /// table, which for the sparse `e = 65537` is 16 squarings and one
+    /// multiplication — the fast verify path.
     pub fn raw_public(&self, x: &UBig) -> UBig {
-        self.mont.pow(x, &self.e)
+        match self.e.to_u64() {
+            Some(e) => self.mont.pow_u64(x, e),
+            None => self.mont.pow(x, &self.e),
+        }
     }
 
     /// Exponentiation with an arbitrary exponent in this key's ring.
@@ -74,8 +92,9 @@ impl RsaPublicKey {
     }
 
     /// SHA-256 fingerprint of the canonical encoding (used as a key id).
+    /// Computed once per key and memoized (shared across clones).
     pub fn fingerprint(&self) -> [u8; DIGEST_LEN] {
-        sha256(&p2drm_codec::to_bytes(self))
+        *self.fp.get_or_init(|| sha256(&p2drm_codec::to_bytes(self)))
     }
 
     /// Verifies a PKCS#1 v1.5 SHA-256 signature over `message`.
@@ -193,6 +212,10 @@ pub struct RsaKeyPair {
     dp: UBig,
     dq: UBig,
     qinv: UBig,
+    /// `qinv` held in Montgomery form mod `p`: the CRT recombination
+    /// multiply `q⁻¹·(m₁ − m₂) mod p` is then a single Montgomery product
+    /// instead of an enter/multiply/exit sequence.
+    qinv_form: p2drm_bignum::MontForm,
     mont_p: Mont,
     mont_q: Mont,
 }
@@ -226,6 +249,7 @@ impl RsaKeyPair {
             let qinv = modring::inv_mod(&q, &p).expect("p, q distinct primes");
             let mont_p = Mont::new(&p).expect("odd prime");
             let mont_q = Mont::new(&q).expect("odd prime");
+            let qinv_form = mont_p.to_form(&qinv);
             let public = RsaPublicKey::new(n, e.clone()).expect("fresh modulus is valid");
             return RsaKeyPair {
                 public,
@@ -235,6 +259,7 @@ impl RsaKeyPair {
                 dp,
                 dq,
                 qinv,
+                qinv_form,
                 mont_p,
                 mont_q,
             };
@@ -261,9 +286,10 @@ impl RsaKeyPair {
     pub fn raw_private(&self, x: &UBig) -> UBig {
         let m1 = self.mont_p.pow(x, &self.dp);
         let m2 = self.mont_q.pow(x, &self.dq);
-        // h = qinv * (m1 - m2) mod p
+        // h = qinv * (m1 - m2) mod p: one Montgomery product, because
+        // qinv is kept permanently in Montgomery form.
         let diff = modring::sub_mod(&m1, &m2, &self.p);
-        let h = self.mont_p.mul_mod(&self.qinv, &diff);
+        let h = self.mont_p.form_mul_plain(&self.qinv_form, &diff);
         &m2 + &(&self.q * &h)
     }
 
@@ -379,6 +405,7 @@ impl Decode for RsaKeyPair {
         }
         let mont_p = Mont::new(&p).map_err(|_| p2drm_codec::CodecError::BadDiscriminant(2))?;
         let mont_q = Mont::new(&q).map_err(|_| p2drm_codec::CodecError::BadDiscriminant(2))?;
+        let qinv_form = mont_p.to_form(&qinv);
         Ok(RsaKeyPair {
             public,
             d,
@@ -387,6 +414,7 @@ impl Decode for RsaKeyPair {
             dp,
             dq,
             qinv,
+            qinv_form,
             mont_p,
             mont_q,
         })

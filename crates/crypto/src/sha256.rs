@@ -81,15 +81,20 @@ impl Sha256 {
     /// Finishes and returns the 32-byte digest.
     pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
         let bit_len = self.total.wrapping_mul(8);
-        // Padding: 0x80, zeros, 8-byte big-endian bit length.
-        self.update(&[0x80]);
-        // Note: update() adjusted self.total, but bit_len was captured first.
-        while self.buf_len != 56 {
-            self.update(&[0]);
-        }
-        let mut len_bytes = [0u8; 8];
-        len_bytes.copy_from_slice(&bit_len.to_be_bytes());
-        self.update(&len_bytes);
+        // Padding: 0x80, zeros, 8-byte big-endian bit length — assembled
+        // in one buffer and absorbed in a single update call (a byte-wise
+        // padding loop costs more than the compression itself on the
+        // short inputs the hot paths hash).
+        // Note: update() adjusts self.total, but bit_len was captured first.
+        let mut pad = [0u8; 2 * BLOCK_LEN];
+        pad[0] = 0x80;
+        let pad_len = if self.buf_len < 56 {
+            BLOCK_LEN - self.buf_len
+        } else {
+            2 * BLOCK_LEN - self.buf_len
+        };
+        pad[pad_len - 8..pad_len].copy_from_slice(&bit_len.to_be_bytes());
+        self.update(&pad[..pad_len]);
         debug_assert_eq!(self.buf_len, 0);
 
         let mut out = [0u8; DIGEST_LEN];

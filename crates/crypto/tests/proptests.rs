@@ -4,6 +4,8 @@
 //! fixed keys is shared while messages, payloads and tamper positions are
 //! randomized.
 
+use p2drm_bignum::{mont, UBig};
+use p2drm_crypto::elgamal::{ElGamalGroup, ElGamalKeyPair};
 use p2drm_crypto::rng::test_rng;
 use p2drm_crypto::rsa::{fdh, kem_decapsulate, kem_encapsulate, RsaKeyPair};
 use p2drm_crypto::{blind, chacha20, envelope, hmac, kdf, sha256};
@@ -18,6 +20,11 @@ fn keys() -> &'static [RsaKeyPair; 2] {
             RsaKeyPair::generate(512, &mut test_rng(0xAA02)),
         ]
     })
+}
+
+fn elgamal_keys() -> &'static ElGamalKeyPair {
+    static KEYS: OnceLock<ElGamalKeyPair> = OnceLock::new();
+    KEYS.get_or_init(|| ElGamalKeyPair::generate(ElGamalGroup::test_512(), &mut test_rng(0xAA03)))
 }
 
 proptest! {
@@ -133,5 +140,33 @@ proptest! {
         let kp = &keys()[0];
         let h = fdh(&msg, kp.public().modulus_len());
         prop_assert!(&h < kp.public().modulus());
+    }
+
+    #[test]
+    fn fixed_base_elgamal_pow_matches_generic(seed in any::<u64>()) {
+        // pow_g goes through the fixed-base table; group.pow is the
+        // generic Mont kernel on the same base.
+        let g = ElGamalGroup::test_512();
+        let x = g.random_exponent(&mut test_rng(seed));
+        prop_assert_eq!(g.pow_g(&x), g.pow(&g.generator().clone(), &x));
+        // Edge exponents hit the table's zero-window and top-window paths.
+        prop_assert_eq!(g.pow_g(&UBig::zero()), UBig::one());
+        prop_assert_eq!(&g.pow_g(&UBig::one()), g.generator());
+    }
+
+    #[test]
+    fn elgamal_encryption_identical_under_both_kernels(
+        seed in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Kernel choice (fixed-base fast path vs reference) must be
+        // invisible in the produced bytes: same rng seed, same ciphertext.
+        let kp = elgamal_keys();
+        let fast = kp.public().encrypt(&msg, &mut test_rng(seed));
+        mont::set_kernel(mont::Kernel::Reference);
+        let reference = kp.public().encrypt(&msg, &mut test_rng(seed));
+        mont::set_kernel(mont::Kernel::Fast);
+        prop_assert_eq!(&fast, &reference);
+        prop_assert_eq!(kp.decrypt(&fast).unwrap(), msg);
     }
 }

@@ -300,6 +300,15 @@ pub struct Certificate {
 impl Certificate {
     /// Verifies the issuer signature and validity window.
     pub fn verify(&self, issuer_key: &RsaPublicKey, now: u64) -> Result<(), PkiError> {
+        self.check_constraints(issuer_key, now)?;
+        self.verify_signature(issuer_key)
+    }
+
+    /// The cheap structural half of [`Certificate::verify`]: validity
+    /// window and issuer binding, **no** signature check. Callers holding
+    /// a cached signature success (see [`crate::vcache::VerifyCache`])
+    /// must still run this on every presentation.
+    pub fn check_constraints(&self, issuer_key: &RsaPublicKey, now: u64) -> Result<(), PkiError> {
         if !self.body.validity.contains(now) {
             return Err(PkiError::Expired {
                 now,
@@ -310,6 +319,13 @@ impl Certificate {
         if KeyId::of_rsa(issuer_key) != self.body.issuer {
             return Err(PkiError::UnknownIssuer);
         }
+        Ok(())
+    }
+
+    /// The expensive half of [`Certificate::verify`]: the issuer's RSA
+    /// signature over the body bytes — the operation the verification
+    /// cache elides on repeat presentations.
+    pub fn verify_signature(&self, issuer_key: &RsaPublicKey) -> Result<(), PkiError> {
         issuer_key
             .verify(&self.body.signing_bytes(), &self.signature)
             .map_err(|_| PkiError::BadSignature)

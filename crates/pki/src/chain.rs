@@ -2,6 +2,7 @@
 
 use crate::cert::{Certificate, EntityKind, KeyId};
 use crate::crl::RevocationList;
+use crate::vcache::{CacheCounters, VerifyCache};
 use crate::PkiError;
 use p2drm_crypto::rsa::RsaPublicKey;
 use std::collections::HashMap;
@@ -39,17 +40,35 @@ impl std::error::Error for ChainError {}
 /// Maximum accepted chain length (leaf + intermediates).
 const MAX_CHAIN: usize = 8;
 
-/// A set of trusted root keys plus revocation state.
+/// A set of trusted root keys plus revocation state, with a bounded
+/// [`VerifyCache`] so repeat chain verifications of the same certificate
+/// bytes skip the RSA signature check (revocation and validity are still
+/// enforced on every call — see [`TrustStore::verify_chain`]).
 #[derive(Default)]
 pub struct TrustStore {
     roots: HashMap<KeyId, RsaPublicKey>,
     revoked: RevocationList,
+    cache: VerifyCache,
 }
 
 impl TrustStore {
-    /// Empty store.
+    /// Empty store with the default-sized verification cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty store with an explicit verification-cache bound
+    /// (`0` disables caching).
+    pub fn with_cache_capacity(capacity: usize) -> Self {
+        TrustStore {
+            cache: VerifyCache::new(capacity),
+            ..Self::default()
+        }
+    }
+
+    /// Hit/miss counters of the chain-verification cache.
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.cache.counters()
     }
 
     /// Trusts `root` (keyed by fingerprint).
@@ -83,6 +102,12 @@ impl TrustStore {
     /// Each certificate must verify under its issuer's key, the issuer of
     /// the last certificate must be a trusted root, and no subject in the
     /// chain may be revoked. Returns the leaf's subject kind on success.
+    ///
+    /// Signature checks consult the store's [`VerifyCache`], keyed by
+    /// certificate bytes ‖ issuer-key fingerprint ‖ day bucket of `now`;
+    /// revocation, validity-window and issuer-binding checks always
+    /// re-run, so a revoked or expired certificate is refused even when a
+    /// stale signature success is cached.
     pub fn verify_chain(&self, chain: &[&Certificate], now: u64) -> Result<EntityKind, ChainError> {
         if chain.is_empty() {
             return Err(ChainError::NoTrustedRoot);
@@ -114,7 +139,20 @@ impl TrustStore {
                     .get(&cert.body.issuer)
                     .ok_or(ChainError::NoTrustedRoot)?
             };
-            cert.verify(issuer_key, now)
+            // Cheap structural checks run unconditionally; the RSA
+            // signature check is elided on a cache hit.
+            cert.check_constraints(issuer_key, now)
+                .map_err(|source| ChainError::Invalid {
+                    position: pos,
+                    source,
+                })?;
+            let key = VerifyCache::key(&[
+                &p2drm_codec::to_bytes(*cert),
+                &issuer_key.fingerprint(),
+                &(now / 86_400).to_le_bytes(),
+            ]);
+            self.cache
+                .verify_with(key, || cert.verify_signature(issuer_key))
                 .map_err(|source| ChainError::Invalid {
                     position: pos,
                     source,
@@ -254,6 +292,75 @@ mod tests {
         assert_eq!(f.store.verify_chain(&[], 1), Err(ChainError::NoTrustedRoot));
         let long: Vec<&Certificate> = std::iter::repeat_n(&f.leaf, 9).collect();
         assert_eq!(f.store.verify_chain(&long, 1), Err(ChainError::TooLong(9)));
+    }
+
+    #[test]
+    fn repeat_verification_hits_the_cache() {
+        let f = fixture(88);
+        let chain = [&f.leaf, f.sub.certificate()];
+        assert!(f.store.verify_chain(&chain, 100).is_ok());
+        let after_first = f.store.cache_counters();
+        assert_eq!(after_first.hits, 0);
+        assert_eq!(after_first.insertions, 2, "leaf + intermediate cached");
+        assert!(f.store.verify_chain(&chain, 100).is_ok());
+        let after_second = f.store.cache_counters();
+        assert_eq!(after_second.hits, 2, "both signature checks elided");
+        assert_eq!(after_second.insertions, 2);
+    }
+
+    #[test]
+    fn revocation_wins_over_cached_success() {
+        let mut f = fixture(89);
+        let chain = [&f.leaf, f.sub.certificate()];
+        assert!(f.store.verify_chain(&chain, 100).is_ok());
+        f.store.revoke(f.leaf.subject_id());
+        assert!(
+            matches!(
+                f.store.verify_chain(&chain, 100),
+                Err(ChainError::Revoked { position: 0, .. })
+            ),
+            "cached signature success must not mask revocation"
+        );
+    }
+
+    #[test]
+    fn expiry_wins_over_cached_success() {
+        let mut rng = test_rng(90);
+        let root = CertificateAuthority::new_root(512, Validity::new(0, 1_000_000), &mut rng);
+        let key = RsaKeyPair::generate(512, &mut rng);
+        let cert = root.issue(
+            EntityKind::Device,
+            SubjectKey::Rsa(key.public().clone()),
+            Validity::new(0, 500),
+            vec![],
+        );
+        let mut store = TrustStore::new();
+        store.add_root(root.public_key().clone());
+        assert!(store.verify_chain(&[&cert], 100).is_ok());
+        // Same day bucket as the cached success, but past the window.
+        assert!(
+            matches!(
+                store.verify_chain(&[&cert], 600),
+                Err(ChainError::Invalid {
+                    position: 0,
+                    source: PkiError::Expired { .. }
+                })
+            ),
+            "cached signature success must not mask expiry"
+        );
+    }
+
+    #[test]
+    fn disabled_cache_still_verifies() {
+        let f = fixture(91);
+        let mut store = TrustStore::with_cache_capacity(0);
+        store.add_root(f.root.public_key().clone());
+        let chain = [&f.leaf, f.sub.certificate()];
+        assert!(store.verify_chain(&chain, 100).is_ok());
+        assert!(store.verify_chain(&chain, 100).is_ok());
+        let c = store.cache_counters();
+        assert_eq!(c.hits, 0);
+        assert_eq!(c.misses, 4);
     }
 
     #[test]

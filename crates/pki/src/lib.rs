@@ -13,6 +13,11 @@
 //! * [`crl`] — revocation lists: sorted-vector with binary search, a Bloom
 //!   filter prefilter variant (ablation for experiment E5), and signed CRL
 //!   envelopes.
+//! * [`vcache`] — a bounded, sharded [`VerifyCache`] remembering successful
+//!   signature verifications (keyed by cert bytes ‖ key fingerprint ‖
+//!   epoch bucket) so repeat presentations of the same certificate skip
+//!   the RSA exponentiation; structural checks (revocation, validity,
+//!   epoch freshness) always re-run.
 //!
 //! Key separation note: an authority holds **two** RSA keys — a certificate
 //! signing key (PKCS#1 v1.5 over structured bodies) and, for the RA, a
@@ -24,6 +29,7 @@ pub mod authority;
 pub mod cert;
 pub mod chain;
 pub mod crl;
+pub mod vcache;
 
 pub use authority::{CertificateAuthority, RegistrationAuthorityKeys};
 pub use cert::{
@@ -32,6 +38,7 @@ pub use cert::{
 };
 pub use chain::{ChainError, TrustStore};
 pub use crl::{BloomCrl, RevocationList, SignedCrl, SignedCrlDelta};
+pub use vcache::{CacheCounters, VerifyCache};
 
 /// Errors raised by certificate verification and issuance.
 #[derive(Debug, Clone, PartialEq, Eq)]

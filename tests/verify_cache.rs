@@ -1,0 +1,68 @@
+//! Provider verification-cache behavior: repeat certificate presentations
+//! skip the RSA verify, while revocation and epoch aging are enforced on
+//! every request — a stale cached success can never resurrect a revoked or
+//! expired credential.
+
+use p2drm::prelude::*;
+
+fn setup() -> (System, p2drm::pki::cert::PseudonymCertificate, u32) {
+    let mut rng = test_rng(0xCAC4E);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let mut user = sys.register_user("cache-user", &mut rng).unwrap();
+    sys.ensure_pseudonym(&mut user, &mut rng).unwrap();
+    let cert = user.current_pseudonym().unwrap().clone();
+    let epoch = sys.epoch();
+    (sys, cert, epoch)
+}
+
+#[test]
+fn repeat_presentations_hit_the_cache() {
+    let (sys, cert, epoch) = setup();
+    let before = sys.provider.verify_cache_counters();
+    for _ in 0..5 {
+        sys.provider.verify_pseudonym(&cert, epoch).unwrap();
+    }
+    let after = sys.provider.verify_cache_counters();
+    assert_eq!(after.insertions - before.insertions, 1, "one RSA verify");
+    assert_eq!(after.hits - before.hits, 4, "four cache hits");
+}
+
+#[test]
+fn revoked_pseudonym_refused_despite_cached_success() {
+    let (sys, cert, epoch) = setup();
+    sys.provider.verify_pseudonym(&cert, epoch).unwrap();
+    sys.provider.revoke_pseudonym(cert.pseudonym_id()).unwrap();
+    assert!(
+        sys.provider.verify_pseudonym(&cert, epoch).is_err(),
+        "cached signature success must not mask revocation"
+    );
+}
+
+#[test]
+fn expired_epoch_refused_despite_cached_success() {
+    let (sys, cert, epoch) = setup();
+    sys.provider.verify_pseudonym(&cert, epoch).unwrap();
+    // Aging the clock past the freshness window must refuse the very same
+    // certificate whose signature success is still cached.
+    let window = 4; // SystemConfig::fast_test epoch_window
+    assert!(
+        sys.provider
+            .verify_pseudonym(&cert, epoch + window + 1)
+            .is_err(),
+        "cached signature success must not mask epoch staleness"
+    );
+}
+
+#[test]
+fn epoch_bucket_invalidates_cache_entries() {
+    let (sys, cert, epoch) = setup();
+    sys.provider.verify_pseudonym(&cert, epoch).unwrap();
+    let before = sys.provider.verify_cache_counters();
+    // Same certificate, one epoch later (still within the window): the
+    // bucket is part of the cache key, so this is a fresh verification,
+    // not a hit against the previous epoch's entry.
+    sys.provider.verify_pseudonym(&cert, epoch + 1).unwrap();
+    let after = sys.provider.verify_cache_counters();
+    assert_eq!(after.hits, before.hits, "no cross-epoch cache hit");
+    assert_eq!(after.insertions - before.insertions, 1);
+}
