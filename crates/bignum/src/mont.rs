@@ -768,8 +768,12 @@ fn reduce_once(t: &mut [u64], n: &[u64], extra: u64) {
 }
 
 /// Window width for a fixed-window exponentiation of `bits`-bit exponents,
-/// minimizing squarings + multiplications (table build included).
-fn window_bits(bits: usize) -> usize {
+/// minimizing squarings + multiplications (table build included). Shared
+/// with the multi-exponentiation module: in a Straus interleaving the
+/// squarings are amortized across bases but the per-base table and
+/// multiplication counts match the single-base case, so the same width is
+/// (near-)optimal there too.
+pub(crate) fn window_bits(bits: usize) -> usize {
     if bits <= 16 {
         1
     } else if bits <= 48 {

@@ -51,6 +51,7 @@ pub mod license;
 pub mod protocol;
 pub mod service;
 pub mod system;
+pub mod valve;
 
 pub use audit::{Party, Transcript};
 pub use ids::{CardId, ContentId, DeviceId, LicenseId, UserId};

@@ -1,0 +1,288 @@
+//! Provider-side verification valve: a bounded staging queue that groups
+//! signature verifications arriving concurrently into one batched check.
+//!
+//! Under load the provider's worker threads all hit
+//! [`verify_pseudonym`](crate::entities::provider::ContentProvider::verify_pseudonym)
+//! with *different* certificates (the verification cache only helps with
+//! repeats), every one an independent RSA check under the **same** RA blind
+//! key — exactly the shape batch verification
+//! ([`p2drm_crypto::batch`]) amortizes. The valve makes the batches:
+//! cache-missing verifications stage in a small queue; the queue flushes
+//! when it reaches the configured batch size or when a caller has waited
+//! out a ~50µs deadline, whichever comes first. Requests in a flush are
+//! verified with one screened batch and each caller reads its own
+//! verdict — an invalid certificate in the group is isolated by the batch
+//! verifier's binary-split fallback and only that caller fails.
+//!
+//! The API is two-phase so callers can overlap the batch-fill window with
+//! their own independent work: [`VerifyValve::stage`] enqueues and returns
+//! a [`VerdictTicket`]; [`VerifyValve::wait`] collects the verdict. The
+//! purchase path stages the pseudonym check, then does its catalog lookup,
+//! attribute check and coin signature verification, and only then waits —
+//! by which time another worker has usually flushed the batch and the
+//! verdict is already posted.
+//!
+//! There is no flusher thread and no condvar parking: whichever arrival
+//! fills the batch drains and flushes it, and a waiting caller polls its
+//! verdict slot, yielding the CPU ([`std::thread::yield_now`]) between
+//! checks — on a loaded server the yield hands the core to the very
+//! threads that will fill the batch, without paying futex park/wake round
+//! trips for every staged item. A caller whose deadline expires drains and
+//! flushes whatever is staged itself, so a single-threaded caller pays at
+//! most the deadline in added latency — and only when the valve is
+//! enabled; the provider leaves the valve off (`valve_batch = 0`) unless
+//! configured.
+//!
+//! The valve sits *behind* the verification cache: only cache misses pay
+//! for batch membership, and successes are inserted into the cache by the
+//! caller as usual.
+
+use p2drm_crypto::batch;
+use p2drm_crypto::rsa::{RsaPublicKey, RsaSignature};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Monotonic valve statistics, exposed beside the verification-cache
+/// counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ValveCounters {
+    /// Verifications that went through a multi-item batched check.
+    pub batched: u64,
+    /// Flushes forced by a caller's deadline expiring (the batch filled
+    /// before the deadline otherwise).
+    pub timer_flushes: u64,
+    /// Flushes triggered by the queue reaching the batch size.
+    pub size_flushes: u64,
+    /// Combined checks spent isolating failures after a batch rejected
+    /// (the batch verifier's binary-split fallback).
+    pub fallback_splits: u64,
+}
+
+const VERDICT_PENDING: u8 = 0;
+const VERDICT_VALID: u8 = 1;
+const VERDICT_INVALID: u8 = 2;
+
+/// Handle for one staged verification; redeem it with
+/// [`VerifyValve::wait`]. Dropping the ticket without waiting is safe —
+/// the staged item is still verified by whichever flush picks it up, and
+/// the verdict is simply discarded.
+pub struct VerdictTicket {
+    slot: Arc<AtomicU8>,
+    staged_at: Instant,
+}
+
+/// One staged verification: FDH message bytes + signature, plus the slot
+/// the flusher posts the verdict to.
+struct Pending {
+    message: Vec<u8>,
+    signature: RsaSignature,
+    slot: Arc<AtomicU8>,
+}
+
+/// The valve. One per provider (all staged signatures are checked under
+/// the key fixed at construction); all methods take `&self`.
+pub struct VerifyValve {
+    key: RsaPublicKey,
+    batch: usize,
+    deadline: Duration,
+    pending: Mutex<Vec<Pending>>,
+    batched: AtomicU64,
+    timer_flushes: AtomicU64,
+    size_flushes: AtomicU64,
+    fallback_splits: AtomicU64,
+}
+
+impl VerifyValve {
+    /// Valve verifying FDH signatures under `key`, flushing at `batch`
+    /// staged items or after `deadline`, whichever comes first. `batch`
+    /// is clamped to at least 2 (a one-item "batch" is just an individual
+    /// verification with extra steps — callers disable the valve
+    /// instead).
+    pub fn new(key: RsaPublicKey, batch: usize, deadline: Duration) -> Self {
+        VerifyValve {
+            key,
+            batch: batch.max(2),
+            deadline,
+            pending: Mutex::new(Vec::new()),
+            batched: AtomicU64::new(0),
+            timer_flushes: AtomicU64::new(0),
+            size_flushes: AtomicU64::new(0),
+            fallback_splits: AtomicU64::new(0),
+        }
+    }
+
+    /// Stages one FDH check (`sig^e ≟ FDH(message)`); if this arrival
+    /// fills the batch, the whole batch is verified before returning (the
+    /// caller's own verdict included). Returns immediately otherwise —
+    /// do independent work, then redeem the ticket with [`Self::wait`].
+    pub fn stage(&self, message: Vec<u8>, signature: RsaSignature) -> VerdictTicket {
+        let slot = Arc::new(AtomicU8::new(VERDICT_PENDING));
+        let staged_at = Instant::now();
+        let mut pending = self.pending.lock().expect("valve queue poisoned");
+        pending.push(Pending {
+            message,
+            signature,
+            slot: Arc::clone(&slot),
+        });
+        if pending.len() >= self.batch {
+            let items = std::mem::take(&mut *pending);
+            drop(pending);
+            self.size_flushes.fetch_add(1, Ordering::Relaxed);
+            self.flush(items);
+        }
+        VerdictTicket { slot, staged_at }
+    }
+
+    /// Blocks until the ticket's verdict is available — at most roughly
+    /// the configured deadline (measured from staging) plus one batched
+    /// verification. Waiting polls and yields rather than parking; when
+    /// the deadline passes with no verdict, this caller drains and
+    /// flushes whatever is staged — its own item included — itself.
+    pub fn wait(&self, ticket: VerdictTicket) -> bool {
+        let deadline = ticket.staged_at + self.deadline;
+        let mut timed_out = false;
+        loop {
+            match ticket.slot.load(Ordering::Acquire) {
+                VERDICT_PENDING => {}
+                v => return v == VERDICT_VALID,
+            }
+            if !timed_out && Instant::now() >= deadline {
+                timed_out = true;
+                let items =
+                    std::mem::take(&mut *self.pending.lock().expect("valve queue poisoned"));
+                // Empty means another thread drained our batch and is
+                // computing it right now: keep yielding for the verdict.
+                if !items.is_empty() {
+                    self.timer_flushes.fetch_add(1, Ordering::Relaxed);
+                    self.flush(items);
+                    continue;
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Stage-and-wait in one call (no overlapped work).
+    pub fn verify_fdh(&self, message: Vec<u8>, signature: RsaSignature) -> bool {
+        let ticket = self.stage(message, signature);
+        self.wait(ticket)
+    }
+
+    /// Runs the batched verification for a drained queue and posts the
+    /// per-item verdicts.
+    fn flush(&self, items: Vec<Pending>) {
+        let verdicts: Vec<bool> = if items.len() == 1 {
+            vec![
+                p2drm_crypto::blind::verify_fdh(&self.key, &items[0].message, &items[0].signature)
+                    .is_ok(),
+            ]
+        } else {
+            self.batched
+                .fetch_add(items.len() as u64, Ordering::Relaxed);
+            let refs: Vec<(&[u8], &RsaSignature)> = items
+                .iter()
+                .map(|p| (p.message.as_slice(), &p.signature))
+                .collect();
+            let report = batch::screen_fdh_batch(&self.key, &refs);
+            self.fallback_splits
+                .fetch_add(report.splits as u64, Ordering::Relaxed);
+            (0..items.len())
+                .map(|i| !report.rejected.contains(&i))
+                .collect()
+        };
+        for (item, ok) in items.iter().zip(verdicts) {
+            let v = if ok { VERDICT_VALID } else { VERDICT_INVALID };
+            item.slot.store(v, Ordering::Release);
+        }
+    }
+
+    /// Snapshot of the monotonic counters.
+    pub fn counters(&self) -> ValveCounters {
+        ValveCounters {
+            batched: self.batched.load(Ordering::Relaxed),
+            timer_flushes: self.timer_flushes.load(Ordering::Relaxed),
+            size_flushes: self.size_flushes.load(Ordering::Relaxed),
+            fallback_splits: self.fallback_splits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2drm_crypto::rng::test_rng;
+    use p2drm_crypto::rsa::{fdh, RsaKeyPair};
+
+    fn fdh_sig(kp: &RsaKeyPair, message: &[u8]) -> RsaSignature {
+        let h = fdh(message, kp.public().modulus_len());
+        RsaSignature::from_ubig(kp.raw_private(&h))
+    }
+
+    #[test]
+    fn single_caller_flushes_on_timer() {
+        let mut rng = test_rng(1);
+        let kp = RsaKeyPair::generate(512, &mut rng);
+        let valve = VerifyValve::new(kp.public().clone(), 8, Duration::from_micros(100));
+        let ok = valve.verify_fdh(b"solo".to_vec(), fdh_sig(&kp, b"solo"));
+        assert!(ok);
+        let c = valve.counters();
+        assert_eq!(c.timer_flushes, 1);
+        assert_eq!(c.size_flushes, 0);
+        assert_eq!(c.batched, 0, "a lone item is verified individually");
+    }
+
+    #[test]
+    fn staged_ticket_can_overlap_work_before_waiting() {
+        let mut rng = test_rng(3);
+        let kp = RsaKeyPair::generate(512, &mut rng);
+        let valve = VerifyValve::new(kp.public().clone(), 2, Duration::from_micros(50));
+        let t1 = valve.stage(b"one".to_vec(), fdh_sig(&kp, b"one"));
+        // Second stage fills the batch of 2 and flushes inline, so both
+        // verdicts are posted before either wait().
+        let t2 = valve.stage(b"two".to_vec(), fdh_sig(&kp, b"broken"));
+        assert!(valve.wait(t1));
+        assert!(!valve.wait(t2));
+        assert_eq!(valve.counters().size_flushes, 1);
+        assert_eq!(valve.counters().batched, 2);
+    }
+
+    #[test]
+    fn concurrent_callers_batch_and_bad_item_is_isolated() {
+        let mut rng = test_rng(2);
+        let kp = std::sync::Arc::new(RsaKeyPair::generate(512, &mut rng));
+        // Generous deadline so all threads stage before any timer flush:
+        // the batch must fill and size-flush.
+        let valve = std::sync::Arc::new(VerifyValve::new(
+            kp.public().clone(),
+            4,
+            Duration::from_millis(500),
+        ));
+        let mut handles = Vec::new();
+        for i in 0..4u32 {
+            let valve = std::sync::Arc::clone(&valve);
+            let kp = std::sync::Arc::clone(&kp);
+            handles.push(std::thread::spawn(move || {
+                let msg = format!("cert {i}").into_bytes();
+                let sig = if i == 2 {
+                    fdh_sig(&kp, b"forged") // wrong message
+                } else {
+                    fdh_sig(&kp, &msg)
+                };
+                (i, valve.verify_fdh(msg, sig))
+            }));
+        }
+        let mut results: Vec<(u32, bool)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        results.sort_unstable();
+        assert_eq!(
+            results,
+            vec![(0, true), (1, true), (2, false), (3, true)],
+            "only the forged item fails"
+        );
+        let c = valve.counters();
+        assert_eq!(c.size_flushes, 1);
+        assert_eq!(c.batched, 4);
+        assert!(c.fallback_splits > 0, "bad item went through the splitter");
+    }
+}

@@ -91,6 +91,12 @@ impl RsaPublicKey {
         self.mont.pow(x, exp)
     }
 
+    /// The key's Montgomery context (shared with the batch verifier so
+    /// batched checks stay in this ring without rebuilding the context).
+    pub(crate) fn mont(&self) -> &Mont {
+        &self.mont
+    }
+
     /// SHA-256 fingerprint of the canonical encoding (used as a key id).
     /// Computed once per key and memoized (shared across clones).
     pub fn fingerprint(&self) -> [u8; DIGEST_LEN] {
@@ -422,7 +428,7 @@ impl Decode for RsaKeyPair {
 }
 
 /// EMSA-PKCS1-v1_5 encoding of SHA-256(message) into `k` bytes.
-fn emsa_pkcs1_v15(message: &[u8], k: usize) -> Result<Vec<u8>, CryptoError> {
+pub(crate) fn emsa_pkcs1_v15(message: &[u8], k: usize) -> Result<Vec<u8>, CryptoError> {
     let t_len = SHA256_DIGEST_INFO.len() + DIGEST_LEN;
     if k < t_len + 11 {
         return Err(CryptoError::MessageTooLong);

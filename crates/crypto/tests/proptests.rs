@@ -7,8 +7,9 @@
 use p2drm_bignum::{mont, UBig};
 use p2drm_crypto::elgamal::{ElGamalGroup, ElGamalKeyPair};
 use p2drm_crypto::rng::test_rng;
+use p2drm_crypto::rsa as batch_sig;
 use p2drm_crypto::rsa::{fdh, kem_decapsulate, kem_encapsulate, RsaKeyPair};
-use p2drm_crypto::{blind, chacha20, envelope, hmac, kdf, sha256};
+use p2drm_crypto::{batch, blind, chacha20, envelope, hmac, kdf, sha256};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -168,5 +169,88 @@ proptest! {
         mont::set_kernel(mont::Kernel::Fast);
         prop_assert_eq!(&fast, &reference);
         prop_assert_eq!(kp.decrypt(&fast).unwrap(), msg);
+    }
+
+    // --- batch verification -------------------------------------------
+
+    #[test]
+    fn batch_accepts_iff_each_item_individually_valid(
+        seed in any::<u64>(),
+        k in 2usize..12,
+        corrupt in proptest::collection::vec(0usize..12, 0..4),
+        mode_screen in any::<bool>(),
+    ) {
+        // Randomly corrupt a subset of a k-item batch and check that the
+        // batch verdict matches k individual verifications exactly: the
+        // rejected set is precisely the corrupted indices, in both scalar
+        // regimes.
+        let kp = &keys()[0];
+        let msgs: Vec<Vec<u8>> = (0..k)
+            .map(|i| format!("batch prop msg {seed} #{i}").into_bytes())
+            .collect();
+        let mut sigs: Vec<_> = msgs.iter().map(|m| kp.sign(m)).collect();
+        let mut corrupt: Vec<usize> = corrupt.into_iter().filter(|&i| i < k).collect();
+        corrupt.sort_unstable();
+        corrupt.dedup();
+        for &i in &corrupt {
+            // Forge by signing a different message: structurally a fine
+            // signature, only the combined/individual checks catch it.
+            sigs[i] = kp.sign(format!("forged {seed} #{i}").as_bytes());
+        }
+        let items: Vec<(&[u8], &batch_sig::RsaSignature)> = msgs
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| (m.as_slice(), s))
+            .collect();
+        let mode = if mode_screen {
+            batch::BatchMode::Screen
+        } else {
+            batch::BatchMode::SmallExponents { bits: 32 }
+        };
+        let report = batch::verify_batch(kp.public(), &items, mode, &mut test_rng(seed ^ 0xB17C));
+        prop_assert_eq!(&report.rejected, &corrupt, "rejected set must be the corrupt set");
+        let individually: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .filter(|(_, (m, s))| kp.public().verify(m, s).is_err())
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(&report.rejected, &individually);
+        prop_assert_eq!(report.all_valid(), corrupt.is_empty());
+        if !corrupt.is_empty() {
+            prop_assert!(report.splits > 0, "failures must go through the splitter");
+        }
+    }
+
+    #[test]
+    fn fdh_batch_split_pinpoints_single_corrupt_index(
+        seed in any::<u64>(),
+        k in 2usize..10,
+        bad in 0usize..10,
+    ) {
+        // One corrupted FDH signature in an otherwise-valid batch: the
+        // binary-split fallback must isolate exactly that index.
+        let bad = bad % k;
+        let kp = &keys()[1];
+        let modlen = kp.public().modulus_len();
+        let msgs: Vec<Vec<u8>> = (0..k)
+            .map(|i| format!("fdh prop msg {seed} #{i}").into_bytes())
+            .collect();
+        let sigs: Vec<batch_sig::RsaSignature> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let src: &[u8] = if i == bad { b"wrong preimage" } else { m };
+                batch_sig::RsaSignature::from_ubig(kp.raw_private(&fdh(src, modlen)))
+            })
+            .collect();
+        let items: Vec<(&[u8], &batch_sig::RsaSignature)> = msgs
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| (m.as_slice(), s))
+            .collect();
+        let report = batch::screen_fdh_batch(kp.public(), &items);
+        prop_assert_eq!(report.rejected, vec![bad]);
+        prop_assert!(report.splits > 0);
     }
 }

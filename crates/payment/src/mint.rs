@@ -159,10 +159,27 @@ impl<S: Kv> Mint<S> {
     /// Exactly one deposit per serial ever succeeds — enforced by the
     /// atomic [`Kv::insert_if_absent`] under the store's write lock.
     pub fn deposit(&self, coin: &Coin) -> Result<(), PaymentError> {
+        self.check_coin(coin)?;
+        self.deposit_prechecked(coin)
+    }
+
+    /// Signature-only half of [`Self::deposit`]: checks the coin under
+    /// its denomination key without touching the spent store. Pure and
+    /// side-effect free, so callers overlapping work with a concurrent
+    /// verification (the provider's valve) can run it early and commit
+    /// with [`Self::deposit_prechecked`] afterwards.
+    pub fn check_coin(&self, coin: &Coin) -> Result<(), PaymentError> {
         let key = self.public_key(coin.denomination)?;
         if !coin.verify(key) {
             return Err(PaymentError::BadCoin);
         }
+        Ok(())
+    }
+
+    /// Spent-marking half of [`Self::deposit`]. The coin's signature
+    /// MUST have been validated with [`Self::check_coin`] first; this
+    /// method only enforces the exactly-once serial rule.
+    pub fn deposit_prechecked(&self, coin: &Coin) -> Result<(), PaymentError> {
         let mut spent_key = Vec::with_capacity(38);
         spent_key.extend_from_slice(b"spent/");
         spent_key.extend_from_slice(&coin.serial);

@@ -108,6 +108,17 @@ impl TrustStore {
     /// revocation, validity-window and issuer-binding checks always
     /// re-run, so a revoked or expired certificate is refused even when a
     /// stale signature success is cached.
+    ///
+    /// Cache-missing signature checks are grouped by issuer key and each
+    /// group is handed to the batch verifier
+    /// ([`p2drm_crypto::batch::screen_batch`]) — a chain carrying several
+    /// certificates under the same issuer pays roughly one combined
+    /// exponentiation for the lot, and the batch verifier's split fallback
+    /// still pinpoints the exact failing certificate. All structural
+    /// checks run before any signature work, so on a multi-fault chain the
+    /// reported error may name a structurally bad certificate further up
+    /// rather than an earlier signature failure; a chain is accepted iff
+    /// every check passes, exactly as before.
     pub fn verify_chain(&self, chain: &[&Certificate], now: u64) -> Result<EntityKind, ChainError> {
         if chain.is_empty() {
             return Err(ChainError::NoTrustedRoot);
@@ -115,6 +126,16 @@ impl TrustStore {
         if chain.len() > MAX_CHAIN {
             return Err(ChainError::TooLong(chain.len()));
         }
+        // Pass 1: structural checks and cache lookups; collect the
+        // signature checks the cache could not answer.
+        struct Miss<'c> {
+            position: usize,
+            cert: &'c Certificate,
+            issuer_key: &'c RsaPublicKey,
+            cache_key: [u8; 32],
+            payload: Vec<u8>,
+        }
+        let mut misses: Vec<Miss<'_>> = Vec::new();
         for (pos, cert) in chain.iter().enumerate() {
             let subject = cert.subject_id();
             if self.revoked.contains(&subject) {
@@ -146,17 +167,63 @@ impl TrustStore {
                     position: pos,
                     source,
                 })?;
-            let key = VerifyCache::key(&[
+            let cache_key = VerifyCache::key(&[
                 &p2drm_codec::to_bytes(*cert),
                 &issuer_key.fingerprint(),
                 &(now / 86_400).to_le_bytes(),
             ]);
-            self.cache
-                .verify_with(key, || cert.verify_signature(issuer_key))
-                .map_err(|source| ChainError::Invalid {
+            if !self.cache.check(&cache_key) {
+                misses.push(Miss {
                     position: pos,
-                    source,
-                })?;
+                    cert,
+                    issuer_key,
+                    cache_key,
+                    payload: cert.body.signing_bytes(),
+                });
+            }
+        }
+        // Pass 2: batch the misses per issuer key. Within one chain most
+        // groups are singletons (each link has its own issuer), but
+        // sibling certificates under a shared issuer — and every caller
+        // routing through this path — verify together.
+        let mut failure: Option<usize> = None;
+        let mut grouped: Vec<(&RsaPublicKey, Vec<usize>)> = Vec::new();
+        for (idx, miss) in misses.iter().enumerate() {
+            match grouped.iter_mut().find(|(k, _)| *k == miss.issuer_key) {
+                Some((_, members)) => members.push(idx),
+                None => grouped.push((miss.issuer_key, vec![idx])),
+            }
+        }
+        for (issuer_key, members) in grouped {
+            if members.len() == 1 {
+                let miss = &misses[members[0]];
+                match miss.cert.verify_signature(issuer_key) {
+                    Ok(()) => self.cache.insert(miss.cache_key),
+                    Err(_) => {
+                        failure = Some(failure.map_or(miss.position, |p| p.min(miss.position)))
+                    }
+                }
+                continue;
+            }
+            let items: Vec<(&[u8], &p2drm_crypto::rsa::RsaSignature)> = members
+                .iter()
+                .map(|&idx| (misses[idx].payload.as_slice(), &misses[idx].cert.signature))
+                .collect();
+            let report = p2drm_crypto::batch::screen_batch(issuer_key, &items);
+            for (slot, &idx) in members.iter().enumerate() {
+                let miss = &misses[idx];
+                if report.rejected.contains(&slot) {
+                    failure = Some(failure.map_or(miss.position, |p| p.min(miss.position)));
+                } else {
+                    self.cache.insert(miss.cache_key);
+                }
+            }
+        }
+        if let Some(position) = failure {
+            return Err(ChainError::Invalid {
+                position,
+                source: PkiError::BadSignature,
+            });
         }
         Ok(chain[0].body.kind)
     }
@@ -361,6 +428,43 @@ mod tests {
         let c = store.cache_counters();
         assert_eq!(c.hits, 0);
         assert_eq!(c.misses, 4);
+    }
+
+    #[test]
+    fn same_issuer_links_verify_as_one_batch() {
+        // Chain [leaf, root-cert]: the leaf's issuer key comes from the
+        // root's self-signed certificate, so both signature checks are
+        // under the root key and take the grouped batch path.
+        let mut rng = test_rng(92);
+        let v = Validity::new(0, 1_000_000);
+        let root = CertificateAuthority::new_root(512, v, &mut rng);
+        let key = RsaKeyPair::generate(512, &mut rng);
+        let leaf = root.issue(
+            EntityKind::Device,
+            SubjectKey::Rsa(key.public().clone()),
+            v,
+            vec![],
+        );
+        let mut store = TrustStore::new();
+        store.add_root(root.public_key().clone());
+        let chain = [&leaf, root.certificate()];
+        assert_eq!(store.verify_chain(&chain, 100).unwrap(), EntityKind::Device);
+        let c = store.cache_counters();
+        assert_eq!(c.insertions, 2, "both links cached from the batch pass");
+
+        // Corrupt the leaf: the batch splitter must pinpoint position 0
+        // while still caching the valid root link.
+        let mut bad = leaf.clone();
+        bad.body.serial ^= 1;
+        let mut store2 = TrustStore::with_cache_capacity(0);
+        store2.add_root(root.public_key().clone());
+        assert!(matches!(
+            store2.verify_chain(&[&bad, root.certificate()], 100),
+            Err(ChainError::Invalid {
+                position: 0,
+                source: PkiError::BadSignature
+            })
+        ));
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub use cert::{
     KeyId, PseudonymCertBody, PseudonymCertificate, SubjectKey, Validity,
 };
 pub use chain::{ChainError, TrustStore};
-pub use crl::{BloomCrl, RevocationList, SignedCrl, SignedCrlDelta};
+pub use crl::{
+    verify_crl_batch, BloomCrl, CrlBatchOutcome, RevocationList, SignedCrl, SignedCrlDelta,
+};
 pub use vcache::{CacheCounters, VerifyCache};
 
 /// Errors raised by certificate verification and issuance.

@@ -28,6 +28,7 @@ pub use metrics::{Histogram, Summary};
 pub use mixed::{simulate, SimReport};
 pub use report::Table;
 pub use runner::{
-    purchase_throughput, DispatchMode, StoreBackend, ThroughputConfig, ThroughputResult,
+    purchase_throughput, purchase_throughput_with, DispatchMode, StoreBackend, ThroughputConfig,
+    ThroughputResult,
 };
 pub use workload::{Op, Workload, WorkloadConfig, Zipf};

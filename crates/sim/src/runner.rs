@@ -97,6 +97,10 @@ pub struct ThroughputConfig {
     pub backend: StoreBackend,
     /// In-process calls or the byte-level wire path.
     pub mode: DispatchMode,
+    /// Provider verification-valve batch size (0 = valve off, the
+    /// pre-valve behaviour; >0 stages cache-missing pseudonym
+    /// verifications and flushes them as one screened batch).
+    pub valve_batch: usize,
 }
 
 /// Throughput results.
@@ -118,6 +122,9 @@ pub struct ThroughputResult {
     pub throughput: f64,
     /// Per-purchase latency summary.
     pub latency: Summary,
+    /// Verification-valve counters for the run (all zero when the valve
+    /// is off).
+    pub valve: p2drm_core::valve::ValveCounters,
 }
 
 impl ToJson for ThroughputResult {
@@ -131,6 +138,15 @@ impl ToJson for ThroughputResult {
             ("wall_secs", self.wall_secs.to_json()),
             ("throughput", self.throughput.to_json()),
             ("latency", self.latency.to_json()),
+            (
+                "valve",
+                Json::obj([
+                    ("batched", self.valve.batched.to_json()),
+                    ("timer_flushes", self.valve.timer_flushes.to_json()),
+                    ("size_flushes", self.valve.size_flushes.to_json()),
+                    ("fallback_splits", self.valve.fallback_splits.to_json()),
+                ]),
+            ),
         ])
     }
 }
@@ -163,9 +179,21 @@ impl Drop for TempDir {
 /// question, now including the cost of durability when the backend is
 /// WAL-backed.
 pub fn purchase_throughput<R: Rng>(config: ThroughputConfig, rng: &mut R) -> ThroughputResult {
-    let mut sys = System::bootstrap(SystemConfig::fast_test(), rng);
+    purchase_throughput_with(SystemConfig::fast_test(), config, rng)
+}
+
+/// [`purchase_throughput`] over a caller-chosen [`SystemConfig`] — e.g.
+/// realistic key sizes, where per-signature verification is expensive
+/// enough for the valve's batching to matter (experiment E12).
+pub fn purchase_throughput_with<R: Rng>(
+    system: SystemConfig,
+    config: ThroughputConfig,
+    rng: &mut R,
+) -> ThroughputResult {
+    let mut sys = System::bootstrap(system, rng);
     let provider_config = ProviderConfig {
         store_shards: config.store_shards,
+        valve_batch: config.valve_batch,
         ..ProviderConfig::fast_test()
     };
 
@@ -365,6 +393,7 @@ fn drive_provider<B: ConcurrentKv + Send + Sync + 'static, R: Rng>(
         wall_secs: wall.as_secs_f64(),
         throughput: completed as f64 / wall.as_secs_f64(),
         latency: merged.summary(),
+        valve: provider.valve_counters(),
     }
 }
 
@@ -383,6 +412,7 @@ mod tests {
                 store_shards: 1,
                 backend: StoreBackend::Mem,
                 mode: DispatchMode::InProc,
+                valve_batch: 0,
             },
             &mut rng,
         );
@@ -403,11 +433,37 @@ mod tests {
                 store_shards: 8,
                 backend: StoreBackend::Mem,
                 mode: DispatchMode::InProc,
+                valve_batch: 0,
             },
             &mut rng,
         );
         assert_eq!(r.completed, 8);
         assert_eq!(r.store_shards, 8);
+    }
+
+    #[test]
+    fn valve_enabled_run_completes_and_batches() {
+        let mut rng = test_rng(275);
+        let r = purchase_throughput(
+            ThroughputConfig {
+                clients: 4,
+                purchases_per_client: 2,
+                store_shards: 8,
+                backend: StoreBackend::Mem,
+                mode: DispatchMode::InProc,
+                valve_batch: 2,
+            },
+            &mut rng,
+        );
+        assert_eq!(r.completed, 8);
+        // Every purchase presents a fresh pseudonym (a cache miss), so
+        // the valve must have flushed at least once — by size when the
+        // threads overlap, by timer otherwise.
+        assert!(
+            r.valve.timer_flushes + r.valve.size_flushes > 0,
+            "valve saw no traffic: {:?}",
+            r.valve
+        );
     }
 
     #[test]
@@ -420,6 +476,7 @@ mod tests {
                 store_shards: 8,
                 backend: StoreBackend::Mem,
                 mode: DispatchMode::Wire,
+                valve_batch: 0,
             },
             &mut rng,
         );
@@ -437,6 +494,7 @@ mod tests {
                 store_shards: 8,
                 backend: StoreBackend::Mem,
                 mode: DispatchMode::Tcp,
+                valve_batch: 0,
             },
             &mut rng,
         );
@@ -454,6 +512,7 @@ mod tests {
                 store_shards: 4,
                 backend: StoreBackend::WalSharded(SyncPolicy::Buffered),
                 mode: DispatchMode::Wire,
+                valve_batch: 0,
             },
             &mut rng,
         );
@@ -480,6 +539,7 @@ mod tests {
                     store_shards: 4,
                     backend: StoreBackend::WalSharded(policy),
                     mode: DispatchMode::InProc,
+                    valve_batch: 0,
                 },
                 &mut rng,
             );
