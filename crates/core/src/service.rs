@@ -65,7 +65,7 @@
 //! let mut device = sys.register_device(&mut rng).unwrap();
 //!
 //! let service = sys.wire_service(0xC0FFEE);
-//! let mut client = WireClient::new(Loopback(&service));
+//! let mut client = WireClient::new(Loopback::new(&service));
 //! client
 //!     .obtain_pseudonym(&mut alice, sys.ra.blind_public(), sys.ttp.escrow_key(), &mut rng)
 //!     .unwrap();
@@ -1006,24 +1006,108 @@ impl std::fmt::Display for TransportError {
 
 impl std::error::Error for TransportError {}
 
-/// Moves one request's bytes to a service and returns the response bytes.
+/// Moves request bytes to a service and returns response bytes, with
+/// **multiple requests allowed in flight at once** on one channel.
 /// Implementations may be sockets, queues, or the in-proc [`Loopback`].
+///
+/// The contract is submit/complete, keyed by the envelope's correlation
+/// id (which the caller must also stamp into the request bytes — the
+/// server echoes it, and the transport matches replies by it):
+///
+/// * [`Transport::submit`] hands one request to the channel. An error
+///   classifies **that request only**: `Unreachable` means it provably
+///   never left this host (the caller may unwind state as if the call
+///   was never made); `Broken`/`Frame` mean it *may* have left, so the
+///   caller must treat the outcome as ambiguous. Either way,
+///   previously submitted requests stay in flight — their fate is
+///   reported by `complete`.
+/// * [`Transport::complete`] blocks for the **next** reply, in whatever
+///   order the service answers — `Ok(Some((corr_id, bytes)))` resolves
+///   exactly one in-flight submission. `Ok(None)` means the `deadline`
+///   passed (or nothing was in flight) with the channel still healthy.
+///   `Err(_)` is a **channel failure**: every request in flight becomes
+///   ambiguous at once, the transport forgets them, and a later
+///   `submit` may re-establish the channel.
+/// * A reply whose correlation id is not currently in flight — unknown,
+///   or already consumed by an earlier `complete` — must be **rejected
+///   as a channel failure**, never delivered twice or misdelivered.
+///
+/// `deadline: None` means "wait as long as this transport considers
+/// reasonable" (a socket transport's read timeout); exceeding *that*
+/// patience is `Err(Broken)`, not `Ok(None)`, because a request was in
+/// flight and its outcome is now unknown.
 pub trait Transport {
-    /// Delivers `request` and returns the service's reply bytes, or a
-    /// typed [`TransportError`] when the round trip could not complete.
-    fn roundtrip(&mut self, request: &[u8]) -> Result<Vec<u8>, TransportError>;
+    /// Hands one request (stamped with `corr_id`) to the channel.
+    fn submit(&self, corr_id: u64, request: &[u8]) -> Result<(), TransportError>;
+
+    /// Blocks for the next reply, whichever in-flight request it
+    /// resolves. See the trait docs for the `deadline`/`None`/`Err`
+    /// semantics.
+    fn complete(
+        &self,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Option<(u64, Vec<u8>)>, TransportError>;
+
+    /// One-shot round trip — the degenerate pipeline of depth 1:
+    /// submit, then complete until `corr_id`'s reply arrives. Replies
+    /// to other (abandoned) correlation ids are discarded.
+    fn roundtrip(&self, corr_id: u64, request: &[u8]) -> Result<Vec<u8>, TransportError> {
+        self.submit(corr_id, request)?;
+        loop {
+            match self.complete(None)? {
+                Some((id, reply)) if id == corr_id => return Ok(reply),
+                Some(_) => continue,
+                None => {
+                    return Err(TransportError::Broken(
+                        "transport reported nothing in flight while a reply was outstanding"
+                            .to_string(),
+                    ))
+                }
+            }
+        }
+    }
 }
 
-/// In-process transport: calls [`ProviderService::handle`] directly. The
-/// bytes still make the full encode → dispatch → decode journey, so this
-/// is the serialization-overhead baseline a real socket would add to.
-/// Infallible by construction — there is no wire to lose bytes on, so
-/// `roundtrip` always returns `Ok`.
-pub struct Loopback<'s, B: ConcurrentKv>(pub &'s ProviderService<B>);
+/// In-process transport: [`Transport::submit`] calls
+/// [`ProviderService::handle`] synchronously and queues the reply;
+/// [`Transport::complete`] pops replies in submission order. The bytes
+/// still make the full encode → dispatch → decode journey, so this is
+/// the serialization-overhead baseline a real socket would add to.
+/// Infallible by construction — there is no wire to lose bytes on.
+pub struct Loopback<'s, B: ConcurrentKv> {
+    service: &'s ProviderService<B>,
+    replies: std::sync::Mutex<std::collections::VecDeque<(u64, Vec<u8>)>>,
+}
+
+impl<'s, B: ConcurrentKv> Loopback<'s, B> {
+    /// In-process transport over `service`.
+    pub fn new(service: &'s ProviderService<B>) -> Self {
+        Loopback {
+            service,
+            replies: std::sync::Mutex::new(std::collections::VecDeque::new()),
+        }
+    }
+}
 
 impl<B: ConcurrentKv> Transport for Loopback<'_, B> {
-    fn roundtrip(&mut self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
-        Ok(self.0.handle(request))
+    fn submit(&self, corr_id: u64, request: &[u8]) -> Result<(), TransportError> {
+        let reply = self.service.handle(request);
+        self.replies
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push_back((corr_id, reply));
+        Ok(())
+    }
+
+    fn complete(
+        &self,
+        _deadline: Option<std::time::Instant>,
+    ) -> Result<Option<(u64, Vec<u8>)>, TransportError> {
+        Ok(self
+            .replies
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop_front())
     }
 }
 
@@ -1109,7 +1193,15 @@ impl From<p2drm_payment::PaymentError> for WireError {
 /// device) while the provider/RA live behind the wire.
 pub struct WireClient<T: Transport> {
     transport: T,
-    next_correlation: u64,
+    /// Correlation-id source: a monotone atomic counter, so ids are
+    /// unique per client/connection even across concurrently prepared
+    /// pipelined sessions. Id 0 is reserved (it marks a server's
+    /// pre-decode error reply) and skipped; on the astronomically
+    /// distant wrap-around of the `u64` the counter passes 0 and keeps
+    /// going — ids only collide if a request from 2⁶⁴ calls ago is
+    /// somehow still in flight, which every transport rejects as an
+    /// unknown-id channel failure rather than misdelivering.
+    next_correlation: AtomicU64,
     /// Epoch the client stamps into pseudonym/attribute bodies. The
     /// server validates freshness regardless; a stale hint just gets the
     /// issuance rejected.
@@ -1123,7 +1215,7 @@ impl<T: Transport> WireClient<T> {
     pub fn new(transport: T) -> Self {
         WireClient {
             transport,
-            next_correlation: 0,
+            next_correlation: AtomicU64::new(1),
             epoch: 0,
             now_hint: None,
         }
@@ -1136,22 +1228,26 @@ impl<T: Transport> WireClient<T> {
         self.epoch = epoch;
     }
 
-    /// One framed round trip: encode, send, decode, match correlation.
-    pub fn call(&mut self, body: WireRequest) -> Result<WireResponse, WireError> {
-        self.next_correlation += 1;
-        let sent = self.next_correlation;
-        let request = RequestEnvelope {
-            correlation_id: sent,
-            body,
-        };
-        let reply = self.transport.roundtrip(&request.to_bytes())?;
-        let envelope = ResponseEnvelope::from_bytes(&reply)?;
+    /// The next fresh correlation id (never 0 — reserved for the
+    /// server's pre-decode error replies).
+    fn next_corr(&self) -> u64 {
+        loop {
+            let id = self.next_correlation.fetch_add(1, Ordering::Relaxed);
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+
+    /// Decodes one reply delivered for correlation id `sent` and checks
+    /// the envelope agrees. A correlation-0 **error** body is a server's
+    /// *pre-decode* reply — a busy shed or a frame-level reject sent
+    /// before any request was read. The request was provably not
+    /// dispatched, so the error is authoritative (and failure handling
+    /// can safely unwind), not a mismatch.
+    fn decode_reply(sent: u64, reply: &[u8]) -> Result<WireResponse, WireError> {
+        let envelope = ResponseEnvelope::from_bytes(reply)?;
         if envelope.correlation_id != sent {
-            // Correlation id 0 on an error body is a server's
-            // *pre-decode* reply — a busy shed or a frame-level reject
-            // sent before any request was read. The request was
-            // provably not dispatched, so the error is authoritative
-            // (and failure handling can safely unwind), not a mismatch.
             if envelope.correlation_id == 0 {
                 if let WireResponse::Error(e) = envelope.body {
                     return Ok(WireResponse::Error(e));
@@ -1163,6 +1259,75 @@ impl<T: Transport> WireClient<T> {
             });
         }
         Ok(envelope.body)
+    }
+
+    /// One framed round trip: encode, submit, complete until this call's
+    /// reply arrives, decode, match correlation.
+    pub fn call(&mut self, body: WireRequest) -> Result<WireResponse, WireError> {
+        let sent = self.next_corr();
+        let request = RequestEnvelope {
+            correlation_id: sent,
+            body,
+        };
+        let reply = self.transport.roundtrip(sent, &request.to_bytes())?;
+        Self::decode_reply(sent, &reply)
+    }
+
+    /// Pipelines `bodies` on the transport — submit them all, then
+    /// complete replies **in whatever order the service answers** — and
+    /// returns one outcome per request, in input order.
+    ///
+    /// Failure granularity follows the [`Transport`] contract: a submit
+    /// error marks only that slot (so an `Unreachable` there is still
+    /// definitely-unsent); a complete error is a channel failure, so
+    /// every still-unresolved slot gets the same ambiguous transport
+    /// error. A reply resolving an id this batch never sent is
+    /// discarded (it can only be a stale answer to an abandoned call).
+    pub fn call_many(&mut self, bodies: Vec<WireRequest>) -> Vec<Result<WireResponse, WireError>> {
+        let mut results: Vec<Option<Result<WireResponse, WireError>>> =
+            (0..bodies.len()).map(|_| None).collect();
+        let mut pending: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::with_capacity(bodies.len());
+        for (slot, body) in bodies.into_iter().enumerate() {
+            let sent = self.next_corr();
+            let request = RequestEnvelope {
+                correlation_id: sent,
+                body,
+            };
+            match self.transport.submit(sent, &request.to_bytes()) {
+                Ok(()) => {
+                    pending.insert(sent, slot);
+                }
+                Err(e) => results[slot] = Some(Err(WireError::Transport(e))),
+            }
+        }
+        while !pending.is_empty() {
+            match self.transport.complete(None) {
+                Ok(Some((corr, reply))) => {
+                    if let Some(slot) = pending.remove(&corr) {
+                        results[slot] = Some(Self::decode_reply(corr, &reply));
+                    }
+                }
+                Ok(None) => {
+                    let err = TransportError::Broken(
+                        "transport reported nothing in flight while replies were outstanding"
+                            .to_string(),
+                    );
+                    for (_, slot) in pending.drain() {
+                        results[slot] = Some(Err(WireError::Transport(err.clone())));
+                    }
+                }
+                Err(e) => {
+                    for (_, slot) in pending.drain() {
+                        results[slot] = Some(Err(WireError::Transport(e.clone())));
+                    }
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot resolved"))
+            .collect()
     }
 
     /// Lists the catalog.
@@ -1269,6 +1434,128 @@ impl<T: Transport> WireClient<T> {
                 Err(e)
             }
         }
+    }
+
+    /// Pipelines several anonymous purchases on one connection: all
+    /// sessions begin (each withdrawing its own covering coin), all
+    /// requests are submitted, and replies settle **as they arrive**,
+    /// possibly out of order. Returns one outcome per content id, in
+    /// input order.
+    ///
+    /// Coin accounting is per session and identical to
+    /// [`WireClient::purchase`]: a decoded error aborts (coin returns
+    /// unless the error is in the payment range), a definitely-unsent
+    /// transport failure recovers the coin, and every ambiguous outcome
+    /// — including a channel failure that voids several in-flight
+    /// sessions at once — parks its coin for reconciliation.
+    pub fn purchase_many<R: CryptoRng + ?Sized>(
+        &mut self,
+        user: &mut UserAgent,
+        mint: &Mint,
+        content_ids: &[ContentId],
+        rng: &mut R,
+    ) -> Vec<Result<License, WireError>> {
+        // One catalog round trip quotes every item.
+        let catalog = match self.catalog() {
+            Ok(items) => items,
+            Err(e) => {
+                // No session began, no coin moved: fail every slot with
+                // a fresh lookup attempt's error shape.
+                let mut out = Vec::with_capacity(content_ids.len());
+                out.push(Err(e));
+                for _ in 1..content_ids.len() {
+                    out.push(Err(WireError::Api(ApiError::new(
+                        ApiErrorCode::ServiceUnavailable,
+                        "catalog quote failed; purchase not attempted",
+                    ))));
+                }
+                return out;
+            }
+        };
+        let mut results: Vec<Option<Result<License, WireError>>> =
+            (0..content_ids.len()).map(|_| None).collect();
+        let mut sessions: std::collections::HashMap<u64, (usize, PurchaseSession)> =
+            std::collections::HashMap::new();
+        for (slot, cid) in content_ids.iter().enumerate() {
+            let Some(meta) = catalog.iter().find(|m| m.id == *cid) else {
+                results[slot] = Some(Err(WireError::Api(ApiError::new(
+                    ApiErrorCode::UnknownContent,
+                    format!("unknown content {cid}"),
+                ))));
+                continue;
+            };
+            let (session, request) = match PurchaseSession::begin(user, mint, meta, rng) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    results[slot] = Some(Err(WireError::Client(e)));
+                    continue;
+                }
+            };
+            let sent = self.next_corr();
+            let envelope = RequestEnvelope {
+                correlation_id: sent,
+                body: WireRequest::Purchase(request),
+            };
+            match self.transport.submit(sent, &envelope.to_bytes()) {
+                Ok(()) => {
+                    sessions.insert(sent, (slot, session));
+                }
+                Err(t) if t.definitely_unsent() => {
+                    session.recover(user);
+                    results[slot] = Some(Err(WireError::Transport(t)));
+                }
+                Err(t) => {
+                    session.park(user);
+                    results[slot] = Some(Err(WireError::Transport(t)));
+                }
+            }
+        }
+        while !sessions.is_empty() {
+            match self.transport.complete(None) {
+                Ok(Some((corr, reply))) => {
+                    let Some((slot, session)) = sessions.remove(&corr) else {
+                        continue;
+                    };
+                    results[slot] = Some(match Self::decode_reply(corr, &reply) {
+                        Ok(WireResponse::Purchase(resp)) => Ok(session.finish(user, resp)),
+                        Ok(WireResponse::Error(e)) => {
+                            session.abort(user, &e);
+                            Err(WireError::Api(e))
+                        }
+                        Ok(other) => {
+                            session.park(user);
+                            Err(unexpected("purchase", other))
+                        }
+                        Err(e) => {
+                            session.park(user);
+                            Err(e)
+                        }
+                    });
+                }
+                Ok(None) => {
+                    let err = TransportError::Broken(
+                        "transport reported nothing in flight while replies were outstanding"
+                            .to_string(),
+                    );
+                    for (_, (slot, session)) in sessions.drain() {
+                        session.park(user);
+                        results[slot] = Some(Err(WireError::Transport(err.clone())));
+                    }
+                }
+                Err(e) => {
+                    // Channel failure: every in-flight purchase is now
+                    // ambiguous at once — park them all.
+                    for (_, (slot, session)) in sessions.drain() {
+                        session.park(user);
+                        results[slot] = Some(Err(WireError::Transport(e.clone())));
+                    }
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot resolved"))
+            .collect()
     }
 
     /// Privacy-preserving transfer over the wire (both agents are local

@@ -13,21 +13,35 @@
 //!   oversized lengths are rejected before the payload is read, torn
 //!   frames are typed errors, a clean close is distinguishable from a
 //!   dead stream;
-//! * [`DrmServer`] — a threaded keep-alive server: an accept loop feeds
-//!   a fixed worker pool over a bounded queue, connections past
-//!   [`NetConfig::max_connections`] are shed with a well-formed busy
-//!   error response, reads run under timeouts so malformed peers cannot
-//!   wedge a worker, and [`ServerHandle::shutdown`] drains in-flight
-//!   requests before joining every thread;
+//! * [`poll`] — a tiny readiness facade over raw `epoll(7)` (Linux) or
+//!   `poll(2)` (other unix), std-only like the `vendor/` shims;
+//! * [`DrmServer`] — an event-driven keep-alive server: **one event
+//!   thread owns every socket** through the readiness loop, parses
+//!   complete frames out of per-connection buffers, and hands them to a
+//!   small CPU-only worker pool; replies are written back in completion
+//!   order (possibly out of order within a connection — that is what
+//!   the envelope correlation id is for). Thousands of mostly-idle
+//!   keep-alive connections cost an fd each while `workers` stays in
+//!   the single digits. Connections past [`NetConfig::max_connections`]
+//!   are shed with a well-formed busy error response, requests past
+//!   [`NetConfig::queue_depth`] are shed per-request with the busy
+//!   envelope echoing their correlation id, mid-frame stalls are swept
+//!   on the slow-loris budget, and [`ServerHandle::shutdown`] drains
+//!   dispatched requests and flushes their replies before joining every
+//!   thread;
 //! * [`TcpTransport`] — the client half of
-//!   [`p2drm_core::service::Transport`]: connect retry with backoff,
-//!   connection reuse across round trips, reconnect when the kept-alive
-//!   connection died, and the error taxonomy the core client's
-//!   coin-recovery logic depends on (`Unreachable` only when the
-//!   request provably never left this host);
-//! * [`ServerMetrics`] — atomic counters (connections accepted/active,
-//!   requests served, decode errors, busy rejections) snapshotted as a
-//!   plain [`MetricsSnapshot`].
+//!   [`p2drm_core::service::Transport`]: the pipelining submit/complete
+//!   contract over one keep-alive connection (out-of-order replies
+//!   matched by correlation id, unknown or already-consumed ids poison
+//!   the channel instead of misdelivering), connect retry with backoff,
+//!   reconnect when the idle kept-alive connection died, and the error
+//!   taxonomy the core client's coin-recovery logic depends on
+//!   (`Unreachable` only when the request provably never left this
+//!   host);
+//! * [`ServerMetrics`] — atomic counters and gauges (connections
+//!   accepted/active/idle, requests served, decode errors, busy
+//!   rejections, pipeline-depth high-water) snapshotted as a plain
+//!   [`MetricsSnapshot`].
 //!
 //! # A purchase over real sockets
 //!
@@ -64,6 +78,7 @@
 pub mod client;
 pub mod frame;
 pub mod metrics;
+pub mod poll;
 pub mod server;
 
 pub use client::{ClientConfig, TcpTransport};
@@ -71,4 +86,5 @@ pub use frame::{
     read_frame, read_frame_within, write_frame, FrameError, DEFAULT_MAX_FRAME, LEN_PREFIX,
 };
 pub use metrics::{MetricsSnapshot, ServerMetrics};
+pub use poll::{Event, Poller};
 pub use server::{DrmServer, NetConfig, NetService, ServerHandle, ServiceFn};

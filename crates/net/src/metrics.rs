@@ -1,20 +1,23 @@
-//! Lock-free server observability: atomic counters the accept loop and
+//! Lock-free server observability: atomic counters the event thread and
 //! workers bump on their hot paths, snapshotted on demand into a plain
 //! value the sim can report or serialize.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Live counters, shared by every server thread. All updates are
-/// `Relaxed` — the counters are monotone operational telemetry, not
+/// `Relaxed` — the counters are monotone operational telemetry (plus
+/// two gauges maintained by the single event thread), not
 /// synchronization.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
     accepted: AtomicU64,
     active: AtomicU64,
+    idle: AtomicU64,
     served: AtomicU64,
     decode_errors: AtomicU64,
     busy_rejections: AtomicU64,
     oversized_replies: AtomicU64,
+    pipeline_depth_hwm: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -35,6 +38,14 @@ impl ServerMetrics {
         self.active.fetch_sub(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn idle_inc(&self) {
+        self.idle.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn idle_dec(&self) {
+        self.idle.fetch_sub(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn request_served(&self) {
         self.served.fetch_add(1, Ordering::Relaxed);
     }
@@ -51,15 +62,23 @@ impl ServerMetrics {
         self.oversized_replies.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one connection's in-flight request count; the high-water
+    /// mark keeps the maximum ever observed.
+    pub(crate) fn pipeline_depth(&self, depth: u64) {
+        self.pipeline_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+
     /// A coherent-enough point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             accepted_connections: self.accepted.load(Ordering::Relaxed),
             active_connections: self.active.load(Ordering::Relaxed),
+            idle_connections: self.idle.load(Ordering::Relaxed),
             requests_served: self.served.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             oversized_replies: self.oversized_replies.load(Ordering::Relaxed),
+            pipeline_depth_hwm: self.pipeline_depth_hwm.load(Ordering::Relaxed),
         }
     }
 }
@@ -70,34 +89,48 @@ pub struct MetricsSnapshot {
     /// Connections the accept loop took from the listener (including
     /// ones later shed as busy).
     pub accepted_connections: u64,
-    /// Connections currently being served by a worker.
+    /// Connections currently open and admitted (shed-at-accept drain
+    /// stubs are not counted).
     pub active_connections: u64,
+    /// Admitted connections currently open with **zero** requests in
+    /// flight — the keep-alive population costing only an fd and its
+    /// buffers. `active - idle` is the number of connections with work
+    /// dispatched right now.
+    pub idle_connections: u64,
     /// Requests decoded from a frame and answered by the service.
     pub requests_served: u64,
     /// Inbound framing violations — oversized advertised length, torn
     /// frame, garbage prefix that never completed — i.e. byte streams
     /// that failed to decode into a frame.
     pub decode_errors: u64,
-    /// Connections answered with the busy error and closed because the
-    /// connection limit or queue depth was reached.
+    /// Requests (or whole connections, at the accept limit) answered
+    /// with the busy error because the connection limit or queue depth
+    /// was reached.
     pub busy_rejections: u64,
     /// Service replies that exceeded the frame cap and could not be
     /// sent (the connection was closed instead; the request *was*
     /// dispatched).
     pub oversized_replies: u64,
+    /// Highest number of simultaneously in-flight requests ever
+    /// observed on a single connection — how deep clients actually
+    /// pipelined.
+    pub pipeline_depth_hwm: u64,
 }
 
 impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "accepted={} active={} served={} decode_errors={} busy={} oversized_replies={}",
+            "accepted={} active={} idle={} served={} decode_errors={} busy={} \
+             oversized_replies={} pipeline_hwm={}",
             self.accepted_connections,
             self.active_connections,
+            self.idle_connections,
             self.requests_served,
             self.decode_errors,
             self.busy_rejections,
-            self.oversized_replies
+            self.oversized_replies,
+            self.pipeline_depth_hwm
         )
     }
 }

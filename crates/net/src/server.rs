@@ -1,35 +1,48 @@
-//! The threaded TCP server: an accept loop feeding a fixed worker pool
-//! over a bounded hand-off queue.
+//! The event-driven TCP server: **one event thread owns every socket**
+//! through a readiness loop ([`crate::poll::Poller`] — epoll on Linux),
+//! and a small fixed worker pool does only CPU work.
 //!
-//! Connections are **keep-alive**: a worker owns one connection and
-//! serves request frames on it until the peer closes, the stream dies,
-//! or the server shuts down — so `workers` bounds the number of
-//! concurrently served connections, and `max_connections` bounds how
-//! many the server will hold (serving + queued) before it sheds load
-//! with a well-formed busy error response instead of an opaque hang.
+//! Connections are **keep-alive** and cheap while idle: an open
+//! connection costs one fd plus its buffers, so thousands of mostly-idle
+//! clients can stay connected while `workers` stays in the single digits
+//! — `workers` bounds concurrent *CPU* work, not concurrent
+//! *connections* (the C10K shape the old one-worker-owns-a-connection
+//! design could not serve). Complete request frames are handed to the
+//! worker pool over a bounded queue and replies are written back in
+//! completion order — **possibly out of order** within a connection,
+//! which is exactly what the envelope correlation id exists for; clients
+//! may pipeline up to [`NetConfig::max_pipeline`] requests per
+//! connection before the server stops reading from it (natural TCP
+//! backpressure, never an error).
 //!
-//! Every read runs under [`NetConfig::read_timeout`], and each frame
-//! additionally gets that same duration as a **whole-frame budget**
-//! ([`read_frame_within`]). Between frames the timeout is the idle
-//! heartbeat (the worker checks the shutdown flag and keeps waiting);
-//! mid-frame — a half-written length prefix, or a slow-loris peer
-//! trickling one byte per read so the per-read timeout never fires —
-//! the frame is torn and the connection dropped, so no byte stream can
-//! wedge a worker for more than about two timeout ticks.
+//! The protections carry over from the threaded design: oversized
+//! frames are answered with a well-formed error and the connection
+//! drained before close (so the reply is not lost to an RST), a
+//! mid-frame stall is swept after [`NetConfig::read_timeout`] (the
+//! slow-loris budget — an *idle* connection, with no partial frame
+//! buffered, never expires), requests past [`NetConfig::queue_depth`]
+//! are shed with a busy envelope echoing their correlation id (the
+//! connection stays open), connections past
+//! [`NetConfig::max_connections`] are shed at accept, and graceful
+//! shutdown drains dispatched requests and flushes their replies before
+//! joining every thread.
 
-use crate::frame::{read_frame_within, write_frame, FrameError, DEFAULT_MAX_FRAME};
+use crate::frame::{DEFAULT_MAX_FRAME, LEN_PREFIX};
 use crate::metrics::{MetricsSnapshot, ServerMetrics};
+use crate::poll::{Event, Poller};
 use p2drm_core::service::{
-    ApiError, ApiErrorCode, ProviderService, ResponseEnvelope, WireResponse,
+    correlation_hint, ApiError, ApiErrorCode, ProviderService, ResponseEnvelope, WireResponse,
 };
 use p2drm_store::ConcurrentKv;
-use std::collections::VecDeque;
-use std::io::{self, Read};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Anything the server can put behind a socket: one total function from
 /// request bytes to response bytes, callable from many worker threads.
@@ -64,23 +77,29 @@ where
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
 pub struct NetConfig {
-    /// Worker threads — the concurrently-served connection bound.
+    /// Worker threads — the concurrent **CPU work** bound (no longer a
+    /// connection bound: the event thread holds every connection).
     pub workers: usize,
-    /// Serving + queued connections the server holds before shedding
-    /// new ones with a busy response. `workers + queue_depth` already
-    /// bounds held connections structurally, so this knob only bites
-    /// when set **below** that sum (shedding with a decodable busy
-    /// envelope earlier than the queue would).
+    /// Open connections the server holds before shedding new ones at
+    /// accept with a busy response.
     pub max_connections: usize,
-    /// Accepted-but-unclaimed connections the hand-off queue buffers.
+    /// Dispatched-but-unclaimed **requests** the worker hand-off queue
+    /// buffers; past it, requests are shed with a busy envelope echoing
+    /// their correlation id while the connection stays open.
     pub queue_depth: usize,
     /// Hard cap on request/response frame payloads.
     pub max_frame: u32,
-    /// Socket read timeout: the idle-connection heartbeat and the bound
-    /// on how long a torn frame can occupy a worker.
+    /// The slow-loris budget: once a frame has started arriving, it
+    /// must complete within this duration or the connection is dropped.
+    /// Idle connections (no partial frame buffered) never expire.
     pub read_timeout: Duration,
-    /// Socket write timeout.
+    /// How long a connection's outbound buffer may sit unflushed (the
+    /// peer not draining) before the connection is dropped.
     pub write_timeout: Duration,
+    /// Requests one connection may have dispatched-but-unanswered
+    /// before the server stops reading from it until replies drain
+    /// (per-connection pipelining cap → TCP backpressure).
+    pub max_pipeline: usize,
 }
 
 impl Default for NetConfig {
@@ -92,6 +111,7 @@ impl Default for NetConfig {
             max_frame: DEFAULT_MAX_FRAME,
             read_timeout: Duration::from_millis(250),
             write_timeout: Duration::from_secs(1),
+            max_pipeline: 32,
         }
     }
 }
@@ -108,25 +128,42 @@ impl NetConfig {
     }
 }
 
-/// State shared by the accept loop, the workers, and the handle.
+/// One decoded request frame on its way to a worker.
+struct Job {
+    conn: u64,
+    request: Vec<u8>,
+}
+
+/// One service reply on its way back to the event thread.
+struct Reply {
+    conn: u64,
+    bytes: Vec<u8>,
+}
+
+/// State shared by the event thread, the workers, and the handle.
 struct Control {
     config: NetConfig,
     metrics: ServerMetrics,
     shutdown: AtomicBool,
-    queue: Mutex<VecDeque<TcpStream>>,
-    queue_cv: Condvar,
-    /// Connections currently queued or being served (the
-    /// `max_connections` gauge).
-    occupancy: AtomicUsize,
+    jobs: Mutex<VecDeque<Job>>,
+    jobs_cv: Condvar,
+    replies: Mutex<Vec<Reply>>,
+    /// Worker-side end of the self-wake pipe: one byte here wakes the
+    /// event thread out of its poll wait. Non-blocking, so a full pipe
+    /// never blocks a worker (a wake is already pending in that case).
+    waker: UnixStream,
 }
 
-/// A poisoned queue lock is recovered, not propagated: the queue holds
-/// plain values, so a panicking holder cannot leave it inconsistent.
-fn lock_queue(control: &Control) -> MutexGuard<'_, VecDeque<TcpStream>> {
-    control
-        .queue
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+/// Poisoned locks are recovered, not propagated: both queues hold plain
+/// values, so a panicking holder cannot leave them inconsistent.
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Control {
+    fn wake_event_thread(&self) {
+        let _ = (&self.waker).write(&[1u8]);
+    }
 }
 
 /// The TCP front of a wire service.
@@ -134,25 +171,27 @@ pub struct DrmServer;
 
 impl DrmServer {
     /// Binds `addr` (use port 0 for an OS-assigned port), spawns the
-    /// accept loop and `config.workers` workers, and returns the running
-    /// server's handle. The service is shared by every worker.
+    /// event thread and `config.workers` workers, and returns the
+    /// running server's handle. The service is shared by every worker.
     pub fn bind<S: NetService>(
         addr: impl ToSocketAddrs,
         service: S,
         config: NetConfig,
     ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
-        // Non-blocking accept + short poll keeps shutdown prompt without
-        // a self-connection trick or signal plumbing.
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
         let control = Arc::new(Control {
             config: config.clone(),
             metrics: ServerMetrics::new(),
             shutdown: AtomicBool::new(false),
-            queue: Mutex::new(VecDeque::new()),
-            queue_cv: Condvar::new(),
-            occupancy: AtomicUsize::new(0),
+            jobs: Mutex::new(VecDeque::new()),
+            jobs_cv: Condvar::new(),
+            replies: Mutex::new(Vec::new()),
+            waker: wake_tx,
         });
         let service = Arc::new(service);
 
@@ -166,17 +205,18 @@ impl DrmServer {
                     .spawn(move || worker_loop(&control, service.as_ref()))?,
             );
         }
-        let acceptor = {
+        let event = {
             let control = control.clone();
+            let poller = Poller::new()?;
             thread::Builder::new()
-                .name("p2drm-net-accept".into())
-                .spawn(move || accept_loop(&listener, &control))?
+                .name("p2drm-net-event".into())
+                .spawn(move || EventLoop::new(listener, wake_rx, poller, control).run())?
         };
 
         Ok(ServerHandle {
             control,
             local_addr,
-            acceptor: Some(acceptor),
+            event: Some(event),
             workers,
         })
     }
@@ -189,7 +229,7 @@ impl DrmServer {
 pub struct ServerHandle {
     control: Arc<Control>,
     local_addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
+    event: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -204,10 +244,9 @@ impl ServerHandle {
         self.control.metrics.snapshot()
     }
 
-    /// Graceful shutdown: stops accepting, lets every worker finish the
-    /// request it is serving (the reply is written before the connection
-    /// closes), joins all threads, and returns the final metrics.
-    /// Completes within roughly one [`NetConfig::read_timeout`] tick.
+    /// Graceful shutdown: stops accepting, lets every dispatched
+    /// request finish and its reply flush to the peer, joins all
+    /// threads, and returns the final metrics.
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.stop_and_join();
         self.control.metrics.snapshot()
@@ -215,16 +254,14 @@ impl ServerHandle {
 
     fn stop_and_join(&mut self) {
         self.control.shutdown.store(true, Ordering::SeqCst);
-        self.control.queue_cv.notify_all();
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        self.control.jobs_cv.notify_all();
+        self.control.wake_event_thread();
+        if let Some(event) = self.event.take() {
+            let _ = event.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        // Accepted-but-never-claimed connections are dropped; their
-        // clients observe a clean close before any request was read.
-        lock_queue(&self.control).clear();
     }
 }
 
@@ -234,188 +271,637 @@ impl Drop for ServerHandle {
     }
 }
 
-/// A well-formed error response frame with correlation id 0 (used before
-/// any request was decoded, so there is no id to echo).
-fn error_frame(code: ApiErrorCode, detail: &str) -> Vec<u8> {
+/// A well-formed error response envelope. Correlation id 0 marks a
+/// *pre-decode* reply (no request id was available to echo).
+fn error_envelope(correlation_id: u64, code: ApiErrorCode, detail: &str) -> Vec<u8> {
     ResponseEnvelope {
-        correlation_id: 0,
+        correlation_id,
         body: WireResponse::Error(ApiError::new(code, detail)),
     }
     .to_bytes()
 }
 
-fn accept_loop(listener: &TcpListener, control: &Control) {
-    while !control.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => admit(control, stream),
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(2));
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            // Transient accept failures (EMFILE, aborted handshake) must
-            // not kill the loop; back off briefly and keep serving.
-            Err(_) => thread::sleep(Duration::from_millis(10)),
-        }
-    }
-}
-
-/// Configures a fresh connection and either queues it for a worker or
-/// sheds it with a busy response.
-fn admit(control: &Control, stream: TcpStream) {
-    control.metrics.connection_accepted();
-    let config = &control.config;
-    // BSD-family kernels hand accepted sockets the listener's
-    // O_NONBLOCK; workers rely on blocking reads under a timeout, so
-    // reset it explicitly (a no-op on Linux).
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(config.read_timeout));
-    let _ = stream.set_write_timeout(Some(config.write_timeout));
-
-    if control.occupancy.load(Ordering::SeqCst) >= config.max_connections {
-        return shed_busy(control, stream, "connection limit reached");
-    }
-    let mut queue = lock_queue(control);
-    if queue.len() >= config.queue_depth {
-        drop(queue);
-        return shed_busy(control, stream, "accept queue full");
-    }
-    control.occupancy.fetch_add(1, Ordering::SeqCst);
-    queue.push_back(stream);
-    drop(queue);
-    control.queue_cv.notify_one();
-}
-
-/// Best-effort busy reply, then close. The client sees a decodable
-/// `ServiceUnavailable` error envelope rather than a silent reset.
-fn shed_busy(control: &Control, mut stream: TcpStream, why: &str) {
-    control.metrics.busy_rejection();
-    let frame = error_frame(
-        ApiErrorCode::ServiceUnavailable,
-        &format!("server busy: {why}"),
-    );
-    if write_frame(&mut stream, &frame, control.config.max_frame).is_ok() {
-        drain_before_close(&mut stream);
-    }
-}
-
-/// Half-closes and drains a bounded amount of the peer's already-sent
-/// bytes before the stream drops. Closing a socket with unread receive
-/// data makes Linux send RST instead of FIN, and an RST discards data
-/// buffered at the peer — which would eat the error envelope we just
-/// wrote (a pipelining client sends its request before reading). The
-/// drain is bounded in bytes and per-read time, so a hostile peer can
-/// stall the caller only briefly.
-fn drain_before_close(stream: &mut TcpStream) {
-    let _ = stream.shutdown(Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let mut sink = [0u8; 4096];
-    let mut drained = 0usize;
-    // Total deadline, not just per-read: a peer trickling a byte per
-    // read would otherwise stall the caller (possibly the accept loop)
-    // until the byte cap — for minutes, not milliseconds.
-    let deadline = std::time::Instant::now() + Duration::from_millis(250);
-    while drained < 64 * 1024 && std::time::Instant::now() < deadline {
-        match stream.read(&mut sink) {
-            // Peer closed its side too: close() now sends a clean FIN.
-            Ok(0) => break,
-            Ok(n) => drained += n,
-            // Timeout or error: best effort, give up.
-            Err(_) => break,
-        }
-    }
-}
-
 fn worker_loop<S: NetService>(control: &Control, service: &S) {
     loop {
-        let stream = {
-            let mut queue = lock_queue(control);
+        let job = {
+            let mut jobs = lock(&control.jobs);
             loop {
-                if let Some(stream) = queue.pop_front() {
-                    break Some(stream);
+                if let Some(job) = jobs.pop_front() {
+                    break Some(job);
                 }
                 if control.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
                 let (guard, _) = control
-                    .queue_cv
-                    .wait_timeout(queue, Duration::from_millis(50))
+                    .jobs_cv
+                    .wait_timeout(jobs, Duration::from_millis(50))
                     .unwrap_or_else(|poisoned| poisoned.into_inner());
-                queue = guard;
+                jobs = guard;
             }
         };
-        let Some(stream) = stream else { return };
-        serve_connection(control, service, stream);
-        control.occupancy.fetch_sub(1, Ordering::SeqCst);
+        let Some(job) = job else { return };
+        let bytes = service.handle(&job.request);
+        control.metrics.request_served();
+        lock(&control.replies).push(Reply {
+            conn: job.conn,
+            bytes,
+        });
+        control.wake_event_thread();
     }
 }
 
-/// The keep-alive request loop for one connection. Returns when the
-/// peer closes, the stream dies, a frame violates the contract, or the
-/// server shuts down — in the last case only after the in-flight
-/// request's reply has been written.
-fn serve_connection<S: NetService>(control: &Control, service: &S, mut stream: TcpStream) {
-    control.metrics.connection_opened();
-    let max_frame = control.config.max_frame;
-    let frame_budget = control.config.read_timeout;
-    loop {
-        match read_frame_within(&mut stream, max_frame, frame_budget) {
-            Ok(Some(request)) => {
-                let reply = service.handle(&request);
-                control.metrics.request_served();
-                match write_frame(&mut stream, &reply, max_frame) {
-                    Ok(()) => {}
-                    // The service produced a reply over the frame cap
-                    // (nothing hit the wire — write_frame checks
-                    // first). Deliberately no error envelope: the op
-                    // *was* dispatched, and an error reply would make
-                    // clients unwind state that must instead go
-                    // through their ambiguous-outcome reconciliation.
-                    // Count it and break so the client sees a broken
-                    // connection, and operators see the counter.
-                    Err(FrameError::Oversized { .. }) => {
-                        control.metrics.oversized_reply();
-                        break;
-                    }
-                    Err(_) => break,
-                }
-                if control.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// The event loop's poll tick: bounds the latency of deadline sweeps
+/// and shutdown detection when no socket is ready.
+const TICK: Duration = Duration::from_millis(25);
+
+/// Outbound bytes buffered on one connection before the server stops
+/// reading more requests from it (on top of the pipelining cap).
+const WBUF_HIGHWATER: usize = 256 * 1024;
+
+/// How long an error/shed connection gets to drain its inbound bytes
+/// before being closed outright (the RST-avoidance window: closing with
+/// unread receive data makes Linux send RST, which can discard the
+/// error envelope buffered at the peer).
+const DRAIN_WINDOW: Duration = Duration::from_millis(250);
+
+/// Why a connection stopped being readable.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ReadState {
+    /// Still reading requests.
+    Open,
+    /// Peer half-closed cleanly (EOF on a frame boundary or not).
+    PeerClosed,
+    /// The socket errored; nothing more can be written either.
+    Dead,
+}
+
+/// Per-connection state owned by the event thread.
+struct Conn {
+    stream: TcpStream,
+    /// Inbound bytes not yet parsed into frames.
+    rbuf: Vec<u8>,
+    /// Outbound bytes not yet accepted by the kernel.
+    wbuf: Vec<u8>,
+    /// Progress into `wbuf`.
+    wpos: usize,
+    /// Requests dispatched to workers whose replies have not yet been
+    /// queued for writing.
+    inflight: usize,
+    /// Whether this connection participates in the open/idle gauges
+    /// (admitted conns do; shed-at-accept drain stubs do not).
+    counted: bool,
+    read: ReadState,
+    /// Set on protocol errors and accept-shed: flush `wbuf`, half-close,
+    /// drain briefly, then close — never parse another byte.
+    draining: bool,
+    /// Half-close performed (drain phase entered).
+    sent_fin: bool,
+    /// Slow-loris budget: armed while `rbuf` holds a partial frame.
+    frame_deadline: Option<Instant>,
+    /// Peer-not-draining budget: armed while `wbuf` has unflushed bytes.
+    write_deadline: Option<Instant>,
+    /// Hard close for a draining connection.
+    drain_deadline: Option<Instant>,
+    /// Interests currently registered with the poller.
+    want_read: bool,
+    want_write: bool,
+}
+
+impl Conn {
+    fn pending_write(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+}
+
+struct EventLoop {
+    listener: Option<TcpListener>,
+    wake_rx: UnixStream,
+    poller: Poller,
+    control: Arc<Control>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// Set once shutdown is observed: no new accepts, no new parses.
+    stopping: bool,
+    /// Hard deadline for the shutdown drain.
+    stop_deadline: Option<Instant>,
+}
+
+impl EventLoop {
+    fn new(
+        listener: TcpListener,
+        wake_rx: UnixStream,
+        poller: Poller,
+        control: Arc<Control>,
+    ) -> Self {
+        EventLoop {
+            listener: Some(listener),
+            wake_rx,
+            poller,
+            control,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            stopping: false,
+            stop_deadline: None,
+        }
+    }
+
+    fn run(mut self) {
+        if let Some(listener) = &self.listener {
+            if self
+                .poller
+                .register(listener.as_raw_fd(), TOKEN_LISTENER, true, false)
+                .is_err()
+            {
+                return;
             }
-            // Peer closed on a frame boundary: clean end of session.
-            Ok(None) => break,
-            // Nothing in flight; check for shutdown and keep listening.
-            Err(FrameError::IdleTimeout) => {
-                if control.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
-            // Oversized advertised length: the payload was never read,
-            // so the stream position is known — still, resync is
-            // impossible in a length-prefixed protocol once we refuse
-            // the payload. Answer well-formed, then close.
-            Err(FrameError::Oversized { len, max }) => {
-                control.metrics.decode_error();
-                let frame = error_frame(
-                    ApiErrorCode::MalformedRequest,
-                    &format!("frame of {len} bytes exceeds the {max}-byte limit"),
-                );
-                if write_frame(&mut stream, &frame, max_frame).is_ok() {
-                    // The refused payload sits unread in the receive
-                    // buffer; drain a bounded amount so closing cannot
-                    // RST the error frame out of the peer's buffer.
-                    drain_before_close(&mut stream);
-                }
+        }
+        if self
+            .poller
+            .register(self.wake_rx.as_raw_fd(), TOKEN_WAKER, true, false)
+            .is_err()
+        {
+            return;
+        }
+
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if self.poller.wait(&mut events, Some(TICK)).is_err() {
                 break;
             }
-            // Torn frame / garbage that never completed / socket error:
-            // nothing well-formed can be said to this peer.
-            Err(FrameError::Torn { .. }) | Err(FrameError::Io(_)) => {
-                control.metrics.decode_error();
+            let fired = std::mem::take(&mut events);
+            for ev in &fired {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.drain_waker(),
+                    token => self.conn_ready(token, ev.readable, ev.writable, ev.hangup),
+                }
+            }
+            events = fired;
+            // Replies may have been queued by workers whether or not the
+            // waker byte coalesced with other events — always drain.
+            self.flush_replies();
+            self.sweep_deadlines();
+            if self.shutdown_step() {
                 break;
             }
         }
+        // Close everything still open (metrics stay consistent).
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close_conn(token);
+        }
     }
-    control.metrics.connection_closed();
+
+    // -- accept path ----------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => self.admit(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept failures (EMFILE, aborted handshake)
+                // must not kill the loop.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        self.control.metrics.connection_accepted();
+        let _ = stream.set_nonblocking(true);
+        let _ = stream.set_nodelay(true);
+        let over_capacity = self.conns.len() >= self.control.config.max_connections;
+        let token = self.next_token;
+        self.next_token += 1;
+        let mut conn = Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            inflight: 0,
+            counted: !over_capacity,
+            read: ReadState::Open,
+            draining: false,
+            sent_fin: false,
+            frame_deadline: None,
+            write_deadline: None,
+            drain_deadline: None,
+            want_read: false,
+            want_write: false,
+        };
+        if over_capacity {
+            // Shed with a decodable busy envelope instead of an opaque
+            // reset; the conn lives on briefly as a drain stub.
+            self.control.metrics.busy_rejection();
+            let frame = error_envelope(
+                0,
+                ApiErrorCode::ServiceUnavailable,
+                "server busy: connection limit reached",
+            );
+            queue_frame(&mut conn, &frame);
+            conn.draining = true;
+            conn.drain_deadline = Some(Instant::now() + DRAIN_WINDOW);
+        } else {
+            self.control.metrics.connection_opened();
+            self.control.metrics.idle_inc();
+        }
+        if self
+            .poller
+            .register(conn.stream.as_raw_fd(), token, false, false)
+            .is_err()
+        {
+            if conn.counted {
+                self.control.metrics.connection_closed();
+                self.control.metrics.idle_dec();
+            }
+            return;
+        }
+        self.conns.insert(token, conn);
+        self.try_write(token);
+        self.update_interest(token);
+    }
+
+    // -- waker / worker replies -----------------------------------------
+
+    fn drain_waker(&mut self) {
+        let mut sink = [0u8; 256];
+        loop {
+            match (&self.wake_rx).read(&mut sink) {
+                Ok(0) => return,
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn flush_replies(&mut self) {
+        let replies: Vec<Reply> = std::mem::take(&mut *lock(&self.control.replies));
+        for reply in replies {
+            let token = reply.conn;
+            let Some(conn) = self.conns.get_mut(&token) else {
+                // The connection died while its request was in a worker;
+                // the reply has nowhere to go.
+                continue;
+            };
+            conn.inflight -= 1;
+            if conn.counted && conn.inflight == 0 {
+                self.control.metrics.idle_inc();
+            }
+            if reply.bytes.len() > self.control.config.max_frame as usize {
+                // Deliberately no error envelope: the op *was*
+                // dispatched, and an error reply would make clients
+                // unwind state that must instead go through their
+                // ambiguous-outcome reconciliation. Count it and close
+                // so the client sees a broken connection.
+                self.control.metrics.oversized_reply();
+                self.close_conn(token);
+                continue;
+            }
+            let conn = self.conns.get_mut(&token).expect("checked above");
+            queue_frame(conn, &reply.bytes);
+            self.try_write(token);
+            // Replies freed pipeline slots: frames parked in rbuf by the
+            // pipelining cap may now dispatch.
+            self.parse_frames(token);
+            self.maybe_close(token);
+            self.update_interest(token);
+        }
+    }
+
+    // -- per-connection readiness ---------------------------------------
+
+    fn conn_ready(&mut self, token: u64, readable: bool, writable: bool, hangup: bool) {
+        if !self.conns.contains_key(&token) {
+            return;
+        }
+        if writable {
+            self.try_write(token);
+        }
+        if readable || hangup {
+            self.try_read(token);
+        }
+        self.maybe_close(token);
+        self.update_interest(token);
+    }
+
+    fn try_read(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.read != ReadState::Open {
+            return;
+        }
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    conn.read = ReadState::PeerClosed;
+                    break;
+                }
+                Ok(n) => {
+                    if conn.draining {
+                        // Error/shed path: discard inbound bytes so the
+                        // eventual close sends FIN, not RST.
+                        continue;
+                    }
+                    conn.rbuf.extend_from_slice(&scratch[..n]);
+                    if n < scratch.len() {
+                        break;
+                    }
+                    // Level-triggered polling re-delivers the event, so
+                    // bounding the bytes taken per wake keeps one loud
+                    // connection from starving the rest.
+                    if conn.rbuf.len() >= 256 * 1024 {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.read = ReadState::Dead;
+                    break;
+                }
+            }
+        }
+        self.parse_frames(token);
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.read != ReadState::Open && !conn.rbuf.is_empty() && !conn.draining {
+            // The stream ended mid-frame: a torn frame.
+            self.control.metrics.decode_error();
+            conn.rbuf.clear();
+            conn.frame_deadline = None;
+        }
+        if conn.read == ReadState::Dead {
+            self.close_conn(token);
+        }
+    }
+
+    /// Parses every complete frame out of `rbuf` and dispatches it,
+    /// respecting the pipelining cap and the shutdown freeze.
+    fn parse_frames(&mut self, token: u64) {
+        let stopping = self.stopping;
+        let config = self.control.config.clone();
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.draining || stopping {
+            return;
+        }
+        let mut pos = 0usize;
+        let mut reject: Option<(u32, u32)> = None;
+        while conn.inflight < config.max_pipeline {
+            let remaining = conn.rbuf.len() - pos;
+            if remaining < LEN_PREFIX {
+                break;
+            }
+            let len = u32::from_le_bytes(conn.rbuf[pos..pos + LEN_PREFIX].try_into().unwrap());
+            if len > config.max_frame {
+                reject = Some((len, config.max_frame));
+                break;
+            }
+            let frame_end = pos + LEN_PREFIX + len as usize;
+            if conn.rbuf.len() < frame_end {
+                break;
+            }
+            let request = conn.rbuf[pos + LEN_PREFIX..frame_end].to_vec();
+            pos = frame_end;
+
+            // Dispatch or shed. The jobs lock is uncontended in the
+            // common case (workers hold it only to pop).
+            let shed = {
+                let mut jobs = lock(&self.control.jobs);
+                if jobs.len() >= config.queue_depth {
+                    Some(request)
+                } else {
+                    jobs.push_back(Job {
+                        conn: token,
+                        request,
+                    });
+                    None
+                }
+            };
+            if let Some(request) = shed {
+                self.control.metrics.busy_rejection();
+                let frame = error_envelope(
+                    correlation_hint(&request),
+                    ApiErrorCode::ServiceUnavailable,
+                    "server busy: request queue full",
+                );
+                queue_frame(conn, &frame);
+            } else {
+                self.control.jobs_cv.notify_one();
+                if conn.counted && conn.inflight == 0 {
+                    self.control.metrics.idle_dec();
+                }
+                conn.inflight += 1;
+                self.control.metrics.pipeline_depth(conn.inflight as u64);
+            }
+        }
+        if pos > 0 {
+            conn.rbuf.drain(..pos);
+        }
+        if let Some((len, max)) = reject {
+            // Oversized advertised length: resync is impossible in a
+            // length-prefixed protocol once the payload is refused.
+            // Answer well-formed, then drain and close.
+            self.control.metrics.decode_error();
+            let frame = error_envelope(
+                0,
+                ApiErrorCode::MalformedRequest,
+                &format!("frame of {len} bytes exceeds the {max}-byte limit"),
+            );
+            queue_frame(conn, &frame);
+            conn.rbuf.clear();
+            conn.frame_deadline = None;
+            conn.draining = true;
+            conn.drain_deadline = Some(Instant::now() + DRAIN_WINDOW);
+            self.try_write(token);
+            return;
+        }
+        // The slow-loris budget: armed while a partial frame is
+        // buffered, cleared the moment the buffer is empty. A paused
+        // (pipeline-capped) connection with only complete frames parked
+        // is *not* mid-frame, but we cannot cheaply distinguish "parked
+        // complete frame" from "partial frame" without reparsing — and a
+        // parked frame is drained by flush_replies long before the
+        // budget fires, so arming on any buffered bytes is safe.
+        if conn.rbuf.is_empty() {
+            conn.frame_deadline = None;
+        } else if conn.frame_deadline.is_none() && conn.inflight < config.max_pipeline {
+            conn.frame_deadline = Some(Instant::now() + config.read_timeout);
+        }
+        self.try_write(token);
+    }
+
+    // -- writing ---------------------------------------------------------
+
+    fn try_write(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        while conn.pending_write() > 0 {
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => {
+                    conn.read = ReadState::Dead;
+                    break;
+                }
+                Ok(n) => {
+                    conn.wpos += n;
+                    conn.write_deadline = Some(Instant::now() + self.control.config.write_timeout);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.read = ReadState::Dead;
+                    break;
+                }
+            }
+        }
+        if conn.pending_write() == 0 {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+            conn.write_deadline = None;
+            if conn.draining && !conn.sent_fin {
+                // Everything owed is flushed: half-close and let the
+                // drain window run so the peer can read the reply.
+                conn.sent_fin = true;
+                let _ = conn.stream.shutdown(Shutdown::Write);
+            }
+        }
+        if conn.read == ReadState::Dead {
+            self.close_conn(token);
+        }
+    }
+
+    // -- lifecycle -------------------------------------------------------
+
+    /// Closes the connection when nothing more can happen on it.
+    fn maybe_close(&mut self, token: u64) {
+        let Some(conn) = self.conns.get(&token) else {
+            return;
+        };
+        let done = if conn.draining {
+            // Drain stubs close when the peer closed too (clean FIN
+            // exchange) or the window expires (swept elsewhere).
+            conn.read == ReadState::PeerClosed && conn.pending_write() == 0
+        } else {
+            conn.read == ReadState::PeerClosed && conn.inflight == 0 && conn.pending_write() == 0
+        };
+        if done {
+            self.close_conn(token);
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        if conn.counted {
+            self.control.metrics.connection_closed();
+            if conn.inflight == 0 {
+                self.control.metrics.idle_dec();
+            }
+        }
+    }
+
+    /// Recomputes and applies this connection's poller interests.
+    fn update_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let stopping = self.stopping;
+        let want_read = conn.read == ReadState::Open
+            && (conn.draining
+                || (!stopping
+                    && conn.inflight < self.control.config.max_pipeline
+                    && conn.pending_write() < WBUF_HIGHWATER));
+        let want_write = conn.pending_write() > 0;
+        if want_read != conn.want_read || want_write != conn.want_write {
+            conn.want_read = want_read;
+            conn.want_write = want_write;
+            let fd = conn.stream.as_raw_fd();
+            let _ = self.poller.modify(fd, token, want_read, want_write);
+        }
+    }
+
+    // -- periodic work ---------------------------------------------------
+
+    fn sweep_deadlines(&mut self) {
+        let now = Instant::now();
+        let mut torn = Vec::new();
+        let mut stalled = Vec::new();
+        let mut drained = Vec::new();
+        for (&token, conn) in &self.conns {
+            if conn.frame_deadline.is_some_and(|d| now >= d) {
+                torn.push(token);
+            } else if conn.write_deadline.is_some_and(|d| now >= d) {
+                stalled.push(token);
+            } else if conn.draining && conn.drain_deadline.is_some_and(|d| now >= d) {
+                drained.push(token);
+            }
+        }
+        for token in torn {
+            // Mid-frame stall past the budget: the slow-loris defense.
+            self.control.metrics.decode_error();
+            self.close_conn(token);
+        }
+        for token in stalled {
+            // The peer is not draining its replies.
+            self.close_conn(token);
+        }
+        for token in drained {
+            self.close_conn(token);
+        }
+    }
+
+    /// Drives the graceful-shutdown state machine; `true` means the
+    /// loop should exit.
+    fn shutdown_step(&mut self) -> bool {
+        if !self.control.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        if !self.stopping {
+            self.stopping = true;
+            // Deadline for the drain: dispatched work gets to finish,
+            // but a wedged service cannot hold shutdown hostage.
+            self.stop_deadline = Some(Instant::now() + Duration::from_secs(10));
+            if let Some(listener) = self.listener.take() {
+                let _ = self.poller.deregister(listener.as_raw_fd());
+            }
+            // Freeze parsing: recompute every conn's interests.
+            let tokens: Vec<u64> = self.conns.keys().copied().collect();
+            for token in tokens {
+                self.update_interest(token);
+            }
+        }
+        let jobs_pending = !lock(&self.control.jobs).is_empty();
+        let replies_pending = !lock(&self.control.replies).is_empty();
+        let inflight: usize = self.conns.values().map(|c| c.inflight).sum();
+        let unflushed = self.conns.values().any(|c| c.pending_write() > 0);
+        let drained = !jobs_pending && !replies_pending && inflight == 0 && !unflushed;
+        drained || self.stop_deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// Appends one length-prefixed frame to the connection's outbound
+/// buffer, arming the write deadline if the buffer was empty.
+fn queue_frame(conn: &mut Conn, payload: &[u8]) {
+    if conn.wbuf.is_empty() {
+        conn.write_deadline = None; // re-armed by the first write attempt
+    }
+    conn.wbuf
+        .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    conn.wbuf.extend_from_slice(payload);
 }

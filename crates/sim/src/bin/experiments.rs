@@ -4,7 +4,7 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p p2drm-sim --bin experiments [all|t1|t2|e1|e2|e3|e4|e5|e6|e7|e10|e11|e12] [--quick]
+//! cargo run --release -p p2drm-sim --bin experiments [all|t1|t2|e1|e2|e3|e4|e5|e6|e7|e10|e11|e12|e13] [--quick]
 //! ```
 //! Results print as tables and are also written to `results/*.json`.
 //! (E2 is storage growth — renumbered from its earlier `e6` slot when
@@ -45,6 +45,7 @@ fn main() {
         "e10" => e10_payment(quick),
         "e11" => e11_hotpath(quick),
         "e12" => e12_batch(quick),
+        "e13" => e13_c10k(quick),
         "all" => {
             t1_purchase_transcript();
             t2_transfer_transcript();
@@ -58,9 +59,12 @@ fn main() {
             e10_payment(quick);
             e11_hotpath(quick);
             e12_batch(quick);
+            e13_c10k(quick);
         }
         other => {
-            eprintln!("unknown experiment {other}; use all|t1|t2|e1|e2|e3|e4|e5|e6|e7|e10|e11|e12");
+            eprintln!(
+                "unknown experiment {other}; use all|t1|t2|e1|e2|e3|e4|e5|e6|e7|e10|e11|e12|e13"
+            );
             std::process::exit(2);
         }
     }
@@ -1089,4 +1093,65 @@ fn e12_batch(quick: bool) {
         on.valve.batched, on.valve.size_flushes, on.valve.timer_flushes, on.valve.fallback_splits,
     );
     let _ = write_json("e12_batch", &rows);
+}
+
+/// E13: event-driven C10K — thousands of open keep-alive connections on
+/// a handful of workers, plus pipelined-vs-serial throughput on one
+/// connection through the submit/complete Transport contract.
+fn e13_c10k(quick: bool) {
+    use p2drm_sim::OpenLoopConfig;
+
+    let config = if quick {
+        OpenLoopConfig::quick()
+    } else {
+        OpenLoopConfig::full()
+    };
+    println!(
+        "== E13: C10K open connections ({} conns, {} workers, depth {}) ==",
+        config.connections, config.workers, config.pipeline_depth
+    );
+    let result = p2drm_sim::openloop::c10k(&config);
+
+    let mut table = Table::new("E13 — C10K event-driven core", &["measure", "value"]);
+    table.row(&[
+        "open keep-alive connections".into(),
+        format!(
+            "{} (idle gauge {})",
+            result.connections, result.idle_at_peak
+        ),
+    ]);
+    table.row(&["server workers".into(), result.workers.to_string()]);
+    table.row(&[
+        "sweep throughput".into(),
+        format!(
+            "{:.0} req/s over {} reqs",
+            result.sweep_throughput, result.swept_requests
+        ),
+    ]);
+    table.row(&[
+        "sweep latency p50/p99".into(),
+        format!(
+            "{} / {}",
+            fmt_ns(result.latency.p50_ns as f64),
+            fmt_ns(result.latency.p99_ns as f64)
+        ),
+    ]);
+    table.row(&[
+        "serial rps (1 conn)".into(),
+        format!("{:.0}/s", result.serial_rps),
+    ]);
+    table.row(&[
+        format!("pipelined rps (1 conn, depth {})", result.pipeline_depth),
+        format!("{:.0}/s", result.pipelined_rps),
+    ]);
+    table.row(&[
+        "pipelining speedup".into(),
+        format!("{:.2}x", result.speedup),
+    ]);
+    table.row(&[
+        "server pipeline depth hwm".into(),
+        result.pipeline_depth_hwm.to_string(),
+    ]);
+    println!("{}", table.render());
+    let _ = write_json("e13_c10k", &result);
 }

@@ -19,6 +19,7 @@ pub mod adversary;
 pub mod json;
 pub mod metrics;
 pub mod mixed;
+pub mod openloop;
 pub mod report;
 pub mod runner;
 pub mod workload;
@@ -26,6 +27,7 @@ pub mod workload;
 pub use adversary::{linkability_experiment, LinkabilityReport};
 pub use metrics::{Histogram, Summary};
 pub use mixed::{simulate, SimReport};
+pub use openloop::{OpenLoopConfig, OpenLoopResult};
 pub use report::Table;
 pub use runner::{
     purchase_throughput, purchase_throughput_with, DispatchMode, StoreBackend, ThroughputConfig,

@@ -1,0 +1,294 @@
+//! E13 — the C10K-shape experiment the event-driven network core
+//! unlocks: thousands of **open keep-alive connections** served
+//! correctly by a handful of workers, plus the value of request
+//! pipelining on a single connection.
+//!
+//! Two phases against one live [`DrmServer`] on a loopback port:
+//!
+//! 1. **Open connections**: dial N keep-alive connections, verify the
+//!    server reports all of them admitted and idle (the gauge the event
+//!    loop maintains), then sweep catalog round trips across every
+//!    connection from a few driver threads and record latency. The old
+//!    thread-per-connection server could not even hold N > `workers`
+//!    connections without starving the rest.
+//! 2. **Pipelined vs serial**: on one fresh connection, the same number
+//!    of catalog requests strictly round-tripped one at a time versus
+//!    submitted in depth-`d` batches through the submit/complete
+//!    contract. The speedup is pure protocol shape — same socket, same
+//!    service, same frames.
+
+use crate::json::{Json, ToJson};
+use crate::metrics::{Histogram, Summary};
+use p2drm_core::protocol::messages::CatalogRequest;
+use p2drm_core::service::{
+    RequestEnvelope, ResponseEnvelope, Transport, WireRequest, WireResponse,
+};
+use p2drm_core::system::{System, SystemConfig};
+use p2drm_crypto::rng::test_rng;
+use p2drm_net::{ClientConfig, DrmServer, NetConfig, TcpTransport};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Shape of one E13 run.
+#[derive(Clone, Debug)]
+pub struct OpenLoopConfig {
+    /// Keep-alive connections held open simultaneously.
+    pub connections: usize,
+    /// Client driver threads sweeping the connection pool.
+    pub drivers: usize,
+    /// Server worker threads (the point: single digits).
+    pub workers: usize,
+    /// Catalog round trips per connection during the sweep.
+    pub rounds: usize,
+    /// Requests for each side of the pipelined-vs-serial comparison.
+    pub pipeline_ops: usize,
+    /// Pipelining depth for the batched side.
+    pub pipeline_depth: usize,
+}
+
+impl OpenLoopConfig {
+    /// The headline configuration: 2,500 open connections, 4 workers.
+    pub fn full() -> Self {
+        OpenLoopConfig {
+            connections: 2_500,
+            drivers: 8,
+            workers: 4,
+            rounds: 2,
+            pipeline_ops: 2_000,
+            pipeline_depth: 8,
+        }
+    }
+
+    /// CI-sized: the same shape in a few seconds.
+    pub fn quick() -> Self {
+        OpenLoopConfig {
+            connections: 200,
+            drivers: 4,
+            workers: 4,
+            rounds: 1,
+            pipeline_ops: 300,
+            pipeline_depth: 8,
+        }
+    }
+}
+
+/// Everything one E13 run measured.
+#[derive(Clone, Debug)]
+pub struct OpenLoopResult {
+    /// Connections held open (all admitted, verified by the idle gauge).
+    pub connections: usize,
+    /// Server workers serving them.
+    pub workers: usize,
+    /// Idle connections the server reported with the pool quiescent.
+    pub idle_at_peak: u64,
+    /// Catalog round trips completed during the sweep.
+    pub swept_requests: u64,
+    /// Sweep wall-clock seconds.
+    pub sweep_wall_secs: f64,
+    /// Sweep throughput (requests/s across the whole pool).
+    pub sweep_throughput: f64,
+    /// Sweep per-request latency.
+    pub latency: Summary,
+    /// Requests per second, one connection, strict round trips.
+    pub serial_rps: f64,
+    /// Requests per second, one connection, pipelined at `depth`.
+    pub pipelined_rps: f64,
+    /// Pipelining depth used for the comparison.
+    pub pipeline_depth: usize,
+    /// `pipelined_rps / serial_rps`.
+    pub speedup: f64,
+    /// Deepest per-connection in-flight count the server ever saw.
+    pub pipeline_depth_hwm: u64,
+}
+
+impl ToJson for OpenLoopResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("connections", self.connections.to_json()),
+            ("workers", self.workers.to_json()),
+            ("idle_at_peak", self.idle_at_peak.to_json()),
+            ("swept_requests", self.swept_requests.to_json()),
+            ("sweep_wall_secs", self.sweep_wall_secs.to_json()),
+            ("sweep_throughput", self.sweep_throughput.to_json()),
+            ("latency", self.latency.to_json()),
+            ("serial_rps", self.serial_rps.to_json()),
+            ("pipelined_rps", self.pipelined_rps.to_json()),
+            ("pipeline_depth", self.pipeline_depth.to_json()),
+            ("speedup", self.speedup.to_json()),
+            ("pipeline_depth_hwm", self.pipeline_depth_hwm.to_json()),
+        ])
+    }
+}
+
+/// Runs E13 against a freshly bootstrapped system.
+pub fn c10k(config: &OpenLoopConfig) -> OpenLoopResult {
+    let mut rng = test_rng(0xE13);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let cid = sys.publish_content("Open Loop Single", 100, b"bits", &mut rng);
+
+    let server = DrmServer::bind(
+        "127.0.0.1:0",
+        sys.wire_service(0xE13),
+        NetConfig {
+            workers: config.workers,
+            max_connections: config.connections + 8,
+            queue_depth: 512,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+
+    let catalog_request = |corr: u64| -> Vec<u8> {
+        RequestEnvelope {
+            correlation_id: corr,
+            body: WireRequest::Catalog(CatalogRequest {
+                content_id: Some(cid),
+            }),
+        }
+        .to_bytes()
+    };
+
+    // Phase 1a: dial the whole pool. Loopback accepts can momentarily
+    // overflow the listen backlog at this rate, so give connects some
+    // retry headroom.
+    let client_config = ClientConfig {
+        connect_retries: 8,
+        retry_backoff: Duration::from_millis(5),
+        ..ClientConfig::default()
+    };
+    let conns: Vec<TcpTransport> = (0..config.connections)
+        .map(|_| TcpTransport::connect_with(addr, client_config.clone()).expect("dial pool"))
+        .collect();
+
+    // Every connection admitted and idle: the C10K claim, read straight
+    // off the server's own gauge.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let idle_at_peak = loop {
+        let m = server.metrics();
+        if m.idle_connections >= config.connections as u64 {
+            break m.idle_connections;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never admitted the full pool: {m}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    // Phase 1b: sweep catalog round trips across the pool.
+    let completed = AtomicU64::new(0);
+    let chunk = config.connections.div_ceil(config.drivers);
+    let start = Instant::now();
+    let mut merged = Histogram::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = conns
+            .chunks(chunk)
+            .enumerate()
+            .map(|(d, slice)| {
+                let completed = &completed;
+                let catalog_request = &catalog_request;
+                scope.spawn(move || {
+                    let mut hist = Histogram::new();
+                    let mut seq = 0u64;
+                    for _ in 0..config.rounds {
+                        for transport in slice {
+                            seq += 1;
+                            let corr = ((d as u64 + 1) << 32) | seq;
+                            let t0 = Instant::now();
+                            let reply = transport
+                                .roundtrip(corr, &catalog_request(corr))
+                                .expect("sweep roundtrip");
+                            let envelope =
+                                ResponseEnvelope::from_bytes(&reply).expect("well-formed reply");
+                            assert_eq!(envelope.correlation_id, corr);
+                            assert!(matches!(envelope.body, WireResponse::Catalog(_)));
+                            hist.record_duration(t0.elapsed());
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    hist
+                })
+            })
+            .collect();
+        for handle in handles {
+            merged.merge(&handle.join().expect("driver thread"));
+        }
+    });
+    let sweep_wall = start.elapsed();
+    let swept_requests = completed.load(Ordering::Relaxed);
+    assert_eq!(
+        swept_requests,
+        (config.connections * config.rounds) as u64,
+        "every sweep round trip must succeed"
+    );
+
+    // Phase 2: pipelined vs serial on one fresh connection. Same socket,
+    // same frames — only the protocol shape differs.
+    let single = TcpTransport::connect_with(addr, client_config).expect("dial single");
+    let serial_base = 1u64 << 48;
+    let t0 = Instant::now();
+    for k in 0..config.pipeline_ops as u64 {
+        let corr = serial_base | (k + 1);
+        single
+            .roundtrip(corr, &catalog_request(corr))
+            .expect("serial roundtrip");
+    }
+    let serial_secs = t0.elapsed().as_secs_f64();
+
+    let piped_base = 2u64 << 48;
+    let mut next = 0u64;
+    let mut remaining = config.pipeline_ops;
+    let t0 = Instant::now();
+    while remaining > 0 {
+        let batch = config.pipeline_depth.min(remaining);
+        let ids: Vec<u64> = (0..batch)
+            .map(|_| {
+                next += 1;
+                piped_base | next
+            })
+            .collect();
+        for &corr in &ids {
+            single
+                .submit(corr, &catalog_request(corr))
+                .expect("pipelined submit");
+        }
+        for _ in 0..batch {
+            single
+                .complete(None)
+                .expect("pipelined complete")
+                .expect("a reply while in flight");
+        }
+        remaining -= batch;
+    }
+    let pipelined_secs = t0.elapsed().as_secs_f64();
+
+    let serial_rps = config.pipeline_ops as f64 / serial_secs;
+    let pipelined_rps = config.pipeline_ops as f64 / pipelined_secs;
+
+    let metrics = server.metrics();
+    let result = OpenLoopResult {
+        connections: config.connections,
+        workers: config.workers,
+        idle_at_peak,
+        swept_requests,
+        sweep_wall_secs: sweep_wall.as_secs_f64(),
+        sweep_throughput: swept_requests as f64 / sweep_wall.as_secs_f64(),
+        latency: merged.summary(),
+        serial_rps,
+        pipelined_rps,
+        pipeline_depth: config.pipeline_depth,
+        speedup: pipelined_rps / serial_rps,
+        pipeline_depth_hwm: metrics.pipeline_depth_hwm,
+    };
+
+    drop(conns);
+    drop(single);
+    let final_metrics = server.shutdown();
+    assert_eq!(
+        final_metrics.requests_served,
+        swept_requests + 2 * config.pipeline_ops as u64,
+        "every request was served exactly once"
+    );
+    result
+}

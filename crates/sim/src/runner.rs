@@ -341,8 +341,12 @@ fn drive_provider<B: ConcurrentKv + Send + Sync + 'static, R: Rng>(
                     let ok = match body {
                         None => provider.handle_purchase(req, epoch, &mut rng).is_ok(),
                         Some(body) => {
+                            // Correlation id 0 is reserved for server
+                            // pre-decode errors, so the per-request index
+                            // is offset by one.
+                            let corr = ((c as u64) << 32) | (i as u64 + 1);
                             let envelope = RequestEnvelope {
-                                correlation_id: ((c as u64) << 32) | i as u64,
+                                correlation_id: corr,
                                 body,
                             };
                             let request = envelope.to_bytes();
@@ -350,7 +354,7 @@ fn drive_provider<B: ConcurrentKv + Send + Sync + 'static, R: Rng>(
                                 None => service.handle(&request),
                                 Some(t) => {
                                     use p2drm_core::service::Transport;
-                                    t.roundtrip(&request).expect("loopback tcp roundtrip")
+                                    t.roundtrip(corr, &request).expect("loopback tcp roundtrip")
                                 }
                             };
                             let envelope = ResponseEnvelope::from_bytes(&reply)

@@ -26,7 +26,7 @@ fn main() {
 
     // Stand up the byte-level service and a typed client over loopback.
     let service = system.wire_service(0x2004);
-    let mut client = WireClient::new(Loopback(&service));
+    let mut client = WireClient::new(Loopback::new(&service));
     client.set_epoch(system.epoch());
     println!(
         "wire service up (version {WIRE_VERSION}); every call below is encode -> dispatch -> decode\n"

@@ -72,13 +72,15 @@ fn concurrent_double_redeem_over_sockets_has_one_winner() {
             .enumerate()
             .map(|(i, req)| {
                 scope.spawn(move || {
-                    let mut transport = TcpTransport::connect(addr).expect("connect");
+                    let transport = TcpTransport::connect(addr).expect("connect");
+                    // Correlation id 0 is reserved for pre-decode errors.
+                    let corr = i as u64 + 1;
                     let envelope = RequestEnvelope {
-                        correlation_id: i as u64,
+                        correlation_id: corr,
                         body: WireRequest::Transfer(req.clone()),
                     };
                     let reply = transport
-                        .roundtrip(&envelope.to_bytes())
+                        .roundtrip(corr, &envelope.to_bytes())
                         .expect("roundtrip over loopback");
                     ResponseEnvelope::from_bytes(&reply)
                         .expect("well-formed reply")
@@ -317,7 +319,7 @@ fn graceful_shutdown_completes_in_flight_requests() {
     let addr = server.local_addr();
 
     let worker = std::thread::spawn(move || {
-        let mut transport = TcpTransport::connect(addr).expect("connect");
+        let transport = TcpTransport::connect(addr).expect("connect");
         let envelope = RequestEnvelope {
             correlation_id: 77,
             body: WireRequest::Catalog(p2drm::core::protocol::messages::CatalogRequest {
@@ -325,7 +327,7 @@ fn graceful_shutdown_completes_in_flight_requests() {
             }),
         };
         let reply = transport
-            .roundtrip(&envelope.to_bytes())
+            .roundtrip(77, &envelope.to_bytes())
             .expect("in-flight request must complete");
         ResponseEnvelope::from_bytes(&reply).expect("well-formed reply")
     });
@@ -366,7 +368,7 @@ fn oversized_reply_closes_connection_and_is_counted() {
     };
     let server = DrmServer::bind("127.0.0.1:0", huge, config).expect("bind");
 
-    let mut transport = TcpTransport::connect_with(
+    let transport = TcpTransport::connect_with(
         server.local_addr(),
         p2drm::net::ClientConfig {
             max_frame: 64,
@@ -375,7 +377,7 @@ fn oversized_reply_closes_connection_and_is_counted() {
     )
     .expect("connect");
     let err = transport
-        .roundtrip(&[1, 2, 3])
+        .roundtrip(9, &[1, 2, 3])
         .expect_err("the reply cannot be framed");
     assert!(
         matches!(err, p2drm::core::service::TransportError::Broken(_)),
@@ -385,4 +387,240 @@ fn oversized_reply_closes_connection_and_is_counted() {
     let metrics = server.shutdown();
     assert_eq!(metrics.oversized_replies, 1);
     assert_eq!(metrics.requests_served, 1, "the request was dispatched");
+}
+
+/// Pipelined double redeem on **one** connection: two fully valid
+/// transfer requests for the same license ride the same socket
+/// back-to-back via `call_many`. The spent-ID rule must pick exactly one
+/// winner; the loser sees the stable already-redeemed code 51 — and both
+/// replies demultiplex onto the right slot by correlation id.
+#[test]
+fn pipelined_double_redeem_on_one_connection_has_one_winner() {
+    let mut rng = test_rng(0x07C9_0006);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let cid = sys.publish_content("Hot Item", 100, b"payload", &mut rng);
+
+    let mut mallory = sys.register_user("mallory", &mut rng).unwrap();
+    sys.fund(&mallory, 1_000);
+    let license = sys.purchase(&mut mallory, cid, &mut rng).unwrap();
+    let mallory_pseudonym = mallory.licenses()[0].pseudonym;
+
+    let mut requests = Vec::new();
+    for i in 0..2 {
+        let mut buyer = sys.register_user(&format!("buyer-{i}"), &mut rng).unwrap();
+        sys.ensure_pseudonym(&mut buyer, &mut rng).unwrap();
+        let cert = buyer.pseudonym_certs().last().unwrap().clone();
+        let proof = mallory
+            .card
+            .sign_with_pseudonym(
+                &mallory_pseudonym,
+                &transfer_proof_bytes(&license.id(), &cert.pseudonym_id()),
+            )
+            .unwrap();
+        requests.push(WireRequest::Transfer(TransferRequest {
+            license: license.clone(),
+            recipient_cert: cert,
+            proof,
+        }));
+    }
+
+    let server = DrmServer::bind(
+        "127.0.0.1:0",
+        sys.wire_service(0x7CE),
+        NetConfig {
+            workers: 2,
+            ..NetConfig::fast_test()
+        },
+    )
+    .expect("bind");
+
+    let transport = TcpTransport::connect(server.local_addr()).expect("connect");
+    let mut client = WireClient::new(transport);
+    let outcomes = client.call_many(requests);
+
+    let winners = outcomes
+        .iter()
+        .filter(|r| matches!(r, Ok(WireResponse::Transfer(_))))
+        .count();
+    assert_eq!(winners, 1, "exactly one racing redeem may succeed");
+    for outcome in &outcomes {
+        if let Ok(WireResponse::Error(e)) = outcome {
+            assert_eq!(
+                e.code,
+                ApiErrorCode::AlreadyRedeemed,
+                "the loser must see the stable code 51, got {e}"
+            );
+            assert_eq!(e.code.code(), 51);
+        }
+    }
+    assert_eq!(sys.provider.spent_count(), 1);
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.accepted_connections, 1, "one pipelined connection");
+    assert_eq!(metrics.requests_served, 2);
+}
+
+/// A reply bearing a correlation id that was never submitted — or one
+/// already consumed by an earlier reply — must poison the channel as a
+/// `Broken` transport error, never resolve some other caller's request.
+#[test]
+fn unknown_and_duplicate_correlation_ids_poison_the_channel() {
+    use p2drm::core::service::TransportError;
+    use p2drm::net::{write_frame, DEFAULT_MAX_FRAME};
+    use std::net::TcpListener;
+
+    // A minimal envelope-shaped request/reply: version, opcode, then the
+    // correlation id at bytes 2..10 — all `correlation_hint` reads.
+    fn envelope_with_corr(corr: u64) -> Vec<u8> {
+        let mut bytes = vec![1u8, 0x01];
+        bytes.extend_from_slice(&corr.to_le_bytes());
+        bytes
+    }
+
+    // Unknown id: the fake server answers the only in-flight request
+    // with a correlation id nobody sent.
+    {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let fake = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let _req = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap().unwrap();
+            write_frame(&mut stream, &envelope_with_corr(999), DEFAULT_MAX_FRAME).unwrap();
+            stream
+        });
+        let transport = TcpTransport::connect(addr).expect("connect");
+        transport
+            .submit(7, &envelope_with_corr(7))
+            .expect("submit on live connection");
+        let err = transport
+            .complete(None)
+            .expect_err("unknown id must poison the channel");
+        assert!(
+            matches!(err, TransportError::Broken(_)),
+            "ambiguous channel failure expected, got {err}"
+        );
+        // The channel forgot its in-flight set: nothing left to complete.
+        assert!(matches!(transport.complete(None), Ok(None)));
+        drop(fake.join().unwrap());
+    }
+
+    // Duplicate id: two requests in flight, the fake server answers the
+    // first one twice. The first delivery resolves; the repeat must not
+    // be delivered to the second caller.
+    {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let fake = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let _a = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap().unwrap();
+            let _b = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap().unwrap();
+            write_frame(&mut stream, &envelope_with_corr(11), DEFAULT_MAX_FRAME).unwrap();
+            write_frame(&mut stream, &envelope_with_corr(11), DEFAULT_MAX_FRAME).unwrap();
+            stream
+        });
+        let transport = TcpTransport::connect(addr).expect("connect");
+        transport.submit(11, &envelope_with_corr(11)).unwrap();
+        transport.submit(12, &envelope_with_corr(12)).unwrap();
+        let (corr, _) = transport
+            .complete(None)
+            .expect("first delivery is fine")
+            .expect("a reply");
+        assert_eq!(corr, 11);
+        let err = transport
+            .complete(None)
+            .expect_err("duplicate id must poison the channel");
+        assert!(matches!(err, TransportError::Broken(_)), "got {err}");
+        drop(fake.join().unwrap());
+    }
+
+    // Submitting an id that is already in flight is refused locally,
+    // before any byte moves: definitely unsent.
+    {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let transport = TcpTransport::connect(addr).expect("connect");
+        transport.submit(5, &envelope_with_corr(5)).unwrap();
+        let err = transport
+            .submit(5, &envelope_with_corr(5))
+            .expect_err("duplicate submit refused");
+        assert!(err.definitely_unsent(), "got {err}");
+        // Correlation id 0 is reserved for pre-decode server errors.
+        let err = transport
+            .submit(0, &envelope_with_corr(0))
+            .expect_err("id 0 refused");
+        assert!(err.definitely_unsent(), "got {err}");
+    }
+}
+
+/// The event loop's gauges: idle keep-alive connections are visible as
+/// `idle_connections`, and pipelining on one connection is recorded in
+/// `pipeline_depth_hwm`.
+#[test]
+fn idle_gauge_and_pipeline_high_water_are_tracked() {
+    use p2drm::core::service::correlation_hint;
+
+    // A deliberately slow echo service so all four pipelined requests
+    // are dispatched before the first reply lands.
+    let slow = ServiceFn(|request: &[u8]| {
+        std::thread::sleep(Duration::from_millis(100));
+        request.to_vec()
+    });
+    let server = DrmServer::bind(
+        "127.0.0.1:0",
+        slow,
+        NetConfig {
+            workers: 2,
+            ..NetConfig::fast_test()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let busy = TcpTransport::connect(addr).expect("connect");
+    let watcher = TcpTransport::connect(addr).expect("connect");
+    let _ = watcher; // held open, never used: a pure keep-alive fd
+
+    // Both connections admitted and idle.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.metrics().idle_connections < 2 {
+        assert!(Instant::now() < deadline, "idle gauge never reached 2");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.metrics().active_connections, 2);
+
+    // Pipeline four requests; the workers are asleep, so the connection's
+    // in-flight depth must reach 4 before the first reply.
+    let mut request = vec![1u8, 0x01];
+    request.extend_from_slice(&0u64.to_le_bytes());
+    for corr in 1..=4u64 {
+        request[2..10].copy_from_slice(&corr.to_le_bytes());
+        busy.submit(corr, &request).expect("submit");
+    }
+    let mut seen = Vec::new();
+    while seen.len() < 4 {
+        let (corr, reply) = busy
+            .complete(None)
+            .expect("pipelined replies complete")
+            .expect("a reply while in flight");
+        assert_eq!(correlation_hint(&reply), corr, "echo keeps the id");
+        seen.push(corr);
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, vec![1, 2, 3, 4]);
+
+    // Fully drained: the busy connection is idle again.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.metrics().idle_connections < 2 {
+        assert!(Instant::now() < deadline, "idle gauge never recovered");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.requests_served, 4);
+    assert_eq!(
+        metrics.pipeline_depth_hwm, 4,
+        "all four requests were in flight at once, got {metrics}"
+    );
+    assert_eq!(metrics.active_connections, 0);
+    assert_eq!(metrics.idle_connections, 0, "gauges drain on shutdown");
 }

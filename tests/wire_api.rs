@@ -21,14 +21,19 @@ struct LoseRepliesOf<'s> {
 }
 
 impl Transport for LoseRepliesOf<'_> {
-    fn roundtrip(&mut self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
-        let reply = self.inner.roundtrip(request)?;
-        if reply.get(1) == Some(&self.lost_op.byte()) {
-            Err(TransportError::Broken(
-                "reply lost in transit (simulated)".to_string(),
-            ))
-        } else {
-            Ok(reply)
+    fn submit(&self, corr_id: u64, request: &[u8]) -> Result<(), TransportError> {
+        self.inner.submit(corr_id, request)
+    }
+
+    fn complete(
+        &self,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Option<(u64, Vec<u8>)>, TransportError> {
+        match self.inner.complete(deadline)? {
+            Some((_, reply)) if reply.get(1) == Some(&self.lost_op.byte()) => Err(
+                TransportError::Broken("reply lost in transit (simulated)".to_string()),
+            ),
+            other => Ok(other),
         }
     }
 }
@@ -42,14 +47,23 @@ struct BlackholeOp<'s> {
 }
 
 impl Transport for BlackholeOp<'_> {
-    fn roundtrip(&mut self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
+    fn submit(&self, corr_id: u64, request: &[u8]) -> Result<(), TransportError> {
         if request.get(1) == Some(&self.op.byte()) {
+            // `Broken`, not `Unreachable`: the client can't tell which
+            // side of the wire swallowed it, so the outcome is ambiguous.
             Err(TransportError::Broken(
                 "request swallowed by the network (simulated)".to_string(),
             ))
         } else {
-            self.inner.roundtrip(request)
+            self.inner.submit(corr_id, request)
         }
+    }
+
+    fn complete(
+        &self,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Option<(u64, Vec<u8>)>, TransportError> {
+        self.inner.complete(deadline)
     }
 }
 
@@ -63,7 +77,7 @@ fn wire_purchase_plays_through_inproc_path() {
     let mut device = sys.register_device(&mut rng).expect("compliant device");
 
     let service = sys.wire_service(0xA11CE);
-    let mut client = WireClient::new(Loopback(&service));
+    let mut client = WireClient::new(Loopback::new(&service));
     client.set_epoch(sys.epoch());
 
     // Catalog over the wire sees the published item.
@@ -107,7 +121,7 @@ fn wire_play_matches_inproc_play() {
     let license = sys.purchase(&mut alice, cid, &mut rng).expect("purchase");
 
     let service = sys.wire_service(0xB0B);
-    let mut client = WireClient::new(Loopback(&service));
+    let mut client = WireClient::new(Loopback::new(&service));
     let audio = client
         .play(&alice, &mut device, &license, &mut rng)
         .expect("wire play of in-proc license");
@@ -137,7 +151,7 @@ fn wire_double_redeem_rejected_with_stable_code() {
         .expect("pseudonym");
 
     let service = sys.wire_service(0xD0D0);
-    let mut client = WireClient::new(Loopback(&service));
+    let mut client = WireClient::new(Loopback::new(&service));
 
     let lid = license.id();
     let saved = license.clone();
@@ -174,7 +188,7 @@ fn wire_attribute_flow_gates_rated_content() {
     sys.grant_attribute(&adult, "adult", &mut rng).expect("kyc");
 
     let service = sys.wire_service(0xAD17);
-    let mut client = WireClient::new(Loopback(&service));
+    let mut client = WireClient::new(Loopback::new(&service));
     client.set_epoch(sys.epoch());
 
     // The minor holds a pseudonym but no credential: client-side refusal
@@ -227,7 +241,7 @@ fn wire_crl_sync_propagates_revocation() {
     sys.provider.revoke_license(&license.id()).expect("revoke");
 
     let service = sys.wire_service(0xC71);
-    let mut client = WireClient::new(Loopback(&service));
+    let mut client = WireClient::new(Loopback::new(&service));
     client.sync_crls(&mut device).expect("wire CRL sync");
 
     // The synced device refuses the revoked license on either path.
@@ -247,7 +261,7 @@ fn ambiguous_purchase_parks_coin_instead_of_losing_it() {
 
     let service = sys.wire_service(0x10_57);
     let mut client = WireClient::new(LoseRepliesOf {
-        inner: Loopback(&service),
+        inner: Loopback::new(&service),
         lost_op: OpCode::Purchase,
     });
     client.set_epoch(sys.epoch());
@@ -274,7 +288,7 @@ fn ambiguous_purchase_parks_coin_instead_of_losing_it() {
 
     // The other ambiguous shape: the request never reaches the server.
     let mut client = WireClient::new(BlackholeOp {
-        inner: Loopback(&service),
+        inner: Loopback::new(&service),
         op: OpCode::Purchase,
     });
     client.set_epoch(sys.epoch());
@@ -288,7 +302,7 @@ fn ambiguous_purchase_parks_coin_instead_of_losing_it() {
     assert_eq!(alice.wallet.balance(), 100, "undeposited coin restored");
 
     // And the restored coin completes a real purchase end-to-end.
-    let mut client = WireClient::new(Loopback(&service));
+    let mut client = WireClient::new(Loopback::new(&service));
     client.set_epoch(sys.epoch());
     let license = client
         .purchase(&mut alice, &sys.mint, cid, &mut rng)
@@ -311,7 +325,7 @@ fn ambiguous_transfer_reconciles_via_license_status() {
 
     let service = sys.wire_service(0x10_58);
     let mut client = WireClient::new(LoseRepliesOf {
-        inner: Loopback(&service),
+        inner: Loopback::new(&service),
         lost_op: OpCode::Transfer,
     });
 
@@ -357,7 +371,7 @@ fn spoofed_card_id_is_refused_over_the_wire() {
         .expect("alice is entitled");
 
     let service = sys.wire_service(0x5F00F);
-    let mut client = WireClient::new(Loopback(&service));
+    let mut client = WireClient::new(Loopback::new(&service));
 
     // Mallory (registered, not entitled) claims alice's card id on the
     // wire; her own certificate and a valid signature over the spoofed
@@ -388,7 +402,7 @@ fn unknown_content_maps_to_stable_code() {
     let mut rng = test_rng(0x317E06);
     let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
     let service = sys.wire_service(0x404);
-    let mut client = WireClient::new(Loopback(&service));
+    let mut client = WireClient::new(Loopback::new(&service));
     let err = client
         .content_meta(p2drm::core::ContentId::from_label("ghost"))
         .expect_err("nothing published");
@@ -399,4 +413,163 @@ fn unknown_content_maps_to_stable_code() {
         }
         other => panic!("expected Api error, got {other}"),
     }
+}
+
+// ---------------------------------------------------------------------
+// Pipelining: out-of-order reply delivery through the demux.
+// ---------------------------------------------------------------------
+
+/// A transport that delivers replies in an adversarially permuted order:
+/// every completed reply is buffered, and `complete` hands back whichever
+/// one the pick list selects — the pipelined client must still settle
+/// every slot with *its* reply, purely by correlation id.
+struct Shuffling<'s> {
+    inner: Loopback<'s, MemBackend>,
+    picks: std::cell::RefCell<Vec<usize>>,
+    buffer: std::cell::RefCell<Vec<(u64, Vec<u8>)>>,
+}
+
+impl<'s> Shuffling<'s> {
+    fn new(inner: Loopback<'s, MemBackend>, picks: Vec<usize>) -> Self {
+        Shuffling {
+            inner,
+            picks: std::cell::RefCell::new(picks),
+            buffer: std::cell::RefCell::new(Vec::new()),
+        }
+    }
+}
+
+impl Transport for Shuffling<'_> {
+    fn submit(&self, corr_id: u64, request: &[u8]) -> Result<(), TransportError> {
+        self.inner.submit(corr_id, request)
+    }
+
+    fn complete(
+        &self,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Option<(u64, Vec<u8>)>, TransportError> {
+        let mut buffer = self.buffer.borrow_mut();
+        while let Some(pair) = self.inner.complete(deadline)? {
+            buffer.push(pair);
+        }
+        if buffer.is_empty() {
+            return Ok(None);
+        }
+        let mut picks = self.picks.borrow_mut();
+        let idx = if picks.is_empty() {
+            buffer.len() - 1
+        } else {
+            picks.remove(0) % buffer.len()
+        };
+        Ok(Some(buffer.remove(idx)))
+    }
+}
+
+/// Shared fixture for the permutation property: bootstrapping a system
+/// mints real RSA keys, so it happens once.
+fn pipeline_fixture() -> &'static (System, Vec<p2drm::core::ContentId>) {
+    use std::sync::OnceLock;
+    static FX: OnceLock<(System, Vec<p2drm::core::ContentId>)> = OnceLock::new();
+    FX.get_or_init(|| {
+        let mut rng = test_rng(0x317E10);
+        let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+        let cids = (0..3)
+            .map(|i| {
+                sys.publish_content(
+                    &format!("Pipelined {i}"),
+                    100 + i as u64,
+                    format!("payload {i}").as_bytes(),
+                    &mut rng,
+                )
+            })
+            .collect();
+        (sys, cids)
+    })
+}
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Permuted reply order ≡ serial outcomes: a batch of catalog
+    /// lookups pipelined through an adversarially shuffled transport
+    /// settles every slot with exactly the response the serial client
+    /// gets for the same request.
+    #[test]
+    fn permuted_reply_order_matches_serial_outcomes(
+        picks in proptest::collection::vec(any::<usize>(), 1..12),
+        shuffle in proptest::collection::vec(any::<usize>(), 1..24),
+    ) {
+        use p2drm::core::protocol::messages::CatalogRequest;
+        let (sys, cids) = pipeline_fixture();
+        let service = sys.wire_service(0x0DD0);
+        let bodies: Vec<WireRequest> = picks
+            .iter()
+            .map(|&p| {
+                // Known ids plus one unknown: slots must not bleed into
+                // each other even when some answers are empty.
+                let k = p % (cids.len() + 1);
+                let cid = cids
+                    .get(k)
+                    .copied()
+                    .unwrap_or_else(|| p2drm::core::ContentId::from_label("ghost"));
+                WireRequest::Catalog(CatalogRequest { content_id: Some(cid) })
+            })
+            .collect();
+
+        let mut serial = WireClient::new(Loopback::new(&service));
+        let expected: Vec<_> = bodies.iter().cloned().map(|b| serial.call(b)).collect();
+
+        let mut piped = WireClient::new(Shuffling::new(Loopback::new(&service), shuffle));
+        let got = piped.call_many(bodies);
+
+        prop_assert_eq!(got.len(), expected.len());
+        for (slot, (g, e)) in got.iter().zip(&expected).enumerate() {
+            match (g, e) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "slot {} diverged", slot),
+                (a, b) => prop_assert!(false, "slot {} shape diverged: {:?} vs {:?}", slot, a, b),
+            }
+        }
+    }
+}
+
+/// Pipelined purchases through the shuffled transport: every session
+/// settles with its own reply — licenses for the known items, a typed
+/// error for the unknown one — and the wallet balances exactly.
+#[test]
+fn pipelined_purchases_settle_out_of_order_replies() {
+    let mut rng = test_rng(0x317E11);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let cid_a = sys.publish_content("Album A", 100, b"A", &mut rng);
+    let cid_b = sys.publish_content("Album B", 100, b"B", &mut rng);
+    let ghost = p2drm::core::ContentId::from_label("ghost");
+    let mut alice = sys.register_user("alice", &mut rng).expect("fresh user");
+    sys.fund(&alice, 500);
+    sys.ensure_pseudonym(&mut alice, &mut rng)
+        .expect("pseudonym");
+
+    let service = sys.wire_service(0x0DD1);
+    // Reverse delivery: the last submitted reply completes first.
+    let mut client = WireClient::new(Shuffling::new(Loopback::new(&service), vec![2, 1, 0]));
+    client.set_epoch(sys.epoch());
+
+    let results = client.purchase_many(&mut alice, &sys.mint, &[cid_a, cid_b, ghost], &mut rng);
+    assert_eq!(results.len(), 3);
+    let lic_a = results[0].as_ref().expect("known item purchases");
+    let lic_b = results[1].as_ref().expect("known item purchases");
+    assert!(lic_a.verify(sys.provider.public_key()).is_ok());
+    assert!(lic_b.verify(sys.provider.public_key()).is_ok());
+    match &results[2] {
+        Err(WireError::Api(e)) => assert_eq!(e.code, ApiErrorCode::UnknownContent),
+        other => panic!("unknown item must fail typed, got {other:?}"),
+    }
+
+    // Exactly the two priced coins were deposited; nothing parked,
+    // nothing stranded in the wallet (the ghost slot never withdrew).
+    assert_eq!(sys.mint.deposited_total(), 200);
+    assert_eq!(alice.wallet.balance(), 0);
+    assert!(alice.wallet.pending().is_empty());
+    assert_eq!(alice.licenses().len(), 2);
+    assert_eq!(sys.provider.license_count(), 2);
 }
