@@ -465,8 +465,10 @@ impl Mont {
     /// calls), dedicated squarings, and zero heap allocations in the main
     /// loop (table, accumulator and scratch are allocated once up front).
     pub fn pow_form(&self, base: &MontForm, exp: &UBig) -> MontForm {
+        // lint: secret(exp)
         let s = self.n.len();
         debug_assert_eq!(base.limbs.len(), s);
+        // lint: public(zero-ness and bit length of the exponent are key-size parameters)
         if exp.is_zero() {
             return self.one_form();
         }
@@ -508,6 +510,8 @@ impl Mont {
     /// against it on the same box; selectable process-wide via
     /// [`set_kernel`]`(`[`Kernel::Reference`]`)`.
     pub fn pow_reference(&self, base: &UBig, exp: &UBig) -> UBig {
+        // lint: secret(exp)
+        // lint: public(zero-ness and bit length of the exponent are key-size parameters)
         if exp.is_zero() {
             return UBig::one().rem(&self.modulus());
         }
@@ -516,8 +520,8 @@ impl Mont {
         let mut table = Vec::with_capacity(16);
         table.push(self.one.clone());
         table.push(bm.clone());
-        for i in 2..16 {
-            let prev: &Vec<u64> = &table[i - 1];
+        for d in 2..16 {
+            let prev: &Vec<u64> = &table[d - 1];
             table.push(self.mont_mul_ref(prev, &bm));
         }
         let bits = exp.bit_len();
@@ -526,6 +530,7 @@ impl Mont {
         // Process 4 bits at a time from the most significant end.
         let top_window = bits.div_ceil(4) * 4;
         let mut i = top_window;
+        // lint: public(loop bound is the exponent bit length, a public key-size parameter)
         while i >= 4 {
             i -= 4;
             let mut w = 0usize;

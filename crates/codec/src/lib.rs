@@ -37,6 +37,8 @@
 //! assert_eq!(back, Pair { id: 7, name: "abc".into() });
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod crc32;
 
 use std::fmt;

@@ -654,25 +654,31 @@ fn split_envelope(bytes: &[u8]) -> Result<(u8, u8, u64, &[u8]), EnvelopeError> {
     if bytes.len() < ENVELOPE_HEADER_LEN {
         return Err(EnvelopeError::Malformed(CodecError::UnexpectedEof));
     }
+    // lint: allow(panic, length checked against ENVELOPE_HEADER_LEN above)
     let version = bytes[0];
+    // lint: allow(panic, length checked against ENVELOPE_HEADER_LEN above)
     let op = bytes[1];
-    let correlation = u64::from_le_bytes(
-        bytes[2..ENVELOPE_HEADER_LEN]
-            .try_into()
-            .expect("fixed width"),
-    );
+    let correlation = read_correlation(bytes);
+    // lint: allow(panic, length checked against ENVELOPE_HEADER_LEN above)
     Ok((version, op, correlation, &bytes[ENVELOPE_HEADER_LEN..]))
+}
+
+/// Reads the correlation id from envelope bytes without panicking slice
+/// math: the zip simply stops short on truncated input (callers that
+/// care check the length first).
+fn read_correlation(bytes: &[u8]) -> u64 {
+    let mut word = [0u8; 8];
+    for (dst, src) in word.iter_mut().zip(bytes.iter().skip(2)) {
+        *dst = *src;
+    }
+    u64::from_le_bytes(word)
 }
 
 /// Best-effort correlation id extraction from (possibly malformed)
 /// request bytes, so even rejected requests get a correlated reply.
 pub fn correlation_hint(bytes: &[u8]) -> u64 {
     if bytes.len() >= ENVELOPE_HEADER_LEN {
-        u64::from_le_bytes(
-            bytes[2..ENVELOPE_HEADER_LEN]
-                .try_into()
-                .expect("fixed width"),
-        )
+        read_correlation(bytes)
     } else {
         0
     }
@@ -852,7 +858,7 @@ impl<B: ConcurrentKv> ProviderService<B> {
         // lock on the hot path, and no way to predict one request's
         // randomness from another's output.
         let mut nonce = [0u8; 12];
-        nonce[..8].copy_from_slice(&n.to_le_bytes());
+        nonce[..8].copy_from_slice(&n.to_le_bytes()); // lint: allow(panic, nonce is 12 bytes, the 8-byte counter prefix always fits)
         let mut rng = ChaChaRng::new(self.rng_key, nonce);
         self.handle_with_rng(request, &mut rng)
     }
@@ -1298,6 +1304,7 @@ impl<T: Transport> WireClient<T> {
                 Ok(()) => {
                     pending.insert(sent, slot);
                 }
+                // lint: allow(panic, slot enumerates bodies and results has one slot per body)
                 Err(e) => results[slot] = Some(Err(WireError::Transport(e))),
             }
         }
@@ -1305,6 +1312,7 @@ impl<T: Transport> WireClient<T> {
             match self.transport.complete(None) {
                 Ok(Some((corr, reply))) => {
                     if let Some(slot) = pending.remove(&corr) {
+                        // lint: allow(panic, slot comes from pending, which only holds valid slots)
                         results[slot] = Some(Self::decode_reply(corr, &reply));
                     }
                 }
@@ -1314,11 +1322,13 @@ impl<T: Transport> WireClient<T> {
                             .to_string(),
                     );
                     for (_, slot) in pending.drain() {
+                        // lint: allow(panic, slot comes from pending, which only holds valid slots)
                         results[slot] = Some(Err(WireError::Transport(err.clone())));
                     }
                 }
                 Err(e) => {
                     for (_, slot) in pending.drain() {
+                        // lint: allow(panic, slot comes from pending, which only holds valid slots)
                         results[slot] = Some(Err(WireError::Transport(e.clone())));
                     }
                 }
@@ -1326,6 +1336,7 @@ impl<T: Transport> WireClient<T> {
         }
         results
             .into_iter()
+            // lint: allow(panic, the completion loop above resolves every slot)
             .map(|r| r.expect("every slot resolved"))
             .collect()
     }
@@ -1478,6 +1489,7 @@ impl<T: Transport> WireClient<T> {
             std::collections::HashMap::new();
         for (slot, cid) in content_ids.iter().enumerate() {
             let Some(meta) = catalog.iter().find(|m| m.id == *cid) else {
+                // lint: allow(panic, slot enumerates content_ids and results has one slot per id)
                 results[slot] = Some(Err(WireError::Api(ApiError::new(
                     ApiErrorCode::UnknownContent,
                     format!("unknown content {cid}"),
@@ -1487,6 +1499,7 @@ impl<T: Transport> WireClient<T> {
             let (session, request) = match PurchaseSession::begin(user, mint, meta, rng) {
                 Ok(pair) => pair,
                 Err(e) => {
+                    // lint: allow(panic, slot enumerates content_ids and results has one slot per id)
                     results[slot] = Some(Err(WireError::Client(e)));
                     continue;
                 }
@@ -1502,10 +1515,12 @@ impl<T: Transport> WireClient<T> {
                 }
                 Err(t) if t.definitely_unsent() => {
                     session.recover(user);
+                    // lint: allow(panic, slot enumerates content_ids and results has one slot per id)
                     results[slot] = Some(Err(WireError::Transport(t)));
                 }
                 Err(t) => {
                     session.park(user);
+                    // lint: allow(panic, slot enumerates content_ids and results has one slot per id)
                     results[slot] = Some(Err(WireError::Transport(t)));
                 }
             }
@@ -1516,6 +1531,7 @@ impl<T: Transport> WireClient<T> {
                     let Some((slot, session)) = sessions.remove(&corr) else {
                         continue;
                     };
+                    // lint: allow(panic, slot comes from sessions, which only holds valid slots)
                     results[slot] = Some(match Self::decode_reply(corr, &reply) {
                         Ok(WireResponse::Purchase(resp)) => Ok(session.finish(user, resp)),
                         Ok(WireResponse::Error(e)) => {
@@ -1539,6 +1555,7 @@ impl<T: Transport> WireClient<T> {
                     );
                     for (_, (slot, session)) in sessions.drain() {
                         session.park(user);
+                        // lint: allow(panic, slot comes from sessions, which only holds valid slots)
                         results[slot] = Some(Err(WireError::Transport(err.clone())));
                     }
                 }
@@ -1547,6 +1564,7 @@ impl<T: Transport> WireClient<T> {
                     // ambiguous at once — park them all.
                     for (_, (slot, session)) in sessions.drain() {
                         session.park(user);
+                        // lint: allow(panic, slot comes from sessions, which only holds valid slots)
                         results[slot] = Some(Err(WireError::Transport(e.clone())));
                     }
                 }
@@ -1554,6 +1572,7 @@ impl<T: Transport> WireClient<T> {
         }
         results
             .into_iter()
+            // lint: allow(panic, the completion loop above resolves every slot)
             .map(|r| r.expect("every slot resolved"))
             .collect()
     }

@@ -39,8 +39,9 @@
 
 use p2drm_crypto::batch;
 use p2drm_crypto::rsa::{RsaPublicKey, RsaSignature};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Monotonic valve statistics, exposed beside the verification-cache
@@ -119,7 +120,7 @@ impl VerifyValve {
     pub fn stage(&self, message: Vec<u8>, signature: RsaSignature) -> VerdictTicket {
         let slot = Arc::new(AtomicU8::new(VERDICT_PENDING));
         let staged_at = Instant::now();
-        let mut pending = self.pending.lock().expect("valve queue poisoned");
+        let mut pending = self.pending.lock();
         pending.push(Pending {
             message,
             signature,
@@ -149,8 +150,7 @@ impl VerifyValve {
             }
             if !timed_out && Instant::now() >= deadline {
                 timed_out = true;
-                let items =
-                    std::mem::take(&mut *self.pending.lock().expect("valve queue poisoned"));
+                let items = std::mem::take(&mut *self.pending.lock());
                 // Empty means another thread drained our batch and is
                 // computing it right now: keep yielding for the verdict.
                 if !items.is_empty() {
@@ -174,6 +174,7 @@ impl VerifyValve {
     fn flush(&self, items: Vec<Pending>) {
         let verdicts: Vec<bool> = if items.len() == 1 {
             vec![
+                // lint: allow(panic, this branch only runs when items.len() == 1)
                 p2drm_crypto::blind::verify_fdh(&self.key, &items[0].message, &items[0].signature)
                     .is_ok(),
             ]

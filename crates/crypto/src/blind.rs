@@ -46,7 +46,7 @@ impl Blinded {
     ) -> Result<Self, CryptoError> {
         let n = pk.modulus();
         let h = fdh(message, pk.modulus_len());
-        let r = brng::random_coprime(rng, n);
+        let r = brng::random_coprime(rng, n); // lint: secret
         let r_inv = modring::inv_mod(&r, n).map_err(|_| CryptoError::BadBlinding)?;
         let re = pk.raw_public(&r);
         let blinded = pk_mul(pk, &h, &re);
@@ -59,8 +59,10 @@ impl Blinded {
         pk: &RsaPublicKey,
         blind_sig: &UBig,
     ) -> Result<RsaSignature, CryptoError> {
+        // lint: secret(r_inv)
         let s = pk_mul(pk, blind_sig, &self.r_inv);
         // Self-check: s^e must equal the FDH image.
+        // lint: public(s is the final signature, published on success; both compared values are public once issued)
         if pk.raw_public(&s) != self.h {
             return Err(CryptoError::BadSignature);
         }

@@ -76,6 +76,8 @@ impl FixedBase {
     /// `base^exp mod n`, or `None` when the exponent is wider than the
     /// table covers (callers then fall back to the generic kernel).
     fn pow(&self, mont: &Mont, exp: &UBig) -> Option<UBig> {
+        // lint: secret(exp)
+        // lint: public(the exponent bit length is a key-size parameter)
         if exp.bit_len() > self.bits {
             return None;
         }
@@ -261,6 +263,7 @@ impl ElGamalKeyPair {
 
     /// Decrypts and authenticates.
     pub fn decrypt(&self, ct: &ElGamalCiphertext) -> Result<Vec<u8>, CryptoError> {
+        // lint: secret(x)
         let group = &self.public.group;
         if ct.c1.is_zero() || &ct.c1 >= group.modulus() {
             return Err(CryptoError::BadCiphertext);
@@ -270,6 +273,7 @@ impl ElGamalKeyPair {
         let mut mac = hmac::HmacSha256::new(&mac_key);
         mac.update(&ct.c1.to_bytes_be());
         mac.update(&ct.body);
+        // lint: public(MAC validity is the output of authenticated decryption; the tag comparison itself is constant-time)
         if !mac.verify(&ct.tag) {
             return Err(CryptoError::BadCiphertext);
         }
@@ -301,7 +305,7 @@ impl ElGamalPublicKey {
         plaintext: &[u8],
         rng: &mut R,
     ) -> ElGamalCiphertext {
-        let y = self.group.random_exponent(rng);
+        let y = self.group.random_exponent(rng); // lint: secret
         let c1 = self.group.pow_g(&y);
         let shared = self.pow_h(&y);
         let (enc_key, mac_key) = derive_keys(&shared);
@@ -326,6 +330,7 @@ impl ElGamalPublicKey {
 ///
 /// Fresh ephemeral exponent per message means a fixed ChaCha20 nonce is safe.
 fn derive_keys(shared: &UBig) -> ([u8; 32], Vec<u8>) {
+    // lint: secret(shared)
     let ikm = shared.to_bytes_be();
     let okm = kdf::derive(b"p2drm-elgamal-hybrid", &ikm, b"env", 64);
     let enc_key: [u8; 32] = okm[..32].try_into().unwrap();

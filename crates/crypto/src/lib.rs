@@ -31,6 +31,8 @@
 //! assert!(kp.public().verify(b"other bytes", &sig).is_err());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod blind;
 pub mod chacha20;

@@ -290,6 +290,7 @@ impl RsaKeyPair {
 
     /// Raw RSA private operation `x^d mod n` via the CRT.
     pub fn raw_private(&self, x: &UBig) -> UBig {
+        // lint: secret(dp, dq, p, q, qinv_form)
         let m1 = self.mont_p.pow(x, &self.dp);
         let m2 = self.mont_q.pow(x, &self.dq);
         // h = qinv * (m1 - m2) mod p: one Montgomery product, because
@@ -319,7 +320,7 @@ impl RsaKeyPair {
         if c >= *self.public.modulus() {
             return Err(CryptoError::BadCiphertext);
         }
-        let em = self.raw_private(&c).to_bytes_be_padded(k);
+        let em = self.raw_private(&c).to_bytes_be_padded(k); // lint: secret
         if em[0] != 0 {
             return Err(CryptoError::BadCiphertext);
         }

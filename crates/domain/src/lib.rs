@@ -12,6 +12,8 @@
 //! * [`buy_domain_license`] / [`play_in_domain`] — the two protocol flows,
 //!   transcript-logged like every core protocol.
 
+#![forbid(unsafe_code)]
+
 pub mod manager;
 pub mod membership;
 pub mod protocol;

@@ -1,0 +1,586 @@
+//! Hand-rolled Rust lexer: the token stream every pass works from.
+//!
+//! Scope: enough of the Rust lexical grammar to walk real workspace
+//! source *reliably* — comments (line, and block comments with proper
+//! nesting), all string shapes (plain, raw with any `#` count, byte,
+//! raw-byte), char literals vs. lifetimes, raw identifiers, numbers, and
+//! the multi-character operators the passes care about (`&&`, `||`,
+//! `::`, `->`, `..` …). It is deliberately *not* a full parser: the
+//! passes layer a lightweight block/scope model on top (see
+//! [`crate::source`]).
+//!
+//! Invariant: [`lex`] never panics, for any input — enforced by a
+//! property test that throws random byte soup and every workspace file
+//! at it.
+
+/// What a token is, at the granularity the passes need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `foo`). Raw identifiers
+    /// keep their `r#` prefix in the text.
+    Ident,
+    /// Lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Any string literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// Punctuation / operator. Multi-char operators are one token.
+    Punct,
+    /// Comment — line (`//…`) or block (`/*…*/`, nesting respected).
+    /// Doc comments are comments too. Text includes the delimiters.
+    Comment,
+}
+
+/// One lexed token with its 1-based start line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Literal text (for `Str`/`Comment`, includes delimiters).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this punctuation with exactly this text?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+
+    /// Is this any identifier?
+    pub fn is_ident_kind(&self) -> bool {
+        self.kind == TokKind::Ident
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consumes one char, tracking newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens. Total: every char lands in exactly one token
+/// or is whitespace; malformed input (unterminated strings/comments,
+/// stray quotes) degrades to best-effort tokens rather than panicking.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+        if c == '\n' || c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('/') {
+            out.push(line_comment(&mut cur, line));
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            out.push(block_comment(&mut cur, line));
+            continue;
+        }
+        if c == '"' {
+            out.push(quoted(&mut cur, line, TokKind::Str, '"'));
+            continue;
+        }
+        if c == '\'' {
+            out.push(char_or_lifetime(&mut cur, line));
+            continue;
+        }
+        if let Some(tok) = raw_or_byte_prefix(&mut cur, line) {
+            out.push(tok);
+            continue;
+        }
+        if is_ident_start(c) {
+            out.push(ident(&mut cur, line));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.push(number(&mut cur, line));
+            continue;
+        }
+        out.push(punct(&mut cur, line));
+    }
+    out
+}
+
+fn line_comment(cur: &mut Cursor, line: u32) -> Tok {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Tok {
+        kind: TokKind::Comment,
+        text,
+        line,
+    }
+}
+
+fn block_comment(cur: &mut Cursor, line: u32) -> Tok {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    loop {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                text.push('/');
+                text.push('*');
+                cur.bump();
+                cur.bump();
+            }
+            (Some('*'), Some('/')) => {
+                depth = depth.saturating_sub(1);
+                text.push('*');
+                text.push('/');
+                cur.bump();
+                cur.bump();
+                if depth == 0 {
+                    break;
+                }
+            }
+            (Some(_), _) => {
+                // `bump` already tracked the newline if there was one.
+                let c = cur.bump().unwrap_or('\0');
+                text.push(c);
+            }
+            (None, _) => break, // unterminated: comment to EOF
+        }
+    }
+    Tok {
+        kind: TokKind::Comment,
+        text,
+        line,
+    }
+}
+
+/// Plain (escaped) quoted literal: `"…"` or the tail of `b"…"`.
+fn quoted(cur: &mut Cursor, line: u32, kind: TokKind, quote: char) -> Tok {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or(quote)); // opening quote
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            text.push(c);
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        text.push(c);
+        cur.bump();
+        if c == quote {
+            break;
+        }
+    }
+    Tok { kind, text, line }
+}
+
+/// Raw string tail starting at the current `"` with `hashes` known
+/// `#`s already consumed into `text`.
+fn raw_quoted(cur: &mut Cursor, line: u32, mut text: String, hashes: usize) -> Tok {
+    text.push(cur.bump().unwrap_or('"')); // opening quote
+    'outer: while let Some(c) = cur.peek(0) {
+        text.push(c);
+        cur.bump();
+        if c == '"' {
+            // Need exactly `hashes` following '#'s to terminate.
+            for k in 0..hashes {
+                if cur.peek(0) == Some('#') {
+                    text.push('#');
+                    cur.bump();
+                } else {
+                    // Not the terminator; the consumed '#'s (k of them)
+                    // are part of the raw content, keep scanning.
+                    let _ = k;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+    }
+    Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+    }
+}
+
+/// Handles `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `b'…'`, `br"…"`,
+/// `br#"…"#`. Returns `None` if the cursor is not at one of those (the
+/// caller falls through to plain ident lexing).
+fn raw_or_byte_prefix(cur: &mut Cursor, line: u32) -> Option<Tok> {
+    let c = cur.peek(0)?;
+    if c != 'r' && c != 'b' {
+        return None;
+    }
+    // How many prefix chars before a possible raw-string `#…"`?
+    let prefix_len = match (c, cur.peek(1)) {
+        ('b', Some('\'')) => {
+            cur.bump(); // 'b'
+            let mut tok = quoted(cur, line, TokKind::Char, '\'');
+            tok.text.insert(0, 'b');
+            return Some(tok);
+        }
+        ('b', Some('"')) => {
+            // b"…" is an *escaped* string, not a raw one.
+            cur.bump(); // 'b'
+            let mut tok = quoted(cur, line, TokKind::Str, '"');
+            tok.text.insert(0, 'b');
+            return Some(tok);
+        }
+        ('b', Some('r')) => 2,                    // br…
+        ('r', Some('"')) | ('r', Some('#')) => 1, // r… (string or r#ident)
+        _ => return None,
+    };
+    // Count '#'s after the prefix.
+    let mut hashes = 0usize;
+    while cur.peek(prefix_len + hashes) == Some('#') {
+        hashes += 1;
+    }
+    match cur.peek(prefix_len + hashes) {
+        Some('"') => {
+            let mut text = String::new();
+            for _ in 0..prefix_len + hashes {
+                if let Some(p) = cur.bump() {
+                    text.push(p);
+                }
+            }
+            Some(raw_quoted(cur, line, text, hashes))
+        }
+        // `r#ident` (raw identifier) — only for `r`, exactly one `#`.
+        Some(d) if c == 'r' && hashes == 1 && is_ident_start(d) => {
+            let mut text = String::new();
+            cur.bump(); // r
+            cur.bump(); // #
+            text.push_str("r#");
+            while let Some(k) = cur.peek(0) {
+                if !is_ident_continue(k) {
+                    break;
+                }
+                text.push(k);
+                cur.bump();
+            }
+            Some(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            })
+        }
+        // Anything else (`b1`, `row`, a stray `r#` at EOF) lexes as a
+        // plain identifier via the caller's fallthrough.
+        Some(_) | None => None,
+    }
+}
+
+/// `'a` / `'static` (lifetime) vs `'x'` / `'\n'` (char literal).
+fn char_or_lifetime(cur: &mut Cursor, line: u32) -> Tok {
+    // Lifetime: ' followed by ident-start, and NOT a closing quote right
+    // after one ident char (which would be a char literal like 'a').
+    if let Some(c1) = cur.peek(1) {
+        if is_ident_start(c1) && cur.peek(2) != Some('\'') {
+            let mut text = String::from("'");
+            cur.bump();
+            while let Some(k) = cur.peek(0) {
+                if !is_ident_continue(k) {
+                    break;
+                }
+                text.push(k);
+                cur.bump();
+            }
+            return Tok {
+                kind: TokKind::Lifetime,
+                text,
+                line,
+            };
+        }
+    }
+    quoted(cur, line, TokKind::Char, '\'')
+}
+
+fn ident(cur: &mut Cursor, line: u32) -> Tok {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    if text.is_empty() {
+        // Defensive: should be unreachable, but never loop forever.
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+    }
+    Tok {
+        kind: TokKind::Ident,
+        text,
+        line,
+    }
+}
+
+fn number(cur: &mut Cursor, line: u32) -> Tok {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+            continue;
+        }
+        // Float dot: `1.5`, `1.` — but not `1..2` (range) and not
+        // `1.max(2)` (method call on a literal).
+        if c == '.' && !text.contains('.') {
+            match cur.peek(1) {
+                Some('.') => break,
+                Some(d) if is_ident_start(d) => break,
+                _ => {
+                    text.push('.');
+                    cur.bump();
+                }
+            }
+            continue;
+        }
+        break;
+    }
+    Tok {
+        kind: TokKind::Num,
+        text,
+        line,
+    }
+}
+
+/// Multi-char operators the passes rely on; everything else single-char.
+const OPS3: [&str; 4] = ["..=", "...", "<<=", ">>="];
+const OPS2: [&str; 19] = [
+    "&&", "||", "==", "!=", "<=", ">=", "->", "=>", "::", "..", "+=", "-=", "*=", "/=", "%=", "^=",
+    "&=", "|=", "<<",
+];
+
+fn punct(cur: &mut Cursor, line: u32) -> Tok {
+    let take = |cur: &mut Cursor, n: usize| {
+        let mut s = String::new();
+        for _ in 0..n {
+            if let Some(c) = cur.bump() {
+                s.push(c);
+            }
+        }
+        s
+    };
+    let at = |cur: &Cursor, s: &str| s.chars().enumerate().all(|(k, c)| cur.peek(k) == Some(c));
+    for op in OPS3 {
+        if at(cur, op) {
+            return Tok {
+                kind: TokKind::Punct,
+                text: take(cur, 3),
+                line,
+            };
+        }
+    }
+    // `>>` stays two tokens-worth of closes for generics, but lexing it
+    // as one Punct is fine: the passes that track angle depth count it
+    // as two. Lex it with the other two-char ops.
+    for op in OPS2 {
+        if at(cur, op) {
+            return Tok {
+                kind: TokKind::Punct,
+                text: take(cur, 2),
+                line,
+            };
+        }
+    }
+    if at(cur, ">>") {
+        return Tok {
+            kind: TokKind::Punct,
+            text: take(cur, 2),
+            line,
+        };
+    }
+    Tok {
+        kind: TokKind::Punct,
+        text: take(cur, 1),
+        line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn raw_strings_any_hash_count() {
+        let toks = kinds(r####"let s = r#"quote " inside"#; let t = r##"# and "# inside"##;"####);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            strs,
+            [
+                r###"r#"quote " inside"#"###,
+                r####"r##"# and "# inside"##"####
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_string_hash_run_shorter_than_terminator() {
+        // A '"' followed by FEWER hashes than the opener must not close.
+        let toks = kinds(r####"r##"a"# b"##"####);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[0].1, r####"r##"a"# b"##"####);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].1, "a");
+        assert_eq!(toks[1].0, TokKind::Comment);
+        assert!(toks[1].1.contains("inner"));
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn unterminated_block_comment_reaches_eof() {
+        let toks = kinds("x /* never closed");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].0, TokKind::Comment);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks =
+            kinds("fn f<'a>(x: &'a u8) { let c = 'a'; let esc = '\\''; let u = '\\u{7f}'; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, ["'a'", "'\\''", "'\\u{7f}'"]);
+    }
+
+    #[test]
+    fn static_lifetime_and_loop_labels() {
+        let toks = kinds("&'static str; 'outer: loop { break 'outer; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'static", "'outer", "'outer"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"let a = b"bytes"; let c = b'\n'; let r = br#"raw"#;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == "b\"bytes\""));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Char && t == "b'\\n'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.starts_with("br#")));
+    }
+
+    #[test]
+    fn raw_ident_is_ident() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nline\"\n/* c\nc */ b";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1); // a
+        assert_eq!(toks[1].line, 2); // string starts line 2
+        assert_eq!(toks[2].line, 4); // comment starts line 4
+        assert_eq!(toks[3].line, 5); // b after multi-line comment
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let toks = kinds("a && b || c == d != e -> f => g :: h .. i ..= j");
+        let ops: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ops, ["&&", "||", "==", "!=", "->", "=>", "::", "..", "..="]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let toks = kinds("0..10; 1.5; 1.max(2); 0x_ffu32");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5", "1", "2", "0x_ffu32"]);
+    }
+
+    #[test]
+    fn comment_annotations_survive() {
+        let toks = lex("let x = 1; // lint: secret\n");
+        let c = toks.iter().find(|t| t.kind == TokKind::Comment).unwrap();
+        assert!(c.text.contains("lint: secret"));
+    }
+}

@@ -1,0 +1,391 @@
+//! Static lock-order pass.
+//!
+//! Walks each function body simulating the set of held guards: a call
+//! `recv.lock()` / `recv.read()` / `recv.write()` with **no arguments**
+//! (the zero-arg filter excludes `io::Read`/`io::Write` methods) is an
+//! acquisition whose *lock class* is the last field segment of the
+//! receiver chain (`self.shards[i].committed.lock()` → `committed`).
+//! Guards bound with `let` stay held until their block closes, an
+//! explicit `drop(var)`, or a reassignment of the same variable;
+//! unbound acquisitions and acquisitions inside `if`/`while` heads are
+//! temporaries that Rust drops at the end of the enclosing expression,
+//! so they receive edges from held locks but never become sources.
+//!
+//! Every acquisition records `held-class -> new-class` edges into a
+//! workspace-global graph; cycles in that graph are findings and the
+//! full graph is rendered for `results/lockgraph.txt`. The runtime twin
+//! of this analysis is `parking_lot::lockdep`, which checks the same
+//! invariant on real executions with backtraces.
+
+use crate::source::SourceFile;
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+const PASS: &str = "lockorder";
+
+/// One observed nesting: `from` was held while `to` was acquired.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    pub file: String,
+    pub line: u32,
+}
+
+struct Held {
+    var: Option<String>,
+    class: String,
+    depth: i32,
+}
+
+/// Extracts acquisition edges from one file.
+pub fn extract(sf: &SourceFile) -> Vec<LockEdge> {
+    let mut edges = Vec::new();
+    let conds = sf.condition_ranges();
+    for f in sf.fns() {
+        if sf.in_test(f.kw) {
+            continue;
+        }
+        let Some((b0, b1)) = f.body else { continue };
+        let code: Vec<usize> = sf
+            .code
+            .iter()
+            .copied()
+            .filter(|&i| i > b0 && i < b1)
+            .collect();
+        let mut held: Vec<Held> = Vec::new();
+        let mut depth = 0i32;
+        let mut k = 0usize;
+        while k < code.len() {
+            let i = code[k];
+            let t = &sf.toks[i];
+            if t.is_punct("{") {
+                depth += 1;
+                k += 1;
+                continue;
+            }
+            if t.is_punct("}") {
+                depth -= 1;
+                held.retain(|h| h.depth <= depth);
+                k += 1;
+                continue;
+            }
+            // `drop(var)` releases a held guard early.
+            if t.is_ident("drop") {
+                if let (Some(open), Some(arg)) = (sf.next_code(i), sf.next_code(i + 1)) {
+                    if sf.toks[open].is_punct("(") && sf.toks[arg].is_ident_kind() {
+                        let var = sf.toks[arg].text.clone();
+                        held.retain(|h| h.var.as_deref() != Some(var.as_str()));
+                    }
+                }
+                k += 1;
+                continue;
+            }
+            // Acquisition: `.lock()` / `.read()` / `.write()` with no args.
+            let is_acq = (t.is_ident("lock") || t.is_ident("read") || t.is_ident("write"))
+                && sf.prev_code(i).is_some_and(|j| sf.toks[j].is_punct("."))
+                && sf.next_code(i).is_some_and(|j| {
+                    sf.toks[j].is_punct("(")
+                        && sf.matching[j].is_some_and(|c| sf.next_code(j) == Some(c))
+                });
+            if !is_acq {
+                k += 1;
+                continue;
+            }
+            let Some(class) = receiver_class(sf, i) else {
+                k += 1;
+                continue;
+            };
+            for h in &held {
+                if h.class != class {
+                    edges.push(LockEdge {
+                        from: h.class.clone(),
+                        to: class.clone(),
+                        file: sf.path.clone(),
+                        line: t.line,
+                    });
+                }
+            }
+            // Guards acquired inside an `if`/`while`/`match` head are
+            // dropped with the head's temporaries — never held.
+            let in_cond = conds.iter().any(|&(a, b)| a <= i && i < b);
+            match binding_of(sf, i) {
+                Some((var, is_let)) if !in_cond => {
+                    if !is_let {
+                        // Reassignment replaces the variable's old guard.
+                        held.retain(|h| h.var.as_deref() != Some(var.as_str()));
+                    }
+                    held.push(Held {
+                        var: Some(var),
+                        class,
+                        depth,
+                    });
+                }
+                _ => {} // unbound temporary: edges only
+            }
+            k += 1;
+        }
+    }
+    edges
+}
+
+/// The lock class of the acquisition at token `i` (the `lock`/`read`/
+/// `write` ident): the last field segment of the receiver chain.
+fn receiver_class(sf: &SourceFile, i: usize) -> Option<String> {
+    let dot = sf.prev_code(i)?;
+    let mut j = sf.prev_code(dot)?;
+    // Skip a trailing index/call group: `shards[i]` / `shard()`.
+    if sf.toks[j].is_punct("]") || sf.toks[j].is_punct(")") {
+        j = sf.matching[j]?;
+        j = sf.prev_code(j)?;
+    }
+    if sf.toks[j].is_ident_kind() && sf.toks[j].text != "self" {
+        return Some(sf.toks[j].text.clone());
+    }
+    None
+}
+
+/// If the acquisition at token `i` is bound to a variable, returns
+/// `(name, is_let)`. Walks backwards over the receiver chain to the
+/// `=` / `let` introducing it.
+fn binding_of(sf: &SourceFile, i: usize) -> Option<(String, bool)> {
+    let mut j = sf.prev_code(i)?; // the `.`
+    loop {
+        let t = &sf.toks[j];
+        if t.is_punct(".") || t.is_ident_kind() || t.is_punct("&") {
+            let Some(p) = sf.prev_code(j) else { break };
+            j = p;
+            continue;
+        }
+        if t.is_punct("]") || t.is_punct(")") {
+            j = sf.matching[j]?;
+            let Some(p) = sf.prev_code(j) else { break };
+            j = p;
+            continue;
+        }
+        break;
+    }
+    if !sf.toks[j].is_punct("=") {
+        return None;
+    }
+    let var_i = sf.prev_code(j)?;
+    if !sf.toks[var_i].is_ident_kind() {
+        return None;
+    }
+    let var = sf.toks[var_i].text.clone();
+    let mut p = sf.prev_code(var_i);
+    if let Some(pi) = p {
+        if sf.toks[pi].is_ident("mut") {
+            p = sf.prev_code(pi);
+        }
+    }
+    let is_let = p.is_some_and(|pi| sf.toks[pi].is_ident("let"));
+    Some((var, is_let))
+}
+
+/// Builds the workspace graph, reports cycles, renders `lockgraph.txt`.
+pub fn analyze(edges: &[LockEdge]) -> (Vec<Finding>, String) {
+    // class -> class -> first observed site
+    let mut graph: BTreeMap<&str, BTreeMap<&str, (&str, u32)>> = BTreeMap::new();
+    for e in edges {
+        graph
+            .entry(&e.from)
+            .or_default()
+            .entry(&e.to)
+            .or_insert((&e.file, e.line));
+    }
+
+    let mut findings = Vec::new();
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for (&a, succs) in &graph {
+        for (&b, &(file, line)) in succs {
+            if let Some(mut path) = find_path(&graph, b, a) {
+                path.insert(0, a.to_string());
+                let mut key = path.clone();
+                key.sort();
+                key.dedup();
+                if seen_cycles.insert(key) {
+                    findings.push(Finding {
+                        pass: PASS.to_string(),
+                        file: file.to_string(),
+                        line,
+                        text: format!("cycle {}", path.join(" -> ")),
+                        message: format!(
+                            "lock-order cycle: {} -> {} (established at {}:{}), but a path {} exists",
+                            a,
+                            b,
+                            file,
+                            line,
+                            path.join(" -> "),
+                        ),
+                    });
+                    cycles.push(path);
+                }
+            }
+        }
+    }
+
+    let mut out = String::from(
+        "# Static lock-acquisition graph (p2drm-lint lockorder pass)\n\
+         # edge: HELD -> ACQUIRED  (first site observed)\n",
+    );
+    for (a, succs) in &graph {
+        for (b, &(file, line)) in succs {
+            out.push_str(&format!("{} -> {}  ({}:{})\n", a, b, file, line));
+        }
+    }
+    if cycles.is_empty() {
+        out.push_str("# no cycles detected\n");
+    } else {
+        out.push_str("# CYCLES:\n");
+        for c in &cycles {
+            out.push_str(&format!("#   {}\n", c.join(" -> ")));
+        }
+    }
+    (findings, out)
+}
+
+/// DFS path `from` → `to` (inclusive of endpoints in the result).
+fn find_path(
+    graph: &BTreeMap<&str, BTreeMap<&str, (&str, u32)>>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<String>> {
+    fn dfs<'a>(
+        graph: &BTreeMap<&'a str, BTreeMap<&'a str, (&'a str, u32)>>,
+        cur: &'a str,
+        to: &str,
+        seen: &mut BTreeSet<&'a str>,
+        path: &mut Vec<String>,
+    ) -> bool {
+        path.push(cur.to_string());
+        if cur == to {
+            return true;
+        }
+        if let Some(succs) = graph.get(cur) {
+            for &next in succs.keys() {
+                if seen.insert(next) && dfs(graph, next, to, seen, path) {
+                    return true;
+                }
+            }
+        }
+        path.pop();
+        false
+    }
+    // Resolve `from` to a graph key so lifetimes line up.
+    let from_key = graph.keys().copied().find(|&k| k == from)?;
+    let mut seen = BTreeSet::new();
+    seen.insert(from_key);
+    let mut path = Vec::new();
+    if dfs(graph, from_key, to, &mut seen, &mut path) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges(src: &str) -> Vec<LockEdge> {
+        extract(&SourceFile::parse("t.rs", src))
+    }
+
+    #[test]
+    fn nested_lets_record_an_edge() {
+        let e = edges("fn f(&self) { let a = self.kv.write(); let b = self.commit.lock(); }");
+        assert_eq!(e.len(), 1);
+        assert_eq!((e[0].from.as_str(), e[0].to.as_str()), ("kv", "commit"));
+    }
+
+    #[test]
+    fn scope_close_and_drop_release() {
+        let e = edges(
+            "fn f(&self) { { let a = self.kv.write(); } let b = self.commit.lock(); \
+             let c = self.sync_fd.lock(); drop(c); let d = self.kv.read(); }",
+        );
+        // Only commit -> sync_fd and commit -> kv; kv's guard closed with
+        // its block and sync_fd was dropped before kv was re-acquired.
+        let pairs: Vec<(&str, &str)> = e.iter().map(|x| (x.from.as_str(), x.to.as_str())).collect();
+        assert_eq!(pairs, [("commit", "sync_fd"), ("commit", "kv")]);
+    }
+
+    #[test]
+    fn condition_head_guard_is_instantaneous() {
+        let e = edges(
+            "fn f(&self) { if self.kv.read().is_empty() { g(); } let b = self.commit.lock(); }",
+        );
+        assert!(e.is_empty(), "{e:?}");
+    }
+
+    #[test]
+    fn reassignment_replaces_guard() {
+        let e = edges(
+            "fn f(&self) { let mut st = self.commit.lock(); st = self.commit.lock(); \
+             let k = self.kv.write(); }",
+        );
+        let pairs: Vec<(&str, &str)> = e.iter().map(|x| (x.from.as_str(), x.to.as_str())).collect();
+        assert_eq!(pairs, [("commit", "kv")]);
+    }
+
+    #[test]
+    fn io_write_with_args_is_not_an_acquisition() {
+        let e = edges("fn f(&self) { let a = self.kv.write(); file.write(buf); }");
+        assert!(e.is_empty(), "{e:?}");
+    }
+
+    #[test]
+    fn indexed_receiver_uses_field_class() {
+        let e = edges(
+            "fn f(&self) { let a = self.shards[i].kv.write(); let b = self.shards[i].commit.lock(); }",
+        );
+        assert_eq!(e.len(), 1);
+        assert_eq!((e[0].from.as_str(), e[0].to.as_str()), ("kv", "commit"));
+    }
+
+    #[test]
+    fn ab_ba_is_a_cycle() {
+        let all = [
+            LockEdge {
+                from: "a".into(),
+                to: "b".into(),
+                file: "x.rs".into(),
+                line: 1,
+            },
+            LockEdge {
+                from: "b".into(),
+                to: "a".into(),
+                file: "y.rs".into(),
+                line: 2,
+            },
+        ];
+        let (findings, graph) = analyze(&all);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("lock-order cycle"));
+        assert!(graph.contains("a -> b"));
+        assert!(graph.contains("# CYCLES:"));
+    }
+
+    #[test]
+    fn consistent_order_is_quiet() {
+        let all = [
+            LockEdge {
+                from: "kv".into(),
+                to: "commit".into(),
+                file: "x.rs".into(),
+                line: 1,
+            },
+            LockEdge {
+                from: "kv".into(),
+                to: "sync_fd".into(),
+                file: "x.rs".into(),
+                line: 2,
+            },
+        ];
+        let (findings, graph) = analyze(&all);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(graph.contains("# no cycles detected"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Panic-path pass for request-serving modules: a panic in the serving
+//! path is a remote denial-of-service, so `unwrap()`, `expect()`, the
+//! panicking macros and `[i]`-indexing are denied unless the site
+//! carries `// lint: allow(panic, <invariant>)` naming the invariant
+//! that makes the panic unreachable. `#[cfg(test)]`/`#[test]` code is
+//! exempt.
+
+use crate::source::SourceFile;
+use crate::Finding;
+
+const PASS: &str = "panic";
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn run(sf: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut push = |line: u32, msg: String| {
+        if sf.has_annotation(line, "lint: allow(panic,") {
+            return;
+        }
+        out.push(Finding::new(PASS, sf, line, msg));
+    };
+    for &i in &sf.code {
+        if sf.in_test(i) {
+            continue;
+        }
+        let t = &sf.toks[i];
+        // `.unwrap()` / `.expect(`
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && sf.prev_code(i).is_some_and(|j| sf.toks[j].is_punct("."))
+            && sf.next_code(i).is_some_and(|j| sf.toks[j].is_punct("("))
+        {
+            push(
+                t.line,
+                format!("`.{}()` on a request-serving path can panic", t.text),
+            );
+            continue;
+        }
+        // `panic!(…)` and friends.
+        if t.is_ident_kind()
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && sf.next_code(i).is_some_and(|j| sf.toks[j].is_punct("!"))
+        {
+            push(t.line, format!("`{}!` on a request-serving path", t.text));
+            continue;
+        }
+        // `expr[…]` indexing (panics on out-of-bounds). Array literals
+        // and attribute groups have non-expression predecessors.
+        if t.is_punct("[") {
+            let is_index = sf.prev_code(i).is_some_and(|j| {
+                let p = &sf.toks[j];
+                (p.is_ident_kind() && !is_keyword(&p.text)) || p.is_punct("]") || p.is_punct(")")
+            });
+            if !is_index {
+                continue;
+            }
+            // Empty `[]` cannot panic; `[..]` full-range never panics.
+            let Some(close) = sf.matching[i] else {
+                continue;
+            };
+            let inner: Vec<&str> = (i + 1..close)
+                .filter(|&j| sf.toks[j].kind != crate::lexer::TokKind::Comment)
+                .map(|j| sf.toks[j].text.as_str())
+                .collect();
+            if inner.is_empty() || inner == [".."] {
+                continue;
+            }
+            push(
+                t.line,
+                "`[…]` indexing on a request-serving path can panic (use `get`/`get_mut`)"
+                    .to_string(),
+            );
+        }
+    }
+    out
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        run(&SourceFile::parse("t.rs", src))
+    }
+
+    #[test]
+    fn unwrap_expect_and_macros_flagged() {
+        let f = findings("fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"no\"); }");
+        assert_eq!(f.len(), 3, "{f:?}");
+    }
+
+    #[test]
+    fn annotated_sites_pass() {
+        let f = findings(
+            "fn f() {\n  // lint: allow(panic, header length checked by framing)\n  let n = buf[0];\n  x.expect(\"fixed width\"); // lint: allow(panic, width is 4 by construction)\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn indexing_flagged_but_not_array_literals() {
+        let f = findings("fn f() { let a = [0u8; 4]; let b: [u8; 2] = [1, 2]; let c = buf[1]; let d = &buf[..]; }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("indexing"));
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let f = findings("#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); v[9]; panic!(); }\n}");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,137 @@
+//! SAFETY-comment pass: every `unsafe` keyword (block, fn, impl or
+//! trait) must have a `// SAFETY:` comment on the same line or in the
+//! contiguous comment block above it (at most two non-comment lines —
+//! an attribute or a wrapped signature — may sit between the comment
+//! block and the keyword). Test code is NOT exempt — unsound test
+//! helpers corrupt the very runs that are supposed to catch bugs.
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::Finding;
+
+const PASS: &str = "safety";
+
+pub fn run(sf: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for &i in &sf.code {
+        let t = &sf.toks[i];
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let line = t.line;
+        let documented = is_documented(sf, line);
+        if !documented {
+            out.push(Finding::new(
+                PASS,
+                sf,
+                line,
+                "`unsafe` without a preceding `// SAFETY:` comment".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Walks upward from `line` through the contiguous comment block above
+/// it (tolerating up to two non-comment lines of attribute/signature
+/// slack before the block starts) looking for a `SAFETY:` marker.
+fn is_documented(sf: &SourceFile, line: u32) -> bool {
+    let has_comment = |l: u32| {
+        sf.toks
+            .iter()
+            .filter(|c| c.kind == TokKind::Comment && c.line == l)
+            .map(|c| {
+                // Inner doc comments (`//!`, `/*!`) describe the enclosing
+                // module, not the item below — a `SAFETY:` mention there
+                // is prose, not a justification.
+                let doc = c.text.starts_with("//!") || c.text.starts_with("/*!");
+                !doc && c.text.contains("SAFETY:")
+            })
+            .fold(None, |acc, hit| Some(acc.unwrap_or(false) | hit))
+    };
+    let mut slack = 2u32;
+    let mut in_block = false;
+    let mut l = line;
+    loop {
+        match has_comment(l) {
+            Some(true) => return true,
+            Some(false) => in_block = true, // keep walking up the block
+            None if l == line => {}         // the `unsafe` line itself
+            None if in_block => return false, // block ended without a marker
+            None if slack > 0 => slack -= 1,
+            None => return false,
+        }
+        if l == 0 {
+            return false;
+        }
+        l -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undocumented_unsafe_is_flagged() {
+        let f = run(&SourceFile::parse(
+            "t.rs",
+            "fn f(p: *const u8) -> u8 { unsafe { *p } }",
+        ));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn documented_unsafe_passes() {
+        let f = run(&SourceFile::parse(
+            "t.rs",
+            "fn f(p: *const u8) -> u8 {\n  // SAFETY: caller guarantees p is valid.\n  unsafe { *p }\n}",
+        ));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn comment_two_lines_above_counts() {
+        let f = run(&SourceFile::parse(
+            "t.rs",
+            "// SAFETY: the allocator contract holds here.\n#[global_allocator]\nunsafe fn g() {}",
+        ));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn marker_at_top_of_multiline_comment_block_counts() {
+        let f = run(&SourceFile::parse(
+            "t.rs",
+            "// SAFETY: every method delegates to the system allocator,\n// which upholds the contract; the counter bump is a relaxed\n// atomic and cannot unwind.\nunsafe impl GlobalAlloc for A {}",
+        ));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unrelated_comment_block_above_does_not_count() {
+        let f = run(&SourceFile::parse(
+            "t.rs",
+            "// SAFETY: this documents the helper, not the impl below.\nfn helper() {\n    body();\n}\n\nunsafe impl Send for A {}",
+        ));
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn module_doc_mentioning_safety_is_not_a_justification() {
+        let f = run(&SourceFile::parse(
+            "t.rs",
+            "//! Helpers with SAFETY: discussed in prose.\n//! More prose.\n\nfn f(p: *const u8) -> u8 { unsafe { *p } }",
+        ));
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn test_code_is_not_exempt() {
+        let f = run(&SourceFile::parse(
+            "t.rs",
+            "#[test]\nfn t() { unsafe { core::hint::unreachable_unchecked() } }",
+        ));
+        assert_eq!(f.len(), 1);
+    }
+}

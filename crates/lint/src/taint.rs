@@ -1,0 +1,451 @@
+//! Secret-taint / constant-time pass.
+//!
+//! Within each function of a timing-sensitive module, identifiers
+//! seeded by `// lint: secret` annotations (optionally the explicit
+//! form `// lint: secret(a, b)`) are tracked through assignments with
+//! an intraprocedural fixpoint. A tainted identifier appearing in an
+//! `if`/`while`/`match` head, as an operand of a short-circuit
+//! operator, or inside an index expression is a finding unless the
+//! site carries `// lint: public(<why>)`.
+
+use crate::source::{FnItem, SourceFile};
+use crate::Finding;
+use std::collections::HashSet;
+
+const PASS: &str = "taint";
+
+const KEYWORDS: &[&str] = &[
+    "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "false", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "self", "Self", "static", "struct", "super", "trait", "true", "type", "unsafe",
+    "use", "where", "while", "async", "await",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Runs the pass over one file (caller has already checked the file is
+/// in a configured taint path).
+pub fn run(sf: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in sf.fns() {
+        if sf.in_test(f.kw) {
+            continue;
+        }
+        let Some(body) = f.body else { continue };
+        let tainted = compute_taint(sf, &f);
+        if tainted.is_empty() {
+            continue;
+        }
+        flag_conditions(sf, body, &tainted, &mut out);
+        flag_short_circuit(sf, body, &tainted, &mut out);
+        flag_indexing(sf, body, &tainted, &mut out);
+    }
+    out
+}
+
+/// Seed set: identifiers bound on lines annotated `// lint: secret`,
+/// then propagated through `let`/assignment until fixpoint.
+fn compute_taint(sf: &SourceFile, f: &FnItem) -> HashSet<String> {
+    let mut tainted: HashSet<String> = HashSet::new();
+    let (start, end) = match (f.params, f.body) {
+        (Some((p0, _)), Some((_, b1))) => (p0, b1),
+        (None, Some((b0, b1))) => (b0, b1),
+        _ => return tainted,
+    };
+    let first_line = sf.toks[f.kw].line;
+    let last_line = sf.toks[end].line;
+
+    // Explicit seeds: `lint: secret(a, b)` anywhere in the fn's span.
+    for t in &sf.toks {
+        if t.line < first_line || t.line > last_line {
+            continue;
+        }
+        if t.kind != crate::lexer::TokKind::Comment {
+            continue;
+        }
+        if let Some(rest) = t.text.split("lint: secret").nth(1) {
+            if let Some(args) = rest.strip_prefix('(').and_then(|s| s.split(')').next()) {
+                for name in args.split(',') {
+                    let name = name.trim();
+                    if !name.is_empty() {
+                        tainted.insert(name.to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    // Line-heuristic seeds: a *bare* `// lint: secret` on a param or
+    // `let` line. The explicit `secret(…)` form names its identifiers
+    // itself (handled above) and must not also seed the line below.
+    for line in first_line..=last_line {
+        let bare = sf.comments_for(line).any(|c| {
+            c.split("lint: secret")
+                .nth(1)
+                .is_some_and(|rest| !rest.starts_with('('))
+        });
+        if bare {
+            tainted.extend(binders_on_line(sf, line, start, end));
+        }
+    }
+
+    // Fixpoint propagation: `let x = <tainted>` and `x = <tainted>`.
+    loop {
+        let before = tainted.len();
+        propagate(sf, f, &mut tainted);
+        if tainted.len() == before {
+            break;
+        }
+    }
+    tainted
+}
+
+/// Identifiers bound on `line`: parameters (`name:`) and let-bindings
+/// (`let [mut] name …`). Falls back to every non-keyword identifier on
+/// the line so an annotation never silently seeds nothing.
+fn binders_on_line(sf: &SourceFile, line: u32, start: usize, end: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let on_line: Vec<usize> = (start..=end.min(sf.toks.len() - 1))
+        .filter(|&i| sf.toks[i].line == line && sf.toks[i].is_ident_kind())
+        .collect();
+    for &i in &on_line {
+        let name = &sf.toks[i].text;
+        if is_keyword(name) {
+            continue;
+        }
+        let next_is_colon = sf.next_code(i).is_some_and(|j| sf.toks[j].is_punct(":"));
+        let after_let = sf.prev_code(i).is_some_and(|j| {
+            sf.toks[j].is_ident("let")
+                || (sf.toks[j].is_ident("mut")
+                    && sf.prev_code(j).is_some_and(|k| sf.toks[k].is_ident("let")))
+        });
+        if next_is_colon || after_let {
+            out.push(name.clone());
+        }
+    }
+    if out.is_empty() {
+        for &i in &on_line {
+            if !is_keyword(&sf.toks[i].text) {
+                out.push(sf.toks[i].text.clone());
+            }
+        }
+    }
+    out
+}
+
+/// One propagation sweep over the function body.
+fn propagate(sf: &SourceFile, f: &FnItem, tainted: &mut HashSet<String>) {
+    let Some((b0, b1)) = f.body else { return };
+    let code: Vec<usize> = sf
+        .code
+        .iter()
+        .copied()
+        .filter(|&i| i > b0 && i < b1)
+        .collect();
+    let mut k = 0usize;
+    while k < code.len() {
+        let i = code[k];
+        let t = &sf.toks[i];
+        // `let [mut] x (…pattern…) = RHS ;`
+        if t.is_ident("let") {
+            let mut binders = Vec::new();
+            let mut j = k + 1;
+            let mut eq = None;
+            while j < code.len() {
+                let tok = &sf.toks[code[j]];
+                if tok.is_punct("=") {
+                    eq = Some(j);
+                    break;
+                }
+                if tok.is_punct(";") {
+                    break;
+                }
+                if tok.is_ident_kind() && !is_keyword(&tok.text) {
+                    binders.push(tok.text.clone());
+                }
+                j += 1;
+            }
+            if let Some(eq) = eq {
+                if rhs_tainted(sf, &code, eq + 1, tainted) {
+                    tainted.extend(binders);
+                }
+            }
+            k = j + 1;
+            continue;
+        }
+        // `x = RHS` / `x += RHS`: statement-level reassignment.
+        if t.is_ident_kind()
+            && !is_keyword(&t.text)
+            && sf.next_code(i).is_some_and(|j| {
+                let p = &sf.toks[j];
+                p.is_punct("=")
+                    || ["+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<=", ">>="]
+                        .iter()
+                        .any(|op| p.is_punct(op))
+            })
+        {
+            // Only when the ident starts the statement (prev is ; { } or a
+            // block opener) — avoids `==`-free false matches in struct
+            // literals and defaults.
+            let starts_stmt = sf.prev_code(i).is_none_or(|j| {
+                let p = &sf.toks[j];
+                p.is_punct(";") || p.is_punct("{") || p.is_punct("}")
+            });
+            if starts_stmt {
+                // Find `=` then scan RHS.
+                let eq = code[k..]
+                    .iter()
+                    .position(|&x| {
+                        let p = &sf.toks[x];
+                        p.kind == crate::lexer::TokKind::Punct
+                            && p.text.ends_with('=')
+                            && p.text != "=="
+                            && p.text != "<="
+                            && p.text != ">="
+                            && p.text != "!="
+                            && p.text != "=>"
+                    })
+                    .map(|off| k + off);
+                if let Some(eq) = eq {
+                    if rhs_tainted(sf, &code, eq + 1, tainted) {
+                        tainted.insert(t.text.clone());
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+}
+
+/// Does the expression from `code[from]` to the next `;` (or end of
+/// body) mention a tainted identifier?
+fn rhs_tainted(sf: &SourceFile, code: &[usize], from: usize, tainted: &HashSet<String>) -> bool {
+    for &i in code.iter().skip(from) {
+        let t = &sf.toks[i];
+        if t.is_punct(";") {
+            break;
+        }
+        if t.is_ident_kind() && tainted.contains(&t.text) {
+            return true;
+        }
+    }
+    false
+}
+
+fn push(sf: &SourceFile, out: &mut Vec<Finding>, line: u32, message: String) {
+    if sf.has_annotation(line, "lint: public(") {
+        return;
+    }
+    out.push(Finding::new(PASS, sf, line, message));
+}
+
+fn flag_conditions(
+    sf: &SourceFile,
+    (b0, b1): (usize, usize),
+    tainted: &HashSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    for (kw, body) in sf.condition_ranges() {
+        if kw <= b0 || kw >= b1 {
+            continue;
+        }
+        let hit = (kw..body).find(|&i| {
+            let t = &sf.toks[i];
+            t.is_ident_kind() && tainted.contains(&t.text)
+        });
+        if let Some(i) = hit {
+            push(
+                sf,
+                out,
+                sf.toks[kw].line,
+                format!(
+                    "branch on secret-tainted `{}` in `{}` head (non-constant-time)",
+                    sf.toks[i].text, sf.toks[kw].text
+                ),
+            );
+        }
+    }
+}
+
+/// Short-circuit operators outside condition heads (those are already
+/// flagged): `let ok = secret_bit && other;` leaks via evaluation order.
+fn flag_short_circuit(
+    sf: &SourceFile,
+    (b0, b1): (usize, usize),
+    tainted: &HashSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    let conds = sf.condition_ranges();
+    for (ci, &i) in sf.code.iter().enumerate() {
+        if i <= b0 || i >= b1 {
+            continue;
+        }
+        let t = &sf.toks[i];
+        if !(t.is_punct("&&") || t.is_punct("||")) {
+            continue;
+        }
+        if conds.iter().any(|&(a, b)| a <= i && i < b) {
+            continue;
+        }
+        // `&&` as a double reference (`&&x`) has no left operand ident:
+        // treat as short-circuit only when the previous token can end an
+        // expression.
+        let lhs_ok = ci > 0 && {
+            let p = &sf.toks[sf.code[ci - 1]];
+            p.is_ident_kind()
+                || p.is_punct(")")
+                || p.is_punct("]")
+                || matches!(p.kind, crate::lexer::TokKind::Num)
+        };
+        if !lhs_ok {
+            continue;
+        }
+        let hit = operand_window(sf, ci)
+            .into_iter()
+            .find(|&j| tainted.contains(&sf.toks[j].text) && sf.toks[j].is_ident_kind());
+        if let Some(j) = hit {
+            push(
+                sf,
+                out,
+                t.line,
+                format!(
+                    "short-circuit `{}` on secret-tainted `{}` (non-constant-time; use `&`/`|`)",
+                    t.text, sf.toks[j].text
+                ),
+            );
+        }
+    }
+}
+
+/// Token indices of the operands around a short-circuit operator at
+/// code-position `ci`: scan outward to the nearest statement/grouping
+/// boundary in both directions.
+fn operand_window(sf: &SourceFile, ci: usize) -> Vec<usize> {
+    let stop = |t: &crate::lexer::Tok| {
+        t.is_punct(";") || t.is_punct("{") || t.is_punct("}") || t.is_punct(",") || t.is_punct("=")
+    };
+    let mut out = Vec::new();
+    let mut k = ci;
+    while k > 0 {
+        k -= 1;
+        let t = &sf.toks[sf.code[k]];
+        if stop(t) {
+            break;
+        }
+        out.push(sf.code[k]);
+    }
+    let mut k = ci + 1;
+    while k < sf.code.len() {
+        let t = &sf.toks[sf.code[k]];
+        if stop(t) {
+            break;
+        }
+        out.push(sf.code[k]);
+        k += 1;
+    }
+    out
+}
+
+/// Index expressions whose *index* mentions a tainted identifier:
+/// `table[secret]` is a secret-dependent memory access.
+fn flag_indexing(
+    sf: &SourceFile,
+    (b0, b1): (usize, usize),
+    tainted: &HashSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    for &i in &sf.code {
+        if i <= b0 || i >= b1 {
+            continue;
+        }
+        if !sf.toks[i].is_punct("[") {
+            continue;
+        }
+        // Index expression, not array literal/type: previous code token
+        // must be able to end an expression.
+        let is_index = sf.prev_code(i).is_some_and(|j| {
+            let p = &sf.toks[j];
+            p.is_ident_kind() && !is_keyword(&p.text) || p.is_punct("]") || p.is_punct(")")
+        });
+        if !is_index {
+            continue;
+        }
+        let Some(close) = sf.matching[i] else {
+            continue;
+        };
+        let hit = (i + 1..close).find(|&j| {
+            let t = &sf.toks[j];
+            t.is_ident_kind() && tainted.contains(&t.text)
+        });
+        if let Some(j) = hit {
+            push(
+                sf,
+                out,
+                sf.toks[i].line,
+                format!(
+                    "index by secret-tainted `{}` (secret-dependent memory access)",
+                    sf.toks[j].text
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        run(&SourceFile::parse("t.rs", src))
+    }
+
+    #[test]
+    fn seeds_from_param_annotation_and_propagates() {
+        let f = findings(
+            "fn f(\n  key: &[u8], // lint: secret\n  n: usize,\n) {\n  let k0 = key[0];\n  if k0 == 0 { g(); }\n}",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("branch on secret-tainted `k0`"));
+    }
+
+    #[test]
+    fn public_annotation_suppresses() {
+        let f = findings(
+            "fn f(key: u8) { // lint: secret\n  // lint: public(length is not secret)\n  if key == 0 { g(); }\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn index_and_short_circuit_flagged() {
+        let f = findings(
+            "fn f(s: u8) { // lint: secret\n  let x = table[s];\n  let ok = s == 1 && other;\n}",
+        );
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f
+            .iter()
+            .any(|x| x.message.contains("index by secret-tainted")));
+        assert!(f.iter().any(|x| x.message.contains("short-circuit")));
+    }
+
+    #[test]
+    fn explicit_seed_list() {
+        let f = findings("fn f(a: u8, b: u8) {\n  // lint: secret(b)\n  if a > 0 { g(); }\n  while b > 0 { h(); }\n}");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`b`"));
+    }
+
+    #[test]
+    fn untainted_code_is_quiet() {
+        let f = findings("fn f(n: usize) { if n > 0 { g(); } let x = v[n]; }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let f = findings("#[test]\nfn t() {\n  let key = 1u8; // lint: secret\n  if key == 1 { assert!(true); }\n}");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

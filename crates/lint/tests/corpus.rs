@@ -1,0 +1,112 @@
+//! Corpus tests: each `tests/corpus/*_bad.rs` snippet must trip its
+//! pass, and the matching `*_good.rs` rewrite must be quiet. The
+//! corpus files are data, not compiled code (the workspace sweep skips
+//! them via `lint.toml`'s `[skip]` section), so they double as living
+//! documentation of what each pass accepts and rejects.
+
+use p2drm_lint::source::SourceFile;
+use p2drm_lint::{lockorder, panicpath, safety, taint};
+
+fn parse(name: &str, src: &str) -> SourceFile {
+    SourceFile::parse(name, src)
+}
+
+#[test]
+fn taint_bad_is_fully_flagged() {
+    let sf = parse("taint_bad.rs", include_str!("corpus/taint_bad.rs"));
+    let f = taint::run(&sf);
+    assert!(
+        f.iter()
+            .any(|x| x.message.contains("branch on secret-tainted")),
+        "missing branch finding: {f:?}"
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.message.contains("index by secret-tainted")),
+        "missing index finding: {f:?}"
+    );
+    assert!(
+        f.iter().any(|x| x.message.contains("short-circuit")),
+        "missing short-circuit finding: {f:?}"
+    );
+    // The `while` in taint_flows_through_let proves propagation through
+    // two `let` bindings, not just direct use of the seed.
+    assert!(
+        f.iter().any(|x| x.message.contains("`derived`")),
+        "taint did not flow through let bindings: {f:?}"
+    );
+    assert_eq!(f.len(), 4, "unexpected extra findings: {f:?}");
+}
+
+#[test]
+fn taint_good_is_quiet() {
+    let sf = parse("taint_good.rs", include_str!("corpus/taint_good.rs"));
+    let f = taint::run(&sf);
+    assert!(f.is_empty(), "constant-time rewrite still flagged: {f:?}");
+}
+
+#[test]
+fn safety_bad_is_fully_flagged() {
+    let sf = parse("safety_bad.rs", include_str!("corpus/safety_bad.rs"));
+    let f = safety::run(&sf);
+    assert_eq!(f.len(), 4, "one finding per undocumented site: {f:?}");
+}
+
+#[test]
+fn safety_good_is_quiet() {
+    let sf = parse("safety_good.rs", include_str!("corpus/safety_good.rs"));
+    let f = safety::run(&sf);
+    assert!(f.is_empty(), "documented unsafe still flagged: {f:?}");
+}
+
+#[test]
+fn panic_bad_is_fully_flagged() {
+    let sf = parse("panic_bad.rs", include_str!("corpus/panic_bad.rs"));
+    let f = panicpath::run(&sf);
+    let hit = |needle: &str| f.iter().any(|x| x.message.contains(needle));
+    assert!(hit("unwrap"), "{f:?}");
+    assert!(hit("expect"), "{f:?}");
+    assert!(hit("panic!"), "{f:?}");
+    assert!(hit("unreachable!"), "{f:?}");
+    assert!(hit("indexing"), "{f:?}");
+    assert_eq!(f.len(), 5, "unexpected extra findings: {f:?}");
+}
+
+#[test]
+fn panic_good_is_quiet() {
+    let sf = parse("panic_good.rs", include_str!("corpus/panic_good.rs"));
+    let f = panicpath::run(&sf);
+    assert!(f.is_empty(), "panic-free rewrite still flagged: {f:?}");
+}
+
+#[test]
+fn lockorder_bad_reports_the_ab_ba_cycle() {
+    let sf = parse("lockorder_bad.rs", include_str!("corpus/lockorder_bad.rs"));
+    let edges = lockorder::extract(&sf);
+    let (findings, graph) = lockorder::analyze(&edges);
+    assert!(
+        !findings.is_empty(),
+        "AB/BA inversion not reported; edges: {edges:?}"
+    );
+    assert!(
+        graph.contains("CYCLES"),
+        "graph text lacks cycle marker:\n{graph}"
+    );
+    assert!(
+        findings[0].message.contains("alpha") && findings[0].message.contains("beta"),
+        "cycle should name both lock classes: {findings:?}"
+    );
+}
+
+#[test]
+fn lockorder_good_is_acyclic() {
+    let sf = parse(
+        "lockorder_good.rs",
+        include_str!("corpus/lockorder_good.rs"),
+    );
+    let edges = lockorder::extract(&sf);
+    assert!(!edges.is_empty(), "consistent nesting still yields edges");
+    let (findings, graph) = lockorder::analyze(&edges);
+    assert!(findings.is_empty(), "false cycle: {findings:?}");
+    assert!(graph.contains("no cycles"), "graph text:\n{graph}");
+}

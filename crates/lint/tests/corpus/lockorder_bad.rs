@@ -1,0 +1,21 @@
+//! Corpus: an AB/BA lock-order inversion the lock-order pass must
+//! report as a cycle.
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        *a - *b
+    }
+}

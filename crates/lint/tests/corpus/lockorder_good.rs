@@ -1,0 +1,21 @@
+//! Corpus: the fixed version of `lockorder_bad.rs` — every path
+//! acquires `alpha` before `beta`, so the acquisition graph is acyclic.
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a - *b
+    }
+}

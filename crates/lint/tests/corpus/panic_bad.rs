@@ -1,0 +1,28 @@
+//! Corpus: panic paths a request-serving module must not contain.
+//! Every site in this file must be flagged by the panic pass.
+
+pub fn unwrap_option(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn expect_result(v: Result<u32, ()>) -> u32 {
+    v.expect("infallible, surely")
+}
+
+pub fn explicit_panic(n: u32) -> u32 {
+    if n > 10 {
+        panic!("out of range");
+    }
+    n
+}
+
+pub fn unchecked_index(buf: &[u8], i: usize) -> u8 {
+    buf[i]
+}
+
+pub fn unreachable_arm(n: u32) -> u32 {
+    match n {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}

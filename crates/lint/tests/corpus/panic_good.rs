@@ -1,0 +1,27 @@
+//! Corpus: the panic-free rewrites of `panic_bad.rs` — typed errors,
+//! `get`-based access, and `lint: allow(panic, <invariant>)` where a
+//! panic is genuinely unreachable. The panic pass must stay quiet.
+
+pub fn unwrap_option(v: Option<u32>) -> Result<u32, &'static str> {
+    v.ok_or("missing value")
+}
+
+pub fn expect_result(v: Result<u32, ()>) -> Result<u32, &'static str> {
+    v.map_err(|()| "upstream failure")
+}
+
+pub fn explicit_panic(n: u32) -> Result<u32, &'static str> {
+    if n > 10 {
+        return Err("out of range");
+    }
+    Ok(n)
+}
+
+pub fn checked_index(buf: &[u8], i: usize) -> Option<u8> {
+    buf.get(i).copied()
+}
+
+pub fn invariant_index(buf: &[u8; 4]) -> u8 {
+    // lint: allow(panic, the index is a constant within the array bound)
+    buf[3]
+}

@@ -1,0 +1,18 @@
+//! Corpus: `unsafe` without `// SAFETY:` justification. Every site in
+//! this file must be flagged by the safety pass.
+
+pub fn deref_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+unsafe fn no_contract(p: *mut u8) {
+    *p = 0;
+}
+
+pub struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {}
+
+// This comment talks about something else entirely, so it does not
+// satisfy the safety pass.
+unsafe impl Sync for Wrapper {}

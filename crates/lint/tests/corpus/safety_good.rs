@@ -1,0 +1,24 @@
+//! Corpus: every `unsafe` site carries a `// SAFETY:` comment — on the
+//! same line, directly above, or at the head of a multi-line comment
+//! block. The safety pass must stay quiet.
+
+pub fn deref_raw(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` points to a live, aligned byte.
+    unsafe { *p }
+}
+
+// SAFETY: writes a single byte the caller has exclusive access to.
+unsafe fn with_contract(p: *mut u8) {
+    *p = 0;
+}
+
+pub struct Wrapper(*mut u8);
+
+// SAFETY: the pointer is only ever dereferenced behind a lock, so the
+// wrapper can move between threads; the multi-line block form places
+// the marker several lines above the keyword.
+unsafe impl Send for Wrapper {}
+
+pub fn same_line(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: caller contract as in deref_raw.
+}

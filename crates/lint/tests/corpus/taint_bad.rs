@@ -1,0 +1,29 @@
+//! Corpus: secret-dependent control flow, indexing and short-circuit
+//! evaluation the taint pass must flag. Not compiled — parsed by
+//! `tests/corpus.rs`.
+
+pub fn branch_on_secret(secret: u64) -> u32 { // lint: secret
+    if secret == 0 {
+        return 1;
+    }
+    0
+}
+
+pub fn index_by_secret(table: &[u8], secret: usize) -> u8 { // lint: secret(secret)
+    table[secret & 0x0f]
+}
+
+pub fn short_circuit_on_secret(secret_bit: bool, public_ok: bool) -> bool {
+    // lint: secret(secret_bit)
+    let ok = public_ok && secret_bit;
+    ok
+}
+
+pub fn taint_flows_through_let(key: &[u8]) -> bool { // lint: secret
+    let first = key[0];
+    let derived = first ^ 0x36;
+    while derived != 0 {
+        return true;
+    }
+    false
+}

@@ -1,0 +1,33 @@
+//! Corpus: the constant-time rewrites of `taint_bad.rs` — branch-free
+//! selection, non-short-circuit bit operators, and `lint: public`
+//! annotations where the branch really is on public data. Must produce
+//! zero taint findings.
+
+pub fn branch_free_select(secret: u64) -> u32 {
+    // lint: secret(secret)
+    let is_zero = (secret.wrapping_sub(1) >> 63) as u32;
+    is_zero
+}
+
+pub fn masked_scan(table: &[u8], secret: usize) -> u8 {
+    // lint: secret(secret)
+    let mut acc = 0u8;
+    for (i, &v) in table.iter().enumerate() {
+        let hit = (i == secret & 0x0f) as u8;
+        acc |= v & hit.wrapping_neg();
+    }
+    acc
+}
+
+pub fn bitwise_combine(secret_bit: bool, public_ok: bool) -> bool {
+    // lint: secret(secret_bit)
+    (public_ok as u8 & secret_bit as u8) != 0
+}
+
+pub fn public_length_branch(key: &[u8]) -> usize { // lint: secret
+    // lint: public(only the key length is branched on, never its bytes)
+    if key.len() > 64 {
+        return 64;
+    }
+    key.len()
+}

@@ -566,7 +566,9 @@ impl EventLoop {
                 self.close_conn(token);
                 continue;
             }
-            let conn = self.conns.get_mut(&token).expect("checked above");
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue;
+            };
             queue_frame(conn, &reply.bytes);
             self.try_write(token);
             // Replies freed pipeline slots: frames parked in rbuf by the
@@ -613,6 +615,7 @@ impl EventLoop {
                         // eventual close sends FIN, not RST.
                         continue;
                     }
+                    // lint: allow(panic, read returns n <= scratch.len())
                     conn.rbuf.extend_from_slice(&scratch[..n]);
                     if n < scratch.len() {
                         break;
@@ -665,7 +668,10 @@ impl EventLoop {
             if remaining < LEN_PREFIX {
                 break;
             }
-            let len = u32::from_le_bytes(conn.rbuf[pos..pos + LEN_PREFIX].try_into().unwrap());
+            let mut word = [0u8; LEN_PREFIX];
+            // lint: allow(panic, remaining >= LEN_PREFIX checked above)
+            word.copy_from_slice(&conn.rbuf[pos..pos + LEN_PREFIX]);
+            let len = u32::from_le_bytes(word);
             if len > config.max_frame {
                 reject = Some((len, config.max_frame));
                 break;
@@ -674,6 +680,7 @@ impl EventLoop {
             if conn.rbuf.len() < frame_end {
                 break;
             }
+            // lint: allow(panic, frame_end <= rbuf.len() checked above)
             let request = conn.rbuf[pos + LEN_PREFIX..frame_end].to_vec();
             pos = frame_end;
 
@@ -751,6 +758,7 @@ impl EventLoop {
             return;
         };
         while conn.pending_write() > 0 {
+            // lint: allow(panic, pending_write() > 0 implies wpos <= wbuf.len())
             match conn.stream.write(&conn.wbuf[conn.wpos..]) {
                 Ok(0) => {
                     conn.read = ReadState::Dead;

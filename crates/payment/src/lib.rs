@@ -18,6 +18,8 @@
 //! cryptographically unlinkable — tested in `tests` below by replaying the
 //! mint's own transcript.
 
+#![forbid(unsafe_code)]
+
 pub mod coin;
 pub mod identified;
 pub mod mint;

@@ -25,6 +25,8 @@
 //! bodies. A signature from one key means nothing under the other, which is
 //! what makes blind issuance safe to offer.
 
+#![forbid(unsafe_code)]
+
 pub mod authority;
 pub mod cert;
 pub mod chain;

@@ -27,6 +27,8 @@
 //! assert!(matches!(rights.evaluate(&state, &req), Decision::Deny(_)));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod eval;
 pub mod lexer;

@@ -15,6 +15,8 @@
 //! The `experiments` binary (`cargo run -p p2drm-sim --bin experiments`)
 //! regenerates every table/figure artifact.
 
+#![forbid(unsafe_code)]
+
 pub mod adversary;
 pub mod json;
 pub mod metrics;

@@ -50,6 +50,8 @@
 //! assert!(!kv.insert_if_absent(b"spent/1", b"").unwrap(), "second redeem refused");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod log;
 pub mod mem;
 pub mod sharded;

@@ -39,15 +39,37 @@
 //! a `MANIFEST` file, because key→shard routing must be stable across
 //! restarts; reopening with a mismatching [`WalShardedConfig::shards`]
 //! is an error rather than a silent re-route.
+//!
+//! # Lock order
+//!
+//! Each shard owns three locks, acquired in a fixed hierarchy:
+//!
+//! 1. `kv` (the shard's `RwLock<WalKv>`) is always the **outermost**
+//!    lock: `commit` and `sync_fd` may each be taken while `kv` is held
+//!    (compaction and the explicit `flush` checkpoint do), never the
+//!    other way around.
+//! 2. `commit` and `sync_fd` are **never held together**. The
+//!    group-commit leader in particular releases `commit` *before*
+//!    taking `sync_fd` for the fsync — holding the queue lock across
+//!    disk I/O would stall every waiter and appender behind the disk.
+//!    This is the `commit`-before-`sync_fd` discipline: queue state is
+//!    settled first, the durable horizon is published after the I/O by
+//!    re-taking `commit`.
+//!
+//! All three are `parking_lot` (shim) locks, so the hierarchy is not
+//! just documentation: the shim's runtime lockdep (debug builds) records
+//! every nested acquisition and panics with both stacks on the first
+//! inversion — the whole test suite asserts this order on every run.
+//! The static `p2drm-lint` lock-order pass extracts the same graph at
+//! review time (`results/lockgraph.txt`).
 
 use crate::sharded::fnv1a;
 use crate::walkv::{RecoveryReport, SyncPolicy, WalKv};
 use crate::{ConcurrentKv, Kv, StoreError};
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
 
 /// Construction parameters for a [`WalShardedKv`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -210,6 +232,7 @@ impl WalShardedKv {
         let mut shard_vec = Vec::with_capacity(shards);
         let mut recovery = Vec::with_capacity(shards);
         for slot in opened {
+            // lint: allow(panic, the scoped-thread join above guarantees every slot was filled)
             let (kv, report) = slot.expect("replay thread ran")?;
             let sync_fd = kv.try_clone_log_file()?;
             shard_vec.push(Shard {
@@ -271,7 +294,7 @@ impl WalShardedKv {
     /// already failed).
     pub fn compact_all(&self) -> Result<(), StoreError> {
         for shard in &self.shards {
-            if shard.commit.lock().expect("commit lock").poisoned {
+            if shard.commit.lock().poisoned {
                 return Err(Self::poisoned_err());
             }
             let mut kv = shard.kv.write();
@@ -280,8 +303,8 @@ impl WalShardedKv {
             // advances to the pre-compaction append count.
             let horizon = shard.appended.load(Ordering::Relaxed);
             kv.compact()?;
-            *shard.sync_fd.lock().expect("sync_fd lock") = kv.try_clone_log_file()?;
-            let mut st = shard.commit.lock().expect("commit lock");
+            *shard.sync_fd.lock() = kv.try_clone_log_file()?;
+            let mut st = shard.commit.lock();
             st.durable = st.durable.max(horizon);
             shard.committed.notify_all();
         }
@@ -289,6 +312,7 @@ impl WalShardedKv {
     }
 
     fn route(&self, key: &[u8]) -> &Shard {
+        // lint: allow(panic, modulo by shards.len() keeps the index in range)
         &self.shards[(fnv1a(key) % self.shards.len() as u64) as usize]
     }
 
@@ -309,7 +333,7 @@ impl WalShardedKv {
         let shard = self.route(key);
         // Fail-stop gate *before* mutating: a poisoned shard must not
         // grow index state its log can no longer record.
-        if shard.commit.lock().expect("commit lock").poisoned {
+        if shard.commit.lock().poisoned {
             return Err(Self::poisoned_err());
         }
         let (out, seq) = {
@@ -332,7 +356,7 @@ impl WalShardedKv {
         if matches!(self.policy, SyncPolicy::Buffered) {
             return Ok(());
         }
-        let mut st = shard.commit.lock().expect("commit lock");
+        let mut st = shard.commit.lock();
         loop {
             if st.durable >= seq {
                 return Ok(());
@@ -346,7 +370,7 @@ impl WalShardedKv {
             if st.flushing {
                 // A leader's flush is in flight; it may or may not cover
                 // our frame — re-check when it lands.
-                st = shard.committed.wait(st).expect("commit lock");
+                st = shard.committed.wait(st);
                 continue;
             }
             st.flushing = true;
@@ -366,7 +390,7 @@ impl WalShardedKv {
                 (Err(e), _) => Err(e),
                 (Ok(horizon), SyncPolicy::FlushEach) => Ok(horizon),
                 (Ok(horizon), _) => {
-                    let fd = shard.sync_fd.lock().expect("sync_fd lock");
+                    let fd = shard.sync_fd.lock();
                     let sync_res =
                         if cfg!(test) && self.fail_next_sync.swap(false, Ordering::SeqCst) {
                             Err(std::io::Error::other("injected sync failure").into())
@@ -377,7 +401,7 @@ impl WalShardedKv {
                 }
             };
 
-            st = shard.commit.lock().expect("commit lock");
+            st = shard.commit.lock();
             st.flushing = false;
             match result {
                 Ok(horizon) => {
@@ -462,13 +486,13 @@ impl ConcurrentKv for WalShardedKv {
     /// is poisoned (its log already lost a commit).
     fn flush(&self) -> Result<(), StoreError> {
         for shard in &self.shards {
-            if shard.commit.lock().expect("commit lock").poisoned {
+            if shard.commit.lock().poisoned {
                 return Err(Self::poisoned_err());
             }
             let mut kv = shard.kv.write();
             let horizon = shard.appended.load(Ordering::Relaxed);
             kv.sync_data()?;
-            let mut st = shard.commit.lock().expect("commit lock");
+            let mut st = shard.commit.lock();
             st.durable = st.durable.max(horizon);
             shard.committed.notify_all();
         }

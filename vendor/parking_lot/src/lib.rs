@@ -1,98 +1,248 @@
-//! Minimal API-compatible shim for the `parking_lot` crate.
+//! Minimal API-compatible shim for the `parking_lot` crate, with a
+//! built-in runtime lock-order checker.
 //!
 //! This workspace builds in environments with no crates.io access, so the
 //! locking primitives are provided in-tree as thin wrappers over
 //! `std::sync`. The surface mirrors the subset of `parking_lot` the
 //! workspace uses: guard-returning `lock`/`read`/`write` without poison
 //! `Result`s (a poisoned std lock is recovered, matching `parking_lot`'s
-//! panic-transparent behaviour).
+//! panic-transparent behaviour), plus a [`Condvar`].
+//!
+//! On top of the `std` delegation, every `Mutex`/`RwLock` acquisition is
+//! instrumented by the [`lockdep`] module in debug builds: per-thread
+//! held-lock stacks feed a global acquisition-order graph, and an
+//! acquisition that would close an `A → B` / `B → A` cycle panics at the
+//! inversion point with both acquisition stacks — turning latent
+//! deadlocks into deterministic test failures. Release builds compile
+//! the hooks to nothing. See [`lockdep`] for details and the
+//! `P2DRM_LOCKDEP=0` kill switch.
 //!
 //! Swap this for the real `parking_lot` by pointing the workspace
-//! dependency back at crates.io; no call site changes are needed.
+//! dependency back at crates.io; no call site changes are needed except
+//! [`Condvar::wait`], which here takes the guard by value (`std` style)
+//! rather than `&mut`.
 
+#![forbid(unsafe_code)]
+
+pub mod lockdep;
+
+use std::any::type_name;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync;
 
-/// Guard type returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
-/// Guard type returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
-/// Guard type returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+/// Guard returned by [`Mutex::lock`]. Releases the lock (and pops the
+/// lockdep held-stack) on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+    _dep: lockdep::HeldToken,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    _dep: lockdep::HeldToken,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    _dep: lockdep::HeldToken,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
 
 /// Mutual exclusion lock (no poisoning).
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    slot: lockdep::LockSlot,
+    inner: sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
     /// Creates a new mutex.
     pub const fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            slot: lockdep::LockSlot::new(),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available. A lock poisoned by a
-    /// panicking holder is recovered rather than propagated.
+    /// panicking holder is recovered rather than propagated. In debug
+    /// builds, an acquisition that inverts a previously recorded lock
+    /// order panics (see [`lockdep`]).
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        let dep = lockdep::acquire(&self.slot, type_name::<T>(), false);
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+            _dep: dep,
+        }
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            inner,
+            _dep: lockdep::acquire_try(&self.slot, type_name::<T>(), false),
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 /// Reader-writer lock (no poisoning).
 #[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    slot: lockdep::LockSlot,
+    inner: sync::RwLock<T>,
+}
 
 impl<T> RwLock<T> {
     /// Creates a new reader-writer lock.
     pub const fn new(value: T) -> Self {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            slot: lockdep::LockSlot::new(),
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read lock.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+        let dep = lockdep::acquire(&self.slot, type_name::<T>(), true);
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+            _dep: dep,
+        }
     }
 
     /// Acquires an exclusive write lock.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+        let dep = lockdep::acquire(&self.slot, type_name::<T>(), false);
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+            _dep: dep,
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Condition variable paired with [`Mutex`].
+///
+/// Divergence from the real `parking_lot`: [`Condvar::wait`] takes and
+/// returns the guard by value (`std` style) instead of `&mut`-borrowing
+/// it. While a thread is parked in `wait` the mutex is released, but the
+/// lock stays on the thread's lockdep held stack; that is sound (a
+/// parked thread acquires nothing) and keeps the reacquisition on wake
+/// order-checked exactly once, at the original `lock()`.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Releases `guard`'s mutex and blocks until notified, then
+    /// reacquires and returns the guard. Poison is recovered, matching
+    /// the `Mutex` behaviour.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let MutexGuard { inner, _dep } = guard;
+        let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+        MutexGuard { inner, _dep }
+    }
+
+    /// Wakes one thread blocked in [`Condvar::wait`].
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every thread blocked in [`Condvar::wait`].
+    pub fn notify_all(&self) {
+        self.0.notify_all();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn mutex_basic() {
@@ -112,7 +262,7 @@ mod tests {
 
     #[test]
     fn poisoned_lock_recovers() {
-        let m = std::sync::Arc::new(Mutex::new(0));
+        let m = Arc::new(Mutex::new(0));
         let m2 = m.clone();
         let _ = std::thread::spawn(move || {
             let _g = m2.lock();
@@ -121,5 +271,116 @@ mod tests {
         .join();
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut ready = m.lock();
+            while !*ready {
+                ready = cv.wait(ready);
+            }
+            *ready
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        assert!(t.join().expect("waiter thread"));
+    }
+
+    #[test]
+    fn consistent_nesting_is_quiet() {
+        let a = Mutex::new(0);
+        let b = Mutex::new(0);
+        for _ in 0..3 {
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(gb);
+            drop(ga);
+        }
+    }
+
+    /// The detector's core promise: an AB/BA inversion across two
+    /// threads panics at the inversion point (on the second thread)
+    /// with a report naming the cycle — even though the threads run
+    /// strictly one after the other and never actually deadlock.
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "lockdep is debug-only")]
+    fn ab_ba_inversion_detected() {
+        if !lockdep::is_enabled() {
+            return; // P2DRM_LOCKDEP=0 in the environment
+        }
+        let a = Arc::new(Mutex::new('a'));
+        let b = Arc::new(Mutex::new('b'));
+
+        let (a1, b1) = (a.clone(), b.clone());
+        std::thread::spawn(move || {
+            let ga = a1.lock();
+            let gb = b1.lock();
+            drop(gb);
+            drop(ga);
+        })
+        .join()
+        .expect("A→B thread establishes the first order");
+
+        let (a2, b2) = (a.clone(), b.clone());
+        let err = std::thread::spawn(move || {
+            let gb = b2.lock();
+            let ga = a2.lock(); // inversion: B held, acquiring A
+            drop(ga);
+            drop(gb);
+        })
+        .join()
+        .expect_err("B→A thread must be caught");
+
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic>".into());
+        assert!(
+            msg.contains("lock order inversion"),
+            "unexpected panic message: {msg}"
+        );
+        assert!(msg.contains("->"), "report should show the cycle: {msg}");
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "lockdep is debug-only")]
+    fn recursive_mutex_detected() {
+        if !lockdep::is_enabled() {
+            return;
+        }
+        let m = Arc::new(Mutex::new(0));
+        let m2 = m.clone();
+        let err = std::thread::spawn(move || {
+            let g = m2.lock();
+            let g2 = m2.lock(); // would self-deadlock without lockdep
+            drop(g2);
+            drop(g);
+        })
+        .join()
+        .expect_err("recursive acquisition must be caught");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic>".into());
+        assert!(msg.contains("recursive"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "lockdep is debug-only")]
+    fn read_read_reentry_tolerated() {
+        if !lockdep::is_enabled() {
+            return;
+        }
+        let l = RwLock::new(1);
+        let r1 = l.read();
+        let r2 = l.read();
+        assert_eq!(*r1 + *r2, 2);
     }
 }

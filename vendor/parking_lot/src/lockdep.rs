@@ -1,0 +1,325 @@
+//! Runtime lock-order checking ("lockdep") for the shim's [`Mutex`] and
+//! [`RwLock`].
+//!
+//! Compiled in (and on by default) under `debug_assertions`; in release
+//! builds every hook is a zero-sized no-op. Set `P2DRM_LOCKDEP=0` in the
+//! environment to disable the checks in a debug build.
+//!
+//! # How it works
+//!
+//! Every lock instance is lazily assigned a process-unique id on first
+//! acquisition. Each thread keeps a stack of the lock ids it currently
+//! holds; when a thread **blocks** on a lock `B` while holding `A`, the
+//! ordered edge `A → B` is recorded in a global acquisition graph
+//! together with the acquiring thread's name and a captured backtrace.
+//! Before the edge is inserted, the graph is searched for a path
+//! `B → … → A`: if one exists, some earlier acquisition established the
+//! opposite order, and the two orders can interleave into a deadlock.
+//! The checker panics *at the inversion point* — before the deadlock can
+//! happen — with both acquisition stacks (the stored one that
+//! established the first order, and the current one).
+//!
+//! Non-blocking `try_lock` acquisitions are pushed onto the held stack
+//! (so later blocking acquisitions order against them) but are neither
+//! edge-recorded nor cycle-checked themselves: a failed `try_lock`
+//! returns instead of deadlocking, so trying in "wrong" order is a legal
+//! pattern.
+//!
+//! Re-acquiring a lock already held by the same thread panics
+//! immediately (it would self-deadlock on the `std` primitives), except
+//! for shared/shared (`read` + `read`) pairs, which are recorded but
+//! tolerated.
+//!
+//! Lock ids are never reused and dead locks are not pruned from the
+//! graph: an order established by a since-dropped lock is still an order
+//! the program exercised, and keeping it makes violations reproducible
+//! regardless of object lifetimes. The graph only grows with *distinct
+//! nested pairs*, which is small in practice.
+//!
+//! [`Mutex`]: crate::Mutex
+//! [`RwLock`]: crate::RwLock
+
+#[cfg(debug_assertions)]
+mod imp {
+    use std::backtrace::Backtrace;
+    use std::cell::RefCell;
+    use std::collections::{HashMap, HashSet};
+    use std::fmt;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    /// Per-lock-instance id storage, embedded in every `Mutex`/`RwLock`.
+    /// Zero until the first acquisition assigns an id.
+    pub struct LockSlot(AtomicU64);
+
+    impl LockSlot {
+        /// A fresh, id-less slot (`const` so locks stay `const`-constructible).
+        pub const fn new() -> Self {
+            LockSlot(AtomicU64::new(0))
+        }
+    }
+
+    impl Default for LockSlot {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl fmt::Debug for LockSlot {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "LockSlot(#{})", self.0.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Pops the thread's held-lock stack when the guard drops.
+    pub struct HeldToken(Option<u64>);
+
+    impl Drop for HeldToken {
+        fn drop(&mut self) {
+            if let Some(id) = self.0.take() {
+                // `try_with`: guard drops can run during TLS teardown.
+                let _ = HELD.try_with(|h| {
+                    let mut h = h.borrow_mut();
+                    if let Some(at) = h.iter().rposition(|e| e.id == id) {
+                        h.remove(at);
+                    }
+                });
+            }
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct HeldEntry {
+        id: u64,
+        shared: bool,
+    }
+
+    struct Edge {
+        thread: String,
+        stack: Backtrace,
+    }
+
+    #[derive(Default)]
+    struct Graph {
+        /// `edges[a]` holds every `b` acquired while `a` was held, with
+        /// the acquisition site that first established `a → b`.
+        edges: HashMap<u64, HashMap<u64, Edge>>,
+        names: HashMap<u64, &'static str>,
+    }
+
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+    static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+
+    thread_local! {
+        static HELD: RefCell<Vec<HeldEntry>> = const { RefCell::new(Vec::new()) };
+    }
+
+    fn graph() -> &'static Mutex<Graph> {
+        GRAPH.get_or_init(|| Mutex::new(Graph::default()))
+    }
+
+    /// Whether the checker is active (debug build and not disabled via
+    /// the `P2DRM_LOCKDEP=0` environment variable).
+    pub fn is_enabled() -> bool {
+        static ENABLED: OnceLock<bool> = OnceLock::new();
+        *ENABLED.get_or_init(|| {
+            !matches!(
+                std::env::var("P2DRM_LOCKDEP").as_deref(),
+                Ok("0") | Ok("off") | Ok("false")
+            )
+        })
+    }
+
+    /// Number of distinct ordered pairs recorded so far (test hook).
+    pub fn edge_count() -> usize {
+        let g = graph().lock().unwrap_or_else(|e| e.into_inner());
+        g.edges.values().map(|m| m.len()).sum()
+    }
+
+    fn lock_id(slot: &LockSlot, name: &'static str) -> u64 {
+        let cur = slot.0.load(Ordering::Acquire);
+        if cur != 0 {
+            return cur;
+        }
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        match slot
+            .0
+            .compare_exchange(0, id, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => {
+                let mut g = graph().lock().unwrap_or_else(|e| e.into_inner());
+                g.names.insert(id, name);
+                id
+            }
+            // Another thread won the race to name this lock.
+            Err(existing) => existing,
+        }
+    }
+
+    /// Is there a path `from → … → to` in the recorded order graph?
+    fn path_exists(g: &Graph, from: u64, to: u64, hops: &mut Vec<u64>) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen: HashSet<u64> = HashSet::new();
+        fn dfs(g: &Graph, at: u64, to: u64, seen: &mut HashSet<u64>, hops: &mut Vec<u64>) -> bool {
+            if at == to {
+                return true;
+            }
+            if !seen.insert(at) {
+                return false;
+            }
+            if let Some(next) = g.edges.get(&at) {
+                for &n in next.keys() {
+                    hops.push(n);
+                    if dfs(g, n, to, seen, hops) {
+                        return true;
+                    }
+                    hops.pop();
+                }
+            }
+            false
+        }
+        dfs(g, from, to, &mut seen, hops)
+    }
+
+    fn name_of(g: &Graph, id: u64) -> String {
+        match g.names.get(&id) {
+            Some(n) => format!("#{id} ({n})"),
+            None => format!("#{id}"),
+        }
+    }
+
+    /// Validates and records a **blocking** acquisition of `slot`.
+    /// Called *before* the thread blocks on the real primitive, so a
+    /// would-be deadlock panics instead of hanging.
+    pub fn acquire(slot: &LockSlot, name: &'static str, shared: bool) -> HeldToken {
+        record(slot, name, shared, true)
+    }
+
+    /// Records a successful **non-blocking** (`try_lock`) acquisition:
+    /// pushed onto the held stack, but not cycle-checked (a failed try
+    /// returns instead of deadlocking).
+    pub fn acquire_try(slot: &LockSlot, name: &'static str, shared: bool) -> HeldToken {
+        record(slot, name, shared, false)
+    }
+
+    fn record(slot: &LockSlot, name: &'static str, shared: bool, validate: bool) -> HeldToken {
+        if !is_enabled() {
+            return HeldToken(None);
+        }
+        let id = lock_id(slot, name);
+        let held = match HELD.try_with(|h| h.borrow().clone()) {
+            Ok(h) => h,
+            // TLS torn down (thread exit path): skip tracking.
+            Err(_) => return HeldToken(None),
+        };
+        if !held.is_empty() {
+            check_and_record(id, shared, &held, validate);
+        }
+        if HELD
+            .try_with(|h| h.borrow_mut().push(HeldEntry { id, shared }))
+            .is_err()
+        {
+            return HeldToken(None);
+        }
+        HeldToken(Some(id))
+    }
+
+    fn check_and_record(id: u64, shared: bool, held: &[HeldEntry], validate: bool) {
+        let mut g = graph().lock().unwrap_or_else(|e| e.into_inner());
+        for h in held {
+            if h.id == id {
+                if shared && h.shared {
+                    continue; // read-after-read: tolerated.
+                }
+                let name = name_of(&g, id);
+                drop(g);
+                panic!(
+                    "lockdep: recursive acquisition of lock {name} on thread \
+                     {:?} would self-deadlock",
+                    std::thread::current().name().unwrap_or("<unnamed>"),
+                );
+            }
+            if validate {
+                // Adding h.id → id: refuse if id → … → h.id already exists.
+                let mut hops = vec![id];
+                if path_exists(&g, id, h.id, &mut hops) {
+                    let path: Vec<String> = hops.iter().map(|&n| name_of(&g, n)).collect();
+                    let first_hop = g
+                        .edges
+                        .get(&hops[0])
+                        .and_then(|m| m.get(&hops[1]))
+                        .map(|e| format!("thread {:?}\n{}", e.thread, e.stack))
+                        .unwrap_or_else(|| "<unavailable>".to_string());
+                    let (a, b) = (name_of(&g, h.id), name_of(&g, id));
+                    drop(g);
+                    panic!(
+                        "lockdep: lock order inversion: acquiring {b} while \
+                         holding {a}, but the opposite order {path} was \
+                         established earlier.\n\n-- earlier acquisition \
+                         (established {b} before {a}) on {first_hop}\n\n\
+                         -- current acquisition on thread {:?}\n{}",
+                        std::thread::current().name().unwrap_or("<unnamed>"),
+                        Backtrace::force_capture(),
+                        path = path.join(" -> "),
+                    );
+                }
+            }
+        }
+        // All clear: record the new edges (first writer keeps its stack).
+        for h in held {
+            let out = g.edges.entry(h.id).or_default();
+            out.entry(id).or_insert_with(|| Edge {
+                thread: std::thread::current()
+                    .name()
+                    .unwrap_or("<unnamed>")
+                    .to_string(),
+                stack: Backtrace::force_capture(),
+            });
+        }
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod imp {
+    //! Release-build stubs: zero-sized, inlined away.
+
+    /// Per-lock id storage (empty in release builds).
+    #[derive(Debug, Default)]
+    pub struct LockSlot;
+
+    impl LockSlot {
+        /// A fresh slot.
+        pub const fn new() -> Self {
+            LockSlot
+        }
+    }
+
+    /// Held-stack token (empty in release builds).
+    pub struct HeldToken;
+
+    /// No-op.
+    #[inline(always)]
+    pub fn acquire(_slot: &LockSlot, _name: &'static str, _shared: bool) -> HeldToken {
+        HeldToken
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn acquire_try(_slot: &LockSlot, _name: &'static str, _shared: bool) -> HeldToken {
+        HeldToken
+    }
+
+    /// Always `false` in release builds.
+    pub fn is_enabled() -> bool {
+        false
+    }
+
+    /// Always `0` in release builds.
+    pub fn edge_count() -> usize {
+        0
+    }
+}
+
+pub use imp::{acquire, acquire_try, edge_count, is_enabled, HeldToken, LockSlot};
