@@ -109,6 +109,12 @@ pub struct ProviderConfig {
     /// the batch to fill before flushing whatever has staged. Bounds the
     /// added latency of an enabled valve.
     pub valve_deadline_us: u64,
+    /// Whether this endpoint answers the wire `MetricsDump` op
+    /// (`opcode 9`). Off by default: the snapshot carries only static
+    /// metric names, counts and durations — never pseudonyms, card ids,
+    /// license ids or coin serials — but exposing load shape is still an
+    /// operator decision.
+    pub metrics_dump: bool,
 }
 
 impl ProviderConfig {
@@ -123,6 +129,7 @@ impl ProviderConfig {
             verify_cache_capacity: 4096,
             valve_batch: 0,
             valve_deadline_us: 50,
+            metrics_dump: false,
         }
     }
 }
@@ -235,6 +242,30 @@ enum PseudonymGate {
 pub struct ContentProvider<B: ConcurrentKv = MemBackend> {
     core: ProviderCore,
     state: ProviderState<B>,
+}
+
+/// One registry snapshot carries the provider's verify-cache, valve and
+/// store metrics together; the wire service registers the provider as a
+/// weak source at construction. Names are static, values are counts and
+/// durations — no pseudonyms, card ids, license ids or coin serials.
+impl<B: ConcurrentKv> p2drm_obs::MetricSource for ContentProvider<B> {
+    fn collect(&self, out: &mut p2drm_obs::SnapshotBuilder) {
+        let c = self.verify_cache_counters();
+        out.counter("vcache_hits", c.hits);
+        out.counter("vcache_misses", c.misses);
+        out.counter("vcache_insertions", c.insertions);
+        out.counter("vcache_evictions", c.evictions);
+        if let Some(valve) = &self.core.valve {
+            let v = valve.counters();
+            out.counter("valve_batched", v.batched);
+            out.counter("valve_timer_flushes", v.timer_flushes);
+            out.counter("valve_size_flushes", v.size_flushes);
+            out.counter("valve_fallback_splits", v.fallback_splits);
+            out.histogram("valve_wait_ns", &valve.wait_hist().snapshot());
+            out.histogram("valve_fill_ns", &valve.fill_hist().snapshot());
+        }
+        self.state.store.collect_metrics(out);
+    }
 }
 
 impl ContentProvider<MemBackend> {
@@ -746,14 +777,19 @@ impl<B: ConcurrentKv> ContentProvider<B> {
         // are presenting; successes land in the cache either way.
         if let Some(valve) = &self.core.valve {
             if self.core.vcache.check(&key) {
+                p2drm_obs::flag("vcache_hit");
                 return Ok(PseudonymGate::Clear);
             }
+            p2drm_obs::flag("vcache_miss");
             let ticket = valve.stage(cert.body.signing_bytes(), cert.signature.clone());
             Ok(PseudonymGate::Staged { ticket, key })
         } else {
             self.core
                 .vcache
                 .verify_with(key, || {
+                    // Only misses reach this closure; hits return above
+                    // it without a marker.
+                    p2drm_obs::flag("vcache_miss");
                     cert.verify(&self.core.ra_blind_key)
                         .map_err(|_| CoreError::BadPseudonym("RA signature invalid"))
                 })
@@ -773,6 +809,7 @@ impl<B: ConcurrentKv> ContentProvider<B> {
                     .valve
                     .as_ref()
                     .expect("staged gate implies an enabled valve");
+                let _stage = p2drm_obs::stage("valve_wait");
                 if valve.wait(ticket) {
                     self.core.vcache.insert(key);
                     Ok(())
@@ -781,6 +818,11 @@ impl<B: ConcurrentKv> ContentProvider<B> {
                 }
             }
         }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ProviderConfig {
+        &self.core.config
     }
 
     /// Hit/miss counters of the provider's verification cache (reported
@@ -846,7 +888,10 @@ impl<B: ConcurrentKv> ContentProvider<B> {
         // Deposit is the last fallible external step before issuance; a
         // double-spent coin is rejected here by the mint's spent store
         // (its signature was already checked in the prep block above).
-        self.state.mint.deposit_prechecked(&req.coin)?;
+        {
+            let _stage = p2drm_obs::stage("mint_deposit");
+            self.state.mint.deposit_prechecked(&req.coin)?;
+        }
 
         let rights = self
             .state

@@ -604,6 +604,239 @@ impl Decode for LicenseStatusResponse {
     }
 }
 
+/// Operator → Provider: request the unified metrics snapshot. Empty
+/// payload — the op is gated server-side by
+/// [`ProviderConfig::metrics_dump`](crate::entities::provider::ProviderConfig::metrics_dump)
+/// and answers [`ApiErrorCode::ServiceUnavailable`](crate::service::ApiErrorCode::ServiceUnavailable)
+/// when disabled.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsDumpRequest {}
+
+impl Encode for MetricsDumpRequest {
+    fn encode(&self, _w: &mut Writer) {}
+}
+
+impl Decode for MetricsDumpRequest {
+    fn decode(_r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(MetricsDumpRequest {})
+    }
+}
+
+/// Wire form of a histogram summary. Carried with integer nanoseconds
+/// only (the mean is rounded), so encode/decode round-trips exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetricSummary {
+    /// Sample count.
+    pub count: u64,
+    /// Mean in nanoseconds, rounded to the nearest integer.
+    pub mean_ns: u64,
+    /// Median (bucket resolution).
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Minimum.
+    pub min_ns: u64,
+    /// Maximum.
+    pub max_ns: u64,
+}
+
+impl Encode for MetricSummary {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.count);
+        w.put_varint(self.mean_ns);
+        w.put_varint(self.p50_ns);
+        w.put_varint(self.p90_ns);
+        w.put_varint(self.p99_ns);
+        w.put_varint(self.min_ns);
+        w.put_varint(self.max_ns);
+    }
+}
+
+impl Decode for MetricSummary {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(MetricSummary {
+            count: r.get_varint()?,
+            mean_ns: r.get_varint()?,
+            p50_ns: r.get_varint()?,
+            p90_ns: r.get_varint()?,
+            p99_ns: r.get_varint()?,
+            min_ns: r.get_varint()?,
+            max_ns: r.get_varint()?,
+        })
+    }
+}
+
+/// One named metric in a [`MetricsDumpResponse`]. Gauges travel as the
+/// two's-complement `u64` of their signed value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricEntry {
+    /// Monotonic counter.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Count.
+        value: u64,
+    },
+    /// Signed level.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Signed value (encoded two's-complement).
+        value: i64,
+    },
+    /// Latency distribution.
+    Histogram {
+        /// Metric name.
+        name: String,
+        /// Percentile summary.
+        summary: MetricSummary,
+    },
+}
+
+impl MetricEntry {
+    /// The metric's name, whatever its kind.
+    pub fn name(&self) -> &str {
+        match self {
+            MetricEntry::Counter { name, .. }
+            | MetricEntry::Gauge { name, .. }
+            | MetricEntry::Histogram { name, .. } => name,
+        }
+    }
+}
+
+impl Encode for MetricEntry {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            MetricEntry::Counter { name, value } => {
+                w.put_u8(0);
+                w.put_str(name);
+                w.put_varint(*value);
+            }
+            MetricEntry::Gauge { name, value } => {
+                w.put_u8(1);
+                w.put_str(name);
+                w.put_u64(*value as u64);
+            }
+            MetricEntry::Histogram { name, summary } => {
+                w.put_u8(2);
+                w.put_str(name);
+                summary.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for MetricEntry {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(match r.get_u8()? {
+            0 => MetricEntry::Counter {
+                name: r.get_str()?,
+                value: r.get_varint()?,
+            },
+            1 => MetricEntry::Gauge {
+                name: r.get_str()?,
+                value: r.get_u64()? as i64,
+            },
+            2 => MetricEntry::Histogram {
+                name: r.get_str()?,
+                summary: MetricSummary::decode(r)?,
+            },
+            tag => return Err(p2drm_codec::CodecError::BadDiscriminant(tag)),
+        })
+    }
+}
+
+/// One stage of a traced request span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanStage {
+    /// Stage label (a static string server-side).
+    pub label: String,
+    /// Stage duration in nanoseconds (0 for flag markers).
+    pub ns: u64,
+}
+
+impl Encode for SpanStage {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.label);
+        w.put_varint(self.ns);
+    }
+}
+
+impl Decode for SpanStage {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(SpanStage {
+            label: r.get_str()?,
+            ns: r.get_varint()?,
+        })
+    }
+}
+
+/// One traced request span: correlation id, op label and latency —
+/// durations and static labels only, never request contents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEntry {
+    /// The request's wire correlation id (client-chosen routing data).
+    pub corr_id: u64,
+    /// Op label.
+    pub op: String,
+    /// End-to-end latency in nanoseconds.
+    pub total_ns: u64,
+    /// Whether the span crossed the slow threshold.
+    pub slow: bool,
+    /// Stage breakdown (empty unless `slow`).
+    pub stages: Vec<SpanStage>,
+}
+
+impl Encode for SpanEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.corr_id);
+        w.put_str(&self.op);
+        w.put_varint(self.total_ns);
+        w.put_bool(self.slow);
+        w.put_seq(&self.stages);
+    }
+}
+
+impl Decode for SpanEntry {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(SpanEntry {
+            corr_id: r.get_u64()?,
+            op: r.get_str()?,
+            total_ns: r.get_varint()?,
+            slow: r.get_bool()?,
+            stages: r.get_seq()?,
+        })
+    }
+}
+
+/// Provider → Operator: the unified observability snapshot — every
+/// registered metric (sorted by name) plus the recent traced spans.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsDumpResponse {
+    /// All metrics, sorted ascending by name.
+    pub metrics: Vec<MetricEntry>,
+    /// Recent request spans, oldest first (empty unless tracing is on).
+    pub spans: Vec<SpanEntry>,
+}
+
+impl Encode for MetricsDumpResponse {
+    fn encode(&self, w: &mut Writer) {
+        w.put_seq(&self.metrics);
+        w.put_seq(&self.spans);
+    }
+}
+
+impl Decode for MetricsDumpResponse {
+    fn decode(r: &mut Reader) -> p2drm_codec::Result<Self> {
+        Ok(MetricsDumpResponse {
+            metrics: r.get_seq()?,
+            spans: r.get_seq()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -627,6 +860,66 @@ mod tests {
             transfer_proof_bytes(&lid_a, &k1),
             transfer_proof_bytes(&lid_a, &k2)
         );
+    }
+
+    #[test]
+    fn metrics_dump_roundtrip() {
+        let empty = MetricsDumpRequest {};
+        let bytes = p2drm_codec::to_bytes(&empty);
+        assert!(bytes.is_empty(), "request payload is empty");
+        assert_eq!(
+            p2drm_codec::from_bytes::<MetricsDumpRequest>(&bytes).unwrap(),
+            empty
+        );
+
+        let msg = MetricsDumpResponse {
+            metrics: vec![
+                MetricEntry::Counter {
+                    name: "net_accepted".to_string(),
+                    value: 17,
+                },
+                MetricEntry::Gauge {
+                    name: "net_active".to_string(),
+                    value: -2,
+                },
+                MetricEntry::Histogram {
+                    name: "service_purchase_ns".to_string(),
+                    summary: MetricSummary {
+                        count: 3,
+                        mean_ns: 812,
+                        p50_ns: 768,
+                        p90_ns: 1536,
+                        p99_ns: 1536,
+                        min_ns: 700,
+                        max_ns: 1600,
+                    },
+                },
+            ],
+            spans: vec![SpanEntry {
+                corr_id: 42,
+                op: "purchase".to_string(),
+                total_ns: 1_500_000,
+                slow: true,
+                stages: vec![
+                    SpanStage {
+                        label: "valve_wait".to_string(),
+                        ns: 50_000,
+                    },
+                    SpanStage {
+                        label: "vcache_miss".to_string(),
+                        ns: 0,
+                    },
+                ],
+            }],
+        };
+        let bytes = p2drm_codec::to_bytes(&msg);
+        let back: MetricsDumpResponse = p2drm_codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn metrics_dump_request_rejects_trailing_bytes() {
+        assert!(p2drm_codec::from_bytes::<MetricsDumpRequest>(&[0u8]).is_err());
     }
 
     #[test]

@@ -84,8 +84,9 @@ use crate::license::License;
 use crate::protocol::messages::{
     transfer_proof_bytes, AttributeIssueRequest, AttributeIssueResponse, CatalogRequest,
     CatalogResponse, CrlSync, CrlSyncRequest, DownloadRequest, DownloadResponse, LicenseStatus,
-    LicenseStatusRequest, LicenseStatusResponse, PseudonymIssueRequest, PseudonymIssueResponse,
-    PurchaseRequest, PurchaseResponse, TransferRequest, TransferResponse,
+    LicenseStatusRequest, LicenseStatusResponse, MetricEntry, MetricSummary, MetricsDumpRequest,
+    MetricsDumpResponse, PseudonymIssueRequest, PseudonymIssueResponse, PurchaseRequest,
+    PurchaseResponse, SpanEntry, SpanStage, TransferRequest, TransferResponse,
 };
 use crate::CoreError;
 use p2drm_codec::{CodecError, Decode, Encode, Reader, Writer};
@@ -94,12 +95,16 @@ use p2drm_crypto::elgamal::ElGamalPublicKey;
 use p2drm_crypto::rng::ChaChaRng;
 use p2drm_crypto::rng::CryptoRng;
 use p2drm_crypto::rsa::RsaPublicKey;
+use p2drm_obs::{
+    AtomicHistogram, Counter, MetricSource, MetricValue, Registry, Snapshot, Summary, Timer,
+    TraceConfig, Tracer,
+};
 use p2drm_payment::Mint;
 use p2drm_pki::cert::{AttributeCertBody, KeyId, PseudonymCertBody, PseudonymCertificate};
 use p2drm_rel::AccessRequest;
 use p2drm_store::{ConcurrentKv, Kv};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// The wire format version this build speaks.
 pub const WIRE_VERSION: u8 = 1;
@@ -133,7 +138,13 @@ pub enum OpCode {
     Catalog = 7,
     /// License-status query (transfer reconciliation).
     LicenseStatus = 8,
+    /// Unified metrics snapshot (operator op; off unless the provider
+    /// opts in via `ProviderConfig::metrics_dump`).
+    MetricsDump = 9,
 }
+
+/// Number of defined op-codes (contiguous from 0).
+pub(crate) const OPCODE_COUNT: usize = 10;
 
 impl OpCode {
     /// The wire byte.
@@ -153,8 +164,25 @@ impl OpCode {
             6 => OpCode::CrlSync,
             7 => OpCode::Catalog,
             8 => OpCode::LicenseStatus,
+            9 => OpCode::MetricsDump,
             _ => return None,
         })
+    }
+
+    /// Short static label for diagnostics, span names and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpCode::Error => "error",
+            OpCode::Purchase => "purchase",
+            OpCode::Download => "download",
+            OpCode::Transfer => "transfer",
+            OpCode::PseudonymIssue => "pseudonym-issue",
+            OpCode::AttributeIssue => "attribute-issue",
+            OpCode::CrlSync => "crl-sync",
+            OpCode::Catalog => "catalog",
+            OpCode::LicenseStatus => "license-status",
+            OpCode::MetricsDump => "metrics-dump",
+        }
     }
 }
 
@@ -480,6 +508,8 @@ pub enum WireRequest {
     Catalog(CatalogRequest),
     /// License-status query (transfer reconciliation).
     LicenseStatus(LicenseStatusRequest),
+    /// Unified metrics snapshot (operator op, opt-in).
+    MetricsDump(MetricsDumpRequest),
 }
 
 impl WireRequest {
@@ -494,6 +524,7 @@ impl WireRequest {
             WireRequest::CrlSync(_) => OpCode::CrlSync,
             WireRequest::Catalog(_) => OpCode::Catalog,
             WireRequest::LicenseStatus(_) => OpCode::LicenseStatus,
+            WireRequest::MetricsDump(_) => OpCode::MetricsDump,
         }
     }
 
@@ -507,6 +538,7 @@ impl WireRequest {
             WireRequest::CrlSync(m) => m.encode(w),
             WireRequest::Catalog(m) => m.encode(w),
             WireRequest::LicenseStatus(m) => m.encode(w),
+            WireRequest::MetricsDump(m) => m.encode(w),
         }
     }
 
@@ -520,6 +552,7 @@ impl WireRequest {
             OpCode::CrlSync => WireRequest::CrlSync(decode_strict(payload)?),
             OpCode::Catalog => WireRequest::Catalog(decode_strict(payload)?),
             OpCode::LicenseStatus => WireRequest::LicenseStatus(decode_strict(payload)?),
+            OpCode::MetricsDump => WireRequest::MetricsDump(decode_strict(payload)?),
             OpCode::Error => return Err(EnvelopeError::UnknownOpcode(OpCode::Error.byte())),
         };
         Ok(body)
@@ -545,6 +578,8 @@ pub enum WireResponse {
     Catalog(CatalogResponse),
     /// Authoritative license status.
     LicenseStatus(LicenseStatusResponse),
+    /// Unified metrics snapshot + recent spans.
+    MetricsDump(MetricsDumpResponse),
     /// The request failed; the code is stable, the detail advisory.
     Error(ApiError),
 }
@@ -561,23 +596,14 @@ impl WireResponse {
             WireResponse::CrlSync(_) => OpCode::CrlSync,
             WireResponse::Catalog(_) => OpCode::Catalog,
             WireResponse::LicenseStatus(_) => OpCode::LicenseStatus,
+            WireResponse::MetricsDump(_) => OpCode::MetricsDump,
             WireResponse::Error(_) => OpCode::Error,
         }
     }
 
     /// Short label for diagnostics.
     pub fn label(&self) -> &'static str {
-        match self {
-            WireResponse::Purchase(_) => "purchase",
-            WireResponse::Download(_) => "download",
-            WireResponse::Transfer(_) => "transfer",
-            WireResponse::PseudonymIssue(_) => "pseudonym-issue",
-            WireResponse::AttributeIssue(_) => "attribute-issue",
-            WireResponse::CrlSync(_) => "crl-sync",
-            WireResponse::Catalog(_) => "catalog",
-            WireResponse::LicenseStatus(_) => "license-status",
-            WireResponse::Error(_) => "error",
-        }
+        self.opcode().label()
     }
 
     fn encode_payload(&self, w: &mut Writer) {
@@ -590,6 +616,7 @@ impl WireResponse {
             WireResponse::CrlSync(m) => m.encode(w),
             WireResponse::Catalog(m) => m.encode(w),
             WireResponse::LicenseStatus(m) => m.encode(w),
+            WireResponse::MetricsDump(m) => m.encode(w),
             WireResponse::Error(m) => m.encode(w),
         }
     }
@@ -604,6 +631,7 @@ impl WireResponse {
             OpCode::CrlSync => WireResponse::CrlSync(decode_strict(payload)?),
             OpCode::Catalog => WireResponse::Catalog(decode_strict(payload)?),
             OpCode::LicenseStatus => WireResponse::LicenseStatus(decode_strict(payload)?),
+            OpCode::MetricsDump => WireResponse::MetricsDump(decode_strict(payload)?),
             OpCode::Error => WireResponse::Error(decode_strict(payload)?),
         };
         Ok(body)
@@ -758,6 +786,59 @@ impl ResponseEnvelope {
 // The service
 // ---------------------------------------------------------------------------
 
+/// Metric name for one op's request-latency histogram. Names are static
+/// strings by construction — the privacy rule for every metric in this
+/// workspace (no pseudonyms, card ids, license ids or coin serials in
+/// telemetry).
+fn op_hist_name(op: OpCode) -> &'static str {
+    match op {
+        OpCode::Error => "service_error_ns",
+        OpCode::Purchase => "service_purchase_ns",
+        OpCode::Download => "service_download_ns",
+        OpCode::Transfer => "service_transfer_ns",
+        OpCode::PseudonymIssue => "service_pseudonym_issue_ns",
+        OpCode::AttributeIssue => "service_attribute_issue_ns",
+        OpCode::CrlSync => "service_crl_sync_ns",
+        OpCode::Catalog => "service_catalog_ns",
+        OpCode::LicenseStatus => "service_license_status_ns",
+        OpCode::MetricsDump => "service_metrics_dump_ns",
+    }
+}
+
+/// Registry-backed service instrumentation: request/error counters and
+/// one latency histogram per wire op, resolved once at construction so
+/// the hot path is plain relaxed atomics.
+struct ServiceStats {
+    served: Arc<Counter>,
+    errors: Arc<Counter>,
+    /// Indexed by op-code byte; slot 0 (`Error`) receives requests whose
+    /// envelope never parsed to an op.
+    op_ns: [Arc<AtomicHistogram>; OPCODE_COUNT],
+}
+
+impl ServiceStats {
+    fn new(registry: &Registry) -> Self {
+        let op_ns = std::array::from_fn(|i| {
+            let op = OpCode::from_byte(i as u8).unwrap_or(OpCode::Error);
+            registry.histogram(op_hist_name(op))
+        });
+        ServiceStats {
+            served: registry.counter("service_requests"),
+            errors: registry.counter("service_errors"),
+            op_ns,
+        }
+    }
+
+    fn hist(&self, op_byte: u8) -> &AtomicHistogram {
+        // Unknown bytes never reach here with a real op; route any
+        // out-of-range byte to the error slot rather than indexing.
+        match self.op_ns.get(op_byte as usize) {
+            Some(h) => h,
+            None => &self.op_ns[0], // lint: allow(panic, array is non-empty by construction)
+        }
+    }
+}
+
 /// The byte-level DRM service: decodes envelopes, dispatches onto the
 /// shared `&self` provider (and RA, when attached) and encodes replies.
 ///
@@ -788,6 +869,13 @@ pub struct ProviderService<B: ConcurrentKv = MemBackend> {
     /// requests never share generator state or a lock.
     rng_key: [u8; 32],
     requests: AtomicU64,
+    /// Metrics registry this service records into (and snapshots for
+    /// [`OpCode::MetricsDump`]).
+    registry: Arc<Registry>,
+    /// Correlation-id request tracer; starts disabled, enabled via
+    /// [`ProviderService::set_tracing`].
+    tracer: Arc<Tracer>,
+    stats: ServiceStats,
 }
 
 impl<B: ConcurrentKv> ProviderService<B> {
@@ -802,7 +890,38 @@ impl<B: ConcurrentKv> ProviderService<B> {
     /// seed (and, unlike the test-grade xoshiro `StdRng`, not
     /// recoverable from observed output). Deterministic tests should
     /// drive [`ProviderService::handle_with_rng`] instead.
-    pub fn new(provider: Arc<ContentProvider<B>>, seed: u64) -> Self {
+    ///
+    /// Records into the process-wide [`p2drm_obs::global`] registry; use
+    /// [`ProviderService::with_registry`] to isolate metrics (tests,
+    /// side-by-side services).
+    pub fn new(provider: Arc<ContentProvider<B>>, seed: u64) -> Self
+    where
+        B: Send + Sync + 'static,
+    {
+        let registry = Arc::clone(p2drm_obs::global());
+        Self::with_registry(provider, seed, registry)
+    }
+
+    /// [`ProviderService::new`] recording into a caller-supplied
+    /// [`Registry`] instead of the global one. The provider (verify
+    /// cache, valve, store) and the tracer are registered as weak
+    /// snapshot sources, so one [`Registry::snapshot`] — or one wire
+    /// [`OpCode::MetricsDump`] — carries service, valve, cache, store
+    /// and batch-crypto metrics together.
+    pub fn with_registry(
+        provider: Arc<ContentProvider<B>>,
+        seed: u64,
+        registry: Arc<Registry>,
+    ) -> Self
+    where
+        B: Send + Sync + 'static,
+    {
+        let stats = ServiceStats::new(&registry);
+        let tracer = Arc::new(Tracer::new(TraceConfig::default()));
+        let provider_weak = Arc::downgrade(&provider);
+        registry.register_source(provider_weak as Weak<dyn MetricSource + Send + Sync>);
+        let tracer_weak = Arc::downgrade(&tracer);
+        registry.register_source(tracer_weak as Weak<dyn MetricSource + Send + Sync>);
         ProviderService {
             provider,
             ra: None,
@@ -814,6 +933,9 @@ impl<B: ConcurrentKv> ProviderService<B> {
                 &p2drm_crypto::rng::os_entropy32(),
             ]),
             requests: AtomicU64::new(0),
+            registry,
+            tracer,
+            stats,
         }
     }
 
@@ -827,6 +949,24 @@ impl<B: ConcurrentKv> ProviderService<B> {
     /// The provider this service fronts (shared handle).
     pub fn provider(&self) -> &Arc<ContentProvider<B>> {
         &self.provider
+    }
+
+    /// The metrics registry this service records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The correlation-id tracer (disabled until
+    /// [`ProviderService::set_tracing`]).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Enables or disables per-request span capture. Span fields are
+    /// static labels, durations and the client-chosen wire correlation
+    /// id — never pseudonyms, card ids, license ids or coin serials.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracer.set_enabled(on);
     }
 
     /// Sets the service's protocol time.
@@ -866,19 +1006,41 @@ impl<B: ConcurrentKv> ProviderService<B> {
     /// [`ProviderService::handle`] with caller-supplied randomness
     /// (deterministic tests).
     pub fn handle_with_rng<R: CryptoRng + ?Sized>(&self, request: &[u8], rng: &mut R) -> Vec<u8> {
-        let response = match RequestEnvelope::from_bytes(request) {
-            Ok(envelope) => ResponseEnvelope {
-                correlation_id: envelope.correlation_id,
-                body: self
+        let timer = Timer::start(self.registry.is_enabled());
+        self.stats.served.inc();
+        let (op_byte, response) = match RequestEnvelope::from_bytes(request) {
+            Ok(envelope) => {
+                let op = envelope.body.opcode();
+                // Span fields: correlation id (client-chosen, already on
+                // the wire) + static op label. Nothing identifying.
+                let _span = self.tracer.begin(envelope.correlation_id, op.label());
+                let body = self
                     .dispatch(&envelope.body, rng)
-                    .unwrap_or_else(WireResponse::Error),
-            },
-            Err(e) => ResponseEnvelope {
-                correlation_id: correlation_hint(request),
-                body: WireResponse::Error(e.into()),
-            },
+                    .unwrap_or_else(WireResponse::Error);
+                (
+                    op.byte(),
+                    ResponseEnvelope {
+                        correlation_id: envelope.correlation_id,
+                        body,
+                    },
+                )
+            }
+            Err(e) => (
+                OpCode::Error.byte(),
+                ResponseEnvelope {
+                    correlation_id: correlation_hint(request),
+                    body: WireResponse::Error(e.into()),
+                },
+            ),
         };
-        response.to_bytes()
+        if matches!(response.body, WireResponse::Error(_)) {
+            self.stats.errors.inc();
+        }
+        let bytes = response.to_bytes();
+        if let Some(ns) = timer.elapsed_ns() {
+            self.stats.hist(op_byte).record(ns);
+        }
+        bytes
     }
 
     /// Typed dispatch (the decoded middle of [`ProviderService::handle`]).
@@ -953,6 +1115,26 @@ impl<B: ConcurrentKv> ProviderService<B> {
                     status: self.provider.license_status(&req.license_id),
                 }))
             }
+            WireRequest::MetricsDump(_) => {
+                if !self.provider.config().metrics_dump {
+                    return Err(ApiError::new(
+                        ApiErrorCode::ServiceUnavailable,
+                        "metrics dump not enabled on this endpoint",
+                    ));
+                }
+                Ok(WireResponse::MetricsDump(self.metrics_dump_response()))
+            }
+        }
+    }
+
+    /// The unified snapshot as a wire message: every registry metric
+    /// (service, valve, verify cache, store, batch crypto) plus the
+    /// tracer's recent spans.
+    pub fn metrics_dump_response(&self) -> MetricsDumpResponse {
+        let snapshot = self.registry.snapshot();
+        MetricsDumpResponse {
+            metrics: snapshot.entries.iter().map(metric_entry).collect(),
+            spans: self.tracer.recent().iter().map(span_entry).collect(),
         }
     }
 
@@ -964,6 +1146,77 @@ impl<B: ConcurrentKv> ProviderService<B> {
             )
         })
     }
+}
+
+fn metric_entry((name, value): &(String, MetricValue)) -> MetricEntry {
+    match value {
+        MetricValue::Counter(v) => MetricEntry::Counter {
+            name: name.clone(),
+            value: *v,
+        },
+        MetricValue::Gauge(v) => MetricEntry::Gauge {
+            name: name.clone(),
+            value: *v,
+        },
+        MetricValue::Histogram(s) => MetricEntry::Histogram {
+            name: name.clone(),
+            summary: MetricSummary {
+                count: s.count,
+                mean_ns: s.mean_ns.round() as u64,
+                p50_ns: s.p50_ns,
+                p90_ns: s.p90_ns,
+                p99_ns: s.p99_ns,
+                min_ns: s.min_ns,
+                max_ns: s.max_ns,
+            },
+        },
+    }
+}
+
+fn span_entry(r: &p2drm_obs::SpanRecord) -> SpanEntry {
+    SpanEntry {
+        corr_id: r.corr_id,
+        op: r.op.to_string(),
+        total_ns: r.total_ns,
+        slow: r.slow,
+        stages: r
+            .stages
+            .iter()
+            .map(|(label, ns)| SpanStage {
+                label: (*label).to_string(),
+                ns: *ns,
+            })
+            .collect(),
+    }
+}
+
+/// Rebuilds an exposition-ready [`Snapshot`] from a decoded
+/// [`MetricsDumpResponse`] (the client side of [`OpCode::MetricsDump`]):
+/// same entries in the same order, with each histogram mean carried as
+/// the rounded integer that travelled the wire. Render with
+/// [`Snapshot::to_text`] or [`Snapshot::to_json`].
+pub fn snapshot_from_dump(dump: &MetricsDumpResponse) -> Snapshot {
+    let entries = dump
+        .metrics
+        .iter()
+        .map(|e| match e {
+            MetricEntry::Counter { name, value } => (name.clone(), MetricValue::Counter(*value)),
+            MetricEntry::Gauge { name, value } => (name.clone(), MetricValue::Gauge(*value)),
+            MetricEntry::Histogram { name, summary } => (
+                name.clone(),
+                MetricValue::Histogram(Summary {
+                    count: summary.count,
+                    mean_ns: summary.mean_ns as f64,
+                    p50_ns: summary.p50_ns,
+                    p90_ns: summary.p90_ns,
+                    p99_ns: summary.p99_ns,
+                    min_ns: summary.min_ns,
+                    max_ns: summary.max_ns,
+                }),
+            ),
+        })
+        .collect();
+    Snapshot { entries }
 }
 
 // ---------------------------------------------------------------------------
@@ -1689,6 +1942,17 @@ impl<T: Transport> WireClient<T> {
                 Ok(())
             }
             other => Err(unexpected("crl-sync", other)),
+        }
+    }
+
+    /// Fetches the provider's unified metrics snapshot (requires the
+    /// server's `metrics_dump` opt-in; otherwise answers
+    /// [`ApiErrorCode::ServiceUnavailable`]). Convert with
+    /// [`snapshot_from_dump`] for text/JSON exposition.
+    pub fn metrics_dump(&mut self) -> Result<MetricsDumpResponse, WireError> {
+        match self.call(WireRequest::MetricsDump(MetricsDumpRequest {}))? {
+            WireResponse::MetricsDump(resp) => Ok(resp),
+            other => Err(unexpected("metrics-dump", other)),
         }
     }
 

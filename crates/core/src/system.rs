@@ -37,6 +37,10 @@ pub struct SystemConfig {
     pub rights_template: Rights,
     /// Certificate validity window.
     pub validity: Validity,
+    /// Expose the provider's wire `MetricsDump` op (off by default;
+    /// snapshots carry only static metric names, durations and counts —
+    /// see `p2drm-obs` for the privacy rule).
+    pub metrics_dump: bool,
 }
 
 impl SystemConfig {
@@ -53,6 +57,7 @@ impl SystemConfig {
                 .transfer(Limit::Count(2))
                 .build(),
             validity: Validity::new(0, u64::MAX / 2),
+            metrics_dump: false,
         }
     }
 
@@ -130,6 +135,7 @@ impl Scaffold {
             key_bits: config.key_bits,
             epoch_window: config.epoch_window,
             validity: config.validity,
+            metrics_dump: config.metrics_dump,
             ..ProviderConfig::fast_test()
         }
     }
@@ -258,9 +264,30 @@ impl<B: p2drm_store::ConcurrentKv> System<B> {
     /// [`crate::service::ProviderService::set_time`]). `seed` separates
     /// RNG streams between services; the service mixes it with OS
     /// entropy, so `handle` output is never predictable from the seed.
-    pub fn wire_service(&self, seed: u64) -> crate::service::ProviderService<B> {
+    pub fn wire_service(&self, seed: u64) -> crate::service::ProviderService<B>
+    where
+        B: Send + Sync + 'static,
+    {
         let service = crate::service::ProviderService::new(self.provider.clone(), seed)
             .with_ra(self.ra.clone());
+        service.set_time(self.epoch, self.now);
+        service
+    }
+
+    /// [`System::wire_service`] recording into a caller-supplied metrics
+    /// registry instead of the process-global one (isolated tests,
+    /// side-by-side services).
+    pub fn wire_service_with_registry(
+        &self,
+        seed: u64,
+        registry: std::sync::Arc<p2drm_obs::Registry>,
+    ) -> crate::service::ProviderService<B>
+    where
+        B: Send + Sync + 'static,
+    {
+        let service =
+            crate::service::ProviderService::with_registry(self.provider.clone(), seed, registry)
+                .with_ra(self.ra.clone());
         service.set_time(self.epoch, self.now);
         service
     }

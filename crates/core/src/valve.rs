@@ -39,6 +39,7 @@
 
 use p2drm_crypto::batch;
 use p2drm_crypto::rsa::{RsaPublicKey, RsaSignature};
+use p2drm_obs::AtomicHistogram;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
@@ -79,6 +80,7 @@ struct Pending {
     message: Vec<u8>,
     signature: RsaSignature,
     slot: Arc<AtomicU8>,
+    staged_at: Instant,
 }
 
 /// The valve. One per provider (all staged signatures are checked under
@@ -92,6 +94,12 @@ pub struct VerifyValve {
     timer_flushes: AtomicU64,
     size_flushes: AtomicU64,
     fallback_splits: AtomicU64,
+    /// Stage→verdict latency per staged item (what a caller's
+    /// [`VerifyValve::wait`] actually costs it, deadline included).
+    wait_ns: AtomicHistogram,
+    /// Stage-of-oldest-item→flush latency per flush: how long a batch
+    /// took to fill (or time out) before verification started.
+    fill_ns: AtomicHistogram,
 }
 
 impl VerifyValve {
@@ -110,6 +118,8 @@ impl VerifyValve {
             timer_flushes: AtomicU64::new(0),
             size_flushes: AtomicU64::new(0),
             fallback_splits: AtomicU64::new(0),
+            wait_ns: AtomicHistogram::new(),
+            fill_ns: AtomicHistogram::new(),
         }
     }
 
@@ -125,6 +135,7 @@ impl VerifyValve {
             message,
             signature,
             slot: Arc::clone(&slot),
+            staged_at,
         });
         if pending.len() >= self.batch {
             let items = std::mem::take(&mut *pending);
@@ -146,7 +157,10 @@ impl VerifyValve {
         loop {
             match ticket.slot.load(Ordering::Acquire) {
                 VERDICT_PENDING => {}
-                v => return v == VERDICT_VALID,
+                v => {
+                    self.wait_ns.record_duration(ticket.staged_at.elapsed());
+                    return v == VERDICT_VALID;
+                }
             }
             if !timed_out && Instant::now() >= deadline {
                 timed_out = true;
@@ -172,6 +186,9 @@ impl VerifyValve {
     /// Runs the batched verification for a drained queue and posts the
     /// per-item verdicts.
     fn flush(&self, items: Vec<Pending>) {
+        if let Some(earliest) = items.iter().map(|p| p.staged_at).min() {
+            self.fill_ns.record_duration(earliest.elapsed());
+        }
         let verdicts: Vec<bool> = if items.len() == 1 {
             vec![
                 // lint: allow(panic, this branch only runs when items.len() == 1)
@@ -196,6 +213,16 @@ impl VerifyValve {
             let v = if ok { VERDICT_VALID } else { VERDICT_INVALID };
             item.slot.store(v, Ordering::Release);
         }
+    }
+
+    /// Stage→verdict latency histogram (per staged item).
+    pub fn wait_hist(&self) -> &AtomicHistogram {
+        &self.wait_ns
+    }
+
+    /// Batch fill latency histogram (per flush).
+    pub fn fill_hist(&self) -> &AtomicHistogram {
+        &self.fill_ns
     }
 
     /// Snapshot of the monotonic counters.

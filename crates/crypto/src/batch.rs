@@ -153,11 +153,83 @@ impl rand::RngCore for ZeroRng {
     }
 }
 
-/// Shared core: checks `sigs[i]^e == ems[i] mod n` for all `i`.
+/// Process-wide batch-verification counters in the global
+/// [`p2drm_obs`] registry. Batch call sites (certificate chains, CRL
+/// sync, the provider valve) don't thread a registry handle, so the
+/// fold is global: every [`BatchReport`] also lands here. Names are
+/// static and values are counts — nothing about *whose* signatures
+/// were checked is recorded.
+struct BatchMetrics {
+    batches: std::sync::Arc<p2drm_obs::Counter>,
+    items: std::sync::Arc<p2drm_obs::Counter>,
+    rejected: std::sync::Arc<p2drm_obs::Counter>,
+    splits: std::sync::Arc<p2drm_obs::Counter>,
+    individual: std::sync::Arc<p2drm_obs::Counter>,
+}
+
+fn batch_metrics() -> &'static BatchMetrics {
+    static METRICS: std::sync::OnceLock<BatchMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = p2drm_obs::global();
+        BatchMetrics {
+            batches: r.counter("crypto_batch_verifies"),
+            items: r.counter("crypto_batch_items"),
+            rejected: r.counter("crypto_batch_rejected"),
+            splits: r.counter("crypto_batch_splits"),
+            individual: r.counter("crypto_batch_individual"),
+        }
+    })
+}
+
+struct BatchSource;
+
+impl p2drm_obs::MetricSource for BatchSource {
+    fn collect(&self, out: &mut p2drm_obs::SnapshotBuilder) {
+        let m = batch_metrics();
+        out.counter("crypto_batch_verifies", m.batches.get());
+        out.counter("crypto_batch_items", m.items.get());
+        out.counter("crypto_batch_rejected", m.rejected.get());
+        out.counter("crypto_batch_splits", m.splits.get());
+        out.counter("crypto_batch_individual", m.individual.get());
+    }
+}
+
+/// The process-wide batch counters as a registerable
+/// [`p2drm_obs::MetricSource`], so a *private* registry (a test, an
+/// experiment run) can fold the batch crypto layer into its unified
+/// snapshot. The returned `Arc` is a static singleton — weak
+/// registrations against it stay live for the process lifetime. The
+/// global registry already carries these counters natively; do not
+/// register the source there.
+pub fn batch_metric_source() -> &'static std::sync::Arc<dyn p2drm_obs::MetricSource + Send + Sync> {
+    static SRC: std::sync::OnceLock<std::sync::Arc<dyn p2drm_obs::MetricSource + Send + Sync>> =
+        std::sync::OnceLock::new();
+    SRC.get_or_init(|| std::sync::Arc::new(BatchSource))
+}
+
+/// Shared core: checks `sigs[i]^e == ems[i] mod n` for all `i`, folding
+/// the outcome into the global batch counters.
 ///
 /// `ems[i] = None` marks an item whose message could not be encoded (it is
 /// rejected outright, matching the individual path).
 fn verify_batch_raw<R: CryptoRng + ?Sized>(
+    pk: &RsaPublicKey,
+    sigs: &[&UBig],
+    ems: &[Option<UBig>],
+    mode: BatchMode,
+    rng: &mut R,
+) -> BatchReport {
+    let report = verify_batch_inner(pk, sigs, ems, mode, rng);
+    let m = batch_metrics();
+    m.batches.inc();
+    m.items.add(sigs.len() as u64);
+    m.rejected.add(report.rejected.len() as u64);
+    m.splits.add(report.splits as u64);
+    m.individual.add(report.individual as u64);
+    report
+}
+
+fn verify_batch_inner<R: CryptoRng + ?Sized>(
     pk: &RsaPublicKey,
     sigs: &[&UBig],
     ems: &[Option<UBig>],

@@ -10,6 +10,13 @@ use std::collections::BTreeMap;
 pub struct Config {
     /// Path prefixes of modules the taint pass treats as timing-sensitive.
     pub taint_paths: Vec<String>,
+    /// Function names treated as telemetry sinks: a secret-tainted
+    /// identifier passed as an argument to a call of one of these names
+    /// is a finding (privacy rule — secrets must never reach metrics or
+    /// spans).
+    pub taint_sinks: Vec<String>,
+    /// Path prefixes the telemetry-sink rule runs over.
+    pub taint_sink_paths: Vec<String>,
     /// Path prefixes of request-serving modules the panic-path pass covers.
     pub panic_paths: Vec<String>,
     /// Path prefixes excluded from every pass (corpus fixtures, target/).
@@ -30,6 +37,8 @@ impl Config {
         };
         Ok(Config {
             taint_paths: get("taint", "paths"),
+            taint_sinks: get("taint", "sinks"),
+            taint_sink_paths: get("taint", "sink_paths"),
             panic_paths: get("panic", "paths"),
             skip_paths: get("skip", "paths"),
         })
@@ -132,10 +141,12 @@ mod tests {
     #[test]
     fn parses_sections_and_arrays() {
         let cfg = Config::parse(
-            "# comment\n[taint]\npaths = [\"a/b.rs\", \"c\"]\n\n[panic]\npaths = [\n  \"d/e.rs\", # trailing\n  \"f\",\n]\n[skip]\npaths = []\n",
+            "# comment\n[taint]\npaths = [\"a/b.rs\", \"c\"]\nsinks = [\"counter\", \"stage\"]\nsink_paths = [\"g\"]\n\n[panic]\npaths = [\n  \"d/e.rs\", # trailing\n  \"f\",\n]\n[skip]\npaths = []\n",
         )
         .unwrap();
         assert_eq!(cfg.taint_paths, ["a/b.rs", "c"]);
+        assert_eq!(cfg.taint_sinks, ["counter", "stage"]);
+        assert_eq!(cfg.taint_sink_paths, ["g"]);
         assert_eq!(cfg.panic_paths, ["d/e.rs", "f"]);
         assert!(cfg.skip_paths.is_empty());
     }

@@ -10,6 +10,11 @@
 //!    `// lint: secret` propagate through assignments; branching
 //!    (`if`/`match`/`while`/`&&`/`||`) or slice-indexing on a tainted
 //!    value is flagged unless justified with `// lint: public(<why>)`.
+//!    The same machinery enforces the observability privacy rule over
+//!    `[taint] sink_paths`: a tainted identifier passed to a telemetry
+//!    sink call (`counter`, `gauge`, `histogram`, `stage`, `flag`,
+//!    `begin`, …, per `[taint] sinks`) is a finding — metric names and
+//!    span fields must stay static strings, durations and counts.
 //! 2. **safety** — every `unsafe` block or `unsafe fn` needs a
 //!    preceding `// SAFETY:` comment.
 //! 3. **panic** — `unwrap()`, `expect()`, `panic!`/`unreachable!`/
@@ -127,6 +132,9 @@ pub fn run_all(root: &Path, cfg: &Config) -> std::io::Result<WorkspaceReport> {
         let sf = SourceFile::parse(&rel, &src);
         if Config::matches(&rel, &cfg.taint_paths) {
             findings.extend(taint::run(&sf));
+        }
+        if Config::matches(&rel, &cfg.taint_sink_paths) {
+            findings.extend(taint::run_sinks(&sf, &cfg.taint_sinks));
         }
         findings.extend(safety::run(&sf));
         if Config::matches(&rel, &cfg.panic_paths) {

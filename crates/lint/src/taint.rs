@@ -7,6 +7,13 @@
 //! `if`/`while`/`match` head, as an operand of a short-circuit
 //! operator, or inside an index expression is a finding unless the
 //! site carries `// lint: public(<why>)`.
+//!
+//! The same taint machinery also powers the telemetry-sink rule
+//! ([`run_sinks`]): in modules listed under `[taint] sink_paths`, a
+//! tainted identifier passed as an argument to a call of a configured
+//! sink name (`counter`, `stage`, …) is a finding — the observability
+//! privacy rule that pseudonyms, card ids, license ids and coin values
+//! never reach metrics or spans, checked statically.
 
 use crate::source::{FnItem, SourceFile};
 use crate::Finding;
@@ -41,6 +48,58 @@ pub fn run(sf: &SourceFile) -> Vec<Finding> {
         flag_conditions(sf, body, &tainted, &mut out);
         flag_short_circuit(sf, body, &tainted, &mut out);
         flag_indexing(sf, body, &tainted, &mut out);
+    }
+    out
+}
+
+/// Telemetry-sink rule over one file: a secret-tainted identifier
+/// passed in the argument list of a call whose callee name is in
+/// `sinks` is a finding unless the line carries `// lint: public(…)`.
+/// Taint is seeded and propagated exactly as in [`run`], so a file
+/// with no `// lint: secret` annotations is trivially quiet.
+pub fn run_sinks(sf: &SourceFile, sinks: &[String]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in sf.fns() {
+        if sf.in_test(f.kw) {
+            continue;
+        }
+        let Some((b0, b1)) = f.body else { continue };
+        let tainted = compute_taint(sf, &f);
+        if tainted.is_empty() {
+            continue;
+        }
+        for &i in &sf.code {
+            if i <= b0 || i >= b1 {
+                continue;
+            }
+            let t = &sf.toks[i];
+            if !t.is_ident_kind() || !sinks.iter().any(|s| s == &t.text) {
+                continue;
+            }
+            // Callee position: the very next code token opens the
+            // argument list.
+            let Some(open) = sf.next_code(i).filter(|&j| sf.toks[j].is_punct("(")) else {
+                continue;
+            };
+            let Some(close) = sf.matching[open] else {
+                continue;
+            };
+            let hit = (open + 1..close).find(|&j| {
+                let a = &sf.toks[j];
+                a.is_ident_kind() && tainted.contains(&a.text)
+            });
+            if let Some(j) = hit {
+                push(
+                    sf,
+                    &mut out,
+                    t.line,
+                    format!(
+                        "secret-tainted `{}` passed to telemetry sink `{}` (secrets must never reach metrics or spans)",
+                        sf.toks[j].text, t.text
+                    ),
+                );
+            }
+        }
     }
     out
 }
@@ -441,6 +500,29 @@ mod tests {
     fn untainted_code_is_quiet() {
         let f = findings("fn f(n: usize) { if n > 0 { g(); } let x = v[n]; }");
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn sink_rule_flags_tainted_call_args() {
+        let sinks = vec!["counter".to_string(), "stage".to_string()];
+        let sf = SourceFile::parse(
+            "t.rs",
+            "fn f(card_id: u64) { // lint: secret\n  let label = card_id;\n  m.counter(label);\n  stage(\"ok\");\n}",
+        );
+        let f = run_sinks(&sf, &sinks);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`label`"));
+        assert!(f[0].message.contains("`counter`"));
+    }
+
+    #[test]
+    fn sink_rule_allows_static_labels_and_public_sites() {
+        let sinks = vec!["counter".to_string()];
+        let sf = SourceFile::parse(
+            "t.rs",
+            "fn f(n: u64) { // lint: secret\n  m.counter(\"requests\");\n  // lint: public(count only, not the value)\n  m.counter(n);\n}",
+        );
+        assert!(run_sinks(&sf, &sinks).is_empty());
     }
 
     #[test]

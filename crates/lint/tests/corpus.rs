@@ -45,6 +45,37 @@ fn taint_good_is_quiet() {
     assert!(f.is_empty(), "constant-time rewrite still flagged: {f:?}");
 }
 
+fn sink_names() -> Vec<String> {
+    ["counter", "gauge", "histogram", "stage", "flag", "begin"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+#[test]
+fn taint_sink_bad_is_fully_flagged() {
+    let sf = parse(
+        "taint_sink_bad.rs",
+        include_str!("corpus/taint_sink_bad.rs"),
+    );
+    let f = taint::run_sinks(&sf, &sink_names());
+    let hit = |needle: &str| f.iter().any(|x| x.message.contains(needle));
+    assert!(hit("`card_id` passed to telemetry sink `counter`"), "{f:?}");
+    assert!(hit("`bucket` passed to telemetry sink `gauge`"), "{f:?}");
+    assert!(hit("`tag` passed to telemetry sink `stage`"), "{f:?}");
+    assert_eq!(f.len(), 3, "unexpected extra findings: {f:?}");
+}
+
+#[test]
+fn taint_sink_good_is_quiet() {
+    let sf = parse(
+        "taint_sink_good.rs",
+        include_str!("corpus/taint_sink_good.rs"),
+    );
+    let f = taint::run_sinks(&sf, &sink_names());
+    assert!(f.is_empty(), "static-label rewrite still flagged: {f:?}");
+}
+
 #[test]
 fn safety_bad_is_fully_flagged() {
     let sf = parse("safety_bad.rs", include_str!("corpus/safety_bad.rs"));

@@ -1,0 +1,18 @@
+//! Telemetry-sink corpus: secret values flowing into metrics or spans.
+//! Every sink call below must be flagged by `taint::run_sinks`.
+
+fn record_purchase(
+    card_id: u64, // lint: secret
+    registry: &Registry,
+) {
+    // Direct leak: the card id lands in a metric.
+    registry.counter(card_id);
+
+    // Indirect leak: taint flows through a binding first.
+    let bucket = card_id % 16;
+    registry.gauge(bucket);
+
+    // Span leak: a secret-derived label reaches the tracer.
+    let tag = bucket;
+    stage(tag);
+}

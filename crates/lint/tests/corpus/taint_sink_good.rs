@@ -1,0 +1,22 @@
+//! Telemetry-sink corpus, quiet twin: the same instrumentation points
+//! recording only static names, counts and durations — nothing derived
+//! from the secret — plus one justified `lint: public` site.
+
+fn record_purchase(
+    card_id: u64, // lint: secret
+    registry: &Registry,
+) {
+    // Static metric names and plain counts are always fine.
+    registry.counter("service_purchases");
+    registry.gauge("queue_depth");
+    stage("mint_deposit");
+
+    // The secret still participates in the business logic…
+    let entitled = lookup(card_id);
+    serve(entitled);
+
+    // …and a justified aggregate may be recorded explicitly.
+    let shard = card_id % 16;
+    // lint: public(shard index is load-balancing data, 16-way aggregate)
+    registry.counter(shard);
+}

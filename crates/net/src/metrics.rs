@@ -117,20 +117,43 @@ pub struct MetricsSnapshot {
     pub pipeline_depth_hwm: u64,
 }
 
+impl MetricsSnapshot {
+    /// Contributes these counters to a unified snapshot under static
+    /// `net_*` names (monotone counts as counters, occupancy levels as
+    /// gauges).
+    pub fn collect_into(&self, out: &mut p2drm_obs::SnapshotBuilder) {
+        out.counter("net_accepted_connections", self.accepted_connections);
+        out.gauge("net_active_connections", self.active_connections as i64);
+        out.gauge("net_idle_connections", self.idle_connections as i64);
+        out.counter("net_requests_served", self.requests_served);
+        out.counter("net_decode_errors", self.decode_errors);
+        out.counter("net_busy_rejections", self.busy_rejections);
+        out.counter("net_oversized_replies", self.oversized_replies);
+        out.gauge("net_pipeline_depth_hwm", self.pipeline_depth_hwm as i64);
+    }
+
+    /// The snapshot as unified exposition entries
+    /// ([`p2drm_obs::Snapshot::to_text`] / `to_json` render it).
+    pub fn to_obs(&self) -> p2drm_obs::Snapshot {
+        let mut b = p2drm_obs::SnapshotBuilder::new();
+        self.collect_into(&mut b);
+        b.finish()
+    }
+}
+
+/// Snapshots registered as a weak [`p2drm_obs::MetricSource`] contribute
+/// the same `net_*` entries a standalone [`MetricsSnapshot::to_obs`]
+/// renders — one exposition format everywhere.
+impl p2drm_obs::MetricSource for ServerMetrics {
+    fn collect(&self, out: &mut p2drm_obs::SnapshotBuilder) {
+        self.snapshot().collect_into(out);
+    }
+}
+
+/// Renders through the unified exposition format (`name kind value`
+/// lines, sorted by name), same as a registry snapshot.
 impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "accepted={} active={} idle={} served={} decode_errors={} busy={} \
-             oversized_replies={} pipeline_hwm={}",
-            self.accepted_connections,
-            self.active_connections,
-            self.idle_connections,
-            self.requests_served,
-            self.decode_errors,
-            self.busy_rejections,
-            self.oversized_replies,
-            self.pipeline_depth_hwm
-        )
+        f.write_str(self.to_obs().to_text().trim_end())
     }
 }

@@ -100,6 +100,11 @@ pub struct NetConfig {
     /// before the server stops reading from it until replies drain
     /// (per-connection pipelining cap → TCP backpressure).
     pub max_pipeline: usize,
+    /// Metrics registry the server contributes to when set: the
+    /// [`ServerMetrics`] register as a weak source (so one registry
+    /// snapshot includes the `net_*` counters) and dispatch→reply
+    /// latency lands in the registry's `net_dispatch_ns` histogram.
+    pub registry: Option<Arc<p2drm_obs::Registry>>,
 }
 
 impl Default for NetConfig {
@@ -112,6 +117,7 @@ impl Default for NetConfig {
             read_timeout: Duration::from_millis(250),
             write_timeout: Duration::from_secs(1),
             max_pipeline: 32,
+            registry: None,
         }
     }
 }
@@ -132,6 +138,9 @@ impl NetConfig {
 struct Job {
     conn: u64,
     request: Vec<u8>,
+    /// When the event thread queued the frame; the worker records
+    /// dispatch→reply latency (queue wait + service time) from it.
+    queued_at: Instant,
 }
 
 /// One service reply on its way back to the event thread.
@@ -143,7 +152,10 @@ struct Reply {
 /// State shared by the event thread, the workers, and the handle.
 struct Control {
     config: NetConfig,
-    metrics: ServerMetrics,
+    metrics: Arc<ServerMetrics>,
+    /// Dispatch→reply latency; shared with [`NetConfig::registry`] as
+    /// `net_dispatch_ns` when one was supplied, free-floating otherwise.
+    dispatch_ns: Arc<p2drm_obs::AtomicHistogram>,
     shutdown: AtomicBool,
     jobs: Mutex<VecDeque<Job>>,
     jobs_cv: Condvar,
@@ -184,9 +196,21 @@ impl DrmServer {
         let (wake_rx, wake_tx) = UnixStream::pair()?;
         wake_rx.set_nonblocking(true)?;
         wake_tx.set_nonblocking(true)?;
+        let metrics = Arc::new(ServerMetrics::new());
+        let dispatch_ns = match &config.registry {
+            Some(registry) => {
+                let weak = Arc::downgrade(&metrics);
+                registry.register_source(
+                    weak as std::sync::Weak<dyn p2drm_obs::MetricSource + Send + Sync>,
+                );
+                registry.histogram("net_dispatch_ns")
+            }
+            None => Arc::new(p2drm_obs::AtomicHistogram::new()),
+        };
         let control = Arc::new(Control {
             config: config.clone(),
-            metrics: ServerMetrics::new(),
+            metrics,
+            dispatch_ns,
             shutdown: AtomicBool::new(false),
             jobs: Mutex::new(VecDeque::new()),
             jobs_cv: Condvar::new(),
@@ -301,6 +325,7 @@ fn worker_loop<S: NetService>(control: &Control, service: &S) {
         };
         let Some(job) = job else { return };
         let bytes = service.handle(&job.request);
+        control.dispatch_ns.record_duration(job.queued_at.elapsed());
         control.metrics.request_served();
         lock(&control.replies).push(Reply {
             conn: job.conn,
@@ -694,6 +719,7 @@ impl EventLoop {
                     jobs.push_back(Job {
                         conn: token,
                         request,
+                        queued_at: Instant::now(),
                     });
                     None
                 }

@@ -1,0 +1,101 @@
+//! Near-zero-overhead timing: a manual [`Timer`] and a drop-guard
+//! [`ScopeTimer`], both recording into an [`AtomicHistogram`] and both
+//! compiled down to nothing when started disabled — the disabled path
+//! is one branch, no clock read.
+
+use crate::hist::AtomicHistogram;
+use std::time::Instant;
+
+/// Manual start/stop timer. Start it before the operation (gated on an
+/// enabled flag so disabled runs never read the clock), stop it into
+/// whichever histogram the operation turned out to belong to — useful
+/// when the label (e.g. the decoded wire op) is only known mid-flight.
+#[derive(Debug)]
+pub struct Timer {
+    start: Option<Instant>,
+}
+
+impl Timer {
+    /// Running timer when `enabled`, inert timer otherwise.
+    pub fn start(enabled: bool) -> Timer {
+        Timer {
+            start: enabled.then(Instant::now),
+        }
+    }
+
+    /// Nanoseconds since start (`None` for an inert timer).
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.start
+            .map(|t0| t0.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+    }
+
+    /// Stops the timer, recording the elapsed nanoseconds into `hist`.
+    /// Returns the recorded value (`None` for an inert timer).
+    pub fn stop(self, hist: &AtomicHistogram) -> Option<u64> {
+        let ns = self.elapsed_ns()?;
+        hist.record(ns);
+        Some(ns)
+    }
+}
+
+/// Drop-guard timer: records the elapsed nanoseconds into the borrowed
+/// histogram when the guard leaves scope. Created via
+/// [`AtomicHistogram::time`].
+#[derive(Debug)]
+pub struct ScopeTimer<'a> {
+    hist: &'a AtomicHistogram,
+    start: Option<Instant>,
+}
+
+impl Drop for ScopeTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(t0) = self.start {
+            self.hist.record_duration(t0.elapsed());
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Scope timer recording into this histogram on drop; inert (no
+    /// clock read, nothing recorded) when `enabled` is false.
+    pub fn time(&self, enabled: bool) -> ScopeTimer<'_> {
+        ScopeTimer {
+            hist: self,
+            start: enabled.then(Instant::now),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_timer_records_on_drop() {
+        let h = AtomicHistogram::new();
+        {
+            let _t = h.time(true);
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn disabled_timers_record_nothing() {
+        let h = AtomicHistogram::new();
+        {
+            let _t = h.time(false);
+        }
+        let t = Timer::start(false);
+        assert_eq!(t.elapsed_ns(), None);
+        assert_eq!(t.stop(&h), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn manual_timer_records() {
+        let h = AtomicHistogram::new();
+        let t = Timer::start(true);
+        assert!(t.stop(&h).is_some());
+        assert_eq!(h.count(), 1);
+    }
+}

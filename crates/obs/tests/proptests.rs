@@ -1,0 +1,105 @@
+//! Property tests for the shared histogram: merge is associative and
+//! commutative, percentiles are monotone and bounded, and the empty
+//! histogram behaves as documented.
+
+use p2drm_obs::Histogram;
+use proptest::prelude::*;
+
+fn hist(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_commutes(a in proptest::collection::vec(any::<u64>(), 0..64),
+                      b in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let mut ab = hist(&a);
+        ab.merge(&hist(&b));
+        let mut ba = hist(&b);
+        ba.merge(&hist(&a));
+        prop_assert_eq!(ab.summary(), ba.summary());
+    }
+
+    #[test]
+    fn merge_is_associative(a in proptest::collection::vec(any::<u64>(), 0..32),
+                            b in proptest::collection::vec(any::<u64>(), 0..32),
+                            c in proptest::collection::vec(any::<u64>(), 0..32)) {
+        // (a ∪ b) ∪ c
+        let mut left = hist(&a);
+        left.merge(&hist(&b));
+        left.merge(&hist(&c));
+        // a ∪ (b ∪ c)
+        let mut bc = hist(&b);
+        bc.merge(&hist(&c));
+        let mut right = hist(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left.summary(), right.summary());
+    }
+
+    #[test]
+    fn merge_equals_recording_concatenation(
+        a in proptest::collection::vec(any::<u64>(), 0..64),
+        b in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let mut merged = hist(&a);
+        merged.merge(&hist(&b));
+        let mut combined: Vec<u64> = a.clone();
+        combined.extend_from_slice(&b);
+        prop_assert_eq!(merged.summary(), hist(&combined).summary());
+    }
+
+    #[test]
+    fn percentiles_monotone_in_p(values in proptest::collection::vec(any::<u64>(), 1..128),
+                                 lo_tenths in 0u32..1001, hi_tenths in 0u32..1001) {
+        // The shim proptest has no f64 strategies: sample tenths of a
+        // percent as integers and scale.
+        let (lo_tenths, hi_tenths) = if lo_tenths <= hi_tenths {
+            (lo_tenths, hi_tenths)
+        } else {
+            (hi_tenths, lo_tenths)
+        };
+        let (lo, hi) = (lo_tenths as f64 / 10.0, hi_tenths as f64 / 10.0);
+        let h = hist(&values);
+        prop_assert!(h.percentile(lo) <= h.percentile(hi),
+            "p{}={} > p{}={}", lo, h.percentile(lo), hi, h.percentile(hi));
+    }
+
+    #[test]
+    fn percentiles_bounded_by_min_max(values in proptest::collection::vec(any::<u64>(), 1..128),
+                                      p_tenths in 0u32..1001) {
+        let p = p_tenths as f64 / 10.0;
+        let h = hist(&values);
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        let q = h.percentile(p);
+        prop_assert!(q >= min && q <= max, "p{} = {} outside [{}, {}]", p, q, min, max);
+    }
+
+    #[test]
+    fn merging_empty_is_identity(values in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let mut h = hist(&values);
+        let before = h.summary();
+        h.merge(&Histogram::new());
+        prop_assert_eq!(h.summary(), before);
+        let mut empty = Histogram::new();
+        empty.merge(&hist(&values));
+        prop_assert_eq!(empty.summary(), before);
+    }
+}
+
+#[test]
+fn empty_histogram_behavior_pinned() {
+    let h = Histogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.mean(), 0.0);
+    for p in [0.0, 50.0, 99.9, 100.0] {
+        assert_eq!(h.percentile(p), 0, "empty percentile is 0");
+    }
+    let s = h.summary();
+    assert_eq!((s.count, s.min_ns, s.max_ns, s.p50_ns), (0, 0, 0, 0));
+    assert_eq!(s.mean_ns, 0.0);
+}

@@ -101,6 +101,36 @@ pub struct ThroughputConfig {
     /// pre-valve behaviour; >0 stages cache-missing pseudonym
     /// verifications and flushes them as one screened batch).
     pub valve_batch: usize,
+    /// Private metrics registry for the run. `Some` routes the service
+    /// (and, in TCP mode, the server) through
+    /// [`ProviderService::with_registry`] so the run's counters and
+    /// latency histograms land in a caller-owned registry instead of the
+    /// process-wide one, and [`ThroughputResult::snapshot`] carries the
+    /// end-of-run exposition. `None` keeps the default (global registry,
+    /// no snapshot) — zero behaviour change for existing callers.
+    pub registry: Option<Arc<p2drm_obs::Registry>>,
+    /// Enable per-request tracing on the run's service(s). Only
+    /// meaningful with a private `registry`; prices the tracer's
+    /// overhead in experiment E14.
+    pub tracing: bool,
+}
+
+impl Default for ThroughputConfig {
+    /// Smallest meaningful run: one client, one purchase, serialized
+    /// store, volatile backend, in-process dispatch, valve off, global
+    /// registry, no tracing.
+    fn default() -> Self {
+        ThroughputConfig {
+            clients: 1,
+            purchases_per_client: 1,
+            store_shards: 1,
+            backend: StoreBackend::Mem,
+            mode: DispatchMode::InProc,
+            valve_batch: 0,
+            registry: None,
+            tracing: false,
+        }
+    }
 }
 
 /// Throughput results.
@@ -122,9 +152,22 @@ pub struct ThroughputResult {
     pub throughput: f64,
     /// Per-purchase latency summary.
     pub latency: Summary,
+    /// Exact median per-purchase latency in nanoseconds, computed from
+    /// the raw samples rather than histogram buckets. Robust to
+    /// scheduler stalls (which contaminate wall-clock throughput and
+    /// the mean but shift the median of thousands of samples by almost
+    /// nothing), so it is the statistic of choice for small-overhead
+    /// comparisons like E14's ≤2% observability budget.
+    pub median_op_ns: u64,
     /// Verification-valve counters for the run (all zero when the valve
     /// is off).
     pub valve: p2drm_core::valve::ValveCounters,
+    /// End-of-run unified metrics snapshot, taken from the private
+    /// registry while the provider is still alive (its weak
+    /// [`p2drm_obs::MetricSource`] registration would go dead once the
+    /// run's `Arc`s drop). `None` unless [`ThroughputConfig::registry`]
+    /// was supplied.
+    pub snapshot: Option<p2drm_obs::Snapshot>,
 }
 
 impl ToJson for ThroughputResult {
@@ -138,6 +181,7 @@ impl ToJson for ThroughputResult {
             ("wall_secs", self.wall_secs.to_json()),
             ("throughput", self.throughput.to_json()),
             ("latency", self.latency.to_json()),
+            ("median_op_ns", self.median_op_ns.to_json()),
             (
                 "valve",
                 Json::obj([
@@ -248,7 +292,14 @@ fn drive_provider<B: ConcurrentKv + Send + Sync + 'static, R: Rng>(
     let total = config.clients * config.purchases_per_client;
     let mut requests: Vec<Vec<PurchaseRequest>> = Vec::with_capacity(config.clients);
     for c in 0..config.clients {
-        let mut user = sys.register_user(&format!("client-{c}"), rng).unwrap();
+        // Every purchase mints a fresh pseudonym, so size the card's
+        // budget to the workload instead of the 64-slot default.
+        let budget = p2drm_core::entities::CardBudget {
+            max_pseudonyms: config.purchases_per_client + 8,
+        };
+        let mut user = sys
+            .register_user_with_budget(&format!("client-{c}"), budget, rng)
+            .unwrap();
         sys.fund(&user, 100 * config.purchases_per_client as u64);
         let mut reqs = Vec::with_capacity(config.purchases_per_client);
         for _ in 0..config.purchases_per_client {
@@ -272,11 +323,26 @@ fn drive_provider<B: ConcurrentKv + Send + Sync + 'static, R: Rng>(
     let histograms: Vec<Mutex<Histogram>> = (0..config.clients)
         .map(|_| Mutex::new(Histogram::new()))
         .collect();
+    // Raw per-op samples, kept alongside the bucketed histogram so the
+    // exact median survives (see `ThroughputResult::median_op_ns`).
+    let samples: Vec<Mutex<Vec<u64>>> = (0..config.clients)
+        .map(|_| Mutex::new(Vec::with_capacity(config.purchases_per_client)))
+        .collect();
 
     // Wire mode fronts the same provider with the byte-level service;
     // each purchase then pays encode → handle (decode, dispatch, encode)
-    // → decode inside the timed section.
-    let service = ProviderService::new(provider.clone(), 0x317E_0000);
+    // → decode inside the timed section. A caller-supplied registry
+    // keeps the run's metrics out of the process-wide tables.
+    let service = match &config.registry {
+        Some(registry) => {
+            // Fold the batch crypto layer's process-wide counters into
+            // the private snapshot too.
+            registry.register_source(Arc::downgrade(p2drm_crypto::batch::batch_metric_source()));
+            ProviderService::with_registry(provider.clone(), 0x317E_0000, registry.clone())
+        }
+        None => ProviderService::new(provider.clone(), 0x317E_0000),
+    };
+    service.set_tracing(config.tracing);
     service.set_time(epoch, sys.now());
     let mode = config.mode;
 
@@ -287,7 +353,13 @@ fn drive_provider<B: ConcurrentKv + Send + Sync + 'static, R: Rng>(
     // the steady-state cost under test is request/reply, not dialing.
     let server: Option<ServerHandle> = match mode {
         DispatchMode::Tcp => {
-            let tcp_service = ProviderService::new(provider.clone(), 0x317E_0001);
+            let tcp_service = match &config.registry {
+                Some(registry) => {
+                    ProviderService::with_registry(provider.clone(), 0x317E_0001, registry.clone())
+                }
+                None => ProviderService::new(provider.clone(), 0x317E_0001),
+            };
+            tcp_service.set_tracing(config.tracing);
             tcp_service.set_time(epoch, sys.now());
             Some(
                 DrmServer::bind(
@@ -296,6 +368,7 @@ fn drive_provider<B: ConcurrentKv + Send + Sync + 'static, R: Rng>(
                     NetConfig {
                         workers: config.clients,
                         max_connections: config.clients + 4,
+                        registry: config.registry.clone(),
                         ..NetConfig::default()
                     },
                 )
@@ -324,6 +397,7 @@ fn drive_provider<B: ConcurrentKv + Send + Sync + 'static, R: Rng>(
             let service = &service;
             let completed = &completed;
             let histograms = &histograms;
+            let samples = &samples;
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(0xC11E57 + c as u64);
                 for (i, req) in reqs.iter().enumerate() {
@@ -366,12 +440,19 @@ fn drive_provider<B: ConcurrentKv + Send + Sync + 'static, R: Rng>(
                     if ok {
                         completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         histograms[c].lock().record_duration(dt);
+                        samples[c]
+                            .lock()
+                            .push(dt.as_nanos().min(u64::MAX as u128) as u64);
                     }
                 }
             });
         }
     });
     let wall = start.elapsed();
+    // Snapshot before shutdown: the TCP server owns its service, whose
+    // tracer and `ServerMetrics` are weak sources in the registry —
+    // they die with it.
+    let snapshot = config.registry.as_ref().map(|r| r.snapshot());
     if let Some(server) = server {
         server.shutdown();
     }
@@ -380,6 +461,9 @@ fn drive_provider<B: ConcurrentKv + Send + Sync + 'static, R: Rng>(
     for h in &histograms {
         merged.merge(&h.lock());
     }
+    let mut all_samples: Vec<u64> = samples.iter().flat_map(|s| s.lock().clone()).collect();
+    all_samples.sort_unstable();
+    let median_op_ns = all_samples.get(all_samples.len() / 2).copied().unwrap_or(0);
     let completed = completed.load(std::sync::atomic::Ordering::Relaxed);
     assert_eq!(completed, total, "all purchases must succeed");
     assert_eq!(
@@ -397,7 +481,9 @@ fn drive_provider<B: ConcurrentKv + Send + Sync + 'static, R: Rng>(
         wall_secs: wall.as_secs_f64(),
         throughput: completed as f64 / wall.as_secs_f64(),
         latency: merged.summary(),
+        median_op_ns,
         valve: provider.valve_counters(),
+        snapshot,
     }
 }
 
@@ -417,6 +503,7 @@ mod tests {
                 backend: StoreBackend::Mem,
                 mode: DispatchMode::InProc,
                 valve_batch: 0,
+                ..ThroughputConfig::default()
             },
             &mut rng,
         );
@@ -438,6 +525,7 @@ mod tests {
                 backend: StoreBackend::Mem,
                 mode: DispatchMode::InProc,
                 valve_batch: 0,
+                ..ThroughputConfig::default()
             },
             &mut rng,
         );
@@ -456,6 +544,7 @@ mod tests {
                 backend: StoreBackend::Mem,
                 mode: DispatchMode::InProc,
                 valve_batch: 2,
+                ..ThroughputConfig::default()
             },
             &mut rng,
         );
@@ -481,6 +570,7 @@ mod tests {
                 backend: StoreBackend::Mem,
                 mode: DispatchMode::Wire,
                 valve_batch: 0,
+                ..ThroughputConfig::default()
             },
             &mut rng,
         );
@@ -499,6 +589,7 @@ mod tests {
                 backend: StoreBackend::Mem,
                 mode: DispatchMode::Tcp,
                 valve_batch: 0,
+                ..ThroughputConfig::default()
             },
             &mut rng,
         );
@@ -517,6 +608,7 @@ mod tests {
                 backend: StoreBackend::WalSharded(SyncPolicy::Buffered),
                 mode: DispatchMode::Wire,
                 valve_batch: 0,
+                ..ThroughputConfig::default()
             },
             &mut rng,
         );
@@ -544,6 +636,7 @@ mod tests {
                     backend: StoreBackend::WalSharded(policy),
                     mode: DispatchMode::InProc,
                     valve_batch: 0,
+                    ..ThroughputConfig::default()
                 },
                 &mut rng,
             );

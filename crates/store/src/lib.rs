@@ -261,6 +261,14 @@ pub trait ConcurrentKv {
 
     /// Flushes buffered writes to the backing medium.
     fn flush(&self) -> Result<(), StoreError>;
+
+    /// Contributes this backend's metrics (commit/fsync latency, sizes)
+    /// to a unified snapshot. Volatile backends have nothing to report;
+    /// the default is a no-op. Implementations must only emit static
+    /// metric names — never key material or values.
+    fn collect_metrics(&self, out: &mut p2drm_obs::SnapshotBuilder) {
+        let _ = out;
+    }
 }
 
 impl<S: Kv> ConcurrentKv for SharedKv<S> {

@@ -66,10 +66,12 @@
 use crate::sharded::fnv1a;
 use crate::walkv::{RecoveryReport, SyncPolicy, WalKv};
 use crate::{ConcurrentKv, Kv, StoreError};
+use p2drm_obs::AtomicHistogram;
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Construction parameters for a [`WalShardedKv`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -138,6 +140,11 @@ pub struct WalShardedKv {
     /// (exercises the shard-poisoning fail-stop path). Checked only under
     /// `cfg!(test)`.
     fail_next_sync: std::sync::atomic::AtomicBool,
+    /// Append→durable latency per logged write (the group-commit wait a
+    /// writer actually experiences, leader or follower).
+    commit_ns: AtomicHistogram,
+    /// Leader-side fsync (`sync_data`) latency per group commit.
+    fsync_ns: AtomicHistogram,
 }
 
 const MANIFEST: &str = "MANIFEST";
@@ -256,6 +263,8 @@ impl WalShardedKv {
                 dir,
                 recovery,
                 fail_next_sync: std::sync::atomic::AtomicBool::new(false),
+                commit_ns: AtomicHistogram::new(),
+                fsync_ns: AtomicHistogram::new(),
             },
             merged,
         ))
@@ -345,7 +354,10 @@ impl WalShardedKv {
             // Assigned under the write lock: sequence order == log order.
             (out, shard.appended.fetch_add(1, Ordering::Relaxed) + 1)
         };
+        let _commit_stage = p2drm_obs::stage("store_commit");
+        let started = Instant::now();
         self.wait_durable(shard, seq)?;
+        self.commit_ns.record_duration(started.elapsed());
         Ok(out)
     }
 
@@ -391,12 +403,14 @@ impl WalShardedKv {
                 (Ok(horizon), SyncPolicy::FlushEach) => Ok(horizon),
                 (Ok(horizon), _) => {
                     let fd = shard.sync_fd.lock();
+                    let sync_started = Instant::now();
                     let sync_res =
                         if cfg!(test) && self.fail_next_sync.swap(false, Ordering::SeqCst) {
                             Err(std::io::Error::other("injected sync failure").into())
                         } else {
                             fd.sync_data().map_err(StoreError::from)
                         };
+                    self.fsync_ns.record_duration(sync_started.elapsed());
                     sync_res.map(|()| horizon)
                 }
             };
@@ -497,6 +511,15 @@ impl ConcurrentKv for WalShardedKv {
             shard.committed.notify_all();
         }
         Ok(())
+    }
+
+    /// WAL timings plus live-key and shard gauges, under static
+    /// `store_*` names.
+    fn collect_metrics(&self, out: &mut p2drm_obs::SnapshotBuilder) {
+        out.histogram("store_commit_ns", &self.commit_ns.snapshot());
+        out.histogram("store_fsync_ns", &self.fsync_ns.snapshot());
+        out.gauge("store_live_keys", self.len() as i64);
+        out.gauge("store_shards", self.shards.len() as i64);
     }
 }
 

@@ -9,14 +9,23 @@
 //! cargo run --example tcp_service
 //! ```
 
-use p2drm::core::service::WireClient;
+use p2drm::core::service::{snapshot_from_dump, WireClient};
 use p2drm::net::{DrmServer, NetConfig, TcpTransport};
+use p2drm::obs::Registry;
 use p2drm::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     let mut rng = test_rng(6109);
     println!("bootstrapping P2DRM system (root CA, RA, TTP, mint, provider)...");
-    let mut system = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let mut system = System::bootstrap(
+        SystemConfig {
+            // Expose the wire MetricsDump op (off by default).
+            metrics_dump: true,
+            ..SystemConfig::fast_test()
+        },
+        &mut rng,
+    );
 
     let song = system.publish_content("Socket Track", 100, b"networked audio", &mut rng);
     let mut alice = system.register_user("alice", &mut rng).unwrap();
@@ -24,11 +33,20 @@ fn main() {
     let mut player = system.register_device(&mut rng).unwrap();
 
     // Boot the real server: port 0 lets the OS pick, the service owns
-    // shared handles to the same provider/RA the system keeps using.
+    // shared handles to the same provider/RA the system keeps using. A
+    // private metrics registry collects the service's per-op latency
+    // histograms together with the server's own counters.
+    let registry = Arc::new(Registry::new());
+    registry.register_source(Arc::downgrade(p2drm::crypto::batch::batch_metric_source()));
+    let service = system.wire_service_with_registry(0x6109, registry.clone());
+    service.set_tracing(true);
     let server = DrmServer::bind(
         "127.0.0.1:0",
-        system.wire_service(0x6109),
-        NetConfig::default(),
+        service,
+        NetConfig {
+            registry: Some(registry),
+            ..NetConfig::default()
+        },
     )
     .expect("bind loopback server");
     let addr = server.local_addr();
@@ -76,10 +94,28 @@ fn main() {
         audio.len()
     );
 
+    // Pull the unified snapshot over the wire: one MetricsDump op
+    // returns every subsystem's counters and latency histograms (static
+    // names, durations and counts — nothing a client could link to a
+    // pseudonym), plus recent correlation-id spans.
+    let dump = client.metrics_dump().unwrap();
+    let snapshot = snapshot_from_dump(&dump);
+    println!(
+        "\nunified snapshot over the wire ({} spans kept):",
+        dump.spans.len()
+    );
+    for line in snapshot.to_text().lines() {
+        if !line.contains("count=0") {
+            println!("  {line}");
+        }
+    }
+    assert!(snapshot.counter("service_requests").unwrap_or(0) >= 4);
+    assert!(snapshot.histogram("service_purchase_ns").is_some());
+
     // Graceful shutdown drains in-flight work, joins every thread and
-    // hands back the final counters.
+    // hands back the final counters (same exposition format).
     let metrics = server.shutdown();
-    println!("\nserver metrics after shutdown: {metrics}");
+    println!("\nserver metrics after shutdown:\n{metrics}");
     assert!(
         metrics.requests_served >= 4,
         "catalog ×2, issue, purchase, download"

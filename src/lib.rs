@@ -35,6 +35,7 @@
 //! | [`core`] | `p2drm-core` | **the paper's protocols**, concurrent provider + system bootstrap |
 //! | [`core::service`] | `p2drm-core` | **the wire API**: versioned envelopes, `ApiErrorCode`, `ProviderService`, `WireClient` |
 //! | [`net`] | `p2drm-net` | **the TCP layer**: framed `DrmServer` + worker pool, `TcpTransport`, server metrics |
+//! | [`obs`] | `p2drm-obs` | **observability**: metrics registry, latency histograms, correlation-id tracing |
 //! | [`domain`] | `p2drm-domain` | authorized-domain extension |
 //! | [`sim`] | `p2drm-sim` | workloads, metrics, shared-provider throughput (in-proc & wire), adversary |
 //!
@@ -70,6 +71,7 @@ pub use p2drm_core as core;
 pub use p2drm_crypto as crypto;
 pub use p2drm_domain as domain;
 pub use p2drm_net as net;
+pub use p2drm_obs as obs;
 pub use p2drm_payment as payment;
 pub use p2drm_pki as pki;
 pub use p2drm_rel as rel;

@@ -1,0 +1,185 @@
+//! End-to-end observability: the wire `MetricsDump` op behind its
+//! config gate, exact per-op totals through a private registry, and
+//! slow-request exemplars carrying their stage breakdowns — all without
+//! a single identifier-shaped value in any metric or span.
+
+use p2drm::core::service::{snapshot_from_dump, ApiErrorCode, Loopback, WireClient, WireError};
+use p2drm::core::system::{System, SystemConfig};
+use p2drm::crypto::rng::test_rng;
+use p2drm::obs::Registry;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A `SystemConfig` with the wire metrics endpoint exposed.
+fn obs_config() -> SystemConfig {
+    SystemConfig {
+        metrics_dump: true,
+        ..SystemConfig::fast_test()
+    }
+}
+
+#[test]
+fn metrics_dump_is_refused_unless_enabled() {
+    let mut rng = test_rng(0xB501);
+    let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+    let service = sys.wire_service(0x0B5);
+    let mut client = WireClient::new(Loopback::new(&service));
+    match client.metrics_dump() {
+        Err(WireError::Api(e)) => {
+            assert_eq!(e.code, ApiErrorCode::ServiceUnavailable);
+            assert_eq!(e.code.code(), 4, "stable numeric code");
+        }
+        other => panic!("disabled metrics dump must be refused, got {other:?}"),
+    }
+}
+
+#[test]
+fn metrics_dump_decodes_to_a_snapshot_with_exact_totals() {
+    let mut rng = test_rng(0xB502);
+    let sys = System::bootstrap(obs_config(), &mut rng);
+    let cid = sys.publish_content("Obs Track", 100, b"OBS AUDIO", &mut rng);
+    let mut alice = sys.register_user("alice", &mut rng).expect("fresh user");
+    sys.fund(&alice, 500);
+
+    let registry = Arc::new(Registry::new());
+    let service = sys.wire_service_with_registry(0xB5, registry.clone());
+    let mut client = WireClient::new(Loopback::new(&service));
+    client.set_epoch(sys.epoch());
+
+    for _ in 0..3 {
+        client.catalog().expect("catalog listing");
+    }
+    client
+        .obtain_pseudonym(
+            &mut alice,
+            sys.ra.blind_public(),
+            sys.ttp.escrow_key(),
+            &mut rng,
+        )
+        .expect("wire pseudonym issuance");
+    client
+        .purchase(&mut alice, &sys.mint, cid, &mut rng)
+        .expect("wire purchase");
+
+    let dump = client.metrics_dump().expect("enabled metrics dump");
+    let snapshot = snapshot_from_dump(&dump);
+
+    // Exact per-op totals: three explicit catalogs plus the price
+    // quote `purchase` makes, one purchase, and no errored requests.
+    let catalog = snapshot
+        .histogram("service_catalog_ns")
+        .expect("catalog latency series");
+    assert_eq!(catalog.count, 4, "3 catalog requests + purchase's quote");
+    assert!(catalog.p99_ns >= catalog.p50_ns);
+    let purchase = snapshot
+        .histogram("service_purchase_ns")
+        .expect("purchase latency series");
+    assert_eq!(purchase.count, 1);
+    assert!(purchase.min_ns > 0, "a purchase takes measurable time");
+    assert_eq!(snapshot.counter("service_errors"), Some(0));
+
+    // The dump counts itself: every request the service served (the
+    // dump included) is in `service_requests`, which must match the
+    // registry the service actually wrote to.
+    let served = snapshot
+        .counter("service_requests")
+        .expect("request counter");
+    assert_eq!(
+        registry.snapshot().counter("service_requests"),
+        Some(served),
+        "wire dump and in-process snapshot agree"
+    );
+    assert!(served >= 6, "3 catalogs + issuance + purchase + the dump");
+
+    // Provider-side series ride the same snapshot (fresh pseudonym →
+    // one verify-cache miss, then the insertion).
+    assert_eq!(snapshot.counter("vcache_misses"), Some(1));
+    assert_eq!(snapshot.counter("vcache_insertions"), Some(1));
+
+    // Exposition stability: entries arrive sorted, and no metric name
+    // carries anything but a static label.
+    let names: Vec<&str> = snapshot.entries.iter().map(|(n, _)| n.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "snapshot entries are name-sorted");
+    assert!(snapshot.to_text().lines().count() == names.len());
+}
+
+#[test]
+fn slow_requests_keep_their_stage_breakdown() {
+    let mut rng = test_rng(0xB503);
+    let sys = System::bootstrap(obs_config(), &mut rng);
+    let cid = sys.publish_content("Slow Track", 100, b"SLOW AUDIO", &mut rng);
+    let mut alice = sys.register_user("alice", &mut rng).expect("fresh user");
+    sys.fund(&alice, 500);
+
+    let registry = Arc::new(Registry::new());
+    let service = sys.wire_service_with_registry(0x51, registry);
+    service.set_tracing(true);
+    // Every request is "slow" at a zero threshold, so every span keeps
+    // its stage breakdown — deterministic exemplar capture.
+    service.tracer().set_slow_threshold(Duration::ZERO);
+
+    let mut client = WireClient::new(Loopback::new(&service));
+    client.set_epoch(sys.epoch());
+    client
+        .obtain_pseudonym(
+            &mut alice,
+            sys.ra.blind_public(),
+            sys.ttp.escrow_key(),
+            &mut rng,
+        )
+        .expect("wire pseudonym issuance");
+    client
+        .purchase(&mut alice, &sys.mint, cid, &mut rng)
+        .expect("wire purchase");
+
+    // Tracer-side: the purchase exemplar carries the verify-cache miss
+    // marker and the mint-deposit stage timing.
+    let exemplars = service.tracer().slow_exemplars();
+    let purchase = exemplars
+        .iter()
+        .find(|s| s.op == "purchase")
+        .expect("purchase exemplar captured");
+    assert!(purchase.slow);
+    assert!(purchase.total_ns > 0);
+    assert!(purchase.corr_id > 0, "client correlation ids start at 1");
+    let labels: Vec<&str> = purchase.stages.iter().map(|(l, _)| *l).collect();
+    assert!(
+        labels.contains(&"vcache_miss"),
+        "fresh pseudonym is a cache miss: {labels:?}"
+    );
+    assert!(
+        labels.contains(&"mint_deposit"),
+        "deposit stage timed: {labels:?}"
+    );
+
+    // Wire-side: the same spans come back in the dump, stage labels and
+    // all, so an operator needs no in-process access.
+    let dump = client.metrics_dump().expect("enabled metrics dump");
+    let wire_purchase = dump
+        .spans
+        .iter()
+        .find(|s| s.op == "purchase" && s.slow)
+        .expect("purchase span over the wire");
+    assert_eq!(wire_purchase.corr_id, purchase.corr_id);
+    assert!(wire_purchase
+        .stages
+        .iter()
+        .any(|s| s.label == "mint_deposit"));
+
+    // Fast spans (threshold restored) drop the breakdown but keep the
+    // summary.
+    service
+        .tracer()
+        .set_slow_threshold(Duration::from_secs(3600));
+    client.catalog().expect("catalog listing");
+    let recent = service.tracer().recent();
+    let catalog = recent
+        .iter()
+        .rev()
+        .find(|s| s.op == "catalog")
+        .expect("catalog span");
+    assert!(!catalog.slow);
+    assert!(catalog.stages.is_empty(), "fast spans keep summary only");
+}

@@ -219,7 +219,7 @@ fn unknown_opcodes_are_rejected() {
     let bed = fuzzbed(0xF0_04);
     let service = bed.sys.wire_service(0x74);
     let (_, base) = &bed.envelopes[0];
-    for opcode in [9u8, 42, 0xFF, 0 /* Error is not a request */] {
+    for opcode in [10u8, 42, 0xFF, 0 /* Error is not a request */] {
         let mut mutant = base.clone();
         mutant[1] = opcode;
         match assert_well_formed(&service, &mutant, "opcode-mutant") {
