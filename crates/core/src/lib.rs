@@ -49,6 +49,7 @@ pub mod entities;
 pub mod ids;
 pub mod license;
 pub mod protocol;
+pub mod retry;
 pub mod service;
 pub mod system;
 pub mod valve;

@@ -105,6 +105,9 @@ use p2drm_rel::AccessRequest;
 use p2drm_store::{ConcurrentKv, Kv};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use crate::retry::{Admit, CircuitBreaker, Idempotency, RetryBudget, RetryPolicy};
 
 /// The wire format version this build speaks.
 pub const WIRE_VERSION: u8 = 1;
@@ -182,6 +185,32 @@ impl OpCode {
             OpCode::Catalog => "catalog",
             OpCode::LicenseStatus => "license-status",
             OpCode::MetricsDump => "metrics-dump",
+        }
+    }
+
+    /// Retry classification for the recovery policy (see
+    /// [`crate::retry::Idempotency`]).
+    ///
+    /// Reads ([`OpCode::Catalog`], [`OpCode::Download`],
+    /// [`OpCode::LicenseStatus`], [`OpCode::CrlSync`],
+    /// [`OpCode::MetricsDump`]) and the blind-issuance rounds (re-running
+    /// a round with the same blinded value yields the same signature) are
+    /// retry-safe. [`OpCode::Purchase`] deposits a coin and
+    /// [`OpCode::Transfer`] retires a license — blindly re-sending after
+    /// an ambiguous failure can double-commit, so those must go through
+    /// coin parking / `LicenseStatus` reconciliation.
+    pub fn idempotency(self) -> crate::retry::Idempotency {
+        use crate::retry::Idempotency;
+        match self {
+            OpCode::Purchase | OpCode::Transfer => Idempotency::MustReconcile,
+            OpCode::Error
+            | OpCode::Download
+            | OpCode::PseudonymIssue
+            | OpCode::AttributeIssue
+            | OpCode::CrlSync
+            | OpCode::Catalog
+            | OpCode::LicenseStatus
+            | OpCode::MetricsDump => Idempotency::Safe,
         }
     }
 }
@@ -436,15 +465,28 @@ pub struct ApiError {
     pub code: ApiErrorCode,
     /// Free-text diagnosis (advisory only; may change between builds).
     pub detail: String,
+    /// Backpressure hint in milliseconds: how long the sender suggests
+    /// the client wait before retrying. `0` means no hint. Busy/shed
+    /// responses derive this from current load, turning load shedding
+    /// into cooperative degradation; recovery policies take
+    /// `max(backoff, retry_after_ms)` as the pause floor.
+    pub retry_after_ms: u32,
 }
 
 impl ApiError {
-    /// Builds an error response.
+    /// Builds an error response (no retry hint).
     pub fn new(code: ApiErrorCode, detail: impl Into<String>) -> Self {
         ApiError {
             code,
             detail: detail.into(),
+            retry_after_ms: 0,
         }
+    }
+
+    /// Attaches a backpressure hint (see [`ApiError::retry_after_ms`]).
+    pub fn with_retry_after(mut self, ms: u32) -> Self {
+        self.retry_after_ms = ms;
+        self
     }
 }
 
@@ -461,6 +503,7 @@ impl From<CoreError> for ApiError {
         ApiError {
             code: (&e).into(),
             detail: e.to_string(),
+            retry_after_ms: 0,
         }
     }
 }
@@ -469,6 +512,7 @@ impl Encode for ApiError {
     fn encode(&self, w: &mut Writer) {
         w.put_u32(self.code.code() as u32);
         w.put_str(&self.detail);
+        w.put_u32(self.retry_after_ms);
     }
 }
 
@@ -481,6 +525,7 @@ impl Decode for ApiError {
         Ok(ApiError {
             code: ApiErrorCode::from_code(raw as u16),
             detail: r.get_str()?,
+            retry_after_ms: r.get_u32()?,
         })
     }
 }
@@ -1446,6 +1491,77 @@ impl From<p2drm_payment::PaymentError> for WireError {
     }
 }
 
+/// Counters/histograms that make client-side recovery visible instead
+/// of silent: retries taken, give-ups, breaker activity, reconciles,
+/// and the backoff pauses actually slept.
+pub struct RecoveryMetrics {
+    /// Retries actually sent (`client_retries`).
+    pub retries: Arc<Counter>,
+    /// Operations abandoned with retries still possible in principle but
+    /// attempts/budget/deadline exhausted (`client_retry_giveups`).
+    pub giveups: Arc<Counter>,
+    /// Circuit-breaker state transitions (`client_breaker_transitions`).
+    pub breaker_transitions: Arc<Counter>,
+    /// Requests rejected locally by an open breaker
+    /// (`client_breaker_rejections`).
+    pub breaker_rejections: Arc<Counter>,
+    /// Reconciliation actions taken — transfer status repairs and
+    /// parked-coin settlements (`client_reconciles`).
+    pub reconciles: Arc<Counter>,
+    /// Distribution of backoff pauses slept (`client_backoff_ns`).
+    pub backoff_ns: Arc<AtomicHistogram>,
+}
+
+impl RecoveryMetrics {
+    /// Registers the recovery series on `registry` (idempotent: same
+    /// names return the same shared handles).
+    pub fn register(registry: &Registry) -> Self {
+        RecoveryMetrics {
+            retries: registry.counter("client_retries"),
+            giveups: registry.counter("client_retry_giveups"),
+            breaker_transitions: registry.counter("client_breaker_transitions"),
+            breaker_rejections: registry.counter("client_breaker_rejections"),
+            reconciles: registry.counter("client_reconciles"),
+            backoff_ns: registry.histogram("client_backoff_ns"),
+        }
+    }
+}
+
+/// End-to-end recovery policy for a [`WireClient`]: retry whole
+/// operations (not just connects) under a backoff policy, bounded by a
+/// retry budget and a circuit breaker, honoring the server's
+/// `retry_after_ms` backpressure hints, and retrying ambiguous failures
+/// only for ops classified retry-safe ([`OpCode::idempotency`]).
+pub struct Recovery {
+    /// Backoff/attempts/deadline policy (deterministic jitter).
+    pub policy: RetryPolicy,
+    /// Per-client retry budget shared across all ops on this client.
+    pub budget: RetryBudget,
+    /// Per-client circuit breaker.
+    pub breaker: CircuitBreaker,
+    /// Optional observability (None: recovery runs unmetered).
+    pub metrics: Option<RecoveryMetrics>,
+}
+
+impl Recovery {
+    /// Default recovery tuned for the in-tree services, with a
+    /// deterministic jitter stream derived from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        Recovery {
+            policy: RetryPolicy::seeded(seed),
+            budget: RetryBudget::new(32, 100),
+            breaker: CircuitBreaker::new(8, Duration::from_millis(50)),
+            metrics: None,
+        }
+    }
+
+    /// Attaches recovery metrics registered on `registry`.
+    pub fn with_metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = Some(RecoveryMetrics::register(registry));
+        self
+    }
+}
+
 /// Typed client over any [`Transport`]: frames envelopes, matches
 /// correlation ids, and drives the multi-round protocol flows as session
 /// state machines against the client-side state (user agent, smart card,
@@ -1467,6 +1583,9 @@ pub struct WireClient<T: Transport> {
     epoch: u32,
     /// Server clock learned from signed CRL timestamps (cached).
     now_hint: Option<u64>,
+    /// Operation-level recovery policy; `None` keeps the historical
+    /// single-attempt behavior.
+    recovery: Option<Recovery>,
 }
 
 impl<T: Transport> WireClient<T> {
@@ -1477,7 +1596,27 @@ impl<T: Transport> WireClient<T> {
             next_correlation: AtomicU64::new(1),
             epoch: 0,
             now_hint: None,
+            recovery: None,
         }
+    }
+
+    /// Enables operation-level recovery: every [`WireClient::call`]
+    /// retries per the policy (bounded by budget, breaker and deadline),
+    /// honoring server `retry_after_ms` hints; ambiguous failures are
+    /// retried only for retry-safe ops ([`OpCode::idempotency`]).
+    pub fn with_recovery(mut self, recovery: Recovery) -> Self {
+        self.recovery = Some(recovery);
+        self
+    }
+
+    /// Installs (or replaces) the recovery policy on a live client.
+    pub fn set_recovery(&mut self, recovery: Option<Recovery>) {
+        self.recovery = recovery;
+    }
+
+    /// The active recovery policy, if any (breaker/budget inspection).
+    pub fn recovery(&self) -> Option<&Recovery> {
+        self.recovery.as_ref()
     }
 
     /// Sets the epoch used for blind-issuance bodies (out-of-band time
@@ -1520,9 +1659,24 @@ impl<T: Transport> WireClient<T> {
         Ok(envelope.body)
     }
 
-    /// One framed round trip: encode, submit, complete until this call's
-    /// reply arrives, decode, match correlation.
+    /// One framed exchange under the recovery policy (when installed):
+    /// encode, submit, complete until this call's reply arrives, decode,
+    /// match correlation — retrying failed exchanges per the policy.
+    /// Every attempt uses a fresh correlation id, so a late reply to an
+    /// abandoned attempt can never satisfy its retry.
     pub fn call(&mut self, body: WireRequest) -> Result<WireResponse, WireError> {
+        match self.recovery.take() {
+            None => self.call_once(body),
+            Some(rec) => {
+                let out = self.call_recovering(&rec, body);
+                self.recovery = Some(rec);
+                out
+            }
+        }
+    }
+
+    /// One framed round trip, exactly one attempt.
+    fn call_once(&mut self, body: WireRequest) -> Result<WireResponse, WireError> {
         let sent = self.next_corr();
         let request = RequestEnvelope {
             correlation_id: sent,
@@ -1530,6 +1684,100 @@ impl<T: Transport> WireClient<T> {
         };
         let reply = self.transport.roundtrip(sent, &request.to_bytes())?;
         Self::decode_reply(sent, &reply)
+    }
+
+    /// [`WireClient::call_once`] in a policy-bounded retry loop.
+    ///
+    /// Retry classification:
+    /// * decoded [`ApiErrorCode::ServiceUnavailable`] — a busy shed (or
+    ///   an op this endpoint does not serve); the server provably did
+    ///   not commit the op, so **any** op may retry, pausing at least
+    ///   the response's `retry_after_ms` hint;
+    /// * transport failure that is definitely-unsent — any op retries;
+    /// * ambiguous transport/envelope/correlation failure — only
+    ///   retry-safe ops retry; must-reconcile ops surface the error so
+    ///   the caller's parking/reconcile accounting runs;
+    /// * any other decoded error — authoritative, never retried.
+    fn call_recovering(
+        &mut self,
+        rec: &Recovery,
+        body: WireRequest,
+    ) -> Result<WireResponse, WireError> {
+        let transitions_before = rec.breaker.transitions();
+        let out = self.call_recovering_inner(rec, body);
+        if let Some(m) = &rec.metrics {
+            m.breaker_transitions
+                .add(rec.breaker.transitions() - transitions_before);
+        }
+        out
+    }
+
+    fn call_recovering_inner(
+        &mut self,
+        rec: &Recovery,
+        body: WireRequest,
+    ) -> Result<WireResponse, WireError> {
+        let idem = body.opcode().idempotency();
+        let deadline = rec.policy.op_deadline.map(|d| Instant::now() + d);
+        let mut retry: u32 = 0;
+        loop {
+            match rec.breaker.admit() {
+                Admit::Rejected => {
+                    if let Some(m) = &rec.metrics {
+                        m.breaker_rejections.inc();
+                    }
+                    return Err(WireError::Api(ApiError::new(
+                        ApiErrorCode::ServiceUnavailable,
+                        "circuit breaker open: failing fast without sending",
+                    )));
+                }
+                Admit::Allowed | Admit::Probe => {}
+            }
+            let outcome = self.call_once(body.clone());
+            // `None` → final; `Some(floor)` → retriable with a minimum
+            // pause (the server's backpressure hint).
+            let floor = match &outcome {
+                Ok(WireResponse::Error(e)) if e.code == ApiErrorCode::ServiceUnavailable => {
+                    rec.breaker.on_failure();
+                    Some(Duration::from_millis(u64::from(e.retry_after_ms)))
+                }
+                Ok(_) => {
+                    rec.breaker.on_success();
+                    rec.budget.on_success();
+                    return outcome;
+                }
+                Err(WireError::Transport(t)) => {
+                    rec.breaker.on_failure();
+                    (t.definitely_unsent() || idem == Idempotency::Safe).then_some(Duration::ZERO)
+                }
+                Err(WireError::Envelope(_))
+                | Err(WireError::CorrelationMismatch { .. })
+                | Err(WireError::UnexpectedResponse { .. }) => {
+                    rec.breaker.on_failure();
+                    (idem == Idempotency::Safe).then_some(Duration::ZERO)
+                }
+                // A decoded non-busy error is the server's authoritative
+                // answer; a client-side error will not change on resend.
+                Err(WireError::Api(_)) | Err(WireError::Client(_)) => None,
+            };
+            let Some(floor) = floor else {
+                return outcome;
+            };
+            retry += 1;
+            let pause = rec.policy.backoff(retry).max(floor);
+            let deadline_blocks = deadline.is_some_and(|dl| Instant::now() + pause >= dl);
+            if retry >= rec.policy.max_attempts || deadline_blocks || !rec.budget.try_spend() {
+                if let Some(m) = &rec.metrics {
+                    m.giveups.inc();
+                }
+                return outcome;
+            }
+            if let Some(m) = &rec.metrics {
+                m.retries.inc();
+                m.backoff_ns.record(pause.as_nanos() as u64);
+            }
+            rec.policy.pause(retry, floor);
+        }
     }
 
     /// Pipelines `bodies` on the transport — submit them all, then
@@ -1903,6 +2151,9 @@ impl<T: Transport> WireClient<T> {
         sender: &mut UserAgent,
         license_id: LicenseId,
     ) -> Result<bool, WireError> {
+        if let Some(m) = self.recovery.as_ref().and_then(|r| r.metrics.as_ref()) {
+            m.reconciles.inc();
+        }
         match self.license_status(license_id)? {
             LicenseStatus::Transferred | LicenseStatus::Revoked => {
                 Ok(sender.remove_license(&license_id).is_some())

@@ -305,8 +305,8 @@ proptest! {
     }
 
     #[test]
-    fn api_error_roundtrip(raw in any::<u16>(), detail in "[a-zA-Z0-9 _-]{0,48}") {
-        let m = ApiError { code: ApiErrorCode::from_code(raw), detail };
+    fn api_error_roundtrip(raw in any::<u16>(), detail in "[a-zA-Z0-9 _-]{0,48}", hint in any::<u32>()) {
+        let m = ApiError { code: ApiErrorCode::from_code(raw), detail, retry_after_ms: hint };
         prop_assert!(check_roundtrip(&m).is_ok(), "{:?}", check_roundtrip(&m));
         // The numeric code itself survives the enum round trip, even for
         // codes this build does not know.

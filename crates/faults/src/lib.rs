@@ -1,0 +1,36 @@
+//! Deterministic fault injection for recovery drills.
+//!
+//! A seeded [`FaultPlan`] holds one [`Schedule`] per named injection
+//! *site* (`"transport.drop_reply"`, `"kv.fail_flush"`, …) and decides,
+//! per call, whether the fault fires. Every decision is a pure function
+//! of `(seed, site, call number)`, so the same seed replays the same
+//! fault schedule byte-for-byte — a failing chaos run is a repro, not an
+//! anecdote.
+//!
+//! The plan is exercised through wrappers at three layers:
+//!
+//! * [`FaultTransport`] around any [`p2drm_core::service::Transport`] —
+//!   dropped requests, dropped/duplicated/torn replies, injected delay,
+//!   mid-write resets, and synthesized busy-envelope storms;
+//! * [`FaultKv`] around any [`p2drm_store::ConcurrentKv`] — failed
+//!   puts/inserts/flushes and slow commits (plus
+//!   [`crash::tear_shard_tail`] and
+//!   [`p2drm_store::WalShardedKv::inject_sync_failure`] for the durable
+//!   backend's poisoning/replay paths);
+//! * [`FaultService`] around any [`p2drm_net::NetService`] — worker
+//!   stalls that hold a request hostage server-side.
+//!
+//! None of the wrappers change behavior when their sites stay
+//! [`Schedule::Never`]; they are strictly pass-through.
+
+mod kv;
+mod plan;
+mod service;
+mod transport;
+
+pub mod crash;
+
+pub use kv::{sites as kv_sites, FaultKv};
+pub use plan::{Decision, FaultPlan, Schedule};
+pub use service::{sites as service_sites, FaultService};
+pub use transport::{sites as transport_sites, FaultTransport};

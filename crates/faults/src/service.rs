@@ -1,0 +1,70 @@
+//! Server-side fault wrapper.
+
+use crate::plan::FaultPlan;
+use p2drm_net::NetService;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Injection sites [`FaultService`] consults.
+pub mod sites {
+    /// The worker stalls before answering — a request held hostage
+    /// server-side while the client's deadline runs.
+    pub const WORKER_STALL: &str = "server.worker_stall";
+}
+
+/// Fault-injecting wrapper around any [`NetService`]: holds selected
+/// requests hostage for a configurable stall before forwarding them.
+/// With [`sites::WORKER_STALL`] at [`crate::Schedule::Never`] it is
+/// pass-through.
+pub struct FaultService<S: NetService> {
+    inner: S,
+    plan: Arc<FaultPlan>,
+    stall: Duration,
+}
+
+impl<S: NetService> FaultService<S> {
+    /// Wraps `inner`; stalled requests wait `stall` before being served.
+    pub fn new(inner: S, plan: Arc<FaultPlan>, stall: Duration) -> Self {
+        FaultService { inner, plan, stall }
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: NetService> NetService for FaultService<S> {
+    fn handle(&self, request: &[u8]) -> Vec<u8> {
+        if self.plan.decide(sites::WORKER_STALL) {
+            std::thread::sleep(self.stall);
+        }
+        self.inner.handle(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schedule;
+    use p2drm_net::ServiceFn;
+    use std::time::Instant;
+
+    #[test]
+    fn stalls_only_scheduled_requests() {
+        let plan = Arc::new(FaultPlan::new(1).with(sites::WORKER_STALL, Schedule::OneShot(2)));
+        let svc = FaultService::new(
+            ServiceFn(|req: &[u8]| req.to_vec()),
+            plan.clone(),
+            Duration::from_millis(10),
+        );
+        assert_eq!(svc.handle(b"a"), b"a");
+        let start = Instant::now();
+        assert_eq!(svc.handle(b"b"), b"b");
+        assert!(
+            start.elapsed() >= Duration::from_millis(10),
+            "second call stalled"
+        );
+        assert_eq!(plan.fired(sites::WORKER_STALL), 1);
+    }
+}

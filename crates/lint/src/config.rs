@@ -19,6 +19,10 @@ pub struct Config {
     pub taint_sink_paths: Vec<String>,
     /// Path prefixes of request-serving modules the panic-path pass covers.
     pub panic_paths: Vec<String>,
+    /// Path prefixes the retry-discipline pass covers: bare `sleep`
+    /// calls there must route their duration through `RetryPolicy` or
+    /// carry `// lint: allow(retry, <why>)`.
+    pub retry_paths: Vec<String>,
     /// Path prefixes excluded from every pass (corpus fixtures, target/).
     pub skip_paths: Vec<String>,
 }
@@ -40,6 +44,7 @@ impl Config {
             taint_sinks: get("taint", "sinks"),
             taint_sink_paths: get("taint", "sink_paths"),
             panic_paths: get("panic", "paths"),
+            retry_paths: get("retry", "paths"),
             skip_paths: get("skip", "paths"),
         })
     }

@@ -21,7 +21,11 @@
 //!    `todo!`/`unimplemented!` and `[i]`-indexing are denied in the
 //!    request-serving modules listed in `lint.toml`, unless annotated
 //!    `// lint: allow(panic, <invariant>)`.
-//! 4. **lockorder** — a static lock-acquisition graph is extracted from
+//! 4. **retry** — bare `sleep` calls (the primitive every hand-rolled
+//!    retry loop is built on) are denied in the modules listed under
+//!    `[retry] paths`, unless annotated `// lint: allow(retry, <why>)`
+//!    — backoff must flow through `p2drm_core::retry::RetryPolicy`.
+//! 5. **lockorder** — a static lock-acquisition graph is extracted from
 //!    nested `.lock()`/`.read()`/`.write()` scopes; cycles are findings
 //!    and the full graph is written to `results/lockgraph.txt`. The
 //!    runtime twin of this pass lives in `parking_lot::lockdep`.
@@ -34,6 +38,7 @@ pub mod config;
 pub mod lexer;
 pub mod lockorder;
 pub mod panicpath;
+pub mod retrypass;
 pub mod safety;
 pub mod source;
 pub mod taint;
@@ -45,7 +50,7 @@ use std::path::{Path, PathBuf};
 /// One lint finding.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Pass name: `taint`, `safety`, `panic` or `lockorder`.
+    /// Pass name: `taint`, `safety`, `panic`, `retry` or `lockorder`.
     pub pass: String,
     /// Workspace-relative file path.
     pub file: String,
@@ -121,7 +126,7 @@ pub fn rel_path(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-/// Runs all four passes over the workspace rooted at `root`.
+/// Runs all five passes over the workspace rooted at `root`.
 pub fn run_all(root: &Path, cfg: &Config) -> std::io::Result<WorkspaceReport> {
     let files = workspace_files(root, cfg)?;
     let mut findings = Vec::new();
@@ -139,6 +144,9 @@ pub fn run_all(root: &Path, cfg: &Config) -> std::io::Result<WorkspaceReport> {
         findings.extend(safety::run(&sf));
         if Config::matches(&rel, &cfg.panic_paths) {
             findings.extend(panicpath::run(&sf));
+        }
+        if Config::matches(&rel, &cfg.retry_paths) {
+            findings.extend(retrypass::run(&sf));
         }
         lock_edges.extend(lockorder::extract(&sf));
     }

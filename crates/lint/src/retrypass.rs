@@ -1,0 +1,79 @@
+//! Retry-discipline pass: backoff belongs to `p2drm_core::retry`'s
+//! `RetryPolicy`, which centralizes exponential growth, deterministic
+//! jitter, caps, deadlines and the budget/breaker gates. A bare `sleep`
+//! call — the primitive every hand-rolled retry loop is built on — in a
+//! module listed under `[retry] paths` is therefore a finding unless
+//! the site carries `// lint: allow(retry, <why>)` explaining why the
+//! pause is not an ad-hoc backoff (or why its duration already comes
+//! from the policy). `#[cfg(test)]`/`#[test]` code is exempt.
+
+use crate::source::SourceFile;
+use crate::Finding;
+
+const PASS: &str = "retry";
+
+pub fn run(sf: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for &i in &sf.code {
+        if sf.in_test(i) {
+            continue;
+        }
+        let t = &sf.toks[i];
+        // Any `sleep(…)` call: `std::thread::sleep(d)`, `thread::sleep(d)`,
+        // or a method `.sleep(d)`. Declarations (`fn sleep`) don't match
+        // because their previous code token is `fn`.
+        if t.is_ident("sleep")
+            && sf.next_code(i).is_some_and(|j| sf.toks[j].is_punct("("))
+            && sf.prev_code(i).is_some_and(|j| {
+                let p = &sf.toks[j];
+                p.is_punct("::") || p.is_punct(".")
+            })
+        {
+            if sf.has_annotation(t.line, "lint: allow(retry,") {
+                continue;
+            }
+            out.push(Finding::new(
+                PASS,
+                sf,
+                t.line,
+                "ad-hoc `sleep` on a retry path — backoff must flow through `RetryPolicy` \
+                 (core::retry), which owns jitter, caps and deadlines"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        run(&SourceFile::parse("t.rs", src))
+    }
+
+    #[test]
+    fn bare_sleeps_flagged() {
+        let f = findings(
+            "fn f() { std::thread::sleep(d); thread::sleep(Duration::from_millis(5)); timer.sleep(d); }",
+        );
+        assert_eq!(f.len(), 3, "{f:?}");
+    }
+
+    #[test]
+    fn annotated_sleeps_pass() {
+        let f = findings(
+            "fn f() {\n  // lint: allow(retry, duration computed by RetryPolicy::backoff_before)\n  std::thread::sleep(d);\n  thread::sleep(d); // lint: allow(retry, poll-timeout emulation, not a backoff)\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn declarations_and_tests_exempt() {
+        let f = findings(
+            "fn sleep(d: Duration) {}\n#[cfg(test)]\nmod tests {\n fn t() { std::thread::sleep(d); }\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -22,12 +22,12 @@
 //! ambiguous at once.
 
 use crate::frame::{read_frame_within, FrameError, LEN_PREFIX};
+use p2drm_core::retry::RetryPolicy;
 use p2drm_core::service::{correlation_hint, Transport, TransportError};
 use std::collections::HashSet;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Mutex;
-use std::thread;
 use std::time::{Duration, Instant};
 
 /// Client socket tuning.
@@ -35,7 +35,8 @@ use std::time::{Duration, Instant};
 pub struct ClientConfig {
     /// Extra connect attempts after the first (total = retries + 1).
     pub connect_retries: u32,
-    /// Sleep between connect attempts, multiplied by the attempt number.
+    /// Base pause before a connect retry; the [`RetryPolicy`] doubles it
+    /// per retry (capped) and applies deterministic jitter.
     pub retry_backoff: Duration,
     /// Reply read patience: how long `complete(None)` waits before
     /// declaring the channel broken (also the per-poll granularity when
@@ -130,31 +131,42 @@ impl TcpTransport {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    /// Dials with retry + linear backoff; `Unreachable` when every
-    /// attempt fails (nothing was ever sent).
+    /// The connect-retry policy derived from [`ClientConfig`]: total
+    /// attempts = `connect_retries + 1`, exponential backoff from
+    /// `retry_backoff` with deterministic jitter seeded by the target
+    /// address (stable per client, de-synchronized across a fleet).
+    fn connect_policy(&self) -> RetryPolicy {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in format!("{}", self.addr).bytes() {
+            seed = (seed ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        RetryPolicy {
+            base_backoff: self.config.retry_backoff,
+            max_backoff: self.config.retry_backoff.saturating_mul(8),
+            max_attempts: self.config.connect_retries + 1,
+            op_deadline: None,
+            jitter_seed: seed,
+        }
+    }
+
+    /// Dials under [`TcpTransport::connect_policy`]; `Unreachable` when
+    /// every attempt fails (nothing was ever sent).
     fn fresh_stream(&self) -> Result<TcpStream, TransportError> {
         let attempts = self.config.connect_retries + 1;
-        let mut last_err = None;
-        for attempt in 0..attempts {
-            if attempt > 0 {
-                thread::sleep(self.config.retry_backoff * attempt);
-            }
-            match TcpStream::connect(self.addr) {
-                Ok(stream) => {
-                    let _ = stream.set_nodelay(true);
-                    let _ = stream.set_read_timeout(Some(self.config.read_timeout));
-                    let _ = stream.set_write_timeout(Some(self.config.write_timeout));
-                    return Ok(stream);
-                }
-                Err(e) => last_err = Some(e),
-            }
-        }
-        Err(TransportError::Unreachable(format!(
-            "connect to {} failed after {attempts} attempts: {}",
-            self.addr,
-            // lint: allow(panic, attempts >= 1 so the loop body ran and set last_err)
-            last_err.expect("at least one attempt ran")
-        )))
+        self.connect_policy()
+            .run(|_attempt| {
+                let stream = TcpStream::connect(self.addr)?;
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+                let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+                Ok(stream)
+            })
+            .map_err(|e: io::Error| {
+                TransportError::Unreachable(format!(
+                    "connect to {} failed after {attempts} attempts: {e}",
+                    self.addr
+                ))
+            })
     }
 
     /// Writes one framed request on the locked stream. Distinguishes

@@ -305,6 +305,33 @@ fn error_envelope(correlation_id: u64, code: ApiErrorCode, detail: &str) -> Vec<
     .to_bytes()
 }
 
+/// Base unit of the busy envelope's `retry_after_ms` hint.
+const BUSY_RETRY_UNIT_MS: u32 = 5;
+
+/// Backpressure hint for a shed: `unit × (1 + load/capacity)` — one unit
+/// when lightly oversubscribed, growing linearly as `load` climbs past
+/// `capacity` (a storm of queued work or parked connections tells
+/// clients to stay away proportionally longer). Never zero: a busy
+/// envelope always carries a hint.
+fn busy_retry_after_ms(load: usize, capacity: usize) -> u32 {
+    let ratio = (load / capacity.max(1)).min(64) as u32;
+    BUSY_RETRY_UNIT_MS * (1 + ratio)
+}
+
+/// A busy/shed envelope: [`ApiErrorCode::ServiceUnavailable`] carrying
+/// the [`busy_retry_after_ms`] hint, so shedding degrades cooperatively
+/// instead of inviting an immediate re-hammer.
+fn busy_envelope(correlation_id: u64, detail: &str, load: usize, capacity: usize) -> Vec<u8> {
+    ResponseEnvelope {
+        correlation_id,
+        body: WireResponse::Error(
+            ApiError::new(ApiErrorCode::ServiceUnavailable, detail)
+                .with_retry_after(busy_retry_after_ms(load, capacity)),
+        ),
+    }
+    .to_bytes()
+}
+
 fn worker_loop<S: NetService>(control: &Control, service: &S) {
     loop {
         let job = {
@@ -524,12 +551,15 @@ impl EventLoop {
         };
         if over_capacity {
             // Shed with a decodable busy envelope instead of an opaque
-            // reset; the conn lives on briefly as a drain stub.
+            // reset; the conn lives on briefly as a drain stub. The
+            // retry hint scales with how far past the connection limit
+            // the accept stream is running.
             self.control.metrics.busy_rejection();
-            let frame = error_envelope(
+            let frame = busy_envelope(
                 0,
-                ApiErrorCode::ServiceUnavailable,
                 "server busy: connection limit reached",
+                self.conns.len(),
+                self.control.config.max_connections,
             );
             queue_frame(&mut conn, &frame);
             conn.draining = true;
@@ -714,7 +744,7 @@ impl EventLoop {
             let shed = {
                 let mut jobs = lock(&self.control.jobs);
                 if jobs.len() >= config.queue_depth {
-                    Some(request)
+                    Some((request, jobs.len()))
                 } else {
                     jobs.push_back(Job {
                         conn: token,
@@ -724,12 +754,15 @@ impl EventLoop {
                     None
                 }
             };
-            if let Some(request) = shed {
+            if let Some((request, queued)) = shed {
+                // The retry hint scales with the backlog the queue is
+                // carrying relative to its configured depth.
                 self.control.metrics.busy_rejection();
-                let frame = error_envelope(
+                let frame = busy_envelope(
                     correlation_hint(&request),
-                    ApiErrorCode::ServiceUnavailable,
                     "server busy: request queue full",
+                    queued,
+                    config.queue_depth,
                 );
                 queue_frame(conn, &frame);
             } else {

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod adversary;
+pub mod chaos;
 pub mod json;
 pub mod metrics;
 pub mod mixed;

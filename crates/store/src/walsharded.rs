@@ -136,9 +136,10 @@ pub struct WalShardedKv {
     policy: SyncPolicy,
     dir: PathBuf,
     recovery: Vec<RecoveryReport>,
-    /// Test-only fault injection: the next group-commit fsync fails
-    /// (exercises the shard-poisoning fail-stop path). Checked only under
-    /// `cfg!(test)`.
+    /// Fault injection: the next group-commit fsync fails (exercises the
+    /// shard-poisoning fail-stop path). Armed via
+    /// [`WalShardedKv::inject_sync_failure`] — one atomic swap per commit,
+    /// so leaving the hook unconditional costs nothing on the hot path.
     fail_next_sync: std::sync::atomic::AtomicBool,
     /// Append→durable latency per logged write (the group-commit wait a
     /// writer actually experiences, leader or follower).
@@ -291,6 +292,16 @@ impl WalShardedKv {
         &self.recovery
     }
 
+    /// Arms the fault hook: the **next** group-commit fsync (any shard)
+    /// fails, poisoning that shard fail-stop — exactly what a dying disk
+    /// does mid-commit. Fault-injection drills (`p2drm-faults`, the chaos
+    /// runner) use this to exercise the poisoning/replay path against a
+    /// live provider rather than only in unit tests.
+    pub fn inject_sync_failure(&self) {
+        self.fail_next_sync
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
     /// Total log bytes across all shards (storage-growth metrics).
     pub fn log_bytes(&self) -> u64 {
         self.shards.iter().map(|s| s.kv.read().log_bytes()).sum()
@@ -404,12 +415,11 @@ impl WalShardedKv {
                 (Ok(horizon), _) => {
                     let fd = shard.sync_fd.lock();
                     let sync_started = Instant::now();
-                    let sync_res =
-                        if cfg!(test) && self.fail_next_sync.swap(false, Ordering::SeqCst) {
-                            Err(std::io::Error::other("injected sync failure").into())
-                        } else {
-                            fd.sync_data().map_err(StoreError::from)
-                        };
+                    let sync_res = if self.fail_next_sync.swap(false, Ordering::SeqCst) {
+                        Err(std::io::Error::other("injected sync failure").into())
+                    } else {
+                        fd.sync_data().map_err(StoreError::from)
+                    };
                     self.fsync_ns.record_duration(sync_started.elapsed());
                     sync_res.map(|()| horizon)
                 }
@@ -745,7 +755,7 @@ mod tests {
         let (kv, _) = WalShardedKv::open(&tmp.0, cfg(1, SyncPolicy::SyncEach)).unwrap();
         assert!(kv.insert_if_absent(b"spent/ok", b"").unwrap());
 
-        kv.fail_next_sync.store(true, Ordering::SeqCst);
+        kv.inject_sync_failure();
         assert!(
             kv.insert_if_absent(b"spent/lost", b"").is_err(),
             "write whose commit failed must error"

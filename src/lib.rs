@@ -36,6 +36,7 @@
 //! | [`core::service`] | `p2drm-core` | **the wire API**: versioned envelopes, `ApiErrorCode`, `ProviderService`, `WireClient` |
 //! | [`net`] | `p2drm-net` | **the TCP layer**: framed `DrmServer` + worker pool, `TcpTransport`, server metrics |
 //! | [`obs`] | `p2drm-obs` | **observability**: metrics registry, latency histograms, correlation-id tracing |
+//! | [`faults`] | `p2drm-faults` | **fault injection**: seeded `FaultPlan`, transport/store/service chaos wrappers |
 //! | [`domain`] | `p2drm-domain` | authorized-domain extension |
 //! | [`sim`] | `p2drm-sim` | workloads, metrics, shared-provider throughput (in-proc & wire), adversary |
 //!
@@ -70,6 +71,7 @@ pub use p2drm_codec as codec;
 pub use p2drm_core as core;
 pub use p2drm_crypto as crypto;
 pub use p2drm_domain as domain;
+pub use p2drm_faults as faults;
 pub use p2drm_net as net;
 pub use p2drm_obs as obs;
 pub use p2drm_payment as payment;

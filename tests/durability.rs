@@ -617,3 +617,75 @@ fn torn_shard_tail_does_not_poison_other_shards() {
         );
     }
 }
+
+#[test]
+fn injected_sync_failure_poisons_one_shard_and_restart_recovers() {
+    // Recovery drill for the group-commit fail-stop path: arm the
+    // store's fault hook so one commit's fsync fails mid-run — what a
+    // dying disk does — then check the blast radius is exactly one
+    // shard (its writers error, reads keep serving, other shards keep
+    // committing) and that a restart recovers every durable claim.
+    let tmp = TempDir::new("inject-sync");
+    let durable = WalShardedConfig {
+        shards: 4,
+        policy: SyncPolicy::SyncEach,
+    };
+
+    let mut pre_keys = Vec::new();
+    let mut committed_after = Vec::new();
+    {
+        let (store, _) = WalShardedKv::open(&tmp.0, durable).unwrap();
+        for i in 0..16u32 {
+            let key = format!("spent/pre-{i}").into_bytes();
+            assert!(store.insert_if_absent(&key, b"").unwrap());
+            pre_keys.push(key);
+        }
+
+        store.inject_sync_failure();
+        let victim = b"spent/victim".to_vec();
+        assert!(
+            store.insert_if_absent(&victim, b"").is_err(),
+            "the injected fsync failure must surface to the writer"
+        );
+
+        // Fail-stop is per shard: the victim's shard refuses all further
+        // writes, every other shard keeps accepting. Sixteen keys spread
+        // over 4 shards, so both classes must be non-empty.
+        let mut refused = 0usize;
+        for i in 0..16u32 {
+            let key = format!("spent/post-{i}").into_bytes();
+            match store.insert_if_absent(&key, b"") {
+                Ok(inserted) => {
+                    assert!(inserted);
+                    committed_after.push(key);
+                }
+                Err(_) => refused += 1,
+            }
+        }
+        assert!(refused > 0, "the poisoned shard refuses writes");
+        assert!(
+            !committed_after.is_empty(),
+            "healthy shards keep committing"
+        );
+        // Reads still serve on every shard, poisoned included.
+        for key in &pre_keys {
+            assert!(store.contains(key));
+        }
+    }
+
+    // Restart over the directory: every claim that was acknowledged
+    // durable — before the fault and on healthy shards after it — is
+    // still refused a second insertion.
+    let (store, _report) = WalShardedKv::open(&tmp.0, durable).unwrap();
+    for key in pre_keys.iter().chain(&committed_after) {
+        assert!(
+            !store.insert_if_absent(key, b"").unwrap(),
+            "acknowledged claim lost across the poison/restart drill"
+        );
+    }
+    // And the recovered store is fully writable again on all shards.
+    for i in 0..16u32 {
+        let key = format!("spent/fresh-{i}").into_bytes();
+        assert!(store.insert_if_absent(&key, b"").unwrap());
+    }
+}

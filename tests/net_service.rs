@@ -256,7 +256,17 @@ fn connection_limit_sheds_load_with_busy_response() {
         .expect("a frame, not silence");
     let envelope = ResponseEnvelope::from_bytes(&reply).expect("well-formed busy envelope");
     match envelope.body {
-        WireResponse::Error(e) => assert_eq!(e.code, ApiErrorCode::ServiceUnavailable),
+        WireResponse::Error(e) => {
+            assert_eq!(e.code, ApiErrorCode::ServiceUnavailable);
+            // The shed envelope carries backpressure advice: a non-zero
+            // retry_after_ms derived from the connection-slot pressure,
+            // for recovering clients to use as their backoff floor.
+            assert!(
+                e.retry_after_ms > 0,
+                "busy envelope must carry a retry-after hint, got {}",
+                e.retry_after_ms
+            );
+        }
         other => panic!("expected busy error, got {}", other.label()),
     }
 
@@ -270,7 +280,11 @@ fn connection_limit_sheds_load_with_busy_response() {
         .expect_err("server is at capacity");
     match err {
         p2drm::core::service::WireError::Api(e) => {
-            assert_eq!(e.code, ApiErrorCode::ServiceUnavailable)
+            assert_eq!(e.code, ApiErrorCode::ServiceUnavailable);
+            assert!(
+                e.retry_after_ms > 0,
+                "retry-after hint survives the typed-client decode path"
+            );
         }
         other => panic!("expected busy Api error, got {other}"),
     }

@@ -253,3 +253,122 @@ fn empty_and_garbage_inputs_answer_cleanly() {
         }
     }
 }
+
+/// Coin conservation under transport chaos: whatever seeded fault
+/// schedule the wire suffers — dropped requests, dropped/torn/duplicated
+/// replies, resets, busy storms — the park/reconcile/deposit cycle never
+/// loses a coin and never double-spends one. Every withdrawn coin ends
+/// the run as exactly one of {spendable in the wallet, deposited at the
+/// mint}, the parked pool drains once reconciled, and every held license
+/// has a distinct id.
+mod coin_conservation {
+    use super::*;
+    use p2drm::core::retry::{CircuitBreaker, RetryBudget, RetryPolicy};
+    use p2drm::core::service::{Loopback, Recovery, WireClient};
+    use p2drm::core::ContentId;
+    use p2drm::faults::{transport_sites, FaultPlan, FaultTransport, Schedule};
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, OnceLock};
+    use std::time::Duration;
+
+    struct Bed {
+        sys: System,
+        cid: ContentId,
+    }
+
+    /// One bootstrapped world for every case; each case registers its
+    /// own user, so mint deltas within a case are that user's alone.
+    fn bed() -> &'static Bed {
+        static BED: OnceLock<Bed> = OnceLock::new();
+        BED.get_or_init(|| {
+            let mut rng = test_rng(0xC0_115E);
+            let sys = System::bootstrap(SystemConfig::fast_test(), &mut rng);
+            let cid = sys.publish_content("conserved-item", 100, &vec![3u8; 256], &mut rng);
+            Bed { sys, cid }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn faulty_purchases_never_lose_or_double_spend_coins(
+            seed in any::<u64>(),
+            rate_pct in 0u32..26,
+        ) {
+            static CASE: AtomicU64 = AtomicU64::new(0);
+            let bed = bed();
+            let sys = &bed.sys;
+            let mint = sys.mint.clone();
+            let ops = 4usize;
+
+            let mut rng = test_rng(seed);
+            let name = format!("cc-{}", CASE.fetch_add(1, Ordering::Relaxed));
+            let mut user = sys.register_user(&name, &mut rng).expect("fresh user");
+            sys.fund(&user, 100 * ops as u64 + 100);
+            let withdrawn_before = mint.withdrawal_transcript().len();
+            let spent_before = mint.spent_count();
+
+            let p = f64::from(rate_pct) / 100.0;
+            let plan = Arc::new(
+                FaultPlan::new(seed)
+                    .with(transport_sites::RESET_MID_WRITE, Schedule::Probability(p))
+                    .with(transport_sites::DROP_REQUEST, Schedule::Probability(p))
+                    .with(transport_sites::BUSY_STORM, Schedule::Probability(p))
+                    .with(transport_sites::DELAY, Schedule::Probability(p))
+                    .with(transport_sites::DROP_REPLY, Schedule::Probability(p))
+                    .with(transport_sites::TORN_FRAME, Schedule::Probability(p))
+                    .with(transport_sites::DUPLICATE_REPLY, Schedule::Probability(p)),
+            );
+            let service = sys.wire_service(seed);
+            let transport = FaultTransport::new(Loopback::new(&service), plan);
+            let mut client = WireClient::new(transport).with_recovery(Recovery {
+                policy: RetryPolicy {
+                    base_backoff: Duration::from_micros(100),
+                    max_backoff: Duration::from_millis(1),
+                    max_attempts: 3,
+                    op_deadline: None,
+                    jitter_seed: seed,
+                },
+                budget: RetryBudget::new(64, 1_000),
+                breaker: CircuitBreaker::new(u32::MAX, Duration::from_millis(1)),
+                metrics: None,
+            });
+            client.set_epoch(sys.epoch());
+
+            let mut licenses = Vec::new();
+            for op in 0..ops {
+                sys.ensure_pseudonym(&mut user, &mut rng)
+                    .expect("RA is not behind the faulty wire");
+                if let Ok(license) = client.purchase(&mut user, &mint, bed.cid, &mut rng) {
+                    licenses.push(license.id());
+                }
+                // Interleave a mid-run reconcile with the parked pool
+                // possibly non-empty, as a recovering client would.
+                if op == ops / 2 {
+                    user.wallet.reconcile_pending(&mint);
+                }
+            }
+            user.wallet.reconcile_pending(&mint);
+
+            let withdrawn = mint.withdrawal_transcript().len() - withdrawn_before;
+            let deposited = mint.spent_count() - spent_before;
+            prop_assert!(
+                user.wallet.pending().is_empty(),
+                "parked pool must drain after reconciliation"
+            );
+            prop_assert_eq!(
+                withdrawn,
+                user.wallet.len() + deposited,
+                "coin lost or double-counted: {} withdrawn, {} spendable, {} deposited",
+                withdrawn, user.wallet.len(), deposited
+            );
+            let distinct: BTreeSet<_> = licenses.iter().copied().collect();
+            prop_assert_eq!(distinct.len(), licenses.len(), "duplicate license ids");
+            prop_assert_eq!(user.licenses().len(), licenses.len());
+            prop_assert!(deposited >= licenses.len(), "every license was paid for");
+        }
+    }
+}
